@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure.  Experiments are
+deterministic discrete-event simulations, so a single round per bench
+is meaningful; ``REPRO_FULL=1`` switches to the full-size (paper-
+scale) configurations.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture()
+def run_experiment_bench(benchmark, full_mode):
+    """Run an experiment driver once under pytest-benchmark and echo
+    its report."""
+    def runner(name: str):
+        from repro.experiments import run_experiment
+        result = benchmark.pedantic(
+            lambda: run_experiment(name, quick=not full_mode),
+            rounds=1, iterations=1)
+        print()
+        print(result.text)
+        return result
+    return runner

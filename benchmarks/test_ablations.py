@@ -1,0 +1,175 @@
+"""Ablation benches: flip the design choices the paper identifies and
+verify each effect comes from exactly that switch.
+
+* wakeup preemption (CFS) — drives the apache/ab effect;
+* ULE's remote interactive preemption — FreeBSD's
+  ``sched_shouldpreempt`` IPI rule;
+* ``sched_pickcpu`` vs "previous CPU" — the paper's §6.3 validation:
+  replacing pickcpu erases the sysbench overhead gap;
+* autogroup (per-application cgroups) — drives Table 2's 50/50 split;
+* balancer cadence — ULE's convergence time scales with its interval.
+"""
+
+import pytest
+
+from repro.analysis.stats import percent_diff
+from repro.core.clock import msec, sec, usec
+from repro.experiments.base import make_engine, run_workload
+from repro.workloads import (ApacheWorkload, FiboWorkload,
+                             SpinnerWorkload, SysbenchWorkload)
+
+
+def _bench_once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def test_ablation_cfs_wakeup_preemption(benchmark):
+    """Disabling CFS wakeup preemption removes ab's preemptions and
+    closes most of the apache gap."""
+    def run():
+        out = {}
+        for preempt in (True, False):
+            eng = make_engine("cfs", ncpus=1,
+                              ctx_switch_cost_ns=usec(15),
+                              wakeup_preemption=preempt)
+            wl = ApacheWorkload(total_requests=10_000)
+            run_workload(eng, wl, sec(100))
+            out[preempt] = (wl.performance(eng),
+                            wl.ab_preemptions(eng))
+        return out
+    out = _bench_once(benchmark, run)
+    perf_on, pre_on = out[True]
+    perf_off, pre_off = out[False]
+    print(f"\nwakeup preemption on: {pre_on} ab preemptions; "
+          f"off: {pre_off}")
+    assert pre_on > 1000
+    assert pre_off < pre_on / 10
+    assert perf_off > perf_on  # preemption costs apache throughput
+
+
+def test_ablation_ule_pickcpu_simple(benchmark):
+    """The paper's §6.3 check: replacing sched_pickcpu with 'previous
+    CPU' removes the scan overhead entirely."""
+    def run():
+        out = {}
+        for simple in (False, True):
+            eng = make_engine("ule", ncpus=32,
+                              pickcpu_scan_cost_ns=usec(8),
+                              pickcpu_simple=simple)
+            wl = SysbenchWorkload(nthreads=128, wait_ns=msec(10),
+                                  transactions_per_thread=100,
+                                  init_per_thread_ns=msec(2))
+            run_workload(eng, wl, sec(100))
+            busy = sum(c.busy_ns for c in eng.machine.cores)
+            out[simple] = (wl.performance(eng),
+                           eng.metrics.counter("sched.overhead_ns")
+                           / max(1, busy))
+        return out
+    out = _bench_once(benchmark, run)
+    perf_scan, ovh_scan = out[False]
+    perf_simple, ovh_simple = out[True]
+    print(f"\npickcpu scan overhead: {100 * ovh_scan:.1f}% of busy "
+          f"cycles; simple: {100 * ovh_simple:.1f}%")
+    assert ovh_scan > 0.02
+    assert ovh_simple == 0.0
+    assert perf_simple > perf_scan
+
+
+def test_ablation_cfs_autogroup(benchmark):
+    """Without per-application cgroups, fibo gets ~1/81 of the core
+    instead of ~1/2 against 80 sysbench threads (Table 2's basis)."""
+    def run():
+        out = {}
+        for auto in (True, False):
+            eng = make_engine("cfs", ncpus=1, autogroup=auto)
+            fibo = FiboWorkload(work_ns=sec(30))
+            sysb = SysbenchWorkload(nthreads=80,
+                                    transactions_per_thread=60)
+            fibo.launch(eng, at=0)
+            sysb.launch(eng, at=msec(500))
+            eng.run(until=sec(8))
+            out[auto] = fibo.thread.total_runtime
+        return out
+    out = _bench_once(benchmark, run)
+    print(f"\nfibo runtime in 8s: autogroup {out[True] / 1e9:.2f}s, "
+          f"no autogroup {out[False] / 1e9:.2f}s")
+    # with cgroups fibo gets a far larger share of the core
+    assert out[True] > 1.5 * out[False]
+
+
+def test_ablation_ule_balance_interval(benchmark):
+    """Halving ULE's balancing interval roughly halves the time to
+    drain a pile of spinners (one migration per invocation)."""
+    def run():
+        from repro.analysis.convergence import balance_predicate
+        out = {}
+        for lo, hi in ((msec(500), msec(1500)), (msec(125), msec(375))):
+            eng = make_engine("ule", ncpus=4, balance_min_ns=lo,
+                              balance_max_ns=hi)
+            spin = SpinnerWorkload(count=24, pin_cpu=0,
+                                   unpin_at=msec(100))
+            spin.launch(eng, at=0)
+            balanced = balance_predicate(tolerance=1)
+            eng.run(until=sec(120),
+                    stop_when=lambda e: e.now > msec(200) and balanced(e),
+                    check_interval=64)
+            out[(lo, hi)] = eng.now
+        return out
+    out = _bench_once(benchmark, run)
+    (slow, fast) = out.values()
+    print(f"\nconvergence: default interval {slow / 1e9:.1f}s, "
+          f"quarter interval {fast / 1e9:.1f}s")
+    assert fast < slow
+
+
+def test_ablation_ule_remote_preemption(benchmark):
+    """FreeBSD's remote interactive-over-batch preemption
+    (sched_shouldpreempt's IPI rule): an interactive consumer woken
+    *from another CPU* preempts a batch thread; timer wakeups (local
+    callouts) never do."""
+    from repro.core import Run, Sleep, ThreadSpec, run_forever
+    from repro.sync import Channel
+
+    def run():
+        out = {}
+        for remote in (True, False):
+            eng = make_engine("ule", ncpus=2,
+                              remote_interactive_preempt=remote)
+            chan = Channel(eng, "work")
+            eng.spawn(ThreadSpec("hog", lambda ctx: iter(
+                [run_forever()]), app="hog",
+                affinity=frozenset({1})))
+
+            def producer(ctx):
+                for _ in range(2000):
+                    yield Sleep(msec(3))
+                    yield chan.put(ctx.now)
+
+            def consumer(ctx):
+                while True:
+                    item = yield chan.get()
+                    if item is None:
+                        return
+                    yield Run(usec(200))
+
+            eng.spawn(ThreadSpec("prod", producer, app="svc",
+                                 affinity=frozenset({0})))
+            t = eng.spawn(ThreadSpec("cons", consumer, app="svc",
+                                     affinity=frozenset({1})))
+            # warm up until the hog has aged into the batch class
+            eng.run(until=sec(3))
+            base_wait, base_sw = t.total_waittime, t.nr_switches
+            eng.run(until=sec(6))
+            waits = t.total_waittime - base_wait
+            switches = max(1, t.nr_switches - base_sw)
+            out[remote] = (waits / switches,
+                           eng.metrics.counter("ule.remote_preemptions"))
+        return out
+    out = _bench_once(benchmark, run)
+    wait_on, preempts_on = out[True]
+    wait_off, preempts_off = out[False]
+    print(f"\navg wait per schedule: remote-preempt {wait_on / 1e6:.2f}ms "
+          f"({preempts_on:.0f} IPIs), without {wait_off / 1e6:.2f}ms")
+    assert preempts_on > 50
+    assert preempts_off == 0
+    assert wait_on < wait_off

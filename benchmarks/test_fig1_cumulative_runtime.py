@@ -1,0 +1,15 @@
+"""Bench: Fig. 1 — cumulative runtime of fibo and sysbench.
+
+Paper: fibo keeps progressing under CFS; under ULE it stalls for
+sysbench's entire execution.
+"""
+
+from repro.core.clock import sec
+
+
+def test_fig1_starvation_curves(run_experiment_bench):
+    result = run_experiment_bench("fig1")
+    # fibo never stalls longer than a second on CFS...
+    assert result.data["cfs_stall_s"] < 1.0
+    # ...but stalls for multiple seconds (sysbench's whole run) on ULE
+    assert result.data["ule_stall_s"] > 5.0

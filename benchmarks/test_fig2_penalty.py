@@ -1,0 +1,11 @@
+"""Bench: Fig. 2 — interactivity penalties over time under ULE.
+
+Paper: fibo's penalty rises to the maximum (batch); sysbench threads'
+penalties drop toward 0 and stay below the interactive threshold.
+"""
+
+
+def test_fig2_penalty_classification(run_experiment_bench):
+    result = run_experiment_bench("fig2")
+    assert result.data["fibo_max_penalty"] > 90
+    assert result.data["sysb_steady_penalty"] < 30

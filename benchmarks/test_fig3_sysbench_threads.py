@@ -1,0 +1,16 @@
+"""Bench: Fig. 3 — single-application starvation under ULE.
+
+Paper: of 128 sysbench threads, ~80 (interactive) execute and ~48
+(batch) starve completely; ULE still beats CFS on latency by avoiding
+over-subscription.
+"""
+
+
+def test_fig3_single_app_starvation(run_experiment_bench):
+    result = run_experiment_bench("fig3")
+    # a large batch-classified contingent starves under ULE
+    assert result.data["ule_starved"] >= 30
+    # CFS starves nobody
+    assert result.data["cfs_starved"] == 0
+    # the over-subscription cost: CFS latency far above ULE's
+    assert result.data["cfs_latency_ms"] > 2 * result.data["ule_latency_ms"]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 4 — penalty bifurcation of the 128 sysbench threads.
+
+Paper: executed threads' penalties fall toward 0; starved threads stay
+frozen at their high inherited values.
+"""
+
+
+def test_fig4_penalty_bifurcation(run_experiment_bench):
+    result = run_experiment_bench("fig4")
+    executed = result.data["executed_pens"]
+    starved = result.data["starved_pens"]
+    assert executed and starved
+    mean_exec = sum(executed) / len(executed)
+    mean_starved = sum(starved) / len(starved)
+    assert mean_exec < 15
+    assert mean_starved > result.data["threshold"]

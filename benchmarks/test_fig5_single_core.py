@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — per-core performance of the application suite.
+
+Paper: average difference +1.5 % for ULE; scimark ~-36 % (JVM service
+threads get interactive priority over the compute thread); apache
+~+40 % (CFS preempts ab on every request).
+"""
+
+
+def test_fig5_single_core_suite(run_experiment_bench):
+    result = run_experiment_bench("fig5")
+    diffs = result.data["diff_by_app"]
+    # scimark: much slower on ULE
+    assert diffs["scimark2-(1)"] < -20
+    # apache: much faster on ULE
+    assert diffs["Apache"] > 15
+    # the bulk of the suite is within a few percent
+    near_zero = [d for app, d in diffs.items()
+                 if not app.startswith("scimark") and app != "Apache"]
+    assert sum(1 for d in near_zero if abs(d) < 8) >= len(near_zero) - 2
+    # ab preemption counts: huge on CFS, ~zero on ULE
+    assert result.data["ab_preemptions_cfs"] > 1000
+    assert result.data["ab_preemptions_ule"] < 100

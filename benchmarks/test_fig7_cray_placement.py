@@ -1,0 +1,17 @@
+"""Bench: Fig. 7 — c-ray's cascading wakeups and thread placement.
+
+Paper: ULE takes ~11 s until all 512 threads are runnable (batch
+threads starve in the wakeup chain) vs ~2 s for CFS; the total
+completion time is nevertheless the same on both.
+"""
+
+
+def test_fig7_cray_wakeup_chain(run_experiment_bench):
+    result = run_experiment_bench("fig7")
+    ule = next(r for r in result.rows if r["sched"] == "ule")
+    cfs = next(r for r in result.rows if r["sched"] == "cfs")
+    # ULE is slower to get every thread runnable
+    assert ule["all_runnable_at_s"] > cfs["all_runnable_at_s"]
+    # but c-ray completes in about the same time on both
+    ratio = ule["completion_s"] / cfs["completion_s"]
+    assert 0.85 < ratio < 1.15

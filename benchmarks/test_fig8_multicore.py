@@ -1,0 +1,20 @@
+"""Bench: Fig. 8 — multicore performance of the application suite.
+
+Paper: +2.75 % for ULE on average; MG +73 % (FT/UA also positive —
+ULE's one-thread-per-core placement); sysbench negative on ULE (up to
+13 % of cycles scanning cores in sched_pickcpu).
+"""
+
+
+def test_fig8_multicore_suite(run_experiment_bench):
+    result = run_experiment_bench("fig8")
+    diffs = result.data["diff_by_app"]
+    # the spin-barrier NAS kernels clearly favor ULE
+    assert diffs["MG"] > 5
+    assert diffs["FT"] > 3
+    assert diffs["UA"] > 3
+    # sysbench pays for pickcpu scans under ULE
+    assert diffs["Sysbench"] < -5
+    sysb = next(r for r in result.rows if r["app"] == "Sysbench")
+    assert sysb["ule_overhead_pct"] > 3
+    assert sysb["cfs_overhead_pct"] < sysb["ule_overhead_pct"]

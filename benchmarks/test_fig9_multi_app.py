@@ -1,0 +1,34 @@
+"""Bench: Fig. 9 — multi-application pairs vs running alone.
+
+Paper: batch+batch (c-ray+EP) and interactive+interactive
+(apache+sysbench) pairs behave similarly on both schedulers; in the
+mixed blackscholes+ferret pair, ULE shields ferret while blackscholes
+pays heavily; CFS shares the pain.
+"""
+
+
+def _row(result, pair, app):
+    return next(r for r in result.rows
+                if r["pair"] == pair and r["app"] == app)
+
+
+def test_fig9_multi_application_pairs(run_experiment_bench):
+    result = run_experiment_bench("fig9")
+
+    # batch + batch: EP suffers comparably under both schedulers
+    ep = _row(result, "c-ray+EP", "EP")
+    assert ep["cfs_multi_pct"] < -20
+    assert ep["ule_multi_pct"] < -20
+
+    # mixed pair: ULE shields ferret; blackscholes pays much more
+    # than ferret does
+    ferret = _row(result, "blackscholes+ferret", "ferret")
+    bs = _row(result, "blackscholes+ferret", "blackscholes")
+    assert ferret["ule_multi_pct"] > -20
+    assert bs["ule_multi_pct"] < ferret["ule_multi_pct"]
+    # CFS spreads the cost across both applications
+    assert bs["cfs_multi_pct"] < -10
+
+    # interactive + interactive: similar on both schedulers
+    apache = _row(result, "apache+sysbench", "apache")
+    assert abs(apache["ule_multi_pct"] - apache["cfs_multi_pct"]) < 15

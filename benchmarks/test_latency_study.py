@@ -1,0 +1,18 @@
+"""Bench: the scheduling-latency extension study.
+
+Not a paper figure — it quantifies the design contrast behind several
+of them (wakeup preemption and sleeper credit vs absolute interactive
+priority without local preemption).
+"""
+
+
+def test_latency_distributions(run_experiment_bench):
+    result = run_experiment_bench("latency")
+    rows = {(r["sched"], r["cls"]): r for r in result.rows}
+    # CFS: interactive wakes preempt instantly
+    assert rows[("cfs", "ia")]["p99"] < 0.5  # ms
+    # ULE: interactive latency bounded by slice granularity (a few ms)
+    assert rows[("ule", "ia")]["p99"] < 16.0
+    # the batch hog: fair share on CFS, starved on ULE
+    assert result.data["cfs_hog_share"] > 0.3
+    assert result.data["ule_hog_share"] < 0.15

@@ -1,0 +1,57 @@
+"""Bench: hackbench at scale (§6.3's overhead measurement).
+
+The paper runs hackbench with up to 32,000 threads and reports the
+time spent inside the scheduler: ULE ~1 %, CFS ~0.3 %.  The default
+bench uses 8,000 threads; set ``REPRO_FULL=1`` for the full 32,000.
+"""
+
+import os
+
+from repro.analysis.stats import percent_diff
+from repro.core.clock import sec, usec
+from repro.experiments.base import make_engine, run_workload
+from repro.workloads import HackbenchWorkload
+
+
+def test_hackbench_scale(benchmark, full_mode):
+    groups = 800 if full_mode else 200   # x 40 threads per group
+    results = {}
+
+    def run():
+        for sched in ("cfs", "ule"):
+            # realistic per-core scan cost (~100 ns of cache misses);
+            # the Fig. 8 sysbench bar uses a larger calibrated value
+            # standing in for MySQL's far higher wakeup rate
+            eng = make_engine(sched, ncpus=32, seed=1,
+                              ctx_switch_cost_ns=usec(15),
+                              **({"pickcpu_scan_cost_ns": 100}
+                                 if sched == "ule" else {}))
+            wl = HackbenchWorkload(groups=groups, fan=20, loops=5)
+            run_workload(eng, wl, sec(600))
+            assert wl.done(eng)
+            busy = sum(c.busy_ns for c in eng.machine.cores)
+            results[sched] = {
+                "threads": wl.total_threads,
+                "completion_s": wl.completion_time(eng) / 1e9,
+                "overhead_pct": 100 *
+                eng.metrics.counter("sched.overhead_ns") / max(1, busy),
+                "switches": eng.metrics.counter("engine.switches"),
+            }
+        return results
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for sched, r in out.items():
+        print(f"  {sched}: {r['threads']} threads, "
+              f"completion {r['completion_s']:.2f}s, "
+              f"scheduler overhead {r['overhead_pct']:.2f}%, "
+              f"{r['switches']:.0f} switches")
+    # both schedulers survive tens of thousands of threads
+    assert out["cfs"]["threads"] == out["ule"]["threads"] >= 8000
+    # modelled pickcpu scans give ULE a higher (but small) overhead,
+    # the paper's 1% vs 0.3% shape
+    assert out["ule"]["overhead_pct"] > out["cfs"]["overhead_pct"]
+    assert out["ule"]["overhead_pct"] < 10
+    # completion times within 2x of each other
+    ratio = out["ule"]["completion_s"] / out["cfs"]["completion_s"]
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,82 @@
+"""Bench: the simulator's own performance.
+
+Not a paper figure — it tracks the engine's event throughput so
+regressions in the simulation kernel are visible.  Three profiles:
+
+* compute-bound (few events, long run actions),
+* wakeup-heavy (channels, the hackbench shape),
+* tick-dominated (spinners under the 1 ms CFS tick).
+"""
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.sync import Channel
+
+
+def _events_per_second(benchmark, build, simulated_ns):
+    def run():
+        engine = build()
+        engine.run(until=simulated_ns)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    switches = engine.metrics.counter("engine.switches")
+    wall = benchmark.stats.stats.mean
+    print(f"\n  simulated {simulated_ns / 1e9:.1f}s in {wall:.2f}s wall "
+          f"({simulated_ns / 1e9 / wall:.1f}x realtime), "
+          f"{switches:.0f} switches")
+    return engine
+
+
+def test_perf_compute_bound(benchmark):
+    def build():
+        engine = Engine(smp(8), scheduler_factory("cfs"), seed=1)
+        for i in range(16):
+            engine.spawn(ThreadSpec(
+                f"w{i}", lambda ctx: iter([run_forever()]), app="app"))
+        return engine
+
+    engine = _events_per_second(benchmark, build, sec(20))
+    assert engine.now == sec(20)
+
+
+def test_perf_wakeup_heavy(benchmark):
+    def build():
+        engine = Engine(smp(8), scheduler_factory("ule"), seed=1)
+        chans = [Channel(engine) for _ in range(8)]
+
+        def producer(ctx):
+            i = 0
+            while True:
+                yield Run(usec(50))
+                yield chans[i % 8].put(i)
+                i += 1
+
+        def consumer(ctx):
+            idx = ctx.thread.tags["idx"]
+            while True:
+                yield chans[idx].get()
+                yield Run(usec(50))
+
+        engine.spawn(ThreadSpec("prod", producer, app="app"))
+        for i in range(8):
+            engine.spawn(ThreadSpec(f"cons{i}", consumer, app="app",
+                                    tags={"idx": i}))
+        return engine
+
+    engine = _events_per_second(benchmark, build, sec(5))
+    assert engine.metrics.counter("engine.switches") > 1000
+
+
+def test_perf_tick_dominated(benchmark):
+    def build():
+        engine = Engine(smp(32), scheduler_factory("cfs"), seed=1)
+        for i in range(64):
+            engine.spawn(ThreadSpec(
+                f"s{i}", lambda ctx: iter([run_forever()]), app="app"))
+        return engine
+
+    engine = _events_per_second(benchmark, build, sec(5))
+    assert engine.now == sec(5)

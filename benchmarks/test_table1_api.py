@@ -1,0 +1,7 @@
+"""Bench: Table 1 — the Linux/FreeBSD scheduler API mapping."""
+
+
+def test_table1_api_mapping(run_experiment_bench):
+    result = run_experiment_bench("table1")
+    assert len(result.rows) == 6
+    assert all(result.data["exercised"].values())

@@ -1,0 +1,13 @@
+"""Bench: Table 2 — fibo + sysbench throughput and latency.
+
+Paper: sysbench 290 tx/s on CFS vs 532 on ULE (1.83x); latency 441 ms
+vs 125 ms (3.5x); fibo runtime roughly equal.
+"""
+
+
+def test_table2_fibo_sysbench(run_experiment_bench):
+    result = run_experiment_bench("table2")
+    # ULE sysbench throughput is well above CFS's (paper: 1.83x)
+    assert result.data["tps_ratio"] > 1.4
+    # CFS latency is a multiple of ULE's (paper: 3.5x)
+    assert result.data["latency_ratio"] > 2.0

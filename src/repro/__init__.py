@@ -1,0 +1,50 @@
+"""repro — a reproduction of "The Battle of the Schedulers: FreeBSD
+ULE vs. Linux CFS" (Bouron et al., USENIX ATC 2018) as a discrete-event
+scheduler simulator.
+
+The package provides:
+
+* :mod:`repro.core` — the simulation kernel (engine, machine topology,
+  threads, behaviour actions);
+* :mod:`repro.sched` — the Linux-style scheduler-class interface
+  (the paper's Table 1) and the FreeBSD name adapter;
+* :mod:`repro.cfs` / :mod:`repro.ule` — faithful models of the two
+  schedulers;
+* :mod:`repro.sync` — synchronization primitives for workloads;
+* :mod:`repro.workloads` — behavioural models of the paper's 37
+  benchmark applications;
+* :mod:`repro.experiments` — drivers regenerating every table and
+  figure of the paper's evaluation;
+* :mod:`repro.analysis` / :mod:`repro.tracing` — metrics, fairness and
+  convergence analysis, samplers and text charts.
+
+Quickstart::
+
+    from repro import Engine, ThreadSpec, run_forever, single_core
+    from repro.sched import scheduler_factory
+
+    engine = Engine(single_core(), scheduler_factory("ule"))
+    engine.spawn(ThreadSpec("spin", lambda ctx: iter([run_forever()])))
+    engine.run(until=10**9)
+"""
+
+from .core import Engine, Run, Sleep, ThreadSpec, Yield, run_forever
+from .core.topology import i7_3770, opteron_6172, single_core, smp
+from .sched import scheduler_factory
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Engine",
+    "ThreadSpec",
+    "Run",
+    "Sleep",
+    "Yield",
+    "run_forever",
+    "single_core",
+    "smp",
+    "opteron_6172",
+    "i7_3770",
+    "scheduler_factory",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Result analysis: statistics, fairness metrics, convergence
+detection, and text reporting."""
+
+from .compare import (ComparisonOutcome, SchedulerRun,
+                      compare_schedulers)
+from .convergence import (balance_predicate, current_counts, final_spread,
+                          is_balanced, time_to_balance)
+from .fairness import (jain_index, max_min_ratio, runtime_fairness,
+                       starvation_count)
+from .distributions import (log_histogram, percentile_row,
+                            render_histogram)
+from .report import render_bar_chart, render_table
+from .stats import (confidence_interval95, geomean, mean, percent_diff,
+                    stdev)
+
+__all__ = [
+    "mean", "stdev", "geomean", "confidence_interval95", "percent_diff",
+    "jain_index", "runtime_fairness", "starvation_count", "max_min_ratio",
+    "is_balanced", "current_counts", "balance_predicate",
+    "time_to_balance", "final_spread",
+    "render_table", "render_bar_chart",
+    "log_histogram", "render_histogram", "percentile_row",
+    "compare_schedulers", "ComparisonOutcome", "SchedulerRun",
+]

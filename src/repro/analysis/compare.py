@@ -1,0 +1,107 @@
+"""Side-by-side scheduler comparison: the library's headline use-case
+as a one-call API.
+
+>>> from repro.analysis.compare import compare_schedulers
+>>> from repro.workloads.nas import mg
+>>> outcome = compare_schedulers(mg, ncpus=32, noise=True)
+>>> outcome.winner, outcome.diff_pct
+('ule', 13.7)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.clock import sec, usec
+from ..core.engine import Engine
+from .stats import percent_diff
+
+
+@dataclass
+class SchedulerRun:
+    """One scheduler's result on the workload."""
+
+    sched: str
+    performance: float
+    simulated_ns: int
+    switches: int
+    migrations: int
+    preemptions: int
+    overhead_pct: float
+
+
+@dataclass
+class ComparisonOutcome:
+    """The result of :func:`compare_schedulers`."""
+
+    runs: dict[str, SchedulerRun] = field(default_factory=dict)
+
+    @property
+    def winner(self) -> str:
+        """The scheduler with the highest performance."""
+        return max(self.runs.values(),
+                   key=lambda r: r.performance).sched
+
+    @property
+    def diff_pct(self) -> float:
+        """ULE's performance relative to CFS, percent (positive = ULE
+        faster); only defined when both were compared."""
+        return percent_diff(self.runs["ule"].performance,
+                            self.runs["cfs"].performance)
+
+    def summary(self) -> str:
+        """One line per scheduler plus the verdict."""
+        lines = []
+        for run in self.runs.values():
+            lines.append(
+                f"{run.sched:<6} perf={run.performance:10.4f} ops/s  "
+                f"switches={run.switches:<8.0f} "
+                f"migrations={run.migrations:<6.0f} "
+                f"overhead={run.overhead_pct:.2f}%")
+        if {"cfs", "ule"} <= set(self.runs):
+            lines.append(f"ULE is {self.diff_pct:+.1f}% vs CFS")
+        return "\n".join(lines)
+
+
+def compare_schedulers(workload_factory: Callable,
+                       schedulers: Sequence[str] = ("cfs", "ule"),
+                       ncpus: int = 32, seed: int = 1,
+                       noise: bool = False,
+                       ctx_switch_cost_ns: int = usec(15),
+                       timeout_ns: int = sec(600),
+                       scheduler_options: Optional[dict] = None,
+                       ) -> ComparisonOutcome:
+    """Run the same workload under each scheduler and compare.
+
+    ``workload_factory`` is called once per scheduler (workloads are
+    single-use).  ``scheduler_options`` maps scheduler name to extra
+    constructor keywords, e.g. ``{"ule": {"pickcpu_scan_cost_ns":
+    2000}}``.
+    """
+    from ..experiments.base import make_engine, run_workload
+
+    options = scheduler_options or {}
+    outcome = ComparisonOutcome()
+    for sched in schedulers:
+        engine = make_engine(sched, ncpus=ncpus, seed=seed,
+                             ctx_switch_cost_ns=ctx_switch_cost_ns,
+                             **options.get(sched, {}))
+        if noise:
+            from ..workloads.noise import KernelNoiseWorkload
+            KernelNoiseWorkload().launch(engine, at=0)
+        workload = workload_factory()
+        run_workload(engine, workload, timeout_ns)
+        busy = sum(c.busy_ns for c in engine.machine.cores)
+        outcome.runs[sched] = SchedulerRun(
+            sched=sched,
+            performance=workload.performance(engine),
+            simulated_ns=engine.now,
+            switches=int(engine.metrics.counter("engine.switches")),
+            migrations=int(engine.metrics.counter("engine.migrations")),
+            preemptions=int(
+                engine.metrics.counter("engine.preemptions")),
+            overhead_pct=100.0 *
+            engine.metrics.counter("sched.overhead_ns") / max(1, busy),
+        )
+    return outcome

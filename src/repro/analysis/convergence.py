@@ -1,0 +1,50 @@
+"""Load-balance convergence analysis (Fig. 6's question: how long
+until the machine is balanced, and how balanced does it get?)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.metrics import MetricRegistry
+
+
+def is_balanced(counts: list[int], tolerance: int = 1) -> bool:
+    """All cores within ``tolerance`` threads of each other."""
+    return bool(counts) and max(counts) - min(counts) <= tolerance
+
+
+def current_counts(engine: "Engine") -> list[int]:
+    """Runnable-thread count per core, right now."""
+    return [engine.scheduler.nr_runnable(core)
+            for core in engine.machine.cores]
+
+
+def balance_predicate(tolerance: int = 1):
+    """A ``stop_when`` for :meth:`Engine.run`: stop once balanced."""
+    def predicate(engine: "Engine") -> bool:
+        return is_balanced(current_counts(engine), tolerance)
+    return predicate
+
+
+def time_to_balance(metrics: "MetricRegistry", ncores: int,
+                    start_ns: int, tolerance: int = 1) -> Optional[int]:
+    """From recorded threads-per-core series: first time after
+    ``start_ns`` the spread stayed within ``tolerance`` (None if
+    never)."""
+    from ..tracing.timeline import imbalance_over_time
+    for t, spread in imbalance_over_time(metrics, ncores):
+        if t >= start_ns and spread <= tolerance:
+            return t - start_ns
+    return None
+
+
+def final_spread(metrics: "MetricRegistry", ncores: int) -> Optional[int]:
+    """max-min threads per core at the last sample (CFS's residual
+    NUMA imbalance in Fig. 6: 18 vs 15)."""
+    from ..tracing.timeline import imbalance_over_time
+    series = imbalance_over_time(metrics, ncores)
+    if not series:
+        return None
+    return int(series[-1][1])

@@ -1,0 +1,69 @@
+"""Distribution views over latency samples: histograms and percentile
+tables, rendered for terminals."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.metrics import LatencyRecorder
+
+
+def log_histogram(samples: Sequence[int], base: float = 2.0,
+                  min_exp: Optional[int] = None,
+                  max_exp: Optional[int] = None) -> list[tuple]:
+    """Bucket samples logarithmically; returns ``(lo, hi, count)``
+    rows.  Log buckets suit scheduling latencies, which span ns to
+    hundreds of ms."""
+    values = [s for s in samples if s > 0]
+    if not values:
+        return []
+    if min_exp is None:
+        min_exp = int(math.floor(math.log(min(values), base)))
+    if max_exp is None:
+        max_exp = int(math.ceil(math.log(max(values), base)))
+    buckets = [0] * (max_exp - min_exp + 1)
+    for v in values:
+        exp = int(math.floor(math.log(v, base)))
+        exp = max(min_exp, min(max_exp, exp))
+        buckets[exp - min_exp] += 1
+    rows = []
+    for i, count in enumerate(buckets):
+        lo = base ** (min_exp + i)
+        hi = base ** (min_exp + i + 1)
+        rows.append((lo, hi, count))
+    return rows
+
+
+def render_histogram(samples: Sequence[int], width: int = 40,
+                     title: Optional[str] = None,
+                     unit_div: float = 1e6, unit: str = "ms") -> str:
+    """ASCII log-histogram of duration samples (default unit: ms)."""
+    lines = []
+    if title:
+        lines.append(title)
+    rows = log_histogram(samples)
+    if not rows:
+        return "\n".join(lines + ["(no samples)"])
+    peak = max(count for _, _, count in rows) or 1
+    for lo, hi, count in rows:
+        if count == 0:
+            continue
+        bar = "#" * max(1, int(count / peak * width))
+        lines.append(f"{lo / unit_div:10.3f}-{hi / unit_div:<10.3f}{unit} "
+                     f"|{bar:<{width}}| {count}")
+    return "\n".join(lines)
+
+
+def percentile_row(recorder: "LatencyRecorder",
+                   unit_div: float = 1e6) -> dict:
+    """p50/p95/p99/max summary of a latency recorder (default ms)."""
+    return {
+        "count": recorder.count,
+        "mean": recorder.mean / unit_div,
+        "p50": recorder.p50 / unit_div,
+        "p95": recorder.p95 / unit_div,
+        "p99": recorder.p99 / unit_div,
+        "max": recorder.max / unit_div,
+    }

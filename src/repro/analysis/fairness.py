@@ -1,0 +1,42 @@
+"""Fairness metrics over thread runtimes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.thread import SimThread
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one thread
+    gets everything."""
+    if not values:
+        raise ValueError("jain index of empty sequence")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def runtime_fairness(threads: Sequence["SimThread"]) -> float:
+    """Jain index over total runtimes of a thread set."""
+    return jain_index([t.total_runtime for t in threads])
+
+
+def starvation_count(threads: Sequence["SimThread"],
+                     threshold_ns: int = 0) -> int:
+    """How many threads accumulated <= ``threshold_ns`` of runtime."""
+    return sum(1 for t in threads if t.total_runtime <= threshold_ns)
+
+
+def max_min_ratio(values: Sequence[float]) -> float:
+    """max/min runtime ratio (inf when something fully starved)."""
+    if not values:
+        raise ValueError("ratio of empty sequence")
+    lo = min(values)
+    hi = max(values)
+    if lo == 0:
+        return float("inf") if hi > 0 else 1.0
+    return hi / lo

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned and formatted compactly; everything else
+    is left-aligned.
+    """
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells, original=None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            raw = original[i] if original is not None else None
+            if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for original, row in zip(rows, str_rows):
+        lines.append(render_row(row, original))
+    return "\n".join(lines)
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 40, title: Optional[str] = None,
+                     unit: str = "%") -> str:
+    """Horizontal bar chart with a zero axis (the Fig. 5/8 style)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    span = max(1e-9, max(abs(v) for v in values))
+    half = width // 2
+    label_w = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        length = int(abs(value) / span * half)
+        if value >= 0:
+            bar = " " * half + "|" + "#" * length
+        else:
+            bar = " " * (half - length) + "#" * length + "|"
+        lines.append(f"{label:<{label_w}} {bar:<{width + 1}} "
+                     f"{value:+7.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Small statistics helpers for experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for n < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (values must be positive)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def confidence_interval95(values: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95 % CI of the mean."""
+    mu = mean(values)
+    if len(values) < 2:
+        return (mu, mu)
+    half = 1.96 * stdev(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)
+
+
+def percent_diff(new: float, base: float) -> float:
+    """The paper's bar metric: % performance difference w.r.t. CFS
+    (positive = ULE faster)."""
+    if base == 0:
+        raise ValueError("baseline performance is zero")
+    return (new - base) / base * 100.0

@@ -1,0 +1,392 @@
+"""The Completely Fair Scheduler, as a pluggable scheduler class.
+
+Faithful to §2.1 of the paper:
+
+* weighted fair queueing on vruntime, leftmost-first from a red-black
+  tree;
+* 48 ms scheduling period stretching to 6 ms x nr beyond 8 threads,
+  slice-expiry preemption at every 1 ms tick;
+* wakeup preemption only when the woken thread's vruntime is more than
+  1 ms (weight-scaled) behind the running thread's;
+* fork placement one slice ahead, wakeup placement at no less than
+  ``min_vruntime`` (minus the sleeper credit);
+* per-application task groups (cgroup fairness);
+* PELT load metric, hierarchical load balancing every 4 ms with a 25 %
+  NUMA imbalance threshold, and immediate idle balancing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..core.clock import LINUX_TICK_NSEC
+from ..core.errors import SchedulerError
+from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from ..sched.base import SchedClass
+from . import balance, placement
+from .cgroup import TaskGroup
+from .domains import SchedDomain, build_domains
+from .entity import SchedEntity
+from .params import CfsTunables
+from .runqueue import CfsRq
+from .weights import calc_delta_fair, nice_to_weight
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+
+
+class CfsTaskState:
+    """Per-thread CFS state (hangs off ``thread.policy``)."""
+
+    __slots__ = ("se", "group", "last_wakee", "wakee_flips",
+                 "wakee_flip_ts")
+
+    def __init__(self, se: SchedEntity, group: TaskGroup):
+        self.se = se
+        self.group = group
+        self.last_wakee: Optional["SimThread"] = None
+        self.wakee_flips = 0
+        self.wakee_flip_ts = 0
+
+
+class CfsCpuRq:
+    """Per-CPU container: the root timeline plus balancing state."""
+
+    __slots__ = ("root", "domains", "curr_chain")
+
+    def __init__(self, root: CfsRq, domains: list[SchedDomain]):
+        self.root = root
+        self.domains = domains
+        #: the chain of runqueues whose ``curr`` leads to the running
+        #: task (root first, task's runqueue last)
+        self.curr_chain: list[CfsRq] = []
+
+
+class CfsScheduler(SchedClass):
+    """Linux CFS (4.9-era behaviour, the paper's baseline)."""
+
+    name = "cfs"
+    tick_ns = LINUX_TICK_NSEC
+
+    def __init__(self, engine: "Engine",
+                 tunables: Optional[CfsTunables] = None, **overrides):
+        super().__init__(engine)
+        self.tunables = tunables or CfsTunables(**overrides)
+        ncpus = len(self.machine)
+        self.root_group = TaskGroup("root", ncpus, self.tunables)
+        self._app_groups: dict[str, TaskGroup] = {}
+        self._started = False
+        #: (now, cpu) -> load memo; balancing reads the same loads many
+        #: times within one event instant
+        self._load_cache: dict[int, float] = {}
+        self._load_cache_time = -1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def init_core(self, core: "Core") -> CfsCpuRq:
+        domains = build_domains(core.index, self.topology, self.tunables)
+        return CfsCpuRq(self.root_group.rq_on(core.index), domains)
+
+    def cpurq(self, core: "Core") -> CfsCpuRq:
+        """This class's per-CPU state — ``core.rq`` when CFS runs
+        standalone, ``core.rq.fair`` under a class stack."""
+        rq = core.rq
+        return rq if isinstance(rq, CfsCpuRq) else rq.fair
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        interval = self.tunables.balance_interval_ns
+        for core in self.machine.cores:
+            stagger = (core.index * interval) // max(1, len(self.machine))
+            self.engine.events.post(
+                self.engine.now + interval + stagger,
+                self._balance_tick, core, label=f"cfs-lb:cpu{core.index}")
+
+    def _balance_tick(self, core: "Core") -> None:
+        self.engine.events.post(
+            self.engine.now + self.tunables.balance_interval_ns,
+            self._balance_tick, core, label=f"cfs-lb:cpu{core.index}")
+        balance.periodic_balance(self, core)
+
+    # ------------------------------------------------------------------
+    # per-thread state
+    # ------------------------------------------------------------------
+
+    def state_of(self, thread: "SimThread") -> CfsTaskState:
+        """The thread's CFS state (``thread.policy``)."""
+        return thread.policy
+
+    def group_by_path(self, path: str) -> TaskGroup:
+        """Resolve (creating as needed) a nested cgroup path such as
+        ``"user1/appA"`` — the systemd pattern of §2.1: fairness
+        between users, then between one user's applications."""
+        group = self.root_group
+        prefix = ""
+        for part in path.strip("/").split("/"):
+            if not part:
+                continue
+            prefix = f"{prefix}/{part}" if prefix else part
+            child = self._app_groups.get(prefix)
+            if child is None:
+                child = TaskGroup(prefix, len(self.machine),
+                                  self.tunables, parent=group)
+                self._app_groups[prefix] = child
+            group = child
+        return group
+
+    def _group_for(self, thread: "SimThread") -> TaskGroup:
+        # An explicit cgroup path wins; otherwise autogroup groups by
+        # application label; otherwise everything shares the root.
+        path = thread.tags.get("cgroup")
+        if path:
+            return self.group_by_path(path)
+        if not self.tunables.autogroup:
+            return self.root_group
+        return self.group_by_path(thread.app)
+
+    def task_fork(self, parent: Optional["SimThread"],
+                  child: "SimThread") -> None:
+        weight = nice_to_weight(child.nice)
+        se = SchedEntity(child, weight, self.engine.now)
+        child.policy = CfsTaskState(se, self._group_for(child))
+
+    def task_dead(self, thread: "SimThread") -> None:
+        pass  # the entity was dequeued on exit; nothing to release
+
+    def task_waking(self, thread: "SimThread", slept_ns: int) -> None:
+        self.state_of(thread).se.avg.update(self.engine.now, False)
+
+    def task_nice_changed(self, thread: "SimThread") -> None:
+        se = self.state_of(thread).se
+        new_weight = nice_to_weight(thread.nice)
+        if se.cfs_rq is not None and se.on_rq:
+            se.cfs_rq.reweight_entity(se, new_weight)
+        else:
+            se.weight = new_weight
+            se.avg.weight = new_weight
+
+    # ------------------------------------------------------------------
+    # enqueue / dequeue
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _group_path(group: TaskGroup) -> list[TaskGroup]:
+        """Groups from the thread's group up to (excluding) the root."""
+        path = []
+        cursor = group
+        while not cursor.is_root:
+            path.append(cursor)
+            cursor = cursor.parent
+        return path
+
+    def enqueue_task(self, core: "Core", thread: "SimThread",
+                     flags: EnqueueFlags) -> None:
+        cpu = core.index
+        state = self.state_of(thread)
+        se = state.se
+        rq = state.group.rq_on(cpu)
+        if flags & EnqueueFlags.MIGRATE:
+            se.vruntime += rq.min_vruntime
+        elif flags & EnqueueFlags.NEW:
+            rq.place_entity(se, initial=True)
+        elif flags & EnqueueFlags.WAKEUP:
+            rq.place_entity(se, initial=False)
+        rq.enqueue_entity(se)
+        rq.h_nr_running += 1
+        for group in self._group_path(state.group):
+            gse = group.entity_on(cpu)
+            parent_rq = group.parent.rq_on(cpu)
+            if not gse.on_rq:
+                parent_rq.place_entity(gse, initial=False)
+                gse.cfs_rq = parent_rq
+                parent_rq.enqueue_entity(gse)
+            parent_rq.h_nr_running += 1
+            group.update_group_weight(cpu)
+        self._load_cache.pop(cpu, None)
+
+    def dequeue_task(self, core: "Core", thread: "SimThread",
+                     flags: DequeueFlags) -> None:
+        cpu = core.index
+        state = self.state_of(thread)
+        se = state.se
+        if flags & DequeueFlags.SLEEP:
+            se.avg.update(self.engine.now, True)
+        rq = state.group.rq_on(cpu)
+        rq.dequeue_entity(se)
+        rq.h_nr_running -= 1
+        if flags & DequeueFlags.MIGRATE:
+            se.vruntime -= rq.min_vruntime
+        for group in self._group_path(state.group):
+            gse = group.entity_on(cpu)
+            parent_rq = group.parent.rq_on(cpu)
+            if gse.on_rq and group.rq_on(cpu).nr_running == 0:
+                parent_rq.dequeue_entity(gse)
+            parent_rq.h_nr_running -= 1
+            group.update_group_weight(cpu)
+        self._load_cache.pop(cpu, None)
+
+    # ------------------------------------------------------------------
+    # picking
+    # ------------------------------------------------------------------
+
+    def pick_next(self, core: "Core") -> Optional["SimThread"]:
+        cpurq = self.cpurq(core)
+        for rq in reversed(cpurq.curr_chain):
+            if rq.curr is not None:
+                rq.put_prev(rq.curr)
+        cpurq.curr_chain = []
+        if cpurq.root.h_nr_running == 0:
+            balance.newidle_balance(self, core)
+            if cpurq.root.h_nr_running == 0:
+                return None
+        rq = cpurq.root
+        chain: list[CfsRq] = []
+        while True:
+            se = rq.pick_first()
+            if se is None:
+                raise SchedulerError(
+                    f"cpu{core.index}: h_nr_running says runnable but "
+                    f"{rq} is empty")
+            rq.set_next(se)
+            chain.append(rq)
+            if se.is_task:
+                cpurq.curr_chain = chain
+                return se.thread
+            rq = se.my_rq
+
+    def put_prev(self, core: "Core") -> None:
+        """Reinsert the current entity chain into the timelines without
+        picking (used when another scheduling class takes over)."""
+        cpurq = self.cpurq(core)
+        for rq in reversed(cpurq.curr_chain):
+            if rq.curr is not None:
+                rq.put_prev(rq.curr)
+        cpurq.curr_chain = []
+
+    def yield_task(self, core: "Core") -> None:
+        chain = self.cpurq(core).curr_chain
+        if chain:
+            leaf = chain[-1]
+            leaf.skip = leaf.curr
+
+    # ------------------------------------------------------------------
+    # accounting, ticks, preemption
+    # ------------------------------------------------------------------
+
+    def update_curr(self, core: "Core", thread: "SimThread",
+                    delta_ns: int) -> None:
+        for rq in self.cpurq(core).curr_chain:
+            rq.update_curr(delta_ns)
+        self.state_of(thread).se.avg.update(self.engine.now, True)
+
+    def task_tick(self, core: "Core") -> None:
+        for rq in reversed(self.cpurq(core).curr_chain):
+            se = rq.curr
+            if se is not None:
+                self._check_preempt_tick(core, rq, se)
+
+    def _check_preempt_tick(self, core: "Core", rq: CfsRq,
+                            se: SchedEntity) -> None:
+        ideal = rq.sched_slice(se)
+        if se.slice_exec > ideal:
+            core.need_resched = True
+            return
+        if se.slice_exec < self.tunables.min_granularity_ns:
+            return
+        first = rq.pick_first()
+        if first is not None and se.vruntime - first.vruntime > ideal:
+            core.need_resched = True
+
+    def check_preempt_wakeup(self, core: "Core",
+                             thread: "SimThread") -> None:
+        curr = core.current
+        if curr is None or not curr.is_running:
+            core.need_resched = True
+            return
+        if not self.tunables.wakeup_preemption:
+            return
+        curr_se = self.state_of(curr).se
+        woken_se = self.state_of(thread).se
+        matched = _find_matching(curr_se, woken_se)
+        if matched is None:
+            return
+        curr_m, woken_m = matched
+        gran = calc_delta_fair(self.tunables.wakeup_granularity_ns,
+                               woken_m.weight)
+        if curr_m.vruntime - woken_m.vruntime > gran:
+            core.need_resched = True
+            self.engine.metrics.incr("cfs.wakeup_preemptions")
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def select_task_rq(self, thread: "SimThread", flags: SelectFlags,
+                       waker: Optional["SimThread"] = None) -> int:
+        return placement.select_task_rq_fair(
+            self, thread, is_fork=bool(flags & SelectFlags.FORK),
+            waker=waker)
+
+    # ------------------------------------------------------------------
+    # load queries & introspection
+    # ------------------------------------------------------------------
+
+    def thread_load(self, thread: "SimThread") -> float:
+        """The thread's current PELT load contribution."""
+        return self.state_of(thread).se.avg.peek(self.engine.now, True)
+
+    def cpu_load(self, cpu: int) -> float:
+        """Sum of runnable tasks' PELT loads on ``cpu`` (memoized per
+        event instant, invalidated on enqueue/dequeue)."""
+        now = self.engine.now
+        if self._load_cache_time != now:
+            self._load_cache_time = now
+            self._load_cache = {}
+        cached = self._load_cache.get(cpu)
+        if cached is not None:
+            return cached
+        core = self.machine.cores[cpu]
+        load = sum(self.thread_load(t)
+                   for t in self.runnable_threads(core))
+        self._load_cache[cpu] = load
+        return load
+
+    def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
+        out: list["SimThread"] = []
+        self._collect_tasks(self.cpurq(core).root, out)
+        return out
+
+    def _collect_tasks(self, rq: CfsRq, out: list) -> None:
+        for se in rq.queued_entities():
+            if se.is_task:
+                out.append(se.thread)
+            else:
+                self._collect_tasks(se.my_rq, out)
+
+    def nr_runnable(self, core: "Core") -> int:
+        """Hierarchical runnable-task count (``h_nr_running``)."""
+        return self.cpurq(core).root.h_nr_running
+
+
+def _find_matching(se_a: SchedEntity, se_b: SchedEntity):
+    """Walk two entity chains up to the level where they share a
+    runqueue, so their vruntimes are comparable (the kernel's
+    ``find_matching_se``).  Returns None when either leaves the
+    hierarchy (different CPUs)."""
+    chain_a = list(se_a.chain_up())
+    chain_b = list(se_b.chain_up())
+    ia, ib = len(chain_a) - 1, len(chain_b) - 1
+    # Walk down from the roots while the runqueues keep matching.
+    if chain_a[ia].cfs_rq is not chain_b[ib].cfs_rq:
+        return None
+    while ia > 0 and ib > 0 and \
+            chain_a[ia - 1].cfs_rq is chain_b[ib - 1].cfs_rq:
+        ia -= 1
+        ib -= 1
+    return chain_a[ia], chain_b[ib]

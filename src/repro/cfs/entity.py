@@ -1,0 +1,81 @@
+"""Scheduling entities: what CFS actually queues.
+
+A :class:`SchedEntity` is either a *task* entity (wrapping a
+:class:`~repro.core.thread.SimThread`) or a *group* entity (standing in
+for a whole task group on one CPU; its ``my_rq`` holds the group's own
+runqueue on that CPU).  Entities form a parent chain from a task up to
+the root runqueue, which is how cgroup fairness composes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from .pelt import LoadAvg
+from .weights import NICE_0_LOAD, nice_to_weight
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.thread import SimThread
+    from .runqueue import CfsRq
+
+_IDS = itertools.count(1)
+
+
+class SchedEntity:
+    """One schedulable unit in a CFS runqueue."""
+
+    __slots__ = ("id", "thread", "my_rq", "cfs_rq", "vruntime", "weight",
+                 "sum_exec", "slice_exec", "avg", "on_rq", "exec_start")
+
+    def __init__(self, thread: Optional["SimThread"] = None,
+                 weight: int = NICE_0_LOAD, now: int = 0):
+        self.id = next(_IDS)
+        #: the task, for task entities; None for group entities
+        self.thread = thread
+        #: the runqueue this group entity *owns* (group entities only)
+        self.my_rq: Optional["CfsRq"] = None
+        #: the runqueue this entity is (or was) queued on
+        self.cfs_rq: Optional["CfsRq"] = None
+        self.vruntime = 0
+        self.weight = weight
+        #: total ns executed
+        self.sum_exec = 0
+        #: ns executed since last picked (for slice-expiry checks)
+        self.slice_exec = 0
+        self.avg = LoadAvg(weight, now)
+        self.on_rq = False
+        self.exec_start = now
+
+    @property
+    def is_task(self) -> bool:
+        return self.thread is not None
+
+    @property
+    def key(self) -> tuple:
+        """Timeline key: vruntime ordered, entity id as tiebreak."""
+        return (self.vruntime, self.id)
+
+    @property
+    def parent_entity(self) -> Optional["SchedEntity"]:
+        """The group entity representing this entity's runqueue one
+        level up (None at the root)."""
+        if self.cfs_rq is None:
+            return None
+        return self.cfs_rq.owner_entity
+
+    def chain_up(self):
+        """Yield this entity and each ancestor group entity."""
+        se: Optional[SchedEntity] = self
+        while se is not None:
+            yield se
+            se = se.parent_entity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.thread.name if self.thread else f"group#{self.id}"
+        return f"<se {label} vrt={self.vruntime}>"
+
+
+def task_weight(thread: "SimThread") -> int:
+    """Load weight for a thread from its nice value."""
+    return nice_to_weight(thread.nice)

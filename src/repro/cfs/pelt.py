@@ -1,0 +1,73 @@
+"""Per-entity load tracking (PELT), continuous-time form.
+
+CFS's load metric is a decaying average of time spent runnable: recent
+activity counts fully, activity 32 ms ago counts half, 64 ms ago a
+quarter, and so on.  The kernel computes this with 1024 us segments and
+a ``y^32 = 0.5`` lookup table; we use the mathematically equivalent
+continuous exponential with a 32 ms half-life, which is exact for any
+interval length and avoids the segment bookkeeping.
+
+``util_avg`` is the fraction of time the entity was running/runnable in
+[0, 1]; ``load_avg`` additionally scales by the entity's weight, so a
+high-priority thread registers as more load — the paper's "the load of
+a thread is weighted by the thread's priority".
+"""
+
+from __future__ import annotations
+
+import math
+
+from .weights import NICE_0_LOAD
+
+#: decay half-life (the kernel's 32 ms)
+HALF_LIFE_NS = 32_000_000
+
+_LN2 = math.log(2.0)
+
+
+def decay_factor(delta_ns: int) -> float:
+    """Fraction of an old average that survives ``delta_ns``."""
+    if delta_ns <= 0:
+        return 1.0
+    return math.exp(-_LN2 * delta_ns / HALF_LIFE_NS)
+
+
+class LoadAvg:
+    """A decaying running/not-running average for one entity."""
+
+    __slots__ = ("util_avg", "last_update", "weight")
+
+    def __init__(self, weight: int = NICE_0_LOAD, now: int = 0):
+        self.util_avg = 0.0
+        self.last_update = now
+        self.weight = weight
+
+    def update(self, now: int, running: bool) -> None:
+        """Fold in the interval since the last update.
+
+        ``running`` says whether the entity was runnable for the whole
+        interval (the caller updates at every state transition, so the
+        interval is homogeneous).
+        """
+        delta = now - self.last_update
+        if delta <= 0:
+            return
+        d = decay_factor(delta)
+        target = 1.0 if running else 0.0
+        self.util_avg = self.util_avg * d + target * (1.0 - d)
+        self.last_update = now
+
+    @property
+    def load_avg(self) -> float:
+        """Utilization scaled by weight (the balancing metric)."""
+        return self.util_avg * self.weight
+
+    def peek(self, now: int, running: bool) -> float:
+        """``load_avg`` as it would be after ``update(now, running)``,
+        without mutating state."""
+        delta = now - self.last_update
+        if delta <= 0:
+            return self.load_avg
+        d = decay_factor(delta)
+        target = 1.0 if running else 0.0
+        return (self.util_avg * d + target * (1.0 - d)) * self.weight

@@ -1,0 +1,346 @@
+"""A red-black tree ordered timeline, as CFS uses for its runqueue.
+
+CFS keeps runnable entities sorted by ``(vruntime, tid)`` in a
+red-black tree and always runs the leftmost.  This is a faithful
+implementation (insert/delete with the classic fixups, cached leftmost
+node) rather than a sorted list, both for fidelity and because the
+O(log n) bound matters for the hackbench-scale simulations (tens of
+thousands of threads).
+
+Keys are ``(vruntime, tie)`` tuples; values are opaque.  Duplicate full
+keys are rejected — CFS breaks vruntime ties with the entity pointer,
+we use the tid, so full keys are unique by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+        self.color = RED
+
+
+class RBTree:
+    """Red-black tree with a cached leftmost node."""
+
+    def __init__(self):
+        self.root: Optional[_Node] = None
+        self._leftmost: Optional[_Node] = None
+        self._nodes: dict[Any, _Node] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return self.root is not None
+
+    def __contains__(self, key) -> bool:
+        return key in self._nodes
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value) -> None:
+        """Insert ``key -> value``; raises on duplicate keys."""
+        if key in self._nodes:
+            raise KeyError(f"duplicate key {key!r}")
+        node = _Node(key, value)
+        self._nodes[key] = node
+        # ordinary BST insert
+        parent = None
+        cursor = self.root
+        leftmost = True
+        while cursor is not None:
+            parent = cursor
+            if key < cursor.key:
+                cursor = cursor.left
+            else:
+                cursor = cursor.right
+                leftmost = False
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        if leftmost:
+            self._leftmost = node
+        self._insert_fixup(node)
+
+    def remove(self, key) -> Any:
+        """Remove ``key`` and return its value; raises KeyError if
+        absent."""
+        node = self._nodes.pop(key)
+        value = node.value
+        if self._leftmost is node:
+            self._leftmost = self._successor(node)
+        self._delete(node)
+        return value
+
+    def min_key(self):
+        """Smallest key, or None when empty."""
+        return self._leftmost.key if self._leftmost else None
+
+    def min_value(self):
+        """Value of the smallest key (the leftmost entity)."""
+        return self._leftmost.value if self._leftmost else None
+
+    def second_value(self):
+        """Value of the second-smallest key, or None."""
+        if self._leftmost is None:
+            return None
+        succ = self._successor(self._leftmost)
+        return succ.value if succ else None
+
+    def items(self) -> Iterator[tuple]:
+        """In-order ``(key, value)`` iteration."""
+        node = self._leftmost
+        while node is not None:
+            yield node.key, node.value
+            node = self._successor(node)
+
+    def values(self) -> Iterator[Any]:
+        """In-order value iteration."""
+        for _, value in self.items():
+            yield value
+
+    # ------------------------------------------------------------------
+    # red-black machinery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_red(node: Optional[_Node]) -> bool:
+        return node is not None and node.color is RED
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while self._is_red(z.parent):
+            parent = z.parent
+            grand = parent.parent
+            if parent is grand.left:
+                uncle = grand.right
+                if self._is_red(uncle):
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is parent.right:
+                        z = parent
+                        self._rotate_left(z)
+                        parent = z.parent
+                        grand = parent.parent
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if self._is_red(uncle):
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is parent.left:
+                        z = parent
+                        self._rotate_right(z)
+                        parent = z.parent
+                        grand = parent.parent
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        self.root.color = BLACK
+
+    @staticmethod
+    def _minimum(node: _Node) -> _Node:
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def _successor(self, node: _Node) -> Optional[_Node]:
+        if node.right is not None:
+            return self._minimum(node.right)
+        parent = node.parent
+        while parent is not None and node is parent.right:
+            node = parent
+            parent = parent.parent
+        return parent
+
+    def _transplant(self, u: _Node, v: Optional[_Node]) -> None:
+        if u.parent is None:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _delete(self, z: _Node) -> None:
+        # CLRS delete with a phantom-free fixup (tracks the fixup
+        # position via its parent to support None children).
+        y = z
+        y_original_color = y.color
+        if z.left is None:
+            x, x_parent = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, x_parent = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is BLACK:
+            self._delete_fixup(x, x_parent)
+
+    def _delete_fixup(self, x: Optional[_Node],
+                      x_parent: Optional[_Node]) -> None:
+        while x is not self.root and not self._is_red(x):
+            if x_parent is None:
+                break
+            if x is x_parent.left:
+                w = x_parent.right
+                if self._is_red(w):
+                    w.color = BLACK
+                    x_parent.color = RED
+                    self._rotate_left(x_parent)
+                    w = x_parent.right
+                if w is None:
+                    x, x_parent = x_parent, x_parent.parent
+                    continue
+                if not self._is_red(w.left) and not self._is_red(w.right):
+                    w.color = RED
+                    x, x_parent = x_parent, x_parent.parent
+                else:
+                    if not self._is_red(w.right):
+                        if w.left is not None:
+                            w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x_parent.right
+                    w.color = x_parent.color
+                    x_parent.color = BLACK
+                    if w.right is not None:
+                        w.right.color = BLACK
+                    self._rotate_left(x_parent)
+                    x = self.root
+                    x_parent = None
+            else:
+                w = x_parent.left
+                if self._is_red(w):
+                    w.color = BLACK
+                    x_parent.color = RED
+                    self._rotate_right(x_parent)
+                    w = x_parent.left
+                if w is None:
+                    x, x_parent = x_parent, x_parent.parent
+                    continue
+                if not self._is_red(w.left) and not self._is_red(w.right):
+                    w.color = RED
+                    x, x_parent = x_parent, x_parent.parent
+                else:
+                    if not self._is_red(w.left):
+                        if w.right is not None:
+                            w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x_parent.left
+                    w.color = x_parent.color
+                    x_parent.color = BLACK
+                    if w.left is not None:
+                        w.left.color = BLACK
+                    self._rotate_right(x_parent)
+                    x = self.root
+                    x_parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # validation (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the red-black and BST invariants; raises on violation."""
+        if self.root is None:
+            assert self._leftmost is None
+            return
+        assert self.root.color is BLACK, "root must be black"
+
+        def walk(node) -> int:
+            if node is None:
+                return 1
+            if node.left is not None:
+                assert node.left.key < node.key, "BST order violated"
+                assert node.left.parent is node, "broken parent link"
+            if node.right is not None:
+                assert node.key < node.right.key, "BST order violated"
+                assert node.right.parent is node, "broken parent link"
+            if node.color is RED:
+                assert not self._is_red(node.left), "red-red violation"
+                assert not self._is_red(node.right), "red-red violation"
+            lh = walk(node.left)
+            rh = walk(node.right)
+            assert lh == rh, "black-height mismatch"
+            return lh + (1 if node.color is BLACK else 0)
+
+        walk(self.root)
+        assert self._leftmost is self._minimum(self.root), \
+            "leftmost cache stale"
+        keys = [k for k, _ in self.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == len(self._nodes)

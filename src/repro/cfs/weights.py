@@ -1,0 +1,46 @@
+"""The kernel's nice-to-weight table.
+
+CFS turns a nice value into a load weight such that each nice step is a
+~10 % CPU share change (a factor of ~1.25).  This is the exact
+``sched_prio_to_weight`` table from ``kernel/sched/core.c`` (Linux 4.9,
+the version the paper compares against).
+"""
+
+from __future__ import annotations
+
+#: weight of a nice-0 thread; all shares are relative to this
+NICE_0_LOAD = 1024
+
+#: minimum weight of a (group) entity
+MIN_WEIGHT = 2
+
+# Index 0 is nice -20, index 39 is nice +19.
+_PRIO_TO_WEIGHT = (
+    88761, 71755, 56483, 46273, 36291,   # -20 .. -16
+    29154, 23254, 18705, 14949, 11916,   # -15 .. -11
+    9548, 7620, 6100, 4904, 3906,        # -10 .. -6
+    3121, 2501, 1991, 1586, 1277,        # -5 .. -1
+    1024, 820, 655, 526, 423,            # 0 .. 4
+    335, 272, 215, 172, 137,             # 5 .. 9
+    110, 87, 70, 56, 45,                 # 10 .. 14
+    36, 29, 23, 18, 15,                  # 15 .. 19
+)
+
+
+def nice_to_weight(nice: int) -> int:
+    """Load weight for a nice level in [-20, 19]."""
+    if not -20 <= nice <= 19:
+        raise ValueError(f"nice out of range: {nice}")
+    return _PRIO_TO_WEIGHT[nice + 20]
+
+
+def calc_delta_fair(delta_ns: int, weight: int) -> int:
+    """Scale an execution delta into vruntime units.
+
+    A nice-0 thread's vruntime advances at wall speed; heavier threads
+    advance slower, lighter ones faster (``delta * NICE_0_LOAD /
+    weight``), which is exactly how CFS divides the CPU by weight.
+    """
+    if weight == NICE_0_LOAD:
+        return delta_ns
+    return delta_ns * NICE_0_LOAD // weight

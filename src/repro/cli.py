@@ -1,0 +1,165 @@
+"""Command-line interface: ``repro-sched`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-sched list                      # experiments and workloads
+    repro-sched experiment fig6 [--full] [--seed N]
+    repro-sched run MG --sched ule --cpus 32 [--trace]
+    repro-sched compare MG --cpus 32      # CFS vs ULE on one workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.stats import percent_diff
+from .core.clock import sec, to_sec, usec
+from .experiments import (EXPERIMENTS, experiment_names, run_experiment)
+from .experiments.base import make_engine, run_workload
+from .sched import available_schedulers
+from .workloads import make_workload, workload_names
+
+
+def _cmd_list(args) -> int:
+    print("experiments:")
+    for name in experiment_names():
+        print(f"  {name:<8} {EXPERIMENTS[name][1]}")
+    print("\nschedulers:", ", ".join(available_schedulers()))
+    print("\nworkloads:")
+    names = workload_names()
+    for i in range(0, len(names), 6):
+        print("  " + ", ".join(names[i:i + 6]))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = run_experiment(args.name, quick=not args.full,
+                            seed=args.seed)
+    print(result.text)
+    return 0
+
+
+def _run_one(name: str, sched: str, cpus: int, seed: int,
+             noise: bool) -> tuple:
+    engine = make_engine(sched, ncpus=cpus, seed=seed,
+                         ctx_switch_cost_ns=usec(15))
+    if noise:
+        from .workloads.noise import KernelNoiseWorkload
+        KernelNoiseWorkload().launch(engine, at=0)
+    workload = make_workload(name)
+    reason = run_workload(engine, workload, sec(600))
+    return engine, workload, reason
+
+
+def _cmd_run(args) -> int:
+    engine, workload, reason = _run_one(args.name, args.sched,
+                                        args.cpus, args.seed, args.noise)
+    perf = workload.performance(engine)
+    print(f"{args.name} on {args.sched} ({args.cpus} cpus): "
+          f"performance={perf:.4f} ops/s, simulated "
+          f"{to_sec(engine.now):.2f}s, end={reason}")
+    print(f"  switches={engine.metrics.counter('engine.switches'):.0f} "
+          f"migrations={engine.metrics.counter('engine.migrations'):.0f} "
+          f"preemptions="
+          f"{engine.metrics.counter('engine.preemptions'):.0f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    perfs = {}
+    for sched in ("cfs", "ule"):
+        engine, workload, _ = _run_one(args.name, sched, args.cpus,
+                                       args.seed, args.noise)
+        perfs[sched] = workload.performance(engine)
+        print(f"  {sched}: {perfs[sched]:.4f} ops/s")
+    diff = percent_diff(perfs["ule"], perfs["cfs"])
+    print(f"{args.name}: ULE is {diff:+.1f}% vs CFS "
+          f"({args.cpus} cpus)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run every experiment and write one combined report."""
+    import io
+    import time
+
+    from .experiments import experiment_names, run_experiment
+
+    buf = io.StringIO()
+    buf.write("# Reproduction report\n")
+    buf.write("# The Battle of the Schedulers: FreeBSD ULE vs. "
+              "Linux CFS (ATC'18)\n")
+    names = args.only or experiment_names()
+    for name in names:
+        t0 = time.time()
+        print(f"running {name} ...", flush=True)
+        result = run_experiment(name, quick=not args.full,
+                                seed=args.seed)
+        elapsed = time.time() - t0
+        header = (f"\n\n{'=' * 72}\n== {name}: {result.claim}\n"
+                  f"== (completed in {elapsed:.1f}s wall)\n{'=' * 72}\n")
+        buf.write(header)
+        buf.write(result.text)
+    text = buf.getvalue()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-sched argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Reproduction of 'The Battle of the Schedulers: "
+                    "FreeBSD ULE vs. Linux CFS' (ATC'18)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads") \
+        .set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", choices=experiment_names())
+    p.add_argument("--full", action="store_true",
+                   help="full-size configuration (slower)")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report",
+                       help="run every experiment, write one report")
+    p.add_argument("--output", "-o", default=None,
+                   help="write to a file instead of stdout")
+    p.add_argument("--only", nargs="*", default=None,
+                   choices=experiment_names(), metavar="EXP",
+                   help="subset of experiments")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_report)
+
+    for cmd, func, help_ in (("run", _cmd_run, "run one workload"),
+                             ("compare", _cmd_compare,
+                              "compare CFS vs ULE on one workload")):
+        p = sub.add_parser(cmd, help=help_)
+        p.add_argument("name", choices=workload_names(), metavar="NAME")
+        p.add_argument("--sched", default="ule",
+                       choices=available_schedulers())
+        p.add_argument("--cpus", type=int, default=32)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--noise", action="store_true",
+                       help="add per-CPU kernel-thread noise")
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

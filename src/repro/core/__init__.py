@@ -1,0 +1,33 @@
+"""Simulation kernel: clock, events, machine/topology model, threads,
+behaviour actions, metrics, and the discrete-event engine."""
+
+from . import clock
+from .actions import (Action, Exit, Fork, Run, Sleep, SyncAction,
+                      ThreadSpec, Yield, run_forever)
+from .engine import Engine, Tracer
+from .errors import (DeadlockError, ExperimentError, SchedulerError,
+                     SimulationError, ThreadStateError, TopologyError,
+                     WorkloadError)
+from .machine import Core, Machine
+from .metrics import LatencyRecorder, MetricRegistry, TimeSeries
+from .rng import RandomSource, RandomStream
+from .schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from .thread import SimThread, ThreadCtx, ThreadState
+from .topology import (Topology, TopologyLevel, i7_3770, opteron_6172,
+                       single_core, smp)
+
+__all__ = [
+    "clock",
+    "Engine", "Tracer",
+    "Action", "Run", "Sleep", "Yield", "Fork", "Exit", "SyncAction",
+    "ThreadSpec", "run_forever",
+    "SimThread", "ThreadCtx", "ThreadState",
+    "Core", "Machine",
+    "Topology", "TopologyLevel", "single_core", "smp", "opteron_6172",
+    "i7_3770",
+    "MetricRegistry", "LatencyRecorder", "TimeSeries",
+    "RandomSource", "RandomStream",
+    "EnqueueFlags", "DequeueFlags", "SelectFlags",
+    "SimulationError", "SchedulerError", "ThreadStateError",
+    "TopologyError", "WorkloadError", "ExperimentError", "DeadlockError",
+]

@@ -1,0 +1,145 @@
+"""Actions yielded by simulated thread behaviours.
+
+A simulated thread's behaviour is a Python generator that yields
+:class:`Action` objects.  The engine interprets each action:
+
+* :class:`Run` — consume CPU for a duration (the only action that takes
+  simulated time on a core).
+* :class:`Sleep` — voluntarily sleep for a duration.
+* :class:`Yield` — give the CPU back to the scheduler while staying
+  runnable (``sched_yield``).
+* :class:`Fork` — create a child thread; the ``yield`` expression
+  evaluates to the child's :class:`~repro.core.thread.SimThread`.
+* :class:`Exit` — terminate the thread (returning from the generator has
+  the same effect).
+* :class:`SyncAction` — operations on synchronization primitives
+  (mutexes, pipes, barriers, ...); these either complete instantly or
+  block the thread until another thread wakes it.
+
+Instantaneous actions (fork, lock release, a successful non-blocking
+acquire) consume zero simulated time; behaviours model real work with
+explicit :class:`Run` actions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+    from .thread import SimThread
+
+
+class Action:
+    """Base class for everything a behaviour may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Run(Action):
+    """Consume CPU for ``duration`` nanoseconds.
+
+    ``duration=None`` means "run forever" (an infinite spin loop); the
+    thread then only stops running when preempted, migrated, or killed.
+    """
+
+    duration: Optional[int]
+
+    def __post_init__(self):
+        if self.duration is not None and self.duration < 0:
+            raise ValueError(f"negative run duration: {self.duration}")
+
+
+def run_forever() -> Run:
+    """A :class:`Run` action that never completes (pure spinner)."""
+    return Run(None)
+
+
+@dataclass(frozen=True)
+class Sleep(Action):
+    """Voluntarily sleep for ``duration`` nanoseconds.
+
+    Sleeping time counts as voluntary sleep for ULE's interactivity
+    metric and lowers the thread's CFS load average.
+    """
+
+    duration: int
+
+    def __post_init__(self):
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class Yield(Action):
+    """Relinquish the CPU while remaining runnable (``sched_yield``)."""
+
+
+@dataclass(frozen=True)
+class Exit(Action):
+    """Terminate the calling thread immediately."""
+
+
+@dataclass
+class ThreadSpec:
+    """Description of a thread to create (top-level or forked).
+
+    ``behavior`` is a callable taking a :class:`~repro.core.thread.ThreadCtx`
+    and returning the behaviour generator.  ``affinity`` restricts the set
+    of allowed CPUs (``None`` = any CPU).
+    """
+
+    name: str
+    behavior: Callable[["ThreadCtx"], Any]
+    nice: int = 0
+    affinity: Optional[frozenset[int]] = None
+    app: Optional[str] = None  # application label for grouping/cgroups
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not -20 <= self.nice <= 19:
+            raise ValueError(f"nice value out of range: {self.nice}")
+        if self.affinity is not None:
+            self.affinity = frozenset(self.affinity)
+
+
+@dataclass(frozen=True)
+class Fork(Action):
+    """Create a child thread from ``spec``.
+
+    The ``yield`` expression evaluates to the child ``SimThread``.  The
+    child inherits scheduler state from its parent according to the
+    active scheduler's fork rules (e.g. ULE interactivity inheritance,
+    CFS vruntime placement).
+    """
+
+    spec: ThreadSpec
+
+
+class BlockResult(enum.Enum):
+    """Outcome of applying a :class:`SyncAction`."""
+
+    #: The operation completed; the thread keeps the CPU.
+    COMPLETED = "completed"
+    #: The thread is now blocked; the primitive will wake it later.
+    BLOCKED = "blocked"
+
+
+class SyncAction(Action):
+    """Base class for actions that touch a synchronization primitive.
+
+    Subclasses implement :meth:`apply`, returning ``(BlockResult, value)``
+    where ``value`` is delivered to the behaviour as the result of the
+    ``yield`` when the result is ``COMPLETED``.  When the thread blocks,
+    the primitive is responsible for delivering the value at wake time
+    via ``thread.set_wake_value``.
+    """
+
+    __slots__ = ()
+
+    def apply(self, engine: "Engine", thread: "SimThread"):
+        """Execute against the primitive; returns (BlockResult, value)."""
+        raise NotImplementedError

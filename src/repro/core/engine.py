@@ -1,0 +1,606 @@
+"""The discrete-event simulation engine.
+
+The engine owns the clock, the event queue, the machine, the thread
+population, and exactly one scheduler (a
+:class:`~repro.sched.base.SchedClass` instance).  It interprets thread
+behaviours (see :mod:`repro.core.actions`) and calls into the scheduler
+through the Linux-style API of the paper's Table 1.
+
+Execution model
+---------------
+
+Threads run on cores.  Time only advances through the event queue; the
+engine accounts CPU time lazily at scheduling events (context switches,
+ticks, wakeups touching the core) instead of simulating every cycle.
+
+The engine deliberately mirrors the structure the paper's port targets:
+
+* the currently running thread *stays in the runqueue* (the Linux
+  convention the authors adopted for their ULE port);
+* wakeup placement goes through ``select_task_rq`` before
+  ``enqueue_task``, and may trigger wakeup preemption;
+* periodic scheduler work (load balancing, slice expiry) is driven by
+  per-core tick events at the scheduler's native tick rate (1 ms for
+  CFS, ~7.87 ms stathz for ULE).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+from . import actions as act
+from .errors import DeadlockError, SimulationError, ThreadStateError
+from .events import EventQueue
+from .machine import Core, Machine
+from .metrics import MetricRegistry
+from .rng import RandomSource
+from .schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from .thread import SimThread, ThreadState
+from .topology import Topology
+
+#: ``run_remaining`` value meaning "spin forever".
+RUN_FOREVER = math.inf
+
+
+class Tracer:
+    """Dispatch point for observation hooks.
+
+    Experiments register callbacks; the engine invokes them at the
+    corresponding lifecycle points.  All hooks are optional and add no
+    cost when absent.
+    """
+
+    def __init__(self):
+        self.on_switch: list[Callable] = []      # (core, prev, next)
+        self.on_wake: list[Callable] = []        # (thread, cpu, waker)
+        self.on_migrate: list[Callable] = []     # (thread, src, dst)
+        self.on_exit: list[Callable] = []        # (thread,)
+        self.on_preempt: list[Callable] = []     # (core, preempted, by)
+
+    @staticmethod
+    def _fire(hooks: list, *args) -> None:
+        for hook in hooks:
+            hook(*args)
+
+
+class Engine:
+    """A single simulation run."""
+
+    def __init__(self, topology: Topology, scheduler_factory,
+                 seed: int = 0, corun_slowdown: float = 1.0,
+                 ctx_switch_cost_ns: int = 0):
+        self.now = 0
+        self.events = EventQueue()
+        self.random = RandomSource(seed)
+        self.metrics = MetricRegistry()
+        self.tracer = Tracer()
+        self.machine = Machine(self, topology, corun_slowdown=corun_slowdown)
+        self.threads: list[SimThread] = []
+        self.live_threads = 0
+        #: modelled direct + cache cost of one context switch, charged
+        #: as lost progress to the incoming thread (drives the paper's
+        #: apache/ab preemption effect, §5.3)
+        self.ctx_switch_cost_ns = ctx_switch_cost_ns
+        self._stopped = False
+        self._stop_reason: Optional[str] = None
+
+        self.scheduler = scheduler_factory(self)
+        for core in self.machine.cores:
+            core.rq = self.scheduler.init_core(core)
+        self._ticks_started = False
+
+    # ------------------------------------------------------------------
+    # thread creation
+    # ------------------------------------------------------------------
+
+    def spawn(self, spec: act.ThreadSpec, at: Optional[int] = None,
+              parent: Optional[SimThread] = None) -> SimThread:
+        """Create a thread; it becomes runnable at ``at`` (default: now).
+
+        Returns the thread object immediately even for delayed spawns.
+        """
+        thread = SimThread(self, spec, parent=parent)
+        self.threads.append(thread)
+        self.live_threads += 1
+        if at is None or at <= self.now:
+            self._activate_new(thread)
+        else:
+            self.events.post(at, self._activate_new, thread,
+                             label=f"spawn:{spec.name}")
+        return thread
+
+    def _activate_new(self, thread: SimThread) -> None:
+        """Make a NEW thread runnable: fork bookkeeping, placement,
+        enqueue, and possible preemption of the target CPU."""
+        if thread.state is not ThreadState.NEW:
+            raise ThreadStateError(f"{thread} already activated")
+        thread.created_at = self.now
+        self.scheduler.task_fork(thread.parent, thread)
+        cpu = self.scheduler.select_task_rq(thread, SelectFlags.FORK,
+                                            waker=thread.parent)
+        cpu = self._constrain_cpu(thread, cpu)
+        self._enqueue(thread, cpu, EnqueueFlags.NEW)
+
+    # ------------------------------------------------------------------
+    # wakeups, blocking, migration
+    # ------------------------------------------------------------------
+
+    def wake_thread(self, thread: SimThread,
+                    waker: Optional[SimThread] = None) -> None:
+        """Transition a sleeping/blocked thread to RUNNABLE.
+
+        Safe to call redundantly: waking a runnable or exited thread is
+        a no-op (as in both kernels).
+        """
+        if not thread.is_blocked:
+            return
+        if thread.sleep_event is not None:
+            thread.sleep_event.cancel()
+            thread.sleep_event = None
+        slept = 0
+        if thread.sleep_start is not None:
+            slept = self.now - thread.sleep_start
+            thread.total_sleeptime += slept
+            thread.sleep_start = None
+        self.scheduler.task_waking(thread, slept)
+        cpu = self.scheduler.select_task_rq(thread, SelectFlags.WAKEUP,
+                                            waker=waker)
+        cpu = self._constrain_cpu(thread, cpu)
+        self._enqueue(thread, cpu, EnqueueFlags.WAKEUP)
+        Tracer._fire(self.tracer.on_wake, thread, cpu, waker)
+
+    def _constrain_cpu(self, thread: SimThread, cpu: int) -> int:
+        """Clamp a placement decision to the thread's affinity mask."""
+        if thread.allows_cpu(cpu):
+            return cpu
+        allowed = sorted(thread.affinity)
+        # Prefer an idle allowed CPU, else the first allowed one.
+        for candidate in allowed:
+            if self.machine.cores[candidate].is_idle:
+                return candidate
+        return allowed[0]
+
+    def _enqueue(self, thread: SimThread, cpu: int,
+                 flags: EnqueueFlags) -> None:
+        core = self.machine.cores[cpu]
+        thread.state = ThreadState.RUNNABLE
+        thread.rq_cpu = cpu
+        thread.wait_start = self.now
+        self.scheduler.enqueue_task(core, thread, flags)
+        if flags & (EnqueueFlags.WAKEUP | EnqueueFlags.NEW):
+            self.scheduler.check_preempt_wakeup(core, thread)
+        if core.is_idle or core.need_resched:
+            self.request_resched(core)
+
+    def block_current(self, core: Core, state: ThreadState) -> None:
+        """Move the core's current thread into SLEEPING/BLOCKED.
+
+        Called by the engine itself (Sleep actions) and by
+        synchronization primitives.  The caller is responsible for
+        arranging a future wakeup.
+        """
+        thread = core.current
+        if thread is None:
+            raise ThreadStateError(f"core {core.index} has no current")
+        self._update_curr(core)
+        self.scheduler.dequeue_task(core, thread, DequeueFlags.SLEEP)
+        thread.state = state
+        thread.sleep_start = self.now
+        thread.rq_cpu = None
+        core.current = None
+        core.need_resched = True
+        Tracer._fire(self.tracer.on_switch, core, thread, None)
+
+    def migrate_thread(self, thread: SimThread, dst_cpu: int) -> None:
+        """Move a RUNNABLE (not RUNNING) thread to another runqueue.
+
+        Both the paper's ULE port and CFS's load balancer only migrate
+        threads that are not currently executing.
+        """
+        if thread.state is not ThreadState.RUNNABLE:
+            raise ThreadStateError(f"cannot migrate {thread}")
+        if not thread.allows_cpu(dst_cpu):
+            raise ThreadStateError(
+                f"{thread} affinity forbids cpu {dst_cpu}")
+        src_cpu = thread.rq_cpu
+        if src_cpu == dst_cpu:
+            return
+        src = self.machine.cores[src_cpu]
+        dst = self.machine.cores[dst_cpu]
+        self.scheduler.dequeue_task(src, thread, DequeueFlags.MIGRATE)
+        thread.nr_migrations += 1
+        thread.rq_cpu = dst_cpu
+        self.scheduler.enqueue_task(dst, thread, EnqueueFlags.MIGRATE)
+        self.metrics.incr("engine.migrations")
+        Tracer._fire(self.tracer.on_migrate, thread, src_cpu, dst_cpu)
+        if dst.is_idle:
+            self.request_resched(dst)
+
+    def set_nice(self, thread: SimThread, nice: int) -> None:
+        """Renice a live thread (``setpriority``); the scheduler
+        reweighs/requeues it as needed."""
+        if not -20 <= nice <= 19:
+            raise ValueError(f"nice out of range: {nice}")
+        if thread.has_exited:
+            raise ThreadStateError(f"{thread} has exited")
+        thread.nice = nice
+        self.scheduler.task_nice_changed(thread)
+        if thread.cpu is not None:
+            core = self.machine.cores[thread.cpu]
+            if core.current is thread or core.need_resched:
+                self.request_resched(core)
+
+    def set_affinity(self, thread: SimThread,
+                     cpus: Optional[Iterable[int]]) -> None:
+        """Change a thread's CPU affinity (the ``taskset`` of Fig. 6).
+
+        Widening the mask never moves the thread (load balancing will);
+        narrowing it off its current CPU forces an immediate move.
+        """
+        thread.affinity = None if cpus is None else frozenset(cpus)
+        if thread.has_exited or thread.affinity is None:
+            return
+        if thread.state is ThreadState.RUNNABLE:
+            if not thread.allows_cpu(thread.rq_cpu):
+                dst = self._constrain_cpu(thread, thread.rq_cpu)
+                self.migrate_thread(thread, dst)
+        elif thread.state is ThreadState.RUNNING:
+            if not thread.allows_cpu(thread.cpu):
+                # Force the thread off its (now forbidden) CPU, like the
+                # kernel's migration thread would.
+                core = self.machine.cores[thread.cpu]
+                self._cancel_completion(core)
+                self._update_curr(core)
+                self.scheduler.dequeue_task(core, thread,
+                                            DequeueFlags.MIGRATE)
+                thread.state = ThreadState.RUNNABLE
+                thread.wait_start = self.now
+                thread.nr_migrations += 1
+                core.current = None
+                dst = self._constrain_cpu(thread, thread.cpu)
+                thread.rq_cpu = dst
+                dst_core = self.machine.cores[dst]
+                self.scheduler.enqueue_task(dst_core, thread,
+                                            EnqueueFlags.MIGRATE)
+                Tracer._fire(self.tracer.on_migrate, thread,
+                             core.index, dst)
+                self._dispatch(core)
+                if dst_core.is_idle or dst_core.need_resched:
+                    self.request_resched(dst_core)
+
+    # ------------------------------------------------------------------
+    # reschedule machinery
+    # ------------------------------------------------------------------
+
+    def request_resched(self, core: Core) -> None:
+        """Ask for a scheduling pass on ``core`` at the current instant
+        (coalesced; the analogue of a resched IPI)."""
+        if core.resched_event is not None:
+            return
+        core.resched_event = self.events.post(
+            self.now, self._resched_event, core,
+            label=f"resched:cpu{core.index}")
+
+    def _resched_event(self, core: Core) -> None:
+        core.resched_event = None
+        self._dispatch(core)
+
+    def _dispatch(self, core: Core) -> None:
+        """The core scheduling loop: account, pick, switch, arm timers.
+
+        Iterative (never recursive) so long chains of immediately
+        blocking threads cannot overflow the stack.
+        """
+        while True:
+            self._cancel_completion(core)
+            self._update_curr(core)
+            core.need_resched = False
+            incumbent = core.current
+            nxt = self.scheduler.pick_next(core)
+            if nxt is not incumbent:
+                self._switch_to(core, incumbent, nxt)
+            thread = core.current
+            if thread is None:
+                core.account_to_now()
+                return
+            if thread.run_remaining is None:
+                if not self._advance(core, thread):
+                    continue  # thread blocked or exited: pick again
+            if core.need_resched:
+                continue
+            self._arm_completion(core)
+            return
+
+    def _switch_to(self, core: Core, prev: Optional[SimThread],
+                   nxt: Optional[SimThread]) -> None:
+        core.account_to_now()
+        if prev is not None and prev.state is ThreadState.RUNNING:
+            prev.state = ThreadState.RUNNABLE
+            prev.wait_start = self.now
+            prev.nr_preemptions += 1
+            self.metrics.incr("engine.preemptions")
+            Tracer._fire(self.tracer.on_preempt, core, prev, nxt)
+        core.current = nxt
+        core.nr_switches += 1
+        self.metrics.incr("engine.switches")
+        if nxt is not None:
+            if nxt.rq_cpu != core.index:
+                raise SimulationError(
+                    f"picked {nxt} from rq {nxt.rq_cpu} on core "
+                    f"{core.index}")
+            nxt.state = ThreadState.RUNNING
+            nxt.cpu = core.index
+            nxt.nr_switches += 1
+            if nxt.wait_start is not None:
+                wait = self.now - nxt.wait_start
+                nxt.total_waittime += wait
+                self.metrics.latency("engine.run_delay").record(wait)
+                nxt.wait_start = None
+        core.curr_started_at = self.now
+        core._curr_account_start = self.now
+        core._curr_speed = self._speed_of(core)
+        if self.ctx_switch_cost_ns and nxt is not None \
+                and prev is not nxt:
+            if nxt.run_remaining not in (None, RUN_FOREVER):
+                nxt.run_remaining += self.ctx_switch_cost_ns
+            core.sched_overhead_ns += self.ctx_switch_cost_ns
+        Tracer._fire(self.tracer.on_switch, core, prev, nxt)
+
+    def _speed_of(self, core: Core) -> float:
+        if self.machine.corun_slowdown == 1.0 or core.current is None:
+            return 1.0
+        apps = {t.app for t in self.scheduler.runnable_threads(core)}
+        apps.add(core.current.app)
+        return self.machine.speed_factor(core, core.current, len(apps))
+
+    def _update_curr(self, core: Core) -> None:
+        """Charge wall time since the last accounting point to the
+        running thread and inform the scheduler."""
+        thread = core.current
+        if thread is None:
+            core.account_to_now()
+            return
+        start = getattr(core, "_curr_account_start", self.now)
+        delta = self.now - start
+        core._curr_account_start = self.now
+        if delta <= 0:
+            return
+        core.account_to_now()
+        thread.total_runtime += delta
+        thread.last_ran = self.now
+        if thread.run_remaining is not None \
+                and thread.run_remaining is not RUN_FOREVER:
+            progress = int(delta * getattr(core, "_curr_speed", 1.0))
+            thread.run_remaining = max(0, thread.run_remaining - progress)
+        self.scheduler.update_curr(core, thread, delta)
+
+    # -- run-completion timer -------------------------------------------
+
+    def _arm_completion(self, core: Core) -> None:
+        thread = core.current
+        if thread is None or thread.run_remaining in (None, RUN_FOREVER):
+            return
+        speed = getattr(core, "_curr_speed", 1.0)
+        wall = math.ceil(thread.run_remaining / speed)
+        core.completion_event = self.events.post(
+            self.now + wall, self._on_run_complete, core, thread,
+            label=f"runend:{thread.name}")
+
+    def _cancel_completion(self, core: Core) -> None:
+        if core.completion_event is not None:
+            core.completion_event.cancel()
+            core.completion_event = None
+
+    def _on_run_complete(self, core: Core, thread: SimThread) -> None:
+        core.completion_event = None
+        if core.current is not thread:  # stale (raced with a switch)
+            return
+        self._update_curr(core)
+        if thread.run_remaining not in (None, RUN_FOREVER) \
+                and thread.run_remaining > 0:
+            # The co-run speed factor changed under us; not done yet.
+            self._arm_completion(core)
+            return
+        thread.run_remaining = None
+        if self._advance(core, thread):
+            if core.need_resched:
+                self._dispatch(core)
+            else:
+                self._arm_completion(core)
+        else:
+            self._dispatch(core)
+
+    # ------------------------------------------------------------------
+    # behaviour interpretation
+    # ------------------------------------------------------------------
+
+    def _advance(self, core: Core, thread: SimThread) -> bool:
+        """Advance a thread's behaviour until it runs, blocks, or exits.
+
+        Returns True when the thread is still RUNNING on the core with a
+        pending Run action, False when it gave up the CPU.
+        """
+        while True:
+            try:
+                action = thread.next_action()
+            except StopIteration:
+                self._exit_thread(core, thread)
+                return False
+
+            if isinstance(action, act.Run):
+                thread.run_remaining = (RUN_FOREVER if action.duration is None
+                                        else action.duration)
+                if thread.run_remaining == 0:
+                    thread.run_remaining = None
+                    continue
+                return True
+            if isinstance(action, act.Sleep):
+                if action.duration == 0:
+                    continue
+                self.block_current(core, ThreadState.SLEEPING)
+                thread.sleep_event = self.events.post(
+                    self.now + action.duration, self._on_sleep_timer,
+                    thread, label=f"wake:{thread.name}")
+                return False
+            if isinstance(action, act.Yield):
+                self.scheduler.yield_task(core)
+                core.need_resched = True
+                thread.run_remaining = None
+                # Leave resumption value empty; behaviour continues
+                # after it is scheduled again.
+                thread.set_wake_value(None)
+                return True  # still running until dispatch picks another
+            if isinstance(action, act.Fork):
+                child = self.spawn(action.spec, parent=thread)
+                thread.set_wake_value(child)
+                continue
+            if isinstance(action, act.Exit):
+                self._exit_thread(core, thread)
+                return False
+            if isinstance(action, act.SyncAction):
+                result, value = action.apply(self, thread)
+                if result is act.BlockResult.COMPLETED:
+                    thread.set_wake_value(value)
+                    continue
+                return False
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _on_sleep_timer(self, thread: SimThread) -> None:
+        thread.sleep_event = None
+        self.wake_thread(thread, waker=None)
+
+    def _exit_thread(self, core: Core, thread: SimThread) -> None:
+        self._update_curr(core)
+        self.scheduler.dequeue_task(core, thread, DequeueFlags.DEAD)
+        self.scheduler.task_dead(thread)
+        thread.state = ThreadState.EXITED
+        thread.exited_at = self.now
+        thread.rq_cpu = None
+        core.current = None
+        core.need_resched = True
+        self.live_threads -= 1
+        self.metrics.incr("engine.exits")
+        Tracer._fire(self.tracer.on_switch, core, thread, None)
+        Tracer._fire(self.tracer.on_exit, thread)
+
+    # ------------------------------------------------------------------
+    # scheduler services
+    # ------------------------------------------------------------------
+
+    def charge_overhead(self, cpu: int, ns: int) -> None:
+        """Model CPU cycles burnt inside the scheduler on ``cpu``.
+
+        The charge steals progress from whatever is running there, which
+        is how ULE's expensive ``sched_pickcpu`` scans show up as a 13 %
+        throughput loss on sysbench in the paper (§6.3).
+        """
+        if ns <= 0:
+            return
+        core = self.machine.cores[cpu]
+        core.sched_overhead_ns += ns
+        self.metrics.incr("sched.overhead_ns", ns)
+        thread = core.current
+        if thread is not None and thread.run_remaining not in (
+                None, RUN_FOREVER):
+            thread.run_remaining += ns
+            if core.completion_event is not None:
+                self._cancel_completion(core)
+                self._arm_completion(core)
+
+    def start_ticks(self) -> None:
+        """Arm the per-core periodic tick at the scheduler's rate."""
+        if self._ticks_started:
+            return
+        self._ticks_started = True
+        period = self.scheduler.tick_ns
+        for core in self.machine.cores:
+            # Stagger ticks across cores like real timer interrupts.
+            offset = (core.index * period) // max(1, len(self.machine))
+            self.events.post(self.now + period + offset, self._tick, core,
+                             label=f"tick:cpu{core.index}")
+
+    def _tick(self, core: Core) -> None:
+        self.events.post(self.now + self.scheduler.tick_ns, self._tick,
+                         core, label=f"tick:cpu{core.index}")
+        if core.current is not None:
+            self._update_curr(core)
+            self.scheduler.task_tick(core)
+            # The co-run speed factor may have changed; refresh timer.
+            if core.need_resched:
+                self._dispatch(core)
+            elif core.completion_event is not None:
+                self._cancel_completion(core)
+                self._arm_completion(core)
+        else:
+            self.scheduler.idle_tick(core)
+            if core.need_resched:
+                self._dispatch(core)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def stop(self, reason: str = "stopped") -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+        self._stop_reason = reason
+
+    def run(self, until: Optional[int] = None,
+            stop_when: Optional[Callable[["Engine"], bool]] = None,
+            check_interval: int = 64) -> str:
+        """Drive the simulation.
+
+        Stops when simulated time reaches ``until``, when ``stop_when``
+        returns True (checked every ``check_interval`` events), when all
+        threads have exited, or when :meth:`stop` is called.  Raises
+        :class:`DeadlockError` when events drain while threads are still
+        blocked.
+        """
+        self.scheduler.start()
+        self.start_ticks()
+        self._stopped = False
+        self._stop_reason = None
+        events_since_check = 0
+        while True:
+            if self._stopped:
+                return self._stop_reason or "stopped"
+            next_time = self.events.peek_time()
+            if next_time is None:
+                if self.live_threads > 0 and any(
+                        t.is_blocked for t in self.threads):
+                    raise DeadlockError(
+                        f"{self.live_threads} live threads but no events")
+                return "drained"
+            if until is not None and next_time > until:
+                self.now = until
+                for core in self.machine.cores:
+                    self._update_curr(core)
+                return "deadline"
+            event = self.events.pop()
+            self.now = event.time
+            event.callback(*event.args)
+            if stop_when is not None:
+                events_since_check += 1
+                if events_since_check >= check_interval:
+                    events_since_check = 0
+                    if stop_when(self):
+                        return "condition"
+            if self.live_threads == 0:
+                return "all-exited"
+
+    # ------------------------------------------------------------------
+    # convenience queries
+    # ------------------------------------------------------------------
+
+    def threads_named(self, prefix: str) -> list[SimThread]:
+        """All threads whose name starts with ``prefix``."""
+        return [t for t in self.threads if t.name.startswith(prefix)]
+
+    def threads_of_app(self, app: str) -> list[SimThread]:
+        """All threads belonging to application ``app``."""
+        return [t for t in self.threads if t.app == app]
+
+    def nr_runnable_on(self, cpu: int) -> int:
+        """Runnable-thread count on ``cpu`` (scheduler's view)."""
+        return self.scheduler.nr_runnable(self.machine.cores[cpu])

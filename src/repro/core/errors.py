@@ -1,0 +1,36 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by the library derives from :class:`SimulationError`
+so callers can catch library failures without catching programming
+mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class SchedulerError(SimulationError):
+    """A scheduler implementation violated its contract."""
+
+
+class ThreadStateError(SimulationError):
+    """An operation was applied to a thread in an incompatible state."""
+
+
+class TopologyError(SimulationError):
+    """The machine topology description is malformed."""
+
+
+class WorkloadError(SimulationError):
+    """A workload description is malformed or behaved illegally."""
+
+
+class ExperimentError(SimulationError):
+    """An experiment driver was configured inconsistently."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads were still blocked."""

@@ -1,0 +1,79 @@
+"""The discrete-event queue.
+
+A simple binary-heap event queue with stable FIFO ordering for events
+posted at the same instant, and O(1) logical cancellation (cancelled
+events stay in the heap and are skipped on pop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so simultaneous events fire in
+    posting order, which keeps runs deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[..., Any], args: tuple, label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Logically remove the event; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} {self.label}{state}>"
+
+
+class EventQueue:
+    """Binary heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def post(self, time: int, callback: Callable[..., Any], *args,
+             label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at ``time``; returns a handle
+        whose ``cancel()`` unschedules it."""
+        self._seq += 1
+        event = Event(time, self._seq, callback, args, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when
+        the queue is exhausted."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,117 @@
+"""The machine model: CPUs and per-CPU execution state.
+
+A :class:`Core` is the engine-facing per-CPU record: the running
+thread, idle/busy accounting, the pending run-completion timer, and the
+reschedule flag.  Scheduler-private per-CPU state (CFS ``cfs_rq``, ULE
+``tdq``) is attached by the scheduler at ``rq``.
+
+The machine also models a small amount of micro-architecture that the
+paper's explanations rely on:
+
+* ``corun_slowdown``: when a core time-shares threads of *different*
+  applications its effective speed for each is reduced (cache pollution;
+  this is why fibo finishes slightly faster on ULE in Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+    from .thread import SimThread
+
+
+class Core:
+    """Per-CPU execution state."""
+
+    def __init__(self, engine: "Engine", index: int):
+        self.engine = engine
+        self.index = index
+        #: currently running thread (None = idle)
+        self.current: Optional["SimThread"] = None
+        #: scheduler-private per-CPU state (runqueues)
+        self.rq: Any = None
+        #: set by schedulers to request a reschedule
+        self.need_resched = False
+        #: pending run-completion event (cancellable)
+        self.completion_event = None
+        #: pending immediate-reschedule event, to coalesce requests
+        self.resched_event = None
+
+        # accounting
+        self.busy_ns = 0
+        self.idle_ns = 0
+        self.nr_switches = 0
+        self.sched_overhead_ns = 0
+        self._last_account = engine.now
+        #: time the current thread was put on the CPU
+        self.curr_started_at = engine.now
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None
+
+    def account_to_now(self) -> int:
+        """Charge elapsed time since the last accounting point to either
+        busy or idle time; returns the delta in nanoseconds."""
+        now = self.engine.now
+        delta = now - self._last_account
+        if delta > 0:
+            if self.current is None:
+                self.idle_ns += delta
+            else:
+                self.busy_ns += delta
+            self._last_account = now
+        return delta
+
+    def utilization(self) -> float:
+        """Fraction of accounted time this core was busy."""
+        total = self.busy_ns + self.idle_ns
+        return self.busy_ns / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self.current.name if self.current else "idle"
+        return f"<Core {self.index} running={running}>"
+
+
+class Machine:
+    """A simulated multiprocessor."""
+
+    def __init__(self, engine: "Engine", topology: Topology,
+                 corun_slowdown: float = 1.0):
+        if corun_slowdown < 1.0:
+            raise ValueError("corun_slowdown must be >= 1.0")
+        self.topology = topology
+        self.corun_slowdown = corun_slowdown
+        self.cores = [Core(engine, i) for i in range(topology.ncpus)]
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def core(self, index: int) -> Core:
+        """The core at ``index``."""
+        return self.cores[index]
+
+    def idle_cores(self) -> list[Core]:
+        """Cores with no running thread."""
+        return [c for c in self.cores if c.is_idle]
+
+    def busiest_by(self, key) -> Core:
+        """The core maximizing ``key(core)`` (ties: lowest index)."""
+        return max(self.cores, key=lambda c: (key(c), -c.index))
+
+    def speed_factor(self, core: Core, thread: "SimThread",
+                     nr_apps_on_core: int) -> float:
+        """Execution speed multiplier for ``thread`` on ``core``.
+
+        When more than one distinct application shares the core the
+        speed drops by ``corun_slowdown`` (>= 1.0; 1.0 disables the
+        model).  Threads of the same application are assumed to share
+        their working set and do not slow each other down.
+        """
+        if nr_apps_on_core > 1 and self.corun_slowdown > 1.0:
+            return 1.0 / self.corun_slowdown
+        return 1.0

@@ -1,0 +1,201 @@
+"""The simulated thread (the analogue of ``task_struct`` / ``struct thread``).
+
+A :class:`SimThread` owns:
+
+* identity (tid, name, application label, nice value, CPU affinity),
+* a behaviour generator producing :mod:`~repro.core.actions` actions,
+* generic accounting (total runtime, sleep time, wait time, switch
+  counts) maintained by the engine,
+* a ``policy`` slot where the active scheduler hangs its per-thread
+  state (a CFS ``sched_entity`` or a ULE ``td_sched``).
+
+Thread state machine::
+
+    NEW -> RUNNABLE <-> RUNNING -> EXITED
+              ^            |
+              |            v
+              +---- SLEEPING/BLOCKED
+
+``SLEEPING`` is a timed voluntary sleep; ``BLOCKED`` is waiting on a
+synchronization primitive.  Schedulers treat both as "not runnable";
+ULE counts both toward voluntary sleep time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Optional
+
+from .actions import ThreadSpec
+from .errors import ThreadStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+    from .rng import RandomStream
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+    @property
+    def is_queued(self) -> bool:
+        """True when the thread should be present in a runqueue."""
+        return self in (ThreadState.RUNNABLE, ThreadState.RUNNING)
+
+
+class ThreadCtx:
+    """Handle passed to behaviour factories.
+
+    Gives a behaviour access to its own thread object, the engine clock,
+    and a private random stream, without exposing engine internals.
+    """
+
+    def __init__(self, engine: "Engine", thread: "SimThread"):
+        self._engine = engine
+        self.thread = thread
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._engine.now
+
+    @property
+    def rng(self) -> "RandomStream":
+        """A random stream private to this thread."""
+        return self._engine.random.stream(f"thread:{self.thread.name}")
+
+    @property
+    def ncpus(self) -> int:
+        return len(self._engine.machine.cores)
+
+    @property
+    def metrics(self):
+        """The engine's metric registry (for workload instrumentation)."""
+        return self._engine.metrics
+
+
+class SimThread:
+    """A simulated kernel-visible thread."""
+
+    _COUNTER = 0
+
+    def __init__(self, engine: "Engine", spec: ThreadSpec,
+                 parent: Optional["SimThread"] = None):
+        SimThread._COUNTER += 1
+        self.tid = SimThread._COUNTER
+        self.spec = spec
+        self.name = spec.name
+        # Forked threads belong to their parent's application unless
+        # the spec says otherwise (cgroups group whole applications).
+        if spec.app is not None:
+            self.app = spec.app
+        elif parent is not None:
+            self.app = parent.app
+        else:
+            self.app = spec.name
+        self.nice = spec.nice
+        self.affinity = spec.affinity
+        self.parent = parent
+
+        self.state = ThreadState.NEW
+        #: CPU the thread is running on (or last ran on).
+        self.cpu: Optional[int] = None
+        #: CPU whose runqueue currently holds the thread (while queued).
+        self.rq_cpu: Optional[int] = None
+
+        self.ctx = ThreadCtx(engine, self)
+        self._generator = None
+        self._behavior = spec.behavior
+
+        # -- generic accounting (engine-maintained, scheduler-agnostic) --
+        self.total_runtime = 0          # ns actually executed
+        self.total_sleeptime = 0        # ns spent sleeping/blocked
+        self.total_waittime = 0         # ns runnable but waiting for CPU
+        self.nr_switches = 0            # times scheduled onto a CPU
+        self.nr_migrations = 0          # cross-CPU moves
+        self.nr_preemptions = 0         # involuntary context switches
+        self.created_at = engine.now
+        self.exited_at: Optional[int] = None
+        self.sleep_start: Optional[int] = None
+        self.wait_start: Optional[int] = None
+        self.last_ran: int = engine.now
+
+        #: remaining nanoseconds of the current Run action
+        #: (None = run forever).
+        self.run_remaining: Optional[int] = None
+        #: value to deliver to the behaviour at next resume
+        self._wake_value: Any = None
+        #: event handle for a pending timed sleep
+        self.sleep_event = None
+        #: scheduler-private per-thread state
+        self.policy: Any = None
+        #: arbitrary workload-visible tags (copied from the spec)
+        self.tags = dict(spec.tags)
+        # forked threads stay in their parent's cgroup unless the spec
+        # placed them elsewhere
+        if parent is not None and "cgroup" not in self.tags \
+                and "cgroup" in parent.tags:
+            self.tags["cgroup"] = parent.tags["cgroup"]
+
+    # ------------------------------------------------------------------
+    # behaviour generator plumbing
+    # ------------------------------------------------------------------
+
+    def start_behavior(self):
+        """Instantiate the behaviour generator (once, at first schedule)."""
+        if self._generator is not None:
+            raise ThreadStateError(f"{self} behaviour already started")
+        self._generator = self._behavior(self.ctx)
+
+    def next_action(self):
+        """Advance the behaviour and return the next action.
+
+        Delivers the pending wake value (set by ``set_wake_value``) to the
+        behaviour as the result of its last ``yield``.  Raises
+        ``StopIteration`` when the behaviour returns.
+        """
+        value, self._wake_value = self._wake_value, None
+        if self._generator is None:
+            self.start_behavior()
+            return next(self._generator)
+        if hasattr(self._generator, "send"):
+            return self._generator.send(value)
+        # plain iterators (e.g. iter([...])) cannot receive values
+        return next(self._generator)
+
+    def set_wake_value(self, value: Any) -> None:
+        """Set the value delivered to the behaviour at its next resume."""
+        self._wake_value = value
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_runnable(self) -> bool:
+        return self.state in (ThreadState.RUNNABLE, ThreadState.RUNNING)
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is ThreadState.RUNNING
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.state in (ThreadState.SLEEPING, ThreadState.BLOCKED)
+
+    @property
+    def has_exited(self) -> bool:
+        return self.state is ThreadState.EXITED
+
+    def allows_cpu(self, cpu: int) -> bool:
+        """True when the thread's affinity mask permits ``cpu``."""
+        return self.affinity is None or cpu in self.affinity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimThread tid={self.tid} name={self.name!r} "
+                f"state={self.state.value} cpu={self.cpu}>")

@@ -1,0 +1,189 @@
+"""Machine topology description.
+
+Both schedulers consult the hardware topology: CFS builds a hierarchy of
+scheduling domains (SMT siblings, LLC domain, NUMA node, machine) and
+ULE walks a CPU-group tree when placing and stealing threads.  Both are
+derived from the same :class:`Topology` object.
+
+A topology is a list of :class:`TopologyLevel` objects ordered from the
+tightest sharing (e.g. SMT) to the whole machine.  Each level partitions
+the CPUs into groups; a level's groups must be a refinement-coarsening
+chain: every group at level *k* is contained in exactly one group at
+level *k+1*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .errors import TopologyError
+
+
+@dataclass(frozen=True)
+class TopologyLevel:
+    """One sharing level: a name and a partition of the CPU set."""
+
+    name: str
+    groups: tuple[frozenset[int], ...]
+
+    @staticmethod
+    def make(name: str, groups: Sequence[Sequence[int]]) -> "TopologyLevel":
+        return TopologyLevel(name, tuple(frozenset(g) for g in groups))
+
+
+class Topology:
+    """A validated multi-level CPU topology."""
+
+    def __init__(self, ncpus: int, levels: Sequence[TopologyLevel]):
+        if ncpus <= 0:
+            raise TopologyError(f"ncpus must be positive, got {ncpus}")
+        self.ncpus = ncpus
+        self.levels = tuple(levels)
+        self._validate()
+        # Pre-compute cpu -> group maps per level for O(1) lookups.
+        self._group_of: dict[str, dict[int, frozenset[int]]] = {}
+        for level in self.levels:
+            mapping: dict[int, frozenset[int]] = {}
+            for group in level.groups:
+                for cpu in group:
+                    mapping[cpu] = group
+            self._group_of[level.name] = mapping
+
+    def _validate(self) -> None:
+        all_cpus = frozenset(range(self.ncpus))
+        if not self.levels:
+            raise TopologyError("topology needs at least one level")
+        prev: Optional[TopologyLevel] = None
+        for level in self.levels:
+            seen: set[int] = set()
+            for group in level.groups:
+                if not group:
+                    raise TopologyError(f"empty group in level {level.name}")
+                if seen & group:
+                    raise TopologyError(
+                        f"overlapping groups in level {level.name}")
+                seen |= group
+            if seen != all_cpus:
+                raise TopologyError(
+                    f"level {level.name} does not cover all CPUs")
+            if prev is not None:
+                for small in prev.groups:
+                    containers = [g for g in level.groups if small <= g]
+                    if len(containers) != 1:
+                        raise TopologyError(
+                            f"group {sorted(small)} of level {prev.name} "
+                            f"not nested in level {level.name}")
+            prev = level
+        top = self.levels[-1]
+        if len(top.groups) != 1:
+            raise TopologyError("topmost level must be a single group")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def level(self, name: str) -> TopologyLevel:
+        """The level named ``name`` (raises TopologyError if absent)."""
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise TopologyError(f"no level named {name!r}")
+
+    def has_level(self, name: str) -> bool:
+        """True when a level named ``name`` exists."""
+        return any(lvl.name == name for lvl in self.levels)
+
+    def group_of(self, name: str, cpu: int) -> frozenset[int]:
+        """The group containing ``cpu`` at level ``name``."""
+        try:
+            return self._group_of[name][cpu]
+        except KeyError as exc:
+            raise TopologyError(f"no level/cpu {name!r}/{cpu}") from exc
+
+    def siblings(self, name: str, cpu: int) -> frozenset[int]:
+        """CPUs sharing ``cpu``'s group at level ``name``, without
+        ``cpu`` itself."""
+        return self.group_of(name, cpu) - {cpu}
+
+    def llc_of(self, cpu: int) -> frozenset[int]:
+        """CPUs sharing a last-level cache with ``cpu`` (falls back to
+        the whole machine when no ``llc`` level exists)."""
+        if self.has_level("llc"):
+            return self.group_of("llc", cpu)
+        return frozenset(range(self.ncpus))
+
+    def node_of(self, cpu: int) -> frozenset[int]:
+        """CPUs on ``cpu``'s NUMA node (whole machine when no ``numa``
+        level exists)."""
+        if self.has_level("numa"):
+            return self.group_of("numa", cpu)
+        return frozenset(range(self.ncpus))
+
+    def shares_llc(self, a: int, b: int) -> bool:
+        """True when CPUs ``a`` and ``b`` share a last-level cache."""
+        return b in self.llc_of(a)
+
+    def levels_above(self, cpu: int):
+        """Yield ``(level_name, group)`` pairs from tightest to machine.
+
+        This is the walk ULE performs when widening its steal search.
+        """
+        for level in self.levels:
+            yield level.name, self.group_of(level.name, cpu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(l.name for l in self.levels)
+        return f"<Topology ncpus={self.ncpus} levels=[{names}]>"
+
+
+# ----------------------------------------------------------------------
+# Builders for the machines used in the paper
+# ----------------------------------------------------------------------
+
+def single_core() -> Topology:
+    """A single-CPU machine (Section 5's per-core experiments)."""
+    return Topology(1, [TopologyLevel.make("machine", [[0]])])
+
+
+def smp(ncpus: int, cpus_per_llc: Optional[int] = None,
+        numa_nodes: int = 1) -> Topology:
+    """A generic SMP machine.
+
+    ``cpus_per_llc`` defaults to ``ncpus // numa_nodes`` (one cache per
+    node).  CPUs are numbered node-major.
+    """
+    if ncpus % numa_nodes:
+        raise TopologyError("ncpus must divide evenly into numa_nodes")
+    per_node = ncpus // numa_nodes
+    if cpus_per_llc is None:
+        cpus_per_llc = per_node
+    if per_node % cpus_per_llc:
+        raise TopologyError("cpus_per_llc must divide cpus per node")
+    levels = []
+    llcs = [list(range(i, i + cpus_per_llc))
+            for i in range(0, ncpus, cpus_per_llc)]
+    levels.append(TopologyLevel.make("llc", llcs))
+    if numa_nodes > 1:
+        nodes = [list(range(i, i + per_node))
+                 for i in range(0, ncpus, per_node)]
+        levels.append(TopologyLevel.make("numa", nodes))
+    levels.append(TopologyLevel.make("machine", [list(range(ncpus))]))
+    return Topology(ncpus, levels)
+
+
+def opteron_6172() -> Topology:
+    """The paper's 32-core AMD Opteron 6172: 4 NUMA nodes of 8 cores,
+    each node with its own L3."""
+    return smp(32, cpus_per_llc=8, numa_nodes=4)
+
+
+def i7_3770() -> Topology:
+    """The paper's desktop machine: 8 hardware threads, 4 SMT pairs,
+    one shared LLC, one node."""
+    pairs = [[i, i + 1] for i in range(0, 8, 2)]
+    return Topology(8, [
+        TopologyLevel.make("smt", pairs),
+        TopologyLevel.make("llc", [list(range(8))]),
+        TopologyLevel.make("machine", [list(range(8))]),
+    ])

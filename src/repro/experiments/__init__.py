@@ -1,0 +1,16 @@
+"""Experiment drivers reproducing every table and figure of the
+paper's evaluation (Tables 1-2, Figures 1-9)."""
+
+from .base import ExperimentResult, make_engine, run_workload
+from .registry import (EXPERIMENTS, experiment_claim, experiment_names,
+                       run_experiment)
+
+__all__ = [
+    "ExperimentResult",
+    "make_engine",
+    "run_workload",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_names",
+    "experiment_claim",
+]

@@ -1,0 +1,61 @@
+"""Fig. 2 — interactivity penalty of fibo and of the sysbench threads
+over time, under ULE.
+
+The claim: both start near 0; fibo's penalty rises quickly to the
+maximum (100) and it stops being interactive, while sysbench's
+threads' penalties drop to ~0 and stay below the interactive
+threshold (30) for their entire execution — which is what makes the
+starvation of Fig. 1(b) unbounded.
+"""
+
+from __future__ import annotations
+
+from ..core.clock import sec
+from ..tracing.export import ascii_chart
+from ..ule.params import UleTunables
+from .base import ExperimentResult
+from .fibo_sysbench import run_scenario
+
+CLAIM = ("under ULE, fibo's penalty climbs to ~100 (batch) while "
+         "sysbench threads stay below the interactive threshold")
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    result = ExperimentResult("fig2", CLAIM)
+    out = run_scenario("ule", seed=seed, sample_penalty=True)
+    fibo_pen = out.engine.metrics.series("penalty.fibo")
+    sysb_pen = out.engine.metrics.series("penalty.sysbench")
+    threshold = UleTunables().interact_thresh
+
+    # Steady-state values: averages over the window where sysbench ran.
+    active = [v for t, v in fibo_pen
+              if sec(3) < t < (out.sysbench.finished_at or sec(10))]
+    fibo_steady = max(fibo_pen.values) if fibo_pen.values else 0
+    sysb_steady = (sum(sysb_pen.values[-20:]) /
+                   min(20, len(sysb_pen.values)))
+
+    result.row(thread="fibo", max_penalty=fibo_steady,
+               classified="batch" if fibo_steady > threshold
+               else "interactive")
+    result.row(thread="sysbench workers (mean)",
+               steady_penalty=round(sysb_steady, 1),
+               classified="interactive" if sysb_steady <= threshold
+               else "batch")
+    result.data["fibo_series"] = fibo_pen
+    result.data["sysb_series"] = sysb_pen
+    result.data["fibo_max_penalty"] = fibo_steady
+    result.data["sysb_steady_penalty"] = sysb_steady
+
+    text = "\n\n".join([
+        ascii_chart(fibo_pen,
+                    title="Fig. 2: interactivity penalty of fibo"),
+        ascii_chart(sysb_pen,
+                    title="Fig. 2: mean interactivity penalty of "
+                          "sysbench threads"),
+        f"fibo max penalty: {fibo_steady:.0f} (paper: rises to 100); "
+        f"sysbench steady penalty: {sysb_steady:.1f} (paper: drops "
+        f"to ~0, always < {threshold})",
+    ])
+    result.text = text
+    return result

@@ -1,0 +1,71 @@
+"""Fig. 4 — interactivity penalty of the 128 sysbench threads of
+Fig. 3, under ULE.
+
+The claim: threads inherit the master's penalty at fork time.  The
+early ones are created with a low penalty which *decreases further*
+as they execute (bottom band of the figure); the late ones are created
+with a high penalty and never execute, so their penalty stays frozen
+at the top.
+"""
+
+from __future__ import annotations
+
+from ..core.clock import sec
+from ..ule.params import UleTunables
+from ..workloads import SysbenchWorkload
+from .base import ExperimentResult, make_engine
+from .fig3_sysbench_threads import BUDGET, NTHREADS, TIMEOUT_NS
+
+CLAIM = ("fork-inherited penalties bifurcate: early threads' penalties "
+         "fall to ~0 as they run, late threads stay frozen above the "
+         "threshold and never run")
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    result = ExperimentResult("fig4", CLAIM)
+    engine = make_engine("ule", ncpus=1, seed=seed)
+    sysb = SysbenchWorkload(nthreads=NTHREADS,
+                            transactions_per_thread=BUDGET // NTHREADS)
+    sysb.launch(engine, at=0)
+
+    # Record each worker's penalty at fork (first sample after start)
+    # and at the end of the run.
+    engine.run(until=TIMEOUT_NS, stop_when=lambda e: sysb.done(e),
+               check_interval=64)
+
+    threshold = UleTunables().interact_thresh
+    executed_pens = []
+    starved_pens = []
+    for worker in sysb.workers:
+        pen = worker.policy.hist.penalty()
+        if worker.total_runtime > 0:
+            executed_pens.append(pen)
+        else:
+            starved_pens.append(pen)
+
+    result.row(group="executed (interactive) threads",
+               count=len(executed_pens),
+               mean_final_penalty=round(
+                   sum(executed_pens) / max(1, len(executed_pens)), 1),
+               max_final_penalty=max(executed_pens, default=0))
+    result.row(group="starved (background) threads",
+               count=len(starved_pens),
+               mean_final_penalty=round(
+                   sum(starved_pens) / max(1, len(starved_pens)), 1),
+               min_final_penalty=min(starved_pens, default=0))
+    result.data["executed_pens"] = executed_pens
+    result.data["starved_pens"] = starved_pens
+    result.data["threshold"] = threshold
+
+    exec_mean = result.rows[0]["mean_final_penalty"]
+    starv_mean = result.rows[1]["mean_final_penalty"]
+    result.text = "\n".join([
+        "Fig. 4 (ULE, 128-thread sysbench):",
+        f"  executed threads: {len(executed_pens)}, final penalty "
+        f"mean {exec_mean} (paper: drops toward 0, bottom of graph)",
+        f"  starved threads:  {len(starved_pens)}, final penalty "
+        f"mean {starv_mean} (paper: frozen high, top of graph)",
+        f"  interactive threshold: {threshold}",
+    ])
+    return result

@@ -1,0 +1,97 @@
+"""Fig. 5 — performance of ULE relative to CFS, one core (§5.3).
+
+Every registered application runs to completion on a single core under
+each scheduler; the bar is ``(perf_ULE - perf_CFS) / perf_CFS`` in
+percent (positive = faster on ULE).
+
+Paper claims: most bars sit near zero (average +1.5 % for ULE); the
+outliers are **scimark** (~-36 %: ULE lets the interactive JVM service
+threads delay the batch compute thread) and **apache** (~+40 %: CFS's
+wakeup preemption interrupts the single-threaded ``ab`` on every
+request — 2 million preemptions — while ULE never preempts it).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_bar_chart, render_table
+from ..analysis.stats import percent_diff
+from ..core.clock import sec, usec
+from ..workloads.registry import FIGURE5_APPS
+from .base import ExperimentResult, make_engine, run_workload
+
+CLAIM = ("per-core scheduling: ULE ~= CFS on most apps (avg +1.5%), "
+         "scimark much slower on ULE, apache much faster")
+
+#: modelled cost of one context switch (direct + cache); drives the
+#: apache/ab preemption effect
+CTX_SWITCH_COST_NS = usec(15)
+TIMEOUT_NS = sec(120)
+
+#: subset used by quick runs: the paper's outliers plus one
+#: representative of each suite
+QUICK_APPS = ["Gzip", "C-Ray", "scimark2-(1)", "scimark2-(2)",
+              "john-(1)", "Apache", "EP", "MG", "Sysbench", "Rocksdb",
+              "blackscholes", "ferret", "x264"]
+
+
+def run_app(name: str, sched: str, ncpus: int = 1, seed: int = 1,
+            with_noise: bool = False) -> dict:
+    """Run one registered app under one scheduler; returns metrics."""
+    engine = make_engine(sched, ncpus=ncpus, seed=seed,
+                         ctx_switch_cost_ns=CTX_SWITCH_COST_NS)
+    if with_noise:
+        from ..workloads.noise import KernelNoiseWorkload
+        KernelNoiseWorkload().launch(engine, at=0)
+    workload = FIGURE5_APPS[name]()
+    reason = run_workload(engine, workload, TIMEOUT_NS)
+    if not workload.done(engine) and reason == "deadline":
+        raise RuntimeError(f"{name} on {sched} hit the deadline")
+    out = {
+        "perf": workload.performance(engine),
+        "switches": engine.metrics.counter("engine.switches"),
+        "preemptions": engine.metrics.counter("engine.preemptions"),
+        "overhead_ns": engine.metrics.counter("sched.overhead_ns"),
+        "elapsed_ns": engine.now,
+    }
+    if name == "Apache":
+        out["ab_preemptions"] = workload.ab_preemptions(engine)
+    return out
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    result = ExperimentResult("fig5", CLAIM)
+    apps = QUICK_APPS if quick else list(FIGURE5_APPS)
+    diffs = []
+    extras = {}
+    for name in apps:
+        cfs = run_app(name, "cfs", seed=seed)
+        ule = run_app(name, "ule", seed=seed)
+        diff = percent_diff(ule["perf"], cfs["perf"])
+        diffs.append(diff)
+        result.row(app=name, perf_cfs=round(cfs["perf"], 4),
+                   perf_ule=round(ule["perf"], 4),
+                   diff_pct=round(diff, 1))
+        if name == "Apache":
+            extras["ab_preemptions_cfs"] = cfs["ab_preemptions"]
+            extras["ab_preemptions_ule"] = ule["ab_preemptions"]
+    average = sum(diffs) / len(diffs)
+    result.data["average_diff_pct"] = average
+    result.data["diff_by_app"] = {r["app"]: r["diff_pct"]
+                                  for r in result.rows}
+    result.data.update(extras)
+
+    chart = render_bar_chart([r["app"] for r in result.rows],
+                             [r["diff_pct"] for r in result.rows],
+                             title="Fig. 5: ULE perf vs CFS, one core "
+                                   "(positive = ULE faster)")
+    lines = [chart, "",
+             f"average difference: {average:+.1f}% "
+             f"(paper: +1.5% for ULE)"]
+    if extras:
+        lines.append(
+            f"apache: ab preempted {extras['ab_preemptions_cfs']:.0f} "
+            f"times on CFS vs {extras['ab_preemptions_ule']:.0f} on ULE "
+            f"(paper: 2 million vs never)")
+    result.text = "\n".join(lines)
+    return result

@@ -1,0 +1,89 @@
+"""Fig. 7 — thread placement with c-ray's cascading wakeup (§6.2).
+
+c-ray creates 512 threads that wait on a cascading barrier (thread 0
+wakes thread 1, ...).  The paper's observations:
+
+* **ULE** forks every thread onto the core with the fewest threads,
+  so the load is balanced from the start — but it takes ~11 s for all
+  threads to become runnable: threads inherited different
+  interactivity at fork, and a *batch* thread in the wakeup chain
+  starves behind interactive siblings until they finish or get
+  reclassified, stalling everyone behind it in the chain.
+* **CFS** wakes all threads within ~2 s (it is fair, so every woken
+  thread runs soon), but its load-metric placement leaves the usual
+  imperfect balance.
+* Despite all this, c-ray *completes* in about the same time on both:
+  with 512 threads on 32 cores both schedulers keep every core busy.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_table
+from ..core.clock import msec, sec, to_sec
+from ..tracing.samplers import sample_threads_per_core
+from ..tracing.timeline import heatmap
+from ..workloads import CrayWorkload
+from .base import ExperimentResult, make_engine
+
+CLAIM = ("ULE balances c-ray perfectly from fork but takes far longer "
+         "to get every thread runnable (starvation in the wakeup "
+         "chain); CFS wakes everyone quickly; completion times match")
+
+NCPUS = 32
+
+
+def run_cray(sched: str, nthreads: int, seed: int = 1):
+    """Run one c-ray configuration with threads-per-core sampling."""
+    engine = make_engine(sched, ncpus=NCPUS, seed=seed)
+    cray = CrayWorkload(nthreads=nthreads)
+    cray.launch(engine, at=0)
+    sample_threads_per_core(engine, msec(100))
+    engine.run(until=sec(120), stop_when=lambda e: cray.done(e),
+               check_interval=64)
+    return engine, cray
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    result = ExperimentResult("fig7", CLAIM)
+    nthreads = 256 if quick else 512
+    sections = []
+    for sched in ("ule", "cfs"):
+        engine, cray = run_cray(sched, nthreads, seed=seed)
+        all_runnable = cray.all_runnable_at()
+        completion = cray.completion_time(engine) \
+            if cray.done(engine) else None
+        # placement quality: spread right after the last fork
+        result.row(
+            sched=sched,
+            threads=nthreads,
+            all_runnable_at_s=(round(to_sec(all_runnable), 2)
+                               if all_runnable is not None else None),
+            completion_s=(round(to_sec(completion), 2)
+                          if completion is not None else None),
+            migrations=int(engine.metrics.counter("engine.migrations")))
+        result.data[f"{sched}_all_runnable_ns"] = all_runnable
+        result.data[f"{sched}_completion_ns"] = completion
+        sections.append(
+            f"--- {sched.upper()} (c-ray, {nthreads} threads) ---\n"
+            + heatmap(engine.metrics, NCPUS,
+                      vmax=max(8, 2 * nthreads // NCPUS)))
+
+    table = render_table(
+        ["sched", "all threads runnable at (s)", "completion (s)",
+         "migrations"],
+        [[r["sched"], r["all_runnable_at_s"], r["completion_s"],
+          r["migrations"]] for r in result.rows],
+        title=f"Fig. 7 summary (c-ray, {nthreads} threads, 32 cores)")
+    paper = ("Paper: ULE needs ~11 s until all threads are runnable "
+             "vs ~2 s for CFS; completion time is nevertheless equal")
+    ratio = None
+    ule_t = result.rows[0]["all_runnable_at_s"]
+    cfs_t = result.rows[1]["all_runnable_at_s"]
+    if ule_t and cfs_t:
+        ratio = ule_t / cfs_t
+        result.data["wake_ratio"] = ratio
+    measured = (f"Measured: ULE all-runnable {ule_t}s vs CFS {cfs_t}s "
+                f"({'%.1fx' % ratio if ratio else 'n/a'} slower)")
+    result.text = "\n\n".join(sections + [table, paper, measured])
+    return result

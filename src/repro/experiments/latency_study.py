@@ -1,0 +1,113 @@
+"""Scheduling-latency study (extension).
+
+The paper's related work (Abaffy et al., Torrey et al., Wong et al.)
+compares schedulers by *wait time* distributions; the paper itself only
+reports application metrics.  This extension measures the wake-to-run
+latency distribution directly for three thread classes sharing one
+core under each scheduler:
+
+* an interactive thread (short bursts, long voluntary sleeps),
+* a batch hog,
+* a pool of middling service threads.
+
+Expectations from the schedulers' designs:
+
+* CFS bounds everyone's latency by the scheduling period (no thread
+  waits forever), with sleepers served almost immediately (sleeper
+  credit + wakeup preemption);
+* ULE gives the interactive thread low latency only at slice
+  boundaries (no local preemption) but *absolute* priority, while the
+  batch hog's latency under load is unbounded (starvation).
+"""
+
+from __future__ import annotations
+
+from ..analysis.distributions import percentile_row, render_histogram
+from ..analysis.report import render_table
+from ..core.actions import Run, Sleep, ThreadSpec, run_forever
+from ..core.clock import msec, sec, usec
+from .base import ExperimentResult, make_engine
+
+CLAIM = ("wake-to-run latency: both schedulers keep interactive "
+         "latency in the milliseconds on a loaded core; ULE starves "
+         "the batch class outright while CFS bounds it by the period")
+
+
+def _interactive(ctx):
+    while True:
+        yield Sleep(msec(8) + usec(137))
+        yield Run(usec(400))
+
+
+def _service(ctx):
+    while True:
+        yield Sleep(msec(2) + usec(61))
+        yield Run(msec(1))
+
+
+def _measure(sched: str, seed: int):
+    engine = make_engine(sched, ncpus=1, seed=seed)
+    hog = engine.spawn(ThreadSpec("hog", lambda ctx: iter(
+        [run_forever()]), app="hog"))
+    ia = engine.spawn(ThreadSpec("ia", _interactive, app="ia"))
+    pool = [engine.spawn(ThreadSpec(f"svc{i}", _service, app="svc"))
+            for i in range(4)]
+
+    # per-thread wait recorders via the switch hook
+    waits: dict[str, list[int]] = {"ia": [], "svc": [], "hog": []}
+    wait_start: dict[int, int] = {}
+
+    def on_wake(thread, cpu, waker):
+        wait_start[thread.tid] = engine.now
+
+    def on_switch(core, prev, nxt):
+        if nxt is None:
+            return
+        started = wait_start.pop(nxt.tid, None)
+        if started is not None:
+            waits[nxt.app].append(engine.now - started)
+
+    engine.tracer.on_wake.append(on_wake)
+    engine.tracer.on_switch.append(on_switch)
+    # warm up so ULE's classifications settle, then measure
+    engine.run(until=sec(4))
+    for lst in waits.values():
+        lst.clear()
+    engine.run(until=sec(12))
+    hog_share = hog.total_runtime / engine.now
+    return waits, hog_share
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    result = ExperimentResult("latency", CLAIM)
+    sections = []
+    for sched in ("cfs", "ule"):
+        waits, hog_share = _measure(sched, seed)
+        for cls in ("ia", "svc"):
+            samples = waits[cls]
+            if not samples:
+                continue
+            from ..core.metrics import LatencyRecorder
+            rec = LatencyRecorder(cls)
+            rec.samples = samples
+            row = percentile_row(rec)
+            result.row(sched=sched, cls=cls, **{
+                k: round(v, 3) for k, v in row.items()})
+        result.data[f"{sched}_hog_share"] = hog_share
+        result.data[f"{sched}_waits"] = waits
+        sections.append(render_histogram(
+            waits["ia"], title=f"{sched.upper()}: interactive "
+            f"wake-to-run latency (log buckets, ms)"))
+
+    table = render_table(
+        ["sched", "class", "count", "mean", "p50", "p95", "p99", "max"],
+        [[r["sched"], r["cls"], r["count"], r["mean"], r["p50"],
+          r["p95"], r["p99"], r["max"]] for r in result.rows],
+        title="Wake-to-run latency on a loaded core (ms)")
+    hogs = (f"batch hog CPU share: CFS "
+            f"{100 * result.data['cfs_hog_share']:.1f}% vs ULE "
+            f"{100 * result.data['ule_hog_share']:.1f}% "
+            f"(ULE starves it)")
+    result.text = "\n\n".join([table] + sections + [hogs])
+    return result

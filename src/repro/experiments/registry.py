@@ -1,0 +1,67 @@
+"""Registry of experiment drivers, one per paper table/figure."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from ..core.errors import ExperimentError
+from .base import ExperimentResult
+
+#: experiment id -> (module, one-line description)
+EXPERIMENTS = {
+    "table1": ("table1_api",
+               "Linux scheduler API vs FreeBSD equivalents"),
+    "table2": ("table2_fibo_sysbench",
+               "fibo + sysbench on one core: throughput & latency"),
+    "fig1": ("fig1_cumulative_runtime",
+             "cumulative runtime of fibo/sysbench (starvation)"),
+    "fig2": ("fig2_penalty",
+             "interactivity penalties of fibo and sysbench over time"),
+    "fig3": ("fig3_sysbench_threads",
+             "single-app starvation: 128-thread sysbench on ULE"),
+    "fig4": ("fig4_penalty_single_app",
+             "penalty bifurcation of the 128 sysbench threads"),
+    "fig5": ("fig5_single_core_perf",
+             "37-app performance comparison on one core"),
+    "fig6": ("fig6_load_balancing",
+             "512 pinned spinners released: balancing convergence"),
+    "fig7": ("fig7_cray_placement",
+             "c-ray thread placement and cascading wakeups"),
+    "fig8": ("fig8_multicore_perf",
+             "37-app performance comparison on 32 cores"),
+    "fig9": ("fig9_multi_app",
+             "multi-application pairs vs running alone"),
+    "i7": ("desktop_i7",
+           "cross-validation on the 8-CPU desktop machine (§4.1)"),
+    "sensitivity": ("sensitivity",
+                    "headline claims across random seeds (mean ± CI)"),
+    "latency": ("latency_study",
+                "wake-to-run latency distributions (extension)"),
+}
+
+
+def run_experiment(name: str, quick: bool = True,
+                   seed: int = 1) -> ExperimentResult:
+    """Run one experiment by id ('table1' ... 'fig9')."""
+    try:
+        module_name, _ = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {name!r} (known: {known})") from None
+    module = importlib.import_module(
+        f"repro.experiments.{module_name}")
+    return module.run(quick=quick, seed=seed)
+
+
+def experiment_names() -> list[str]:
+    """All experiment ids, in the paper's order."""
+    return list(EXPERIMENTS)
+
+
+def experiment_claim(name: str) -> str:
+    """The one-line claim an experiment reproduces."""
+    module_name, _ = EXPERIMENTS[name]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return module.CLAIM

@@ -1,0 +1,83 @@
+"""Seed-sensitivity study: are the headline claims robust?
+
+Each key ratio is re-measured across several random seeds and reported
+as mean with a 95 % confidence interval.  The paper's claims should
+hold for *every* seed, not just a lucky one:
+
+* Table 2: ULE/CFS sysbench throughput ratio stays well above 1;
+* Fig. 3: ULE starves a large fraction of the 128 sysbench threads
+  while CFS starves none;
+* Fig. 6: ULE's balancer converges in tens of seconds, CFS in under a
+  second (rough balance).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_table
+from ..analysis.stats import confidence_interval95, mean, stdev
+from ..core.clock import to_sec
+from .base import ExperimentResult
+
+CLAIM = ("the headline ratios hold across random seeds: ULE's sysbench "
+         "boost, the fig3 starvation split, and the two balancing "
+         "convergence regimes")
+
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc)."""
+    from . import fig3_sysbench_threads, fig6_load_balancing
+    from .fibo_sysbench import run_scenario
+
+    seeds = DEFAULT_SEEDS if quick else tuple(range(1, 8))
+    result = ExperimentResult("sensitivity", CLAIM)
+
+    tps_ratios = []
+    for s in seeds:
+        cfs = run_scenario("cfs", seed=s)
+        ule = run_scenario("ule", seed=s)
+        tps_ratios.append(ule.sysbench_tps / cfs.sysbench_tps)
+
+    starved = []
+    for s in seeds:
+        engine, sysb = fig3_sysbench_threads.run_single_app("ule",
+                                                            seed=s)
+        starved.append(len(sysb.starved_workers(engine)))
+
+    ule_converge = []
+    cfs_rough = []
+    for s in seeds:
+        eng, _, _ = fig6_load_balancing.run_release(
+            "ule", nthreads=64, seed=s)
+        ule_converge.append(to_sec(eng.now))
+        eng, _, _ = fig6_load_balancing.run_release(
+            "cfs", nthreads=64, seed=s,
+            timeout_ns=6 * 10**9)
+        from ..analysis.convergence import time_to_balance
+        ttb = time_to_balance(eng.metrics, 32, start_ns=2 * 10**9,
+                              tolerance=4)
+        cfs_rough.append(to_sec(ttb) if ttb is not None else 6.0)
+
+    rows = []
+    for label, values, expect in (
+            ("table2 ULE/CFS tx-rate ratio", tps_ratios, "> 1.3"),
+            ("fig3 starved threads (of 128)", starved, "> 30"),
+            ("fig6 ULE time-to-balance (s)", ule_converge, "10..600"),
+            ("fig6 CFS rough balance (s)", cfs_rough, "< 1.5")):
+        lo, hi = confidence_interval95([float(v) for v in values])
+        rows.append([label, round(mean([float(v) for v in values]), 2),
+                     round(stdev([float(v) for v in values]), 2),
+                     f"[{lo:.2f}, {hi:.2f}]", expect])
+        result.row(metric=label,
+                   values=[round(float(v), 2) for v in values])
+    result.data["tps_ratios"] = tps_ratios
+    result.data["starved"] = starved
+    result.data["ule_converge_s"] = ule_converge
+    result.data["cfs_rough_s"] = cfs_rough
+
+    table = render_table(
+        ["metric", "mean", "stdev", "95% CI", "expected"], rows,
+        title=f"Seed sensitivity over seeds {list(seeds)}")
+    result.text = table
+    return result

@@ -1,0 +1,24 @@
+"""Scheduler framework: the Linux-style scheduler class interface
+(Table 1), the FreeBSD name adapter, a reference FIFO scheduler, and
+the scheduler registry."""
+
+from .base import SchedClass
+from .classes import ClassStackScheduler
+from .fifo import FifoScheduler
+from .freebsd_api import TABLE1_MAPPINGS, ApiMapping, FreeBSDSchedAdapter
+from .registry import (available_schedulers, register_scheduler,
+                       scheduler_factory)
+from .rt import RtScheduler
+
+__all__ = [
+    "SchedClass",
+    "FreeBSDSchedAdapter",
+    "ApiMapping",
+    "TABLE1_MAPPINGS",
+    "FifoScheduler",
+    "RtScheduler",
+    "ClassStackScheduler",
+    "scheduler_factory",
+    "register_scheduler",
+    "available_schedulers",
+]

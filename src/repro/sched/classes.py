@@ -1,0 +1,150 @@
+"""Linux's scheduling-class stack: realtime above fair.
+
+Linux walks a fixed list of scheduling classes (stop > deadline > rt >
+fair > idle) and runs the first one with work.  §3 of the paper relies
+on this structure (the ULE port registers as a class), and §5.1 points
+at it: CFS alone cannot give a latency-sensitive application absolute
+priority — that requires putting it in the realtime class, "which gets
+absolute priority over CFS".
+
+:class:`ClassStackScheduler` composes an :class:`~repro.sched.rt.
+RtScheduler` above a :class:`~repro.cfs.core.CfsScheduler`.  A thread
+whose spec carries an ``rt_priority`` tag belongs to the RT class;
+everything else is fair.  Registered as scheduler ``"linux"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..cfs.core import CfsScheduler
+from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from .base import SchedClass
+from .rt import RtRunqueue, RtScheduler, RtState, rt_priority_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+
+
+class StackRq:
+    """Per-CPU container holding each class's runqueue."""
+
+    __slots__ = ("rt", "fair")
+
+    def __init__(self, rt: RtRunqueue, fair):
+        self.rt = rt
+        self.fair = fair
+
+
+class ClassStackScheduler(SchedClass):
+    """rt + fair, dispatched like the kernel's class list."""
+
+    name = "linux"
+
+    def __init__(self, engine: "Engine", **cfs_options):
+        super().__init__(engine)
+        self.rt = RtScheduler(engine)
+        self.fair = CfsScheduler(engine, **cfs_options)
+        self.tick_ns = self.fair.tick_ns
+
+    # -- dispatch helpers -------------------------------------------------
+
+    @staticmethod
+    def _is_rt(thread: "SimThread") -> bool:
+        if isinstance(thread.policy, RtState):
+            return True
+        if thread.policy is None:
+            return rt_priority_of(thread) is not None
+        return False
+
+    def _class_of(self, thread: "SimThread") -> SchedClass:
+        return self.rt if self._is_rt(thread) else self.fair
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def init_core(self, core: "Core") -> StackRq:
+        return StackRq(self.rt.init_core(core),
+                       self.fair.init_core(core))
+
+    def start(self) -> None:
+        self.rt.start()
+        self.fair.start()
+
+    # -- delegated operations -----------------------------------------------
+
+    def enqueue_task(self, core, thread, flags: EnqueueFlags) -> None:
+        self._class_of(thread).enqueue_task(core, thread, flags)
+
+    def dequeue_task(self, core, thread, flags: DequeueFlags) -> None:
+        self._class_of(thread).dequeue_task(core, thread, flags)
+
+    def yield_task(self, core: "Core") -> None:
+        if core.current is not None:
+            self._class_of(core.current).yield_task(core)
+
+    def pick_next(self, core: "Core") -> Optional["SimThread"]:
+        nxt = self.rt.pick_next(core)
+        if nxt is not None:
+            # The fair class's incumbent (if any) must be put back
+            # into its timeline before the RT thread takes the CPU.
+            prev = core.current
+            if prev is not None and prev.is_running \
+                    and not self._is_rt(prev):
+                self.fair.put_prev(core)
+            return nxt
+        return self.fair.pick_next(core)
+
+    def select_task_rq(self, thread, flags: SelectFlags,
+                       waker=None) -> int:
+        return self._class_of(thread).select_task_rq(thread, flags,
+                                                     waker=waker)
+
+    def check_preempt_wakeup(self, core, thread) -> None:
+        curr = core.current
+        if curr is None or not curr.is_running:
+            core.need_resched = True
+            return
+        woken_rt = self._is_rt(thread)
+        curr_rt = self._is_rt(curr)
+        if woken_rt:
+            self.rt.check_preempt_wakeup(core, thread)
+        elif curr_rt:
+            return  # a fair thread never preempts a realtime one
+        else:
+            self.fair.check_preempt_wakeup(core, thread)
+
+    def task_tick(self, core: "Core") -> None:
+        if core.current is not None:
+            self._class_of(core.current).task_tick(core)
+
+    def idle_tick(self, core: "Core") -> None:
+        self.fair.idle_tick(core)
+
+    def task_fork(self, parent, child) -> None:
+        self._class_of(child).task_fork(parent, child)
+
+    def task_dead(self, thread) -> None:
+        self._class_of(thread).task_dead(thread)
+
+    def task_waking(self, thread, slept_ns: int) -> None:
+        self._class_of(thread).task_waking(thread, slept_ns)
+
+    def update_curr(self, core, thread, delta_ns: int) -> None:
+        self._class_of(thread).update_curr(core, thread, delta_ns)
+
+    # -- introspection --------------------------------------------------------
+
+    def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
+        out = list(self.rt.runnable_threads(core))
+        seen = {id(t) for t in out}
+        for t in self.fair.runnable_threads(core):
+            if id(t) not in seen:
+                out.append(t)
+        return out
+
+    def nr_runnable(self, core: "Core") -> int:
+        """Runnable threads across both classes."""
+        return len(list(self.rt.runnable_threads(core))) \
+            + self.fair.nr_runnable(core)

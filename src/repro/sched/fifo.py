@@ -1,0 +1,143 @@
+"""A minimal round-robin scheduler.
+
+Not part of the paper — this is the reference implementation of the
+:class:`~repro.sched.base.SchedClass` contract.  It is used by the
+engine tests (scheduler-independent behaviour is validated against it)
+and by the ``custom_scheduler`` example as a starting point.
+
+Policy: per-core FIFO queues, a fixed timeslice, placement on the CPU
+with the fewest runnable threads, and single-thread idle stealing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..core.clock import msec
+from ..core.errors import SchedulerError
+from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from .base import SchedClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+
+
+class FifoRunqueue:
+    """Per-core state: a FIFO of runnable threads."""
+
+    def __init__(self):
+        self.queue: deque = deque()
+        self.slice_used = 0
+
+
+class FifoScheduler(SchedClass):
+    """Round-robin with a fixed timeslice."""
+
+    name = "fifo"
+
+    def __init__(self, engine, timeslice_ns: int = msec(10)):
+        super().__init__(engine)
+        self.timeslice_ns = timeslice_ns
+
+    def init_core(self, core: "Core") -> FifoRunqueue:
+        return FifoRunqueue()
+
+    # -- queue maintenance ------------------------------------------------
+
+    def enqueue_task(self, core: "Core", thread: "SimThread",
+                     flags: EnqueueFlags) -> None:
+        core.rq.queue.append(thread)
+
+    def dequeue_task(self, core: "Core", thread: "SimThread",
+                     flags: DequeueFlags) -> None:
+        try:
+            core.rq.queue.remove(thread)
+        except ValueError:
+            raise SchedulerError(
+                f"{thread} not on cpu {core.index} runqueue") from None
+
+    def yield_task(self, core: "Core") -> None:
+        rq = core.rq
+        if core.current in rq.queue:
+            rq.queue.remove(core.current)
+            rq.queue.append(core.current)
+        rq.slice_used = 0
+
+    # -- picking ----------------------------------------------------------
+
+    def pick_next(self, core: "Core") -> Optional["SimThread"]:
+        rq = core.rq
+        prev = core.current if (core.current is not None
+                                and core.current.is_running) else None
+        if not rq.queue:
+            stolen = self._steal_for(core)
+            if stolen is None:
+                return None
+        # Round-robin: pick the head; if the head is the incumbent and
+        # others wait with the slice expired, rotate.
+        head = rq.queue[0]
+        if head is prev and len(rq.queue) > 1 and \
+                rq.slice_used >= self.timeslice_ns:
+            rq.queue.rotate(-1)
+            head = rq.queue[0]
+        if head is not prev:
+            rq.slice_used = 0
+            # move the picked thread to the head position
+            rq.queue.remove(head)
+            rq.queue.appendleft(head)
+        return head
+
+    def _steal_for(self, core: "Core") -> Optional["SimThread"]:
+        busiest = None
+        for other in self.machine.cores:
+            if other is core:
+                continue
+            candidates = [t for t in other.rq.queue
+                          if not t.is_running and t.allows_cpu(core.index)]
+            if not candidates:
+                continue
+            if busiest is None or \
+                    len(other.rq.queue) > len(busiest[0].rq.queue):
+                busiest = (other, candidates[0])
+        if busiest is None:
+            return None
+        _, victim = busiest
+        self.engine.migrate_thread(victim, core.index)
+        return victim
+
+    # -- placement ----------------------------------------------------------
+
+    def select_task_rq(self, thread: "SimThread", flags: SelectFlags,
+                       waker: Optional["SimThread"] = None) -> int:
+        candidates = [c for c in self.machine.cores
+                      if thread.allows_cpu(c.index)]
+        return min(candidates, key=lambda c: (len(c.rq.queue), c.index)).index
+
+    # -- ticks ----------------------------------------------------------------
+
+    def task_tick(self, core: "Core") -> None:
+        rq = core.rq
+        if len(rq.queue) > 1 and rq.slice_used >= self.timeslice_ns:
+            core.need_resched = True
+
+    def idle_tick(self, core: "Core") -> None:
+        # Retry stealing while other cores have waiting work.
+        for other in self.machine.cores:
+            if other is not core and len(other.rq.queue) > 1:
+                core.need_resched = True
+                return
+
+    def update_curr(self, core: "Core", thread: "SimThread",
+                    delta_ns: int) -> None:
+        core.rq.slice_used += delta_ns
+
+    # -- introspection ---------------------------------------------------
+
+    def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
+        return list(core.rq.queue)
+
+    def nr_runnable(self, core: "Core") -> int:
+        """Queue length (the running thread stays queued)."""
+        return len(core.rq.queue)

@@ -1,0 +1,113 @@
+"""The FreeBSD scheduler entry points, mapped onto the Linux API.
+
+This module is the executable form of the paper's Table 1: FreeBSD does
+not have a pluggable scheduler interface, it declares a fixed set of
+``sched_*`` functions.  The paper's port implements each Linux
+``sched_class`` operation by calling the corresponding ULE function;
+here we expose the inverse adapter so code written against the FreeBSD
+names drives any :class:`~repro.sched.base.SchedClass`.
+
+===================  =====================  ================================
+Linux                FreeBSD                Usage
+===================  =====================  ================================
+enqueue_task         sched_add (new) /      Enqueue a thread in a runqueue
+                     sched_wakeup (woken)
+dequeue_task         sched_rem              Remove a thread from a runqueue
+yield_task           sched_relinquish       Yield the CPU
+pick_next_task       sched_choose           Select the next task
+put_prev_task        sched_switch           Update stats of the prev task
+select_task_rq       sched_pickcpu          Choose the CPU for a thread
+===================  =====================  ================================
+
+Note the 2-to-1 mapping the paper calls out: Linux distinguishes a new
+thread from a woken one with an ``ENQUEUE_WAKEUP`` flag, FreeBSD with
+two distinct functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+    from .base import SchedClass
+
+
+@dataclass(frozen=True)
+class ApiMapping:
+    """One row of Table 1."""
+
+    linux: str
+    freebsd: str
+    usage: str
+
+
+#: The rows of the paper's Table 1, kept as data so the experiment
+#: driver can print the table.
+TABLE1_MAPPINGS: tuple[ApiMapping, ...] = (
+    ApiMapping("enqueue_task", "sched_add / sched_wakeup",
+               "Enqueue a thread in a runqueue"),
+    ApiMapping("dequeue_task", "sched_rem",
+               "Remove a thread from a runqueue"),
+    ApiMapping("yield_task", "sched_relinquish",
+               "Yield the CPU back to the scheduler"),
+    ApiMapping("pick_next_task", "sched_choose",
+               "Select the next task to be scheduled"),
+    ApiMapping("put_prev_task", "sched_switch",
+               "Update statistics about the task that just ran"),
+    ApiMapping("select_task_rq", "sched_pickcpu",
+               "Choose the CPU on which a new (or waking up) thread "
+               "should be placed"),
+)
+
+
+class FreeBSDSchedAdapter:
+    """Expose FreeBSD ``sched_*`` names over a Linux-style scheduler.
+
+    Every call is forwarded to the wrapped :class:`SchedClass` with the
+    flag translation the paper's port performs.
+    """
+
+    def __init__(self, sched: "SchedClass"):
+        self._sched = sched
+
+    # -- enqueue: FreeBSD's two entry points -> one Linux op + flag ----
+
+    def sched_add(self, core: "Core", thread: "SimThread") -> None:
+        """Enqueue a newly created thread."""
+        self._sched.enqueue_task(core, thread, EnqueueFlags.NEW)
+
+    def sched_wakeup(self, core: "Core", thread: "SimThread") -> None:
+        """Enqueue a thread that just woke up."""
+        self._sched.enqueue_task(core, thread, EnqueueFlags.WAKEUP)
+
+    # -- the 1-to-1 rows ------------------------------------------------
+
+    def sched_rem(self, core: "Core", thread: "SimThread") -> None:
+        """Remove a thread from its runqueue."""
+        self._sched.dequeue_task(core, thread, DequeueFlags.NONE)
+
+    def sched_relinquish(self, core: "Core") -> None:
+        """Yield the CPU back to the scheduler."""
+        self._sched.yield_task(core)
+
+    def sched_choose(self, core: "Core") -> Optional["SimThread"]:
+        """Select the next task to be scheduled on ``core``."""
+        return self._sched.pick_next(core)
+
+    def sched_switch(self, core: "Core", thread: "SimThread",
+                     delta_ns: int = 0) -> None:
+        """Update statistics about the task that just ran."""
+        if delta_ns:
+            self._sched.update_curr(core, thread, delta_ns)
+
+    def sched_pickcpu(self, thread: "SimThread",
+                      waking: bool = True,
+                      waker: Optional["SimThread"] = None) -> int:
+        """Choose the CPU for a new (or waking up) thread."""
+        flags = SelectFlags.WAKEUP if waking else SelectFlags.FORK
+        return self._sched.select_task_rq(thread, flags, waker=waker)

@@ -1,0 +1,79 @@
+"""Registry of available scheduler implementations.
+
+Experiments refer to schedulers by name ("cfs", "ule", "fifo", ...); the
+registry turns a name plus keyword options into a factory suitable for
+:class:`~repro.core.engine.Engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.errors import SchedulerError
+
+_FACTORIES: Dict[str, Callable] = {}
+
+
+def register_scheduler(name: str, factory: Callable) -> None:
+    """Register ``factory(engine, **options) -> SchedClass`` under
+    ``name``; re-registering a name overwrites it."""
+    _FACTORIES[name] = factory
+
+
+def scheduler_factory(name: str, **options) -> Callable:
+    """Return an ``engine -> SchedClass`` callable for ``name``.
+
+    Options are forwarded to the scheduler constructor, e.g.
+    ``scheduler_factory("ule", pickcpu_scan_cost_ns=120)``.
+    """
+    _ensure_builtin()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise SchedulerError(
+            f"unknown scheduler {name!r} (known: {known})") from None
+    return lambda engine: factory(engine, **options)
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered schedulers."""
+    _ensure_builtin()
+    return sorted(_FACTORIES)
+
+
+def _ensure_builtin() -> None:
+    """Register the built-in schedulers lazily to avoid import cycles."""
+    if "fifo" not in _FACTORIES:
+        from .fifo import FifoScheduler
+        register_scheduler(
+            "fifo", lambda engine, **kw: FifoScheduler(engine, **kw))
+    if "cfs" not in _FACTORIES:
+        try:
+            from ..cfs.core import CfsScheduler
+        except ImportError:  # pragma: no cover - during bootstrap
+            pass
+        else:
+            register_scheduler(
+                "cfs", lambda engine, **kw: CfsScheduler(engine, **kw))
+    if "ule" not in _FACTORIES:
+        try:
+            from ..ule.core import UleScheduler
+        except ImportError:  # pragma: no cover - during bootstrap
+            pass
+        else:
+            register_scheduler(
+                "ule", lambda engine, **kw: UleScheduler(engine, **kw))
+    if "rt" not in _FACTORIES:
+        from .rt import RtScheduler
+        register_scheduler(
+            "rt", lambda engine, **kw: RtScheduler(engine, **kw))
+    if "linux" not in _FACTORIES:
+        try:
+            from .classes import ClassStackScheduler
+        except ImportError:  # pragma: no cover - during bootstrap
+            pass
+        else:
+            register_scheduler(
+                "linux",
+                lambda engine, **kw: ClassStackScheduler(engine, **kw))

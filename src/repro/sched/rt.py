@@ -1,0 +1,217 @@
+"""SCHED_FIFO / SCHED_RR — the Linux realtime scheduling class.
+
+The paper invokes it in §5.1: to reproduce ULE's absolute
+prioritization of a latency-sensitive application on Linux, "the
+latency-sensitive application would have to be executed by the
+realtime scheduler, which gets absolute priority over CFS."
+
+This class implements the POSIX semantics Linux provides:
+
+* 99 realtime priority levels, higher wins, strictly above every
+  normal thread;
+* SCHED_FIFO: run until block/yield/preemption by higher RT priority;
+* SCHED_RR: like FIFO plus a 100 ms round-robin slice among equals;
+* waking RT threads preempt lower-priority ones immediately.
+
+Combine it with CFS through
+:class:`repro.sched.classes.ClassStackScheduler`, which dispatches to
+the highest populated class exactly like the kernel's scheduling-class
+list (stop > rt > fair > idle).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..core.clock import msec
+from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from .base import SchedClass
+from ..ule.runq import RunQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+
+#: number of realtime priority levels (POSIX 1..99; we index 0..98
+#: with 0 the *highest* to reuse the bitmap runq)
+NR_RT_PRIORITIES = 99
+
+#: default SCHED_RR quantum (Linux: 100 ms)
+RR_TIMESLICE_NS = msec(100)
+
+
+def rt_priority_of(thread: "SimThread") -> Optional[int]:
+    """The thread's realtime priority from its spec tags.
+
+    Threads tagged ``{"rt_priority": p}`` (1..99, higher = more
+    important) belong to the realtime class; ``{"rt_policy": "rr"}``
+    selects round-robin instead of FIFO.
+    """
+    prio = thread.tags.get("rt_priority")
+    if prio is None:
+        return None
+    if not 1 <= prio <= NR_RT_PRIORITIES:
+        raise ValueError(f"rt_priority out of range: {prio}")
+    return prio
+
+
+class RtState:
+    """Per-thread RT state."""
+
+    __slots__ = ("priority", "round_robin", "slice_used")
+
+    def __init__(self, priority: int, round_robin: bool):
+        self.priority = priority
+        self.round_robin = round_robin
+        self.slice_used = 0
+
+
+class RtRunqueue:
+    """Per-CPU RT queue: priority-indexed FIFOs."""
+
+    def __init__(self):
+        self.queue = RunQueue(NR_RT_PRIORITIES)
+
+
+class RtScheduler(SchedClass):
+    """The realtime class.  Usable standalone (every thread needs an
+    ``rt_priority`` tag then) or stacked above CFS."""
+
+    name = "rt"
+
+    def init_core(self, core: "Core") -> RtRunqueue:
+        return RtRunqueue()
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _index(priority: int) -> int:
+        """Map POSIX priority (higher wins) onto the bitmap runq
+        (lower index wins)."""
+        return NR_RT_PRIORITIES - priority
+
+    def _rq(self, core: "Core") -> RunQueue:
+        rq = core.rq
+        if isinstance(rq, RtRunqueue):
+            return rq.queue
+        return rq.rt.queue  # stacked under ClassStackScheduler
+
+    def state_of(self, thread: "SimThread") -> RtState:
+        """The thread's RT state (``thread.policy``)."""
+        return thread.policy
+
+    # -- lifecycle ------------------------------------------------------
+
+    def task_fork(self, parent, child: "SimThread") -> None:
+        prio = rt_priority_of(child)
+        if prio is None:
+            raise ValueError(
+                f"{child} has no rt_priority tag; use the 'classes' "
+                f"scheduler to mix RT and normal threads")
+        child.policy = RtState(
+            prio, child.tags.get("rt_policy") == "rr")
+
+    # -- queueing ---------------------------------------------------------
+
+    def enqueue_task(self, core: "Core", thread: "SimThread",
+                     flags: EnqueueFlags) -> None:
+        state = self.state_of(thread)
+        self._rq(core).add(thread, self._index(state.priority))
+
+    def dequeue_task(self, core: "Core", thread: "SimThread",
+                     flags: DequeueFlags) -> None:
+        state = self.state_of(thread)
+        if thread is not core.current or self._queued(core, thread):
+            self._rq(core).remove(thread, self._index(state.priority))
+
+    def _queued(self, core: "Core", thread: "SimThread") -> bool:
+        return any(t is thread for t in self._rq(core).threads())
+
+    # -- picking ----------------------------------------------------------
+
+    def pick_next(self, core: "Core") -> Optional["SimThread"]:
+        rq = self._rq(core)
+        prev = core.current if (core.current is not None
+                                and core.current.is_running
+                                and isinstance(core.current.policy,
+                                               RtState)) else None
+        if prev is not None:
+            state = self.state_of(prev)
+            # FIFO threads keep the CPU against equals: requeue at the
+            # head unless the RR slice expired.
+            expired = (state.round_robin
+                       and state.slice_used >= RR_TIMESLICE_NS)
+            rq.add(prev, self._index(state.priority),
+                   at_head=not expired)
+        nxt = rq.choose()
+        if nxt is not None:
+            self.state_of(nxt).slice_used = 0
+        return nxt
+
+    # -- preemption ---------------------------------------------------------
+
+    def check_preempt_wakeup(self, core: "Core",
+                             thread: "SimThread") -> None:
+        curr = core.current
+        if curr is None or not curr.is_running:
+            core.need_resched = True
+            return
+        if not isinstance(curr.policy, RtState):
+            core.need_resched = True  # RT always beats normal threads
+            return
+        if self.state_of(thread).priority > \
+                self.state_of(curr).priority:
+            core.need_resched = True
+
+    def task_tick(self, core: "Core") -> None:
+        curr = core.current
+        if curr is None or not isinstance(curr.policy, RtState):
+            return
+        state = self.state_of(curr)
+        if not state.round_robin:
+            return
+        if state.slice_used >= RR_TIMESLICE_NS \
+                and len(self._rq(core)) > 0:
+            core.need_resched = True
+
+    def update_curr(self, core: "Core", thread: "SimThread",
+                    delta_ns: int) -> None:
+        self.state_of(thread).slice_used += delta_ns
+
+    # -- placement ------------------------------------------------------------
+
+    def select_task_rq(self, thread: "SimThread", flags: SelectFlags,
+                       waker: Optional["SimThread"] = None) -> int:
+        """Linux RT placement: prefer the previous CPU if it is not
+        running a higher-priority RT thread, else the lowest-priority
+        CPU (the cpupri search)."""
+        prio = (self.state_of(thread).priority
+                if isinstance(thread.policy, RtState)
+                else rt_priority_of(thread) or 1)
+        candidates = [c for c in range(len(self.machine))
+                      if thread.allows_cpu(c)]
+        prev = thread.cpu
+        if prev in candidates and self._cpu_prio(prev) < prio:
+            return prev
+        return min(candidates, key=lambda c: (self._cpu_prio(c), c))
+
+    def _cpu_prio(self, cpu: int) -> int:
+        """Highest RT priority currently on a CPU (0 = none)."""
+        core = self.machine.cores[cpu]
+        best = 0
+        curr = core.current
+        if curr is not None and isinstance(curr.policy, RtState):
+            best = curr.policy.priority
+        head = self._rq(core).first_priority()
+        if head is not None:
+            best = max(best, NR_RT_PRIORITIES - head)
+        return best
+
+    # -- introspection --------------------------------------------------------
+
+    def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
+        out = list(self._rq(core).threads())
+        if core.current is not None \
+                and isinstance(core.current.policy, RtState):
+            out.append(core.current)
+        return out

@@ -1,0 +1,88 @@
+"""Adaptive mutex: spin briefly, then sleep.
+
+MySQL's InnoDB latches and most modern userspace mutexes
+(PTHREAD_MUTEX_ADAPTIVE_NP, absl, parking-lot locks) spin for a bounded
+window before blocking.  The distinction matters to schedulers: spin
+time counts as *runtime* (pushing a ULE thread toward batch) while
+blocked time counts as voluntary sleep (pushing it toward interactive)
+— so the same contention profile can classify differently depending on
+the lock implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import BlockResult, Run, SyncAction
+from ..core.clock import usec
+from .mutex import Mutex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class AdaptiveMutex(Mutex):
+    """A mutex whose acquire spins up to ``spin_ns`` before sleeping.
+
+    The spin is modelled as bounded retry rounds: burn a slice of CPU,
+    re-check the lock, repeat until the spin budget is exhausted, then
+    fall back to the sleeping FIFO queue of :class:`Mutex`.
+    """
+
+    def __init__(self, engine: "Engine", spin_ns: int = usec(20),
+                 spin_rounds: int = 4, name: str = "adaptive"):
+        super().__init__(engine, name=name)
+        self.spin_ns = spin_ns
+        self.spin_rounds = spin_rounds
+        self.spin_acquires = 0
+        self.slept_acquires = 0
+
+    def acquire_adaptive(self):
+        """Behaviour fragment (``yield from``): spin-then-block
+        acquisition.  The plain blocking ``yield lock.acquire()`` of
+        :class:`Mutex` also remains available."""
+        return self._adaptive_acquire()
+
+    def _adaptive_acquire(self):
+        chunk = max(1, self.spin_ns // max(1, self.spin_rounds))
+        for _ in range(self.spin_rounds):
+            got = yield _TryAcquire(self)
+            if got:
+                return
+            yield Run(chunk)  # spinning burns CPU (counts as runtime)
+        # spin budget exhausted: block like a plain mutex
+        got = yield _TryAcquire(self)
+        if got:
+            return
+        yield _SleepAcquire(self)
+
+    # -- internals ------------------------------------------------------
+
+    def _try(self, thread) -> bool:
+        if self.owner is None:
+            self.owner = thread
+            self.acquisitions += 1
+            self.spin_acquires += 1
+            return True
+        return False
+
+
+class _TryAcquire(SyncAction):
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: AdaptiveMutex):
+        self.mutex = mutex
+
+    def apply(self, engine, thread):
+        return BlockResult.COMPLETED, self.mutex._try(thread)
+
+
+class _SleepAcquire(SyncAction):
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: AdaptiveMutex):
+        self.mutex = mutex
+
+    def apply(self, engine, thread):
+        self.mutex.slept_acquires += 1
+        return self.mutex._do_acquire(engine, thread)

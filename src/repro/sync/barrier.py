@@ -1,0 +1,205 @@
+"""Thread barriers.
+
+Two flavours used by the paper's workloads:
+
+* :class:`Barrier` — classic N-party barrier; the last arrival wakes
+  everyone at once.  ``spin_ns`` models the hybrid spin-then-sleep
+  barriers of the NAS kernels (MG spins ~100 ms before sleeping —
+  §6.3): arrivals burn CPU for up to ``spin_ns`` before blocking, and
+  count as *running* during the spin (which matters for ULE's
+  interactivity classification).
+* :class:`CascadingBarrier` — c-ray's barrier (§6.2): when released,
+  thread 0 wakes thread 1, thread 1 wakes thread 2, ...  A freshly
+  woken thread must itself be *scheduled* before it can wake its
+  successor, so a scheduler that starves a thread in the chain delays
+  every thread behind it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import BlockResult, Run, SyncAction
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class Barrier:
+    """N-party reusable barrier with broadcast release."""
+
+    def __init__(self, engine: "Engine", parties: int,
+                 name: str = "barrier", spin_ns: int = 0):
+        if parties < 1:
+            raise ValueError("barrier needs >= 1 parties")
+        self.engine = engine
+        self.name = name
+        self.parties = parties
+        self.spin_ns = spin_ns
+        self.waiters = WaitQueue(engine, f"{name}.waiters")
+        self.arrived = 0
+        self.generation = 0
+
+    def wait(self):
+        """Behaviour fragment: arrive at the barrier.
+
+        Returns a generator to be ``yield from``-ed (it may emit a spin
+        Run before blocking).
+        """
+        if self.spin_ns > 0:
+            return self._wait_with_spin()
+        return self._wait_plain()
+
+    def _wait_plain(self):
+        yield _ArriveAction(self, block=True)
+
+    def _wait_with_spin(self):
+        # Arrive first (a spin barrier publishes arrival immediately),
+        # then burn CPU polling; fall back to sleeping only when the
+        # spin window expires — MG's behaviour in §6.3.
+        gen = self.generation
+        released = yield _ArriveAction(self, block=False)
+        if released:
+            return
+        chunk = max(1, self.spin_ns // 8)
+        spent = 0
+        while spent < self.spin_ns and self.generation == gen:
+            yield Run(chunk)
+            spent += chunk
+        if self.generation == gen:
+            yield _SpinSleepAction(self, gen)
+
+    def _do_arrive(self, engine, thread, block):
+        self.arrived += 1
+        if self.arrived >= self.parties:
+            self.arrived = 0
+            self.generation += 1
+            self.waiters.wake_all(waker=thread)
+            return BlockResult.COMPLETED, True
+        if block:
+            self.waiters.block(thread)
+            return BlockResult.BLOCKED, None
+        return BlockResult.COMPLETED, False
+
+    def _do_spin_sleep(self, engine, thread, gen):
+        if self.generation != gen:
+            return BlockResult.COMPLETED, None
+        self.waiters.block(thread)
+        return BlockResult.BLOCKED, None
+
+
+class _ArriveAction(SyncAction):
+    __slots__ = ("barrier", "block")
+
+    def __init__(self, barrier: Barrier, block: bool):
+        self.barrier = barrier
+        self.block = block
+
+    def apply(self, engine, thread):
+        return self.barrier._do_arrive(engine, thread, self.block)
+
+
+class _SpinSleepAction(SyncAction):
+    __slots__ = ("barrier", "gen")
+
+    def __init__(self, barrier: Barrier, gen: int):
+        self.barrier = barrier
+        self.gen = gen
+
+    def apply(self, engine, thread):
+        return self.barrier._do_spin_sleep(engine, thread, self.gen)
+
+
+class CascadingBarrier:
+    """A barrier whose release is a serial wakeup chain.
+
+    Threads join with an index; the release order follows the index.
+    ``wait(i)`` blocks until released; once thread *i* resumes it wakes
+    thread *i+1* (the wake happens in thread *i*'s context when it is
+    next scheduled, which is the point of the c-ray experiment).
+    """
+
+    def __init__(self, engine: "Engine", parties: int,
+                 name: str = "cascade"):
+        if parties < 1:
+            raise ValueError("cascading barrier needs >= 1 parties")
+        self.engine = engine
+        self.name = name
+        self.parties = parties
+        self.arrived = 0
+        self.released = False
+        self._sleepers: dict[int, "SimThread"] = {}
+        #: index of the (never-slept) releasing party
+        self._release_index: Optional[int] = None
+        #: time each thread was woken, for the Fig. 7 analysis
+        self.wake_times: dict[int, int] = {}
+
+    def wait(self, index: int):
+        """Behaviour fragment (``yield from``): arrive as party
+        ``index``; on resume, wake party ``index + 1``."""
+        yield _CascadeArrive(self, index)
+        # Scheduled again after release: wake the successor.
+        yield _CascadeWakeNext(self, index)
+
+    def _do_arrive(self, engine, thread, index):
+        if index in self._sleepers:
+            raise ValueError(f"duplicate cascade index {index}")
+        self.arrived += 1
+        if self.arrived >= self.parties:
+            # Last arrival: release the chain starting at index 0
+            # without blocking itself.  Its own wake-next is a no-op;
+            # the chain walks past it when it gets there.
+            self.released = True
+            self._release_index = index
+            self.wake_times[index] = engine.now
+            self._wake_index(engine, thread, 0)
+            return BlockResult.COMPLETED, None
+        self._sleepers[index] = thread
+        from ..core.thread import ThreadState
+        core = engine.machine.cores[thread.cpu]
+        engine.block_current(core, ThreadState.BLOCKED)
+        return BlockResult.BLOCKED, None
+
+    def _wake_index(self, engine, waker, index):
+        # Wake the first sleeping party at or after ``index``, skipping
+        # the releaser (who never slept).
+        while index < self.parties:
+            sleeper = self._sleepers.pop(index, None)
+            if sleeper is not None:
+                self.wake_times[index] = engine.now
+                sleeper.set_wake_value(None)
+                engine.wake_thread(sleeper, waker=waker)
+                return
+            if index == self._release_index:
+                index += 1
+                continue
+            return
+
+    def _do_wake_next(self, engine, thread, index):
+        if index != self._release_index:
+            self._wake_index(engine, thread, index + 1)
+        return BlockResult.COMPLETED, None
+
+
+class _CascadeArrive(SyncAction):
+    __slots__ = ("barrier", "index")
+
+    def __init__(self, barrier: CascadingBarrier, index: int):
+        self.barrier = barrier
+        self.index = index
+
+    def apply(self, engine, thread):
+        return self.barrier._do_arrive(engine, thread, self.index)
+
+
+class _CascadeWakeNext(SyncAction):
+    __slots__ = ("barrier", "index")
+
+    def __init__(self, barrier: CascadingBarrier, index: int):
+        self.barrier = barrier
+        self.index = index
+
+    def apply(self, engine, thread):
+        return self.barrier._do_wake_next(engine, thread, self.index)

@@ -1,0 +1,85 @@
+"""An unbounded message channel (request queue).
+
+The client/server workloads (apache's ab→httpd, sysbench's dispatcher→
+worker threads) are closed-loop request systems: a channel carries
+requests to a pool of workers that block on :meth:`get` while idle.
+``put`` wakes exactly one blocked worker — the 1-to-many wakeup pattern
+CFS's placement heuristics try to detect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..core.actions import BlockResult, SyncAction
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class Channel:
+    """Unbounded FIFO of messages with blocking ``get``."""
+
+    def __init__(self, engine: "Engine", name: str = "chan"):
+        self.engine = engine
+        self.name = name
+        self.queue: deque[Any] = deque()
+        self.getters = WaitQueue(engine, f"{name}.getters")
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, message: Any = None) -> "_PutAction":
+        """Action: enqueue ``message``, waking one blocked getter."""
+        return _PutAction(self, message)
+
+    def get(self) -> "_GetAction":
+        """Action: dequeue a message, blocking while empty.  The
+        ``yield`` evaluates to the message."""
+        return _GetAction(self)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # -- internals ------------------------------------------------------
+
+    def _do_put(self, engine, thread, message):
+        self.puts += 1
+        getter = self.getters.pop_waiter()
+        if getter is not None:
+            # Hand the message directly to the blocked getter.
+            self.gets += 1
+            getter.set_wake_value(message)
+            engine.wake_thread(getter, waker=thread)
+        else:
+            self.queue.append(message)
+        return BlockResult.COMPLETED, None
+
+    def _do_get(self, engine, thread):
+        if self.queue:
+            self.gets += 1
+            return BlockResult.COMPLETED, self.queue.popleft()
+        self.getters.block(thread)
+        return BlockResult.BLOCKED, None
+
+
+class _PutAction(SyncAction):
+    __slots__ = ("chan", "message")
+
+    def __init__(self, chan: Channel, message: Any):
+        self.chan = chan
+        self.message = message
+
+    def apply(self, engine, thread):
+        return self.chan._do_put(engine, thread, self.message)
+
+
+class _GetAction(SyncAction):
+    __slots__ = ("chan",)
+
+    def __init__(self, chan: Channel):
+        self.chan = chan
+
+    def apply(self, engine, thread):
+        return self.chan._do_get(engine, thread)

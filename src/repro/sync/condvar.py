@@ -1,0 +1,102 @@
+"""Condition variable with wait morphing.
+
+``wait(mutex)`` atomically releases the mutex and blocks; ``signal``
+does not wake the thread directly — it *morphs* the waiter onto the
+mutex's wait queue (or grants the mutex when free), so the woken thread
+owns the mutex when it resumes, like a well-implemented pthread
+condvar.  ``broadcast`` morphs every waiter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import BlockResult, SyncAction
+from ..core.errors import SimulationError
+from .mutex import Mutex
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class CondVar:
+    """A condition variable bound to callers' mutexes at wait time."""
+
+    def __init__(self, engine: "Engine", name: str = "cond"):
+        self.engine = engine
+        self.name = name
+        self.waiters = WaitQueue(engine, f"{name}.waiters")
+        self._mutex_of: dict[int, Mutex] = {}
+
+    def wait(self, mutex: Mutex) -> "_CondWaitAction":
+        """Action: release ``mutex``, block until signalled, reacquire
+        ``mutex`` before resuming."""
+        return _CondWaitAction(self, mutex)
+
+    def signal(self) -> "_CondSignalAction":
+        """Action: release one waiter (to the mutex queue)."""
+        return _CondSignalAction(self, broadcast=False)
+
+    def broadcast(self) -> "_CondSignalAction":
+        """Action: release all waiters (to the mutex queue)."""
+        return _CondSignalAction(self, broadcast=True)
+
+    # -- internals --------------------------------------------------------
+
+    def _do_wait(self, engine, thread, mutex):
+        if mutex.owner is not thread:
+            raise SimulationError(
+                f"{thread} cond-waiting without owning {mutex.name}")
+        self._mutex_of[thread.tid] = mutex
+        # Release the mutex (may hand it off and wake a lock waiter).
+        mutex._do_release(engine, thread)
+        self.waiters.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _morph_one(self, engine, signaller) -> bool:
+        waiter = self.waiters.pop_waiter()
+        if waiter is None:
+            return False
+        mutex = self._mutex_of.pop(waiter.tid)
+        if mutex.owner is None:
+            mutex.owner = waiter
+            mutex.acquisitions += 1
+            waiter.set_wake_value(None)
+            engine.wake_thread(waiter, waker=signaller)
+        else:
+            # Wait morphing: sleep on the mutex instead of waking.
+            mutex.contentions += 1
+            mutex.waiters.add_sleeper(waiter)
+        return True
+
+    def _do_signal(self, engine, thread, broadcast):
+        if broadcast:
+            while self._morph_one(engine, thread):
+                pass
+        else:
+            self._morph_one(engine, thread)
+        return BlockResult.COMPLETED, None
+
+
+class _CondWaitAction(SyncAction):
+    __slots__ = ("cond", "mutex")
+
+    def __init__(self, cond: CondVar, mutex: Mutex):
+        self.cond = cond
+        self.mutex = mutex
+
+    def apply(self, engine, thread):
+        return self.cond._do_wait(engine, thread, self.mutex)
+
+
+class _CondSignalAction(SyncAction):
+    __slots__ = ("cond", "broadcast")
+
+    def __init__(self, cond: CondVar, broadcast: bool):
+        self.cond = cond
+        self.broadcast = broadcast
+
+    def apply(self, engine, thread):
+        return self.cond._do_signal(engine, thread, self.broadcast)

@@ -1,0 +1,91 @@
+"""A sleeping mutex (like a kernel ``mutex`` / pthread mutex).
+
+Contended acquisition blocks the thread; release hands the lock to the
+oldest waiter (FIFO, no barging) and wakes it.  This is the primitive
+behind the MySQL lock-contention effect in §6.4: whether the *woken*
+lock holder preempts the current thread is a scheduler decision — ULE's
+lack of full preemption leaves the woken thread waiting for up to a
+full timeslice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import BlockResult, SyncAction
+from ..core.errors import SimulationError
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class Mutex:
+    """A blocking mutual-exclusion lock with FIFO handoff."""
+
+    def __init__(self, engine: "Engine", name: str = "mutex"):
+        self.engine = engine
+        self.name = name
+        self.owner: Optional["SimThread"] = None
+        self.waiters = WaitQueue(engine, f"{name}.waiters")
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self) -> "_AcquireAction":
+        """Action: acquire the lock (blocking)."""
+        return _AcquireAction(self)
+
+    def release(self) -> "_ReleaseAction":
+        """Action: release the lock, handing it to the oldest waiter."""
+        return _ReleaseAction(self)
+
+    # -- internal --------------------------------------------------------
+
+    def _do_acquire(self, engine: "Engine", thread: "SimThread"):
+        if self.owner is None:
+            self.owner = thread
+            self.acquisitions += 1
+            return BlockResult.COMPLETED, None
+        if self.owner is thread:
+            raise SimulationError(
+                f"{thread} recursively acquiring {self.name}")
+        self.contentions += 1
+        self.waiters.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _do_release(self, engine: "Engine", thread: "SimThread"):
+        if self.owner is not thread:
+            raise SimulationError(
+                f"{thread} releasing {self.name} owned by {self.owner}")
+        nxt = self.waiters.pop_waiter()
+        if nxt is None:
+            self.owner = None
+        else:
+            # Direct handoff: the woken thread owns the lock when it
+            # resumes.  Whether it runs soon is up to the scheduler.
+            self.owner = nxt
+            self.acquisitions += 1
+            nxt.set_wake_value(None)
+            engine.wake_thread(nxt, waker=thread)
+        return BlockResult.COMPLETED, None
+
+
+class _AcquireAction(SyncAction):
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def apply(self, engine, thread):
+        return self.mutex._do_acquire(engine, thread)
+
+
+class _ReleaseAction(SyncAction):
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def apply(self, engine, thread):
+        return self.mutex._do_release(engine, thread)

@@ -1,0 +1,110 @@
+"""A bounded, blocking pipe (hackbench's communication primitive).
+
+Messages are opaque; capacity is counted in messages.  Writers block
+when the pipe is full, readers when it is empty.  Each successful write
+wakes one reader and vice versa, generating exactly the wakeup storms
+hackbench uses to stress a scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..core.actions import BlockResult, SyncAction
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class Pipe:
+    """A bounded message pipe with blocking read/write."""
+
+    def __init__(self, engine: "Engine", capacity: int = 16,
+                 name: str = "pipe"):
+        if capacity < 1:
+            raise ValueError("pipe capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.buffer: deque[Any] = deque()
+        self.readers = WaitQueue(engine, f"{name}.readers")
+        self.writers = WaitQueue(engine, f"{name}.writers")
+        #: pending messages of blocked writers, in waiter order
+        self._pending_writes: deque[Any] = deque()
+        self.messages_written = 0
+        self.messages_read = 0
+
+    def write(self, message: Any = None) -> "_WriteAction":
+        """Action: append ``message``; blocks while full."""
+        return _WriteAction(self, message)
+
+    def read(self) -> "_ReadAction":
+        """Action: remove and return the oldest message; blocks while
+        empty.  The ``yield`` evaluates to the message."""
+        return _ReadAction(self)
+
+    # -- internals ----------------------------------------------------
+
+    def _do_write(self, engine, thread, message):
+        reader = self.readers.pop_waiter()
+        if reader is not None:
+            # Hand the message straight to a blocked reader.
+            self.messages_written += 1
+            self.messages_read += 1
+            reader.set_wake_value(message)
+            engine.wake_thread(reader, waker=thread)
+            return BlockResult.COMPLETED, None
+        if len(self.buffer) >= self.capacity:
+            self._pending_writes.append(message)
+            self.writers.block(thread)
+            return BlockResult.BLOCKED, None
+        self._commit_write(message)
+        return BlockResult.COMPLETED, None
+
+    def _commit_write(self, message):
+        self.buffer.append(message)
+        self.messages_written += 1
+
+    def _do_read(self, engine, thread):
+        if not self.buffer:
+            self.readers.block(thread)
+            return BlockResult.BLOCKED, None
+        message = self._take()
+        self._admit_blocked_writer(engine, thread)
+        return BlockResult.COMPLETED, message
+
+    def _take(self):
+        self.messages_read += 1
+        return self.buffer.popleft()
+
+    def _admit_blocked_writer(self, engine, reader):
+        """A read freed a slot: complete the oldest blocked write."""
+        writer = self.writers.pop_waiter()
+        if writer is not None:
+            self._commit_write(self._pending_writes.popleft())
+            writer.set_wake_value(None)
+            engine.wake_thread(writer, waker=reader)
+
+
+class _WriteAction(SyncAction):
+    __slots__ = ("pipe", "message")
+
+    def __init__(self, pipe: Pipe, message: Any):
+        self.pipe = pipe
+        self.message = message
+
+    def apply(self, engine, thread):
+        return self.pipe._do_write(engine, thread, self.message)
+
+
+class _ReadAction(SyncAction):
+    __slots__ = ("pipe",)
+
+    def __init__(self, pipe: Pipe):
+        self.pipe = pipe
+
+    def apply(self, engine, thread):
+        return self.pipe._do_read(engine, thread)

@@ -1,0 +1,148 @@
+"""Reader-writer lock with writer preference.
+
+Databases (MySQL's table locks, RocksDB's memtable switches) guard hot
+structures with rwlocks; under a scheduler the interesting property is
+that a single delayed *writer* stalls every reader behind it — a
+convoy that amplifies any wake-to-run latency the scheduler adds.
+
+Semantics: any number of concurrent readers; writers exclusive.
+Writer preference: once a writer waits, new readers queue behind it
+(no writer starvation).  FIFO handoff on release, like
+:class:`~repro.sync.mutex.Mutex`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import BlockResult, SyncAction
+from ..core.errors import SimulationError
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class RWLock:
+    """A reader-writer lock with writer preference."""
+
+    def __init__(self, engine: "Engine", name: str = "rwlock"):
+        self.engine = engine
+        self.name = name
+        #: threads currently holding a read lock
+        self.readers: set["SimThread"] = set()
+        #: thread currently holding the write lock
+        self.writer: Optional["SimThread"] = None
+        #: blocked acquirers in arrival order: ("r"|"w", thread)
+        self._waiters: deque[tuple] = deque()
+        self._waitq = WaitQueue(engine, f"{name}.waiters")
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # -- actions ----------------------------------------------------------
+
+    def acquire_read(self) -> "_AcquireRead":
+        """Action: take a shared read lock (blocks behind writers)."""
+        return _AcquireRead(self)
+
+    def acquire_write(self) -> "_AcquireWrite":
+        """Action: take the exclusive write lock."""
+        return _AcquireWrite(self)
+
+    def release(self) -> "_Release":
+        """Action: release whichever lock the caller holds."""
+        return _Release(self)
+
+    # -- internals --------------------------------------------------------
+
+    def _writer_waiting(self) -> bool:
+        return any(kind == "w" for kind, _ in self._waiters)
+
+    def _do_acquire_read(self, engine, thread):
+        if self.writer is None and not self._writer_waiting():
+            self.readers.add(thread)
+            self.read_acquisitions += 1
+            return BlockResult.COMPLETED, None
+        self._waiters.append(("r", thread))
+        self._waitq.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _do_acquire_write(self, engine, thread):
+        if self.writer is None and not self.readers:
+            self.writer = thread
+            self.write_acquisitions += 1
+            return BlockResult.COMPLETED, None
+        self._waiters.append(("w", thread))
+        self._waitq.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _do_release(self, engine, thread):
+        if self.writer is thread:
+            self.writer = None
+        elif thread in self.readers:
+            self.readers.discard(thread)
+        else:
+            raise SimulationError(
+                f"{thread} releasing {self.name} it does not hold")
+        self._admit(engine, thread)
+        return BlockResult.COMPLETED, None
+
+    def _admit(self, engine, releaser) -> None:
+        """Hand the lock to the next waiters: either one writer, or
+        every leading reader up to the next writer."""
+        if self.writer is not None or not self._waiters:
+            return
+        kind, head = self._waiters[0]
+        if kind == "w":
+            if self.readers:
+                return  # readers still draining
+            self._waiters.popleft()
+            self.writer = head
+            self.write_acquisitions += 1
+            self._wake(engine, releaser, head)
+            return
+        while self._waiters and self._waiters[0][0] == "r":
+            _, reader = self._waiters.popleft()
+            self.readers.add(reader)
+            self.read_acquisitions += 1
+            self._wake(engine, releaser, reader)
+
+    def _wake(self, engine, releaser, thread) -> None:
+        self._waitq.remove(thread)
+        thread.set_wake_value(None)
+        engine.wake_thread(thread, waker=releaser)
+
+
+class _AcquireRead(SyncAction):
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: RWLock):
+        self.lock = lock
+
+    def apply(self, engine, thread):
+        """Shared acquisition; see RWLock."""
+        return self.lock._do_acquire_read(engine, thread)
+
+
+class _AcquireWrite(SyncAction):
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: RWLock):
+        self.lock = lock
+
+    def apply(self, engine, thread):
+        """Exclusive acquisition; see RWLock."""
+        return self.lock._do_acquire_write(engine, thread)
+
+
+class _Release(SyncAction):
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: RWLock):
+        self.lock = lock
+
+    def apply(self, engine, thread):
+        """Release and hand off; see RWLock."""
+        return self.lock._do_release(engine, thread)

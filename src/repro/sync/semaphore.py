@@ -1,0 +1,120 @@
+"""Counting semaphore and one-shot event primitives."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import BlockResult, SyncAction
+from .waitqueue import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeups."""
+
+    def __init__(self, engine: "Engine", value: int = 0,
+                 name: str = "sem"):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.engine = engine
+        self.name = name
+        self.value = value
+        self.waiters = WaitQueue(engine, f"{name}.waiters")
+
+    def down(self) -> "_DownAction":
+        """Action: decrement, blocking while the count is zero."""
+        return _DownAction(self)
+
+    def up(self, count: int = 1) -> "_UpAction":
+        """Action: increment by ``count``, waking up to ``count``
+        waiters."""
+        return _UpAction(self, count)
+
+    def _do_down(self, engine, thread):
+        if self.value > 0:
+            self.value -= 1
+            return BlockResult.COMPLETED, None
+        self.waiters.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _do_up(self, engine, thread, count):
+        for _ in range(count):
+            woken = self.waiters.wake_one(waker=thread)
+            if woken is None:
+                self.value += 1
+        return BlockResult.COMPLETED, None
+
+
+class _DownAction(SyncAction):
+    __slots__ = ("sem",)
+
+    def __init__(self, sem: Semaphore):
+        self.sem = sem
+
+    def apply(self, engine, thread):
+        return self.sem._do_down(engine, thread)
+
+
+class _UpAction(SyncAction):
+    __slots__ = ("sem", "count")
+
+    def __init__(self, sem: Semaphore, count: int):
+        self.sem = sem
+        self.count = count
+
+    def apply(self, engine, thread):
+        return self.sem._do_up(engine, thread, self.count)
+
+
+class OneShotEvent:
+    """A latch: waiters block until the first ``set``; afterwards waits
+    complete immediately.  Used to build wake-up chains (the cascading
+    barrier of c-ray wakes thread *i+1* from thread *i*)."""
+
+    def __init__(self, engine: "Engine", name: str = "event"):
+        self.engine = engine
+        self.name = name
+        self.is_set = False
+        self.waiters = WaitQueue(engine, f"{name}.waiters")
+
+    def wait(self) -> "_WaitAction":
+        """Action: block until the event is set."""
+        return _WaitAction(self)
+
+    def fire(self) -> "_FireAction":
+        """Action: set the event and wake all waiters."""
+        return _FireAction(self)
+
+    def _do_wait(self, engine, thread):
+        if self.is_set:
+            return BlockResult.COMPLETED, None
+        self.waiters.block(thread)
+        return BlockResult.BLOCKED, None
+
+    def _do_fire(self, engine, thread):
+        self.is_set = True
+        self.waiters.wake_all(waker=thread)
+        return BlockResult.COMPLETED, None
+
+
+class _WaitAction(SyncAction):
+    __slots__ = ("event",)
+
+    def __init__(self, event: OneShotEvent):
+        self.event = event
+
+    def apply(self, engine, thread):
+        return self.event._do_wait(engine, thread)
+
+
+class _FireAction(SyncAction):
+    __slots__ = ("event",)
+
+    def __init__(self, event: OneShotEvent):
+        self.event = event
+
+    def apply(self, engine, thread):
+        return self.event._do_fire(engine, thread)

@@ -1,0 +1,76 @@
+"""FIFO wait queues — the building block of every blocking primitive.
+
+A :class:`WaitQueue` holds blocked threads in arrival order.  Waking a
+thread hands it an optional value (delivered to its behaviour as the
+result of the blocking ``yield``) and routes through the engine's
+wakeup path, so scheduler placement and wakeup-preemption logic run
+exactly as for any other wakeup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..core.thread import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class WaitQueue:
+    """An ordered queue of blocked threads."""
+
+    def __init__(self, engine: "Engine", name: str = "waitq"):
+        self.engine = engine
+        self.name = name
+        self._waiters: deque["SimThread"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def __bool__(self) -> bool:
+        return bool(self._waiters)
+
+    def block(self, thread: "SimThread") -> None:
+        """Block the (currently running) thread on this queue."""
+        core = self.engine.machine.cores[thread.cpu]
+        self._waiters.append(thread)
+        self.engine.block_current(core, ThreadState.BLOCKED)
+
+    def add_sleeper(self, thread: "SimThread") -> None:
+        """Move an *already blocked* thread onto this queue (used by
+        condition-variable wait morphing)."""
+        self._waiters.append(thread)
+
+    def wake_one(self, waker: Optional["SimThread"] = None,
+                 value: Any = None) -> Optional["SimThread"]:
+        """Wake the oldest waiter, delivering ``value``."""
+        if not self._waiters:
+            return None
+        thread = self._waiters.popleft()
+        thread.set_wake_value(value)
+        self.engine.wake_thread(thread, waker=waker)
+        return thread
+
+    def wake_all(self, waker: Optional["SimThread"] = None,
+                 value: Any = None) -> list["SimThread"]:
+        """Wake every waiter in FIFO order."""
+        woken = []
+        while self._waiters:
+            woken.append(self.wake_one(waker=waker, value=value))
+        return woken
+
+    def pop_waiter(self) -> Optional["SimThread"]:
+        """Remove and return the oldest waiter *without* waking it
+        (wait morphing: the caller re-blocks it elsewhere)."""
+        return self._waiters.popleft() if self._waiters else None
+
+    def remove(self, thread: "SimThread") -> bool:
+        """Remove a specific thread (e.g. wait cancellation)."""
+        try:
+            self._waiters.remove(thread)
+            return True
+        except ValueError:
+            return False

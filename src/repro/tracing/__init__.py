@@ -1,0 +1,28 @@
+"""Observation tooling: periodic samplers, series export, and derived
+timeline views."""
+
+from .export import ascii_chart, downsample, series_to_csv
+from .samplers import (PeriodicSampler, sample_cumulative_runtime,
+                       sample_threads_per_core, sample_thread_runtime,
+                       sample_ule_penalty)
+from .timeline import core_count_matrix, heatmap, imbalance_over_time
+from .tracelog import (MigrationRecord, SwitchRecord, TraceLog,
+                       WakeRecord)
+
+__all__ = [
+    "PeriodicSampler",
+    "sample_threads_per_core",
+    "sample_cumulative_runtime",
+    "sample_thread_runtime",
+    "sample_ule_penalty",
+    "series_to_csv",
+    "ascii_chart",
+    "downsample",
+    "core_count_matrix",
+    "heatmap",
+    "imbalance_over_time",
+    "TraceLog",
+    "SwitchRecord",
+    "WakeRecord",
+    "MigrationRecord",
+]

@@ -1,0 +1,67 @@
+"""Render time series as CSV and quick ASCII charts.
+
+The benchmark harness prints the same series the paper plots; these
+helpers keep the output readable in a terminal and loadable into any
+plotting tool.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.metrics import TimeSeries
+
+
+def series_to_csv(series_list: Sequence["TimeSeries"]) -> str:
+    """Merge series on their own timestamps into long-format CSV
+    (``series,time_ns,value``)."""
+    out = io.StringIO()
+    out.write("series,time_ns,value\n")
+    for series in series_list:
+        for t, v in series:
+            out.write(f"{series.name},{t},{v}\n")
+    return out.getvalue()
+
+
+def ascii_chart(series: "TimeSeries", width: int = 64, height: int = 12,
+                title: Optional[str] = None) -> str:
+    """A minimal scatter-over-time chart for terminal output."""
+    lines = []
+    if title:
+        lines.append(title)
+    if len(series) == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    t0, t1 = series.times[0], series.times[-1]
+    v0, v1 = min(series.values), max(series.values)
+    tspan = max(1, t1 - t0)
+    vspan = (v1 - v0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in series:
+        x = min(width - 1, int((t - t0) * (width - 1) / tspan))
+        y = min(height - 1, int((v - v0) * (height - 1) / vspan))
+        grid[height - 1 - y][x] = "*"
+    lines.append(f"{v1:>12.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{v0:>12.3g} +" + "-" * width)
+    lines.append(" " * 14 + f"{t0 / 1e9:<10.2f}{'time (s)':^44}"
+                 f"{t1 / 1e9:>10.2f}")
+    return "\n".join(lines)
+
+
+def downsample(series: "TimeSeries", max_points: int = 200) -> list[tuple]:
+    """Evenly thin a series for compact printing."""
+    n = len(series)
+    if n <= max_points:
+        return list(series)
+    step = n / max_points
+    picked = []
+    i = 0.0
+    while int(i) < n:
+        idx = int(i)
+        picked.append((series.times[idx], series.values[idx]))
+        i += step
+    return picked

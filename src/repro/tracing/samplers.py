@@ -1,0 +1,98 @@
+"""Periodic samplers: turn live engine state into time series.
+
+The paper's figures are all time series of scheduler-internal state —
+cumulative runtime per application (Figs. 1, 3), interactivity penalty
+(Figs. 2, 4), runnable threads per core (Figs. 6, 7).  A sampler posts
+itself on the event queue at a fixed period and records into the
+engine's :class:`~repro.core.metrics.TimeSeries`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class PeriodicSampler:
+    """Runs ``probe(engine)`` every ``period_ns``; the probe records
+    whatever series it wants."""
+
+    def __init__(self, engine: "Engine", period_ns: int,
+                 probe: Callable[["Engine"], None], label: str = "sampler"):
+        self.engine = engine
+        self.period_ns = period_ns
+        self.probe = probe
+        self.label = label
+        self._stopped = False
+        self._arm()
+
+    def _arm(self) -> None:
+        self.engine.events.post(self.engine.now + self.period_ns,
+                                self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.probe(self.engine)
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop sampling after the current pending event."""
+        self._stopped = True
+
+
+def sample_threads_per_core(engine: "Engine",
+                            period_ns: int) -> PeriodicSampler:
+    """Record ``core<i>.nr_threads`` series (Figs. 6 and 7)."""
+    def probe(eng: "Engine") -> None:
+        for core in eng.machine.cores:
+            eng.metrics.series(f"core{core.index}.nr_threads").record(
+                eng.now, eng.scheduler.nr_runnable(core))
+    return PeriodicSampler(engine, period_ns, probe, "threads-per-core")
+
+
+def sample_cumulative_runtime(engine: "Engine", period_ns: int,
+                              apps: Iterable[str]) -> PeriodicSampler:
+    """Record ``runtime.<app>`` series in seconds (Fig. 1)."""
+    apps = list(apps)
+
+    def probe(eng: "Engine") -> None:
+        for app in apps:
+            total = sum(t.total_runtime for t in eng.threads_of_app(app))
+            eng.metrics.series(f"runtime.{app}").record(eng.now, total)
+    return PeriodicSampler(engine, period_ns, probe, "cumulative-runtime")
+
+
+def sample_thread_runtime(engine: "Engine", period_ns: int,
+                          threads: Iterable["SimThread"],
+                          prefix: str = "runtime") -> PeriodicSampler:
+    """Record per-thread cumulative runtime (Fig. 3)."""
+    threads = list(threads)
+
+    def probe(eng: "Engine") -> None:
+        for thread in threads:
+            eng.metrics.series(f"{prefix}.t{thread.tid}").record(
+                eng.now, thread.total_runtime)
+    return PeriodicSampler(engine, period_ns, probe, "thread-runtime")
+
+
+def sample_ule_penalty(engine: "Engine", period_ns: int,
+                       groups: dict[str, Callable[[], list]],
+                       ) -> PeriodicSampler:
+    """Record the mean ULE interactivity penalty of thread groups
+    (Figs. 2 and 4).  ``groups`` maps a series suffix to a callable
+    returning the group's threads (evaluated each sample, so late-
+    forked threads are included)."""
+    def probe(eng: "Engine") -> None:
+        for label, get_threads in groups.items():
+            threads = [t for t in get_threads() if t.policy is not None
+                       and hasattr(t.policy, "hist")]
+            if not threads:
+                continue
+            mean_pen = sum(t.policy.hist.penalty()
+                           for t in threads) / len(threads)
+            eng.metrics.series(f"penalty.{label}").record(eng.now, mean_pen)
+    return PeriodicSampler(engine, period_ns, probe, "ule-penalty")

@@ -1,0 +1,69 @@
+"""Derived views over recorded series: per-core occupancy heatlines.
+
+Fig. 6 and Fig. 7 are heatmaps of threads-per-core over time; this
+module turns the ``core<i>.nr_threads`` series into a compact textual
+heatmap and summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.metrics import MetricRegistry
+
+#: shade ramp used for the textual heatmap
+_SHADES = " .:-=+*#%@"
+
+
+def core_count_matrix(metrics: "MetricRegistry",
+                      ncores: int) -> tuple[list[int], list[list[float]]]:
+    """Return ``(times, matrix)`` with ``matrix[core][i]`` = threads on
+    ``core`` at ``times[i]``, from the threads-per-core sampler."""
+    base = metrics.series("core0.nr_threads")
+    times = list(base.times)
+    matrix = []
+    for core in range(ncores):
+        series = metrics.series(f"core{core}.nr_threads")
+        matrix.append(list(series.values[:len(times)]))
+    return times, matrix
+
+
+def heatmap(metrics: "MetricRegistry", ncores: int, width: int = 72,
+            vmax: Optional[float] = None) -> str:
+    """A Fig. 6-style heatmap: one text row per core, shade = thread
+    count."""
+    times, matrix = core_count_matrix(metrics, ncores)
+    if not times:
+        return "(no samples)"
+    if vmax is None:
+        vmax = max((max(row) if row else 0.0) for row in matrix) or 1.0
+    npoints = len(times)
+    step = max(1, npoints // width)
+    lines = []
+    for core, row in enumerate(matrix):
+        cells = []
+        for i in range(0, npoints, step):
+            window = row[i:i + step]
+            value = max(window) if window else 0.0
+            shade_idx = min(len(_SHADES) - 1,
+                            int(value / vmax * (len(_SHADES) - 1)))
+            cells.append(_SHADES[shade_idx])
+        lines.append(f"core {core:>2} |{''.join(cells)}|")
+    t0, t1 = times[0] / 1e9, times[-1] / 1e9
+    lines.append(f"         {t0:<8.1f}{'time (s)':^56}{t1:>8.1f}")
+    lines.append(f"         shade: ' '=0 .. '@'={vmax:.0f} threads")
+    return "\n".join(lines)
+
+
+def imbalance_over_time(metrics: "MetricRegistry",
+                        ncores: int) -> list[tuple[int, float]]:
+    """``(time, max-min)`` spread of threads per core at each sample."""
+    times, matrix = core_count_matrix(metrics, ncores)
+    out = []
+    for i, t in enumerate(times):
+        column = [row[i] for row in matrix if i < len(row)]
+        if column:
+            out.append((t, max(column) - min(column)))
+    return out

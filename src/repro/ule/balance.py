@@ -1,0 +1,87 @@
+"""ULE load balancing (§2.2): thread *counts*, not load averages.
+
+* The **periodic balancer** runs only on core 0, every 0.5–1.5 s
+  (uniformly random).  Each invocation pairs the most loaded core (the
+  donor) with the least loaded (the receiver) and migrates exactly one
+  thread; a core can be donor or receiver only once per invocation, and
+  pairing repeats until no useful pair remains.  This is why Fig. 6's
+  512-spinner pile drains at roughly one thread per invocation.
+
+* **Idle stealing**: a core whose runqueues are empty steals at most
+  one thread from the most loaded core sharing a cache, widening the
+  search one topology level at a time.
+
+Per the paper's port (§3), the running thread is never migrated.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.machine import Core
+    from ..core.thread import SimThread
+    from .core import UleScheduler
+
+
+def periodic_balance(sched: "UleScheduler") -> int:
+    """One invocation of core 0's balancer; returns threads moved."""
+    tun = sched.tunables
+    ncpus = len(sched.machine)
+    used: set[int] = set()
+    moved = 0
+    while True:
+        donor = None
+        receiver = None
+        for cpu in range(ncpus):
+            if cpu in used:
+                continue
+            load = sched.tdq_of(cpu).load
+            if donor is None or load > sched.tdq_of(donor).load:
+                donor = cpu
+        for cpu in range(ncpus):
+            if cpu in used or cpu == donor:
+                continue
+            load = sched.tdq_of(cpu).load
+            if receiver is None or load < sched.tdq_of(receiver).load:
+                receiver = cpu
+        if donor is None or receiver is None:
+            break
+        if sched.tdq_of(donor).load - sched.tdq_of(receiver).load < 2:
+            break
+        victim = sched.tdq_of(donor).transferable(receiver)
+        if victim is None:
+            # Nothing movable on the donor (e.g. only the running
+            # thread): exclude it and retry.
+            used.add(donor)
+            continue
+        sched.engine.migrate_thread(victim, receiver)
+        sched.engine.metrics.incr("ule.balance_migrations")
+        moved += 1
+        used.add(donor)
+        used.add(receiver)
+    sched.engine.metrics.incr("ule.balance_invocations")
+    return moved
+
+
+def idle_steal(sched: "UleScheduler", core: "Core") -> Optional["SimThread"]:
+    """Steal one thread for an idle core, nearest victims first."""
+    tun = sched.tunables
+    for _, group in sched.topology.levels_above(core.index):
+        victim_cpu = None
+        victim_load = 0
+        for cpu in sorted(group):
+            if cpu == core.index:
+                continue
+            tdq = sched.tdq_of(cpu)
+            if tdq.load >= tun.steal_thresh and tdq.load > victim_load:
+                if tdq.transferable(core.index) is not None:
+                    victim_cpu, victim_load = cpu, tdq.load
+        if victim_cpu is None:
+            continue
+        thread = sched.tdq_of(victim_cpu).transferable(core.index)
+        if thread is not None:
+            sched.engine.migrate_thread(thread, core.index)
+            sched.engine.metrics.incr("ule.idle_steals")
+            return thread
+    return None

@@ -1,0 +1,120 @@
+"""ULE's interactivity machinery (§2.2 of the paper).
+
+Each thread keeps ~5 seconds of voluntary-sleep and run history.  The
+interactivity *penalty* in [0, 100] is::
+
+    m = 50
+    penalty(r, s) = m / (s / r)         if s > r
+                  = m / (r / s) + m     otherwise
+
+so a thread that sleeps more than it runs lands in [0, 50], a thread
+that runs more than it sleeps in [50, 100].  The *score* adds the nice
+value; a thread with score <= 30 is interactive.  With nice 0 that
+corresponds to sleeping more than ~62 % of the time (50*r/s <= 30 =>
+s >= 5r/3).
+
+History is decayed by ``sched_interact_update``: once the sum exceeds
+the 5 s window it is scaled back (by 4/5, or halved when it overshot by
+more than 20 %), limiting how much past behaviour counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .params import UleTunables
+
+
+class SleepRunHistory:
+    """The (runtime, sleeptime) window behind the interactivity score."""
+
+    __slots__ = ("runtime", "sleeptime", "_tun")
+
+    def __init__(self, tunables: "UleTunables",
+                 runtime: int = 0, sleeptime: int = 0):
+        self._tun = tunables
+        self.runtime = runtime
+        self.sleeptime = sleeptime
+
+    def copy(self) -> "SleepRunHistory":
+        """Snapshot for fork inheritance ("when a thread is created, it
+        inherits the runtime and sleeptime of its parent")."""
+        return SleepRunHistory(self._tun, self.runtime, self.sleeptime)
+
+    def add_runtime(self, delta_ns: int) -> None:
+        """Record executed time and decay the window."""
+        if delta_ns > 0:
+            self.runtime += delta_ns
+            self._decay()
+
+    def add_sleeptime(self, delta_ns: int) -> None:
+        """Record voluntary sleep and decay the window."""
+        if delta_ns > 0:
+            self.sleeptime += delta_ns
+            self._decay()
+
+    def absorb(self, other: "SleepRunHistory") -> None:
+        """Fold a dying child's runtime back into the parent ("when a
+        thread dies, its runtime ... is returned to its parent")."""
+        self.runtime += other.runtime
+        self._decay()
+
+    def _decay(self) -> None:
+        """``sched_interact_update``: keep the window near 5 s."""
+        limit = self._tun.slp_run_max_ns
+        total = self.runtime + self.sleeptime
+        if total < limit:
+            return
+        if total > (limit // 5) * 6:
+            self.runtime //= 2
+            self.sleeptime //= 2
+            return
+        self.runtime = (self.runtime // 5) * 4
+        self.sleeptime = (self.sleeptime // 5) * 4
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def penalty(self) -> int:
+        """The interactivity penalty in [0, interact_max].
+
+        This follows FreeBSD's ``sched_interact_score`` exactly:
+        ``m * r/s`` when sleeping dominates, ``2m - m * s/r`` when
+        running dominates (the paper's rendering of the second branch,
+        ``m/(r/s) + m``, is a typo — it would *decrease* with more
+        runtime, contradicting its own Fig. 2 where a pure hog's
+        penalty rises to the maximum).
+        """
+        m = self._tun.interact_half
+        r, s = self.runtime, self.sleeptime
+        if r == 0 and s == 0:
+            return 0
+        if s > r:
+            if r == 0:
+                return 0
+            return int(m * (r / s))
+        if s == 0:
+            return 2 * m
+        return int(2 * m - m * (s / r))
+
+    def score(self, nice: int) -> int:
+        """Penalty plus niceness, clamped at zero."""
+        return max(0, self.penalty() + nice)
+
+    def is_interactive(self, nice: int) -> bool:
+        """True when the score is at or below the threshold."""
+        return self.score(nice) <= self._tun.interact_thresh
+
+    def cpu_share(self) -> float:
+        """Fraction of the recent window spent running, in [0, 1] —
+        the basis for batch-priority ordering."""
+        total = self.runtime + self.sleeptime
+        if total == 0:
+            return 0.0
+        return self.runtime / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<hist r={self.runtime} s={self.sleeptime} "
+                f"pen={self.penalty()}>")

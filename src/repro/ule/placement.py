@@ -1,0 +1,114 @@
+"""ULE thread placement: ``sched_pickcpu`` (§2.2).
+
+The paper's description, implemented literally:
+
+1. if the thread is cache-affine to the core it last ran on (it ran
+   there recently) and would run promptly there, it is placed there;
+2. otherwise ULE finds the highest topology level that is still
+   affine, and searches it for a core whose minimum priority is worse
+   than the thread's (so the thread would run immediately);
+3. failing that, the same search over all cores of the machine;
+4. failing that, the core with the lowest number of running threads.
+
+Each core examined costs ``pickcpu_scan_cost_ns`` of CPU time, charged
+to the core performing the wakeup — §6.3 measures this cost at 13 % of
+all cycles for sysbench ("at worst, may scan all cores three times"),
+and validates it by replacing the function with "return the previous
+CPU" (``pickcpu_simple``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.thread import SimThread
+    from .core import UleScheduler
+
+
+def sched_pickcpu(sched: "UleScheduler", thread: "SimThread",
+                  waker: Optional["SimThread"]) -> int:
+    """Choose the CPU for a new or waking thread (see module doc)."""
+    tun = sched.tunables
+    ncpus = len(sched.machine)
+    allowed = [c for c in range(ncpus) if thread.allows_cpu(c)]
+    if len(allowed) == 1:
+        return allowed[0]
+    if tun.pickcpu_simple:
+        # The paper's validation experiment: previous CPU, no scan.
+        prev = thread.cpu
+        return prev if prev is not None and prev in allowed else allowed[0]
+
+    now = sched.engine.now
+    last = thread.cpu
+    scanned = 0
+    pri = thread.policy.priority
+    choice = None
+
+    # 1. cache affinity on the last core.
+    if last is not None and last in allowed:
+        if now - thread.last_ran < tun.affinity_ns:
+            scanned += 1
+            if sched.tdq_of(last).lowest_priority() > pri:
+                choice = last
+
+    if choice is None and last is not None:
+        # 2. the highest affine topology level around the last core.
+        affine_group = None
+        for idx, (_, group) in enumerate(
+                sched.topology.levels_above(last)):
+            window = tun.affinity_ns * (2 ** idx)
+            if now - thread.last_ran < window:
+                affine_group = [c for c in sorted(group) if c in allowed]
+                break
+        if affine_group:
+            found, n = _search_lowpri(sched, affine_group, pri)
+            scanned += n
+            choice = found
+
+    if choice is None:
+        # 3. retry over the whole machine.
+        found, n = _search_lowpri(sched, allowed, pri)
+        scanned += n
+        choice = found
+
+    if choice is None:
+        # 4. the least loaded core.
+        scanned += len(allowed)
+        choice = min(allowed,
+                     key=lambda c: (sched.tdq_of(c).load, c))
+
+    _charge_scan(sched, thread, waker, scanned)
+    return choice
+
+
+def _search_lowpri(sched: "UleScheduler", cpus, pri: int):
+    """Find the least-loaded CPU whose best queued priority is worse
+    than ``pri`` (i.e. the thread would run immediately)."""
+    best = None
+    best_load = None
+    scanned = 0
+    for cpu in cpus:
+        scanned += 1
+        tdq = sched.tdq_of(cpu)
+        if tdq.lowest_priority() > pri:
+            load = tdq.load
+            if best is None or load < best_load:
+                best, best_load = cpu, load
+    return best, scanned
+
+
+def _charge_scan(sched: "UleScheduler", thread: "SimThread",
+                 waker: Optional["SimThread"], scanned: int) -> None:
+    """Bill the wakeup-path CPU for the cores it examined."""
+    cost = sched.tunables.pickcpu_scan_cost_ns * scanned
+    if cost <= 0:
+        return
+    if waker is not None and waker.is_running and waker.cpu is not None:
+        cpu = waker.cpu
+    elif thread.cpu is not None:
+        cpu = thread.cpu
+    else:
+        cpu = 0
+    sched.engine.metrics.incr("ule.pickcpu_scans", scanned)
+    sched.engine.charge_overhead(cpu, cost)

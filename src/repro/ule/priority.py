@@ -1,0 +1,48 @@
+"""Priority computation for ULE threads.
+
+Two bands (§2.2):
+
+* interactive threads: a linear interpolation of the score over the
+  interactive band — penalty 0 is the best interactive priority,
+  penalty == threshold the worst;
+* batch threads: priority follows recent CPU usage ("the more a thread
+  runs, the lower its priority"), with niceness added linearly.
+
+Lower numbers are better, as in FreeBSD.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .interactivity import SleepRunHistory
+    from .params import UleTunables
+
+
+def interactive_priority(tun: "UleTunables", score: int) -> int:
+    """Map a score in [0, interact_thresh] onto the interactive band."""
+    score = max(0, min(score, tun.interact_thresh))
+    return score * tun.interact_prio_max // tun.interact_thresh
+
+
+def batch_priority(tun: "UleTunables", hist: "SleepRunHistory",
+                   nice: int) -> int:
+    """Map recent CPU usage plus nice onto the batch band."""
+    lo = tun.batch_prio_min
+    hi = tun.nqueues - 1
+    span = hi - lo
+    # Usage claims the first ~60% of the band, nice the rest.
+    usage_span = (span * 3) // 5
+    usage = int(hist.cpu_share() * usage_span)
+    nice_off = (nice + 20) * (span - usage_span) // 40
+    return max(lo, min(hi, lo + usage + nice_off))
+
+
+def compute_priority(tun: "UleTunables", hist: "SleepRunHistory",
+                     nice: int) -> tuple[int, bool]:
+    """Return ``(priority, is_interactive)`` for a thread."""
+    score = hist.score(nice)
+    if score <= tun.interact_thresh:
+        return interactive_priority(tun, score), True
+    return batch_priority(tun, hist, nice), False

@@ -1,0 +1,219 @@
+"""FreeBSD's ``runq(9)``: an array of per-priority FIFOs with a bitmap.
+
+Insertion appends to the FIFO indexed by the thread's priority; picking
+takes the head of the highest-priority (lowest index) non-empty FIFO.
+The occupancy bitmap makes find-first-set O(1), exactly like the
+kernel's ``runq_choose``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..core.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.thread import SimThread
+
+
+class RunQueue:
+    """Priority-indexed FIFOs with an occupancy bitmap."""
+
+    def __init__(self, nqueues: int = 64):
+        self.nqueues = nqueues
+        self._queues: list[deque] = [deque() for _ in range(nqueues)]
+        self._bitmap = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def add(self, thread: "SimThread", priority: int,
+            at_head: bool = False) -> None:
+        """Append ``thread`` to the FIFO of ``priority`` (or push it at
+        the head, for preempted threads that should resume first)."""
+        if not 0 <= priority < self.nqueues:
+            raise SchedulerError(f"priority {priority} out of range")
+        queue = self._queues[priority]
+        if at_head:
+            queue.appendleft(thread)
+        else:
+            queue.append(thread)
+        self._bitmap |= 1 << priority
+        self._count += 1
+
+    def remove(self, thread: "SimThread", priority: int) -> None:
+        """Remove ``thread`` from the FIFO of ``priority``."""
+        queue = self._queues[priority]
+        try:
+            queue.remove(thread)
+        except ValueError:
+            raise SchedulerError(
+                f"{thread} not queued at priority {priority}") from None
+        if not queue:
+            self._bitmap &= ~(1 << priority)
+        self._count -= 1
+
+    def first_priority(self) -> Optional[int]:
+        """Lowest occupied priority index (best), or None when empty."""
+        if self._bitmap == 0:
+            return None
+        return (self._bitmap & -self._bitmap).bit_length() - 1
+
+    def choose(self) -> Optional["SimThread"]:
+        """Pop the head of the best non-empty FIFO."""
+        pri = self.first_priority()
+        if pri is None:
+            return None
+        queue = self._queues[pri]
+        thread = queue.popleft()
+        if not queue:
+            self._bitmap &= ~(1 << pri)
+        self._count -= 1
+        return thread
+
+    def peek(self) -> Optional["SimThread"]:
+        """Head of the best non-empty FIFO without removing it."""
+        pri = self.first_priority()
+        if pri is None:
+            return None
+        return self._queues[pri][0]
+
+    def threads(self) -> Iterator["SimThread"]:
+        """All queued threads, best priority first, FIFO order within."""
+        bitmap = self._bitmap
+        while bitmap:
+            pri = (bitmap & -bitmap).bit_length() - 1
+            bitmap &= bitmap - 1
+            yield from self._queues[pri]
+
+    def check_invariants(self) -> None:
+        """Validate bitmap/count consistency (used by tests)."""
+        count = 0
+        for pri, queue in enumerate(self._queues):
+            bit = bool(self._bitmap & (1 << pri))
+            assert bit == bool(queue), f"bitmap wrong at {pri}"
+            count += len(queue)
+        assert count == self._count
+
+
+class CalendarRunQueue:
+    """FreeBSD's *timeshare* calendar queue.
+
+    Batch threads are not queued at their absolute priority: ULE
+    spreads them around a circular buffer relative to a rotating
+    insertion index (``tdq_idx``), and picks from a rotating removal
+    index (``tdq_ridx``) that only advances when its bucket drains.
+    The effect is a priority-*weighted* round robin with a hard bound
+    on how long any batch thread waits — one lap of the calendar —
+    regardless of how bad its priority is.  (This is why batch threads
+    cannot starve *each other*, §2.2: "ULE tries to be fair among
+    batch threads by minimizing the difference of runtime", while the
+    interactive queue can still starve the whole batch class.)
+    """
+
+    def __init__(self, nbuckets: int = 64):
+        self.nbuckets = nbuckets
+        self._buckets: list[deque] = [deque() for _ in range(nbuckets)]
+        self._count = 0
+        #: rotating insertion origin (advanced by the tick)
+        self.insert_idx = 0
+        #: rotating removal index
+        self.remove_idx = 0
+        #: bucket each thread was filed under (for removal)
+        self._bucket_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def add(self, thread: "SimThread", priority: int,
+            at_head: bool = False) -> None:
+        """File ``thread`` ``priority`` buckets after the insertion
+        origin (so worse priorities land further around the circle)."""
+        if not 0 <= priority < self.nbuckets:
+            raise SchedulerError(f"priority {priority} out of range")
+        bucket = (self.insert_idx + priority) % self.nbuckets
+        if at_head:
+            # preempted threads resume from the removal point
+            bucket = self.remove_idx
+            self._buckets[bucket].appendleft(thread)
+        else:
+            self._buckets[bucket].append(thread)
+        self._bucket_of[thread.tid] = bucket
+        self._count += 1
+
+    def remove(self, thread: "SimThread",
+               priority: int = -1) -> None:
+        """Remove a thread from its calendar bucket."""
+        try:
+            bucket = self._bucket_of.pop(thread.tid)
+        except KeyError:
+            raise SchedulerError(f"{thread} not in calendar") from None
+        self._buckets[bucket].remove(thread)
+        self._count -= 1
+
+    def choose(self) -> Optional["SimThread"]:
+        """Pop from the removal index, advancing it across empty
+        buckets (never past the insertion origin + a full lap)."""
+        if self._count == 0:
+            return None
+        for _ in range(self.nbuckets):
+            bucket = self._buckets[self.remove_idx]
+            if bucket:
+                thread = bucket.popleft()
+                self._bucket_of.pop(thread.tid, None)
+                self._count -= 1
+                return thread
+            self.remove_idx = (self.remove_idx + 1) % self.nbuckets
+        return None  # pragma: no cover - count said non-empty
+
+    def peek(self) -> Optional["SimThread"]:
+        """Next thread the calendar would pop, without removing it."""
+        if self._count == 0:
+            return None
+        idx = self.remove_idx
+        for _ in range(self.nbuckets):
+            if self._buckets[idx]:
+                return self._buckets[idx][0]
+            idx = (idx + 1) % self.nbuckets
+        return None  # pragma: no cover
+
+    def first_priority(self) -> Optional[int]:
+        """Distance of the first occupied bucket from the removal
+        index — the calendar's notion of 'best'."""
+        if self._count == 0:
+            return None
+        idx = self.remove_idx
+        for distance in range(self.nbuckets):
+            if self._buckets[idx]:
+                return distance
+            idx = (idx + 1) % self.nbuckets
+        return None  # pragma: no cover
+
+    def advance(self) -> None:
+        """Advance the insertion origin one bucket (called from the
+        stathz tick, like FreeBSD's tdq_idx rotation)."""
+        self.insert_idx = (self.insert_idx + 1) % self.nbuckets
+
+    def threads(self) -> Iterator["SimThread"]:
+        """All queued threads in pop order around the circle."""
+        idx = self.remove_idx
+        for _ in range(self.nbuckets):
+            yield from self._buckets[idx]
+            idx = (idx + 1) % self.nbuckets
+
+    def check_invariants(self) -> None:
+        """Validate bucket/count bookkeeping (used by tests)."""
+        count = 0
+        for i, bucket in enumerate(self._buckets):
+            for t in bucket:
+                assert self._bucket_of[t.tid] == i
+            count += len(bucket)
+        assert count == self._count == len(self._bucket_of)

@@ -1,0 +1,28 @@
+"""Behavioural models of the paper's 37 benchmark applications plus
+the synthetic workloads used by the experiments."""
+
+from .apache import ApacheWorkload
+from .base import (BarrierWorkload, ComputeWorkload, ServerWorkload,
+                   Workload)
+from .cray import CrayWorkload
+from .fibo import FiboWorkload
+from .hackbench import HackbenchWorkload
+from .noise import KernelNoiseWorkload
+from .parsec import PARSEC_APPS, PipelineWorkload
+from .nas import NAS_KERNELS
+from .registry import (ALL_WORKLOADS, FIGURE5_APPS, FIGURE8_EXTRA,
+                       make_workload, workload_names)
+from .rocksdb import RocksDbWorkload
+from .spinner import SpinnerWorkload
+from .sysbench import SysbenchWorkload
+
+__all__ = [
+    "Workload", "ComputeWorkload", "BarrierWorkload", "ServerWorkload",
+    "PipelineWorkload",
+    "FiboWorkload", "SysbenchWorkload", "ApacheWorkload", "CrayWorkload",
+    "HackbenchWorkload", "RocksDbWorkload", "SpinnerWorkload",
+    "KernelNoiseWorkload",
+    "NAS_KERNELS", "PARSEC_APPS",
+    "ALL_WORKLOADS", "FIGURE5_APPS", "FIGURE8_EXTRA",
+    "make_workload", "workload_names",
+]

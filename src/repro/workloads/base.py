@@ -1,0 +1,304 @@
+"""Workload framework and parametric behaviour archetypes.
+
+The paper's 37 applications fall into a handful of behavioural shapes
+that determine how a scheduler treats them:
+
+* **independent compute** — threads that burn CPU and exit (fibo,
+  compression, image processing, crypto);
+* **barrier-phased compute** — HPC kernels: one thread per core,
+  iterations separated by (spin-)barriers (NAS, most of PARSEC);
+* **closed-loop client/server** — mostly-sleeping worker pools driven
+  by requests (sysbench, apache, RocksDB);
+* **pipelines** — stages connected by queues (ferret, hackbench).
+
+Each concrete application instantiates one of these archetypes with
+calibrated parameters plus its documented quirks (sysbench's fork-time
+interactivity inheritance, c-ray's cascading barrier, scimark's JVM
+background threads, MG's 100 ms spin barriers...).
+
+A :class:`Workload` knows how to launch itself into an engine, report
+completion, and compute the paper's "performance" number (ops/sec for
+databases and NAS, 1/time for everything else; higher is better).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import Run, Sleep, ThreadSpec
+from ..core.clock import NSEC_PER_SEC
+from ..core.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.thread import SimThread
+
+
+class Workload(abc.ABC):
+    """A launchable application model."""
+
+    #: application label; threads carry it (cgroups group by it)
+    app: str = "workload"
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or self.app
+        self._threads: list["SimThread"] = []
+        self._launched_at: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def launch(self, engine: "Engine", at: int = 0) -> None:
+        """Create this workload's initial threads in ``engine``."""
+        if self._launched_at is not None:
+            raise WorkloadError(f"{self.name} already launched")
+        self._launched_at = at
+        self._do_launch(engine, at)
+
+    @abc.abstractmethod
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        ...
+
+    def spawn(self, engine: "Engine", spec: ThreadSpec,
+              at: Optional[int] = None) -> "SimThread":
+        """Spawn a top-level thread belonging to this workload."""
+        spec.app = self.app
+        thread = engine.spawn(spec, at=at)
+        self._threads.append(thread)
+        return thread
+
+    # -- results ----------------------------------------------------------
+
+    def threads(self, engine: "Engine") -> list["SimThread"]:
+        """All threads of this app, including forked descendants."""
+        return engine.threads_of_app(self.app)
+
+    def done(self, engine: "Engine") -> bool:
+        """True when the workload finished its work."""
+        mine = self.threads(engine)
+        return bool(mine) and all(t.has_exited for t in mine)
+
+    def completion_time(self, engine: "Engine") -> int:
+        """Wall time from launch to the last thread's exit."""
+        mine = self.threads(engine)
+        if not mine or not self.done(engine):
+            raise WorkloadError(f"{self.name} not finished")
+        start = self._launched_at or 0
+        return max(t.exited_at for t in mine) - start
+
+    def performance(self, engine: "Engine") -> float:
+        """The paper's metric: default 1 / execution time (in 1/s)."""
+        return NSEC_PER_SEC / self.completion_time(engine)
+
+    def total_runtime(self, engine: "Engine") -> int:
+        """Total CPU time consumed by this workload's threads."""
+        return sum(t.total_runtime for t in self.threads(engine))
+
+
+# ----------------------------------------------------------------------
+# archetype: independent compute
+# ----------------------------------------------------------------------
+
+class ComputeWorkload(Workload):
+    """``nthreads`` independent CPU burners, ``work_ns`` each.
+
+    ``chunk_ns`` splits the work into pieces (a thread yields no
+    scheduling events during one chunk); with ``jitter`` the chunks
+    vary per-thread, modelling input-dependent imbalance.
+    """
+
+    def __init__(self, app: str, nthreads: Optional[int], work_ns: int,
+                 chunk_ns: Optional[int] = None, jitter: float = 0.0,
+                 name: Optional[str] = None):
+        self.app = app
+        super().__init__(name)
+        if (nthreads is not None and nthreads < 1) or work_ns <= 0:
+            raise WorkloadError("need >= 1 thread and positive work")
+        #: None = one thread per core, resolved at launch
+        self.nthreads = nthreads
+        self.work_ns = work_ns
+        self.chunk_ns = chunk_ns or work_ns
+        self.jitter = jitter
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        if self.nthreads is None:
+            self.nthreads = len(engine.machine)
+        for i in range(self.nthreads):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/{i}", self._behavior_for(i)), at=at)
+
+    def _behavior_for(self, index: int):
+        def behavior(ctx):
+            remaining = ctx.rng.jitter_ns(self.work_ns, self.jitter)
+            while remaining > 0:
+                chunk = min(self.chunk_ns, remaining)
+                yield Run(chunk)
+                remaining -= chunk
+        return behavior
+
+
+# ----------------------------------------------------------------------
+# archetype: barrier-phased compute (HPC)
+# ----------------------------------------------------------------------
+
+class BarrierWorkload(Workload):
+    """HPC kernel: ``nthreads`` threads, ``iterations`` compute phases
+    of ``phase_ns`` separated by barriers.
+
+    ``spin_ns > 0`` uses hybrid spin-then-sleep barriers (MG spins
+    ~100 ms, §6.3).  ``imbalance`` adds per-thread phase-length jitter,
+    making stragglers.  Performance is iterations/second (the NAS
+    "ops" convention).
+    """
+
+    def __init__(self, app: str, nthreads: Optional[int], iterations: int,
+                 phase_ns: int, spin_ns: int = 0, imbalance: float = 0.0,
+                 io_ns: int = 0, name: Optional[str] = None):
+        self.app = app
+        super().__init__(name)
+        #: None = one thread per core ("MG spawns as many threads as
+        #: there are cores in the machine")
+        self.nthreads = nthreads
+        self.iterations = iterations
+        self.phase_ns = phase_ns
+        self.spin_ns = spin_ns
+        self.imbalance = imbalance
+        #: voluntary I/O sleep inside each phase (DC is I/O heavy)
+        self.io_ns = io_ns
+        self._barrier = None
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.barrier import Barrier
+        if self.nthreads is None:
+            self.nthreads = len(engine.machine)
+        self._barrier = Barrier(engine, self.nthreads,
+                                name=f"{self.app}.barrier",
+                                spin_ns=self.spin_ns)
+        for i in range(self.nthreads):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/{i}", self._behavior_for(i)), at=at)
+
+    def _behavior_for(self, index: int):
+        def behavior(ctx):
+            for _ in range(self.iterations):
+                yield Run(ctx.rng.jitter_ns(self.phase_ns, self.imbalance))
+                if self.io_ns:
+                    yield Sleep(self.io_ns)
+                yield from self._barrier.wait()
+        return behavior
+
+    def performance(self, engine: "Engine") -> float:
+        """Iterations per second."""
+        return self.iterations * NSEC_PER_SEC / self.completion_time(engine)
+
+
+# ----------------------------------------------------------------------
+# archetype: closed-loop client/server worker pool
+# ----------------------------------------------------------------------
+
+class ServerWorkload(Workload):
+    """A pool of mostly-sleeping workers serving timed requests.
+
+    Each worker loops: block for a request, run ``service_ns``, post
+    the response.  ``nclients`` closed-loop clients each keep
+    ``outstanding`` requests in flight and "think" for ``think_ns``
+    between receiving a response and sending the next request.
+
+    Workers sleep while waiting — under ULE they classify interactive
+    as long as their duty cycle stays under ~38 %.
+
+    Performance is completed requests/second; per-request latency is
+    recorded in the engine metrics under ``<app>.latency``.
+    """
+
+    def __init__(self, app: str, nworkers: int, service_ns: int,
+                 nclients: int = 1, think_ns: int = 0,
+                 outstanding: Optional[int] = None,
+                 total_requests: Optional[int] = None,
+                 name: Optional[str] = None):
+        self.app = app
+        super().__init__(name)
+        self.nworkers = nworkers
+        self.service_ns = service_ns
+        self.nclients = nclients
+        self.think_ns = think_ns
+        self.outstanding = outstanding if outstanding is not None \
+            else nworkers
+        self.total_requests = total_requests
+        self._requests = None
+        self._responses = None
+        self.completed = 0
+        self.finished_at = None
+        self._poisoned = False
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.channel import Channel
+        self._requests = Channel(engine, f"{self.app}.req")
+        self._responses = Channel(engine, f"{self.app}.rsp")
+        for i in range(self.nworkers):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/worker{i}", self._worker), at=at)
+        for i in range(self.nclients):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/client{i}", self._client), at=at)
+
+    @property
+    def finished(self) -> bool:
+        return (self.total_requests is not None
+                and self.completed >= self.total_requests)
+
+    def _worker(self, ctx):
+        latency = ctx.metrics.latency(f"{self.app}.latency")
+        while True:
+            issued_at = yield self._requests.get()
+            if issued_at is None:
+                return  # poison pill
+            yield Run(self.service_ns)
+            self.completed += 1
+            latency.record(ctx.now - issued_at)
+            if self.finished and self.finished_at is None:
+                self.finished_at = ctx.now
+            yield self._responses.put(ctx.now)
+
+
+    def _client(self, ctx):
+        share = self.outstanding // self.nclients or 1
+        for _ in range(share):
+            yield self._requests.put(ctx.now)
+        while not self.finished:
+            yield self._responses.get()
+            if self.finished:
+                break
+            if self.think_ns:
+                yield Sleep(self.think_ns)
+            yield self._requests.put(ctx.now)
+        # drain: the first client to observe completion poisons the
+        # workers so the workload can exit
+        if not self._poisoned:
+            self._poisoned = True
+            for _ in range(self.nworkers):
+                yield self._requests.put(None)
+            for _ in range(self.nclients - 1):
+                yield self._responses.put(None)  # release peer clients
+
+    def done(self, engine: "Engine") -> bool:
+        if self.total_requests is None:
+            return False
+        return self.finished
+
+    def performance(self, engine: "Engine") -> float:
+        """Completed requests per second (up to the last request)."""
+        end = self.finished_at if self.finished_at is not None \
+            else engine.now
+        elapsed = end - (self._launched_at or 0)
+        if elapsed <= 0:
+            return 0.0
+        return self.completed * NSEC_PER_SEC / elapsed
+
+    def throughput(self, engine: "Engine") -> float:
+        """Alias of :meth:`performance` (requests per second)."""
+        return self.performance(engine)
+
+    def mean_latency_ns(self, engine: "Engine") -> float:
+        """Mean per-request latency recorded so far."""
+        return engine.metrics.latency(f"{self.app}.latency").mean

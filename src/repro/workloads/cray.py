@@ -1,0 +1,97 @@
+"""c-ray — the Fig. 7 thread-placement workload (§6.2).
+
+C-ray creates 512 threads (unpinned; the scheduler places each), which
+all wait on a *cascading* barrier — thread 0 wakes thread 1, thread 1
+wakes thread 2, ... — before computing.  Two effects the paper
+observes:
+
+* ULE forks every thread onto the least-loaded core, so the load is
+  balanced from the start; CFS's load-based placement is noisier.
+* Threads are created with different inherited interactivity (the
+  creator runs while forking, like sysbench's master), so under ULE
+  some threads in the wake-up chain are batch and starve behind
+  interactive siblings — it takes ~11 s for all threads to become
+  runnable, versus ~2 s on CFS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import Fork, Run, ThreadSpec
+from ..core.clock import msec, sec, NSEC_PER_SEC
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class CrayWorkload(Workload):
+    """Master forks ``nthreads`` workers; cascading barrier; compute."""
+
+    app = "c-ray"
+
+    def __init__(self, nthreads: int = 512,
+                 fork_spacing_ns: Optional[int] = None,
+                 compute_ns: int = msec(400),
+                 chunk_ns: int = msec(20),
+                 name: str = "c-ray"):
+        super().__init__(name)
+        self.nthreads = nthreads
+        if fork_spacing_ns is None:
+            # Scene setup costs ~3 s of master CPU regardless of the
+            # thread count, so the inherited-penalty gradient crosses
+            # the interactivity threshold mid-herd (the §5.2 effect).
+            fork_spacing_ns = sec(3) // nthreads
+        self.fork_spacing_ns = fork_spacing_ns
+        self.compute_ns = compute_ns
+        self.chunk_ns = chunk_ns
+        self._cascade = None
+        self.workers: list = []
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.barrier import CascadingBarrier
+        # parties = workers + master (the master arrives last and
+        # releases the chain)
+        self._cascade = CascadingBarrier(engine, self.nthreads + 1,
+                                         name="c-ray.barrier")
+        self.spawn(engine, ThreadSpec(
+            f"{self.app}/master", self._master_behavior), at=at)
+
+    def _master_behavior(self, ctx):
+        # Fork all workers while computing scene setup (no sleeping:
+        # interactivity inheritance drifts toward batch, like §5.2).
+        for i in range(self.nthreads):
+            yield Run(self.fork_spacing_ns)
+            worker = yield Fork(ThreadSpec(
+                f"{self.app}/worker{i}", self._worker_behavior(i)))
+            self.workers.append(worker)
+        # Master joins the barrier last, releasing the cascade.
+        yield from self._cascade.wait(self.nthreads)
+
+    def _worker_behavior(self, index: int):
+        def behavior(ctx):
+            yield from self._cascade.wait(index)
+            remaining = self.compute_ns
+            while remaining > 0:
+                chunk = min(self.chunk_ns, remaining)
+                yield Run(chunk)
+                remaining -= chunk
+        return behavior
+
+    # -- analysis ----------------------------------------------------------
+
+    def wake_times(self) -> dict[int, int]:
+        """When each thread in the cascade was woken (Fig. 7's
+        "time until all threads are runnable")."""
+        return dict(self._cascade.wake_times) if self._cascade else {}
+
+    def all_runnable_at(self) -> Optional[int]:
+        """Instant the last thread of the cascade was released."""
+        times = self.wake_times()
+        if len(times) < self.nthreads + 1:
+            return None
+        return max(times.values())
+
+    def performance(self, engine: "Engine") -> float:
+        return NSEC_PER_SEC / self.completion_time(engine)

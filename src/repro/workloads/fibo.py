@@ -1,0 +1,24 @@
+"""fibo — the paper's synthetic CPU hog (§4.2, §5.1).
+
+A single thread computing Fibonacci numbers: pure compute, never
+sleeps.  Under ULE its interactivity penalty climbs to 100 and it is
+classified batch, making it starvable by any interactive load (Fig. 1,
+Fig. 2, Table 2).
+"""
+
+from __future__ import annotations
+
+from ..core.clock import sec
+from .base import ComputeWorkload
+
+
+class FiboWorkload(ComputeWorkload):
+    """One thread, ``work_ns`` of uninterrupted compute."""
+
+    def __init__(self, work_ns: int = sec(16), name: str = "fibo"):
+        super().__init__(app="fibo", nthreads=1, work_ns=work_ns,
+                         chunk_ns=work_ns, name=name)
+
+    @property
+    def thread(self):
+        return self._threads[0] if self._threads else None

@@ -1,0 +1,76 @@
+"""hackbench — the Linux community's scheduler stress test (§4.2).
+
+Groups of senders and receivers exchange messages through pipes: each
+sender writes ``loops`` messages to each receiver in its group.  The
+run is a storm of short executions and wakeups; the paper uses it both
+as a performance benchmark (Fig. 8's Hackb-800 / Hackb-10) and to
+measure scheduler overhead (32 000 threads, §6.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import Run, ThreadSpec
+from ..core.clock import NSEC_PER_SEC, usec
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class HackbenchWorkload(Workload):
+    """``groups`` x (``fan`` senders + ``fan`` receivers) over pipes."""
+
+    app = "hackbench"
+
+    def __init__(self, groups: int = 10, fan: int = 20, loops: int = 20,
+                 work_ns: int = usec(10), pipe_capacity: int = 50,
+                 name: str = "hackbench"):
+        super().__init__(name)
+        self.groups = groups
+        self.fan = fan
+        self.loops = loops
+        self.work_ns = work_ns
+        self.pipe_capacity = pipe_capacity
+        self._pipes: list = []
+
+    @property
+    def total_threads(self) -> int:
+        return self.groups * self.fan * 2
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.pipe import Pipe
+        for g in range(self.groups):
+            pipes = [Pipe(engine, capacity=self.pipe_capacity,
+                          name=f"hb{g}.pipe{r}")
+                     for r in range(self.fan)]
+            self._pipes.append(pipes)
+            for s in range(self.fan):
+                self.spawn(engine, ThreadSpec(
+                    f"hb{g}/send{s}", self._sender_behavior(g)), at=at)
+            for r in range(self.fan):
+                self.spawn(engine, ThreadSpec(
+                    f"hb{g}/recv{r}", self._receiver_behavior(g, r)),
+                    at=at)
+
+    def _sender_behavior(self, group: int):
+        def behavior(ctx):
+            pipes = self._pipes[group]
+            for _ in range(self.loops):
+                for pipe in pipes:
+                    yield Run(self.work_ns)
+                    yield pipe.write(b"x")
+        return behavior
+
+    def _receiver_behavior(self, group: int, index: int):
+        def behavior(ctx):
+            pipe = self._pipes[group][index]
+            total = self.loops * self.fan
+            for _ in range(total):
+                yield pipe.read()
+                yield Run(self.work_ns)
+        return behavior
+
+    def performance(self, engine: "Engine") -> float:
+        return NSEC_PER_SEC / self.completion_time(engine)

@@ -1,0 +1,100 @@
+"""The NAS Parallel Benchmarks (§4.2, §6.3).
+
+HPC kernels: one thread per core, iterations of compute separated by
+barriers.  The parameters encode the paper's observations:
+
+* **MG, FT, UA** use hybrid *spin* barriers ("when a thread has
+  finished its computation, it waits on a spin-barrier for 100 ms and
+  then sleeps") — the workloads where CFS's occasional
+  two-threads-on-one-core placement delays every iteration (+73 % for
+  ULE on MG, §6.3);
+* **EP** is embarrassingly parallel — independent compute, no
+  barriers;
+* **DC** is I/O-heavy (data-cube writes) — threads sleep inside each
+  phase;
+* the rest are plain barrier-phased kernels with small built-in
+  imbalance.
+
+Performance follows the paper's convention for NAS: operations
+(iterations) per second.
+"""
+
+from __future__ import annotations
+
+from ..core.clock import msec
+from .base import BarrierWorkload, ComputeWorkload
+
+
+def _barrier_kernel(app, iterations, phase_ns, spin_ns=msec(10), io_ns=0,
+                    imbalance=0.04):
+    return BarrierWorkload(app=app, nthreads=None, iterations=iterations,
+                           phase_ns=phase_ns, spin_ns=spin_ns, io_ns=io_ns,
+                           imbalance=imbalance)
+
+
+def bt():
+    """Block tri-diagonal solver: plain barrier phases."""
+    return _barrier_kernel("BT", iterations=24, phase_ns=msec(60))
+
+
+def cg():
+    """Conjugate gradient: shortish barrier phases."""
+    return _barrier_kernel("CG", iterations=40, phase_ns=msec(25))
+
+
+def dc():
+    """Data cube: I/O sleeps inside each phase."""
+    # data cube: I/O between phases
+    return _barrier_kernel("DC", iterations=20, phase_ns=msec(20),
+                           io_ns=msec(15))
+
+
+def ep():
+    """Embarrassingly parallel: independent compute, no barriers."""
+    # embarrassingly parallel: pure independent compute
+    return ComputeWorkload(app="EP", nthreads=None, work_ns=msec(1500),
+                           chunk_ns=msec(25), jitter=0.02)
+
+
+def ft():
+    """3-D FFT: spin-barrier kernel (CFS-misplacement victim)."""
+    # spin-barrier kernel (suffers CFS misplacement like MG/UA);
+    # spin windows scaled 1/10 like all durations (paper: 100 ms)
+    return _barrier_kernel("FT", iterations=24, phase_ns=msec(50),
+                           spin_ns=msec(10), imbalance=0.06)
+
+
+def is_():
+    """Integer sort: many short barrier phases."""
+    return _barrier_kernel("IS", iterations=48, phase_ns=msec(12))
+
+
+def lu():
+    """LU solver: plain barrier phases."""
+    return _barrier_kernel("LU", iterations=32, phase_ns=msec(35))
+
+
+def mg():
+    """Multigrid: the paper's headline case (+73% for ULE)."""
+    # the paper's headline case: a multigrid solver crosses a barrier
+    # at every grid level -- many short phases, so any misplacement or
+    # sleep/wake latency is paid at every one of them
+    return _barrier_kernel("MG", iterations=120, phase_ns=msec(15),
+                           spin_ns=msec(10), imbalance=0.06)
+
+
+def sp():
+    """Scalar penta-diagonal solver: plain barrier phases."""
+    return _barrier_kernel("SP", iterations=24, phase_ns=msec(45))
+
+
+def ua():
+    """Unstructured adaptive: spin-barrier kernel."""
+    return _barrier_kernel("UA", iterations=24, phase_ns=msec(45),
+                           spin_ns=msec(10), imbalance=0.06)
+
+
+NAS_KERNELS = {
+    "BT": bt, "CG": cg, "DC": dc, "EP": ep, "FT": ft,
+    "IS": is_, "LU": lu, "MG": mg, "SP": sp, "UA": ua,
+}

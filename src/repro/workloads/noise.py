@@ -1,0 +1,65 @@
+"""Ambient kernel-thread noise.
+
+The paper attributes CFS's occasional misplacement of HPC threads to
+its reaction "to micro changes in the load of cores (e.g., due to a
+kernel thread waking up)" (§6.3).  Real machines always run per-CPU
+kernel threads (kworkers, ksoftirqd); this workload models them: one
+pinned daemon per CPU that wakes periodically for a short burst.
+
+Experiments include it as background so CFS's PELT sees the same
+micro-noise the paper's machine did.  ULE is barely affected: the
+daemons are interactive but tiny, and ULE balances thread *counts*, so
+a sleeping daemon is invisible to its placement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import Run, Sleep, ThreadSpec
+from ..core.clock import msec, usec
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class KernelNoiseWorkload(Workload):
+    """One pinned kworker-like daemon per CPU.
+
+    Bursts are heavy-tailed: with probability ``tail_prob`` a burst is
+    ``tail_factor`` times longer (a writeback flush, journal commit, or
+    THP compaction instead of a timer callback) — the rare long
+    disturbances that knock a barrier out of its spin window and let
+    CFS's placement enter its degraded mode (§6.3).
+    """
+
+    app = "kworker"
+
+    def __init__(self, period_ns: int = msec(10),
+                 burst_ns: int = usec(150),
+                 tail_prob: float = 0.01, tail_factor: int = 60,
+                 name: str = "knoise"):
+        super().__init__(name)
+        self.period_ns = period_ns
+        self.burst_ns = burst_ns
+        self.tail_prob = tail_prob
+        self.tail_factor = tail_factor
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        for cpu in range(len(engine.machine)):
+            self.spawn(engine, ThreadSpec(
+                f"kworker/{cpu}", self._daemon,
+                affinity=frozenset({cpu})), at=at)
+
+    def _daemon(self, ctx):
+        while True:
+            yield Sleep(ctx.rng.jitter_ns(self.period_ns, 0.5))
+            burst = ctx.rng.jitter_ns(self.burst_ns, 0.5)
+            if self.tail_prob and \
+                    ctx.rng.uniform(0.0, 1.0) < self.tail_prob:
+                burst *= self.tail_factor
+            yield Run(burst)
+
+    def done(self, engine: "Engine") -> bool:
+        return False  # daemons run forever

@@ -1,0 +1,208 @@
+"""The PARSEC benchmark suite (§4.2, §6.4).
+
+Parallel applications with more varied structure than NAS:
+
+* data-parallel barrier apps (blackscholes, fluidanimate,
+  streamcluster, facesim, bodytrack, canneal);
+* independent compute (swaptions, freqmine, raytrace, vips, x264 —
+  modelled at the granularity that matters to the scheduler);
+* **ferret**, a 4-stage pipeline whose stages block on queues — the
+  paper's example of an *interactive* application under ULE that does
+  not scale to 32 cores (§6.4: ferret keeps priority over blackscholes
+  and is unaffected by co-scheduling, while blackscholes loses >80 %).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import Run, ThreadSpec
+from ..core.clock import NSEC_PER_SEC, msec, usec
+from .base import BarrierWorkload, ComputeWorkload, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class PipelineWorkload(Workload):
+    """A multi-stage software pipeline connected by queues.
+
+    ``stage_threads`` threads per stage pull an item, process it
+    (``stage_work_ns``), and push it downstream.  Stage threads block
+    while their input queue is empty, so they sleep often and classify
+    interactive under ULE.
+    """
+
+    def __init__(self, app: str, nstages: int = 4,
+                 stage_threads: int = 4, items: int = 400,
+                 stage_work_ns: int = msec(2),
+                 input_interval_ns: int = 0,
+                 name: Optional[str] = None):
+        self.app = app
+        super().__init__(name)
+        self.nstages = nstages
+        self.stage_threads = stage_threads
+        self.items = items
+        self.stage_work_ns = stage_work_ns
+        #: pacing of item arrivals (0 = as fast as possible); a paced
+        #: pipeline keeps its stage threads mostly sleeping, which is
+        #: what classifies ferret as interactive under ULE (§6.4)
+        self.input_interval_ns = input_interval_ns
+        self.completed = 0
+        self.finished_at = None
+        self._queues: list = []
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.channel import Channel
+        self._queues = [Channel(engine, f"{self.app}.q{i}")
+                        for i in range(self.nstages + 1)]
+        self.spawn(engine, ThreadSpec(
+            f"{self.app}/input", self._input_behavior), at=at)
+        for stage in range(self.nstages):
+            for i in range(self.stage_threads):
+                self.spawn(engine, ThreadSpec(
+                    f"{self.app}/s{stage}t{i}",
+                    self._stage_behavior(stage)), at=at)
+        self.spawn(engine, ThreadSpec(
+            f"{self.app}/output", self._output_behavior), at=at)
+
+    def _input_behavior(self, ctx):
+        from ..core.actions import Sleep
+        for i in range(self.items):
+            yield Run(usec(50))
+            if self.input_interval_ns:
+                yield Sleep(self.input_interval_ns)
+            yield self._queues[0].put(i)
+        for _ in range(self.stage_threads):
+            yield self._queues[0].put(None)
+
+    def _stage_behavior(self, stage: int):
+        def behavior(ctx):
+            src = self._queues[stage]
+            dst = self._queues[stage + 1]
+            while True:
+                item = yield src.get()
+                if item is None:
+                    yield dst.put(None)
+                    return
+                yield Run(self.stage_work_ns)
+                yield dst.put(item)
+        return behavior
+
+    def _output_behavior(self, ctx):
+        pills = 0
+        while pills < self.stage_threads:
+            item = yield self._queues[-1].get()
+            if item is None:
+                pills += 1
+                continue
+            self.completed += 1
+            if self.completed >= self.items and self.finished_at is None:
+                self.finished_at = ctx.now
+
+    def performance(self, engine: "Engine") -> float:
+        """Items per second (up to the last item)."""
+        end = self.finished_at if self.finished_at is not None \
+            else engine.now
+        elapsed = end - (self._launched_at or 0)
+        if elapsed <= 0:
+            return 0.0
+        return self.completed * NSEC_PER_SEC / elapsed
+
+    def done(self, engine: "Engine") -> bool:
+        return self.completed >= self.items
+
+
+# ----------------------------------------------------------------------
+# concrete PARSEC applications
+# ----------------------------------------------------------------------
+
+def blackscholes():
+    """Option pricing, 16 data-parallel threads."""
+    # data-parallel option pricing; does not scale to 32 cores (§6.4),
+    # so cap its parallelism below the machine size.
+    return BarrierWorkload(app="blackscholes", nthreads=16, iterations=30,
+                           phase_ns=msec(40), imbalance=0.02)
+
+
+def bodytrack():
+    """Vision pipeline with small I/O phases."""
+    return BarrierWorkload(app="bodytrack", nthreads=None, iterations=36,
+                           phase_ns=msec(25), io_ns=msec(2),
+                           imbalance=0.05)
+
+
+def canneal():
+    """Simulated annealing with barrier phases."""
+    return BarrierWorkload(app="canneal", nthreads=None, iterations=24,
+                           phase_ns=msec(45), imbalance=0.04)
+
+
+def facesim():
+    """Physics simulation with long barrier phases."""
+    return BarrierWorkload(app="facesim", nthreads=None, iterations=20,
+                           phase_ns=msec(55), imbalance=0.05)
+
+
+def ferret():
+    """Similarity-search pipeline (queues between stages)."""
+    # the pipeline: 4 stages, blocks on queues, sleeps a lot
+    return PipelineWorkload(app="ferret", nstages=4, stage_threads=4,
+                            items=600, stage_work_ns=msec(2))
+
+
+def fluidanimate():
+    """Fluid dynamics, 16 threads, short phases."""
+    return BarrierWorkload(app="fluidanimate", nthreads=16,
+                           iterations=48, phase_ns=msec(18),
+                           imbalance=0.03)
+
+
+def freqmine():
+    """Frequent itemset mining: independent compute."""
+    return ComputeWorkload(app="freqmine", nthreads=None,
+                           work_ns=msec(1100), chunk_ns=msec(20),
+                           jitter=0.05)
+
+
+def raytrace():
+    """Ray tracer: imbalanced independent compute."""
+    return ComputeWorkload(app="raytrace", nthreads=None,
+                           work_ns=msec(1200), chunk_ns=msec(15),
+                           jitter=0.10)
+
+
+def streamcluster():
+    """Online clustering, 16 threads, short phases."""
+    return BarrierWorkload(app="streamcluster", nthreads=16,
+                           iterations=80, phase_ns=msec(15),
+                           imbalance=0.02)
+
+
+def swaptions():
+    """Monte-Carlo pricing: independent compute."""
+    return ComputeWorkload(app="swaptions", nthreads=None,
+                           work_ns=msec(1000), chunk_ns=msec(25),
+                           jitter=0.02)
+
+
+def vips():
+    """Image pipeline modelled as independent compute."""
+    return ComputeWorkload(app="vips", nthreads=None, work_ns=msec(900),
+                           chunk_ns=msec(10), jitter=0.05)
+
+
+def x264():
+    """Video encoder: shallow frame pipeline."""
+    # frame pipeline with dependencies: modelled as a shallow pipeline
+    return PipelineWorkload(app="x264", nstages=2, stage_threads=8,
+                            items=800, stage_work_ns=msec(1))
+
+
+PARSEC_APPS = {
+    "blackscholes": blackscholes, "bodytrack": bodytrack,
+    "canneal": canneal, "facesim": facesim, "ferret": ferret,
+    "fluidanimate": fluidanimate, "freqmine": freqmine,
+    "raytrace": raytrace, "streamcluster": streamcluster,
+    "swaptions": swaptions, "vips": vips, "x264": x264,
+}

@@ -1,0 +1,192 @@
+"""The Phoronix test suite selection (§4.2, §5.3).
+
+Sixteen applications picked by the authors for reasonable completion
+times: compilation (build-apache, build-php), compression (7zip,
+gzip), image processing (c-ray, dcraw), scientific (himeno, hmmer,
+scimark x6), cryptography (john x3) and web (apache).
+
+The two §5.3 outliers get explicit mechanisms:
+
+* **scimark2** is a single-threaded Java benchmark: its compute thread
+  shares the process with JVM service threads (GC, JIT, I/O) that
+  sleep long and then run in bursts.  Under ULE the service threads
+  classify interactive and hold absolute priority during their bursts,
+  delaying the (batch) compute thread — scimark runs ~36 % slower.
+* **apache** lives in :mod:`repro.workloads.apache` (preemption
+  effect, +40 % for ULE).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import Fork, Run, Sleep, ThreadSpec
+from ..core.clock import NSEC_PER_SEC, msec
+from .base import ComputeWorkload, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class BuildWorkload(Workload):
+    """A parallel build: a driver forks compile jobs, at most
+    ``parallelism`` in flight, each a short compute burst.  The driver
+    sleeps while the job slots are full (make's wait), so it stays
+    interactive."""
+
+    def __init__(self, app: str, jobs: int = 40,
+                 job_ns: int = msec(60), parallelism: Optional[int] = None,
+                 name: Optional[str] = None):
+        self.app = app
+        super().__init__(name)
+        self.jobs = jobs
+        self.job_ns = job_ns
+        self.parallelism = parallelism
+        self._slots = None
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.semaphore import Semaphore
+        if self.parallelism is None:
+            self.parallelism = len(engine.machine)
+        self._slots = Semaphore(engine, value=self.parallelism,
+                                name=f"{self.app}.jobs")
+        self.spawn(engine, ThreadSpec(
+            f"{self.app}/make", self._driver_behavior), at=at)
+
+    def _driver_behavior(self, ctx):
+        for i in range(self.jobs):
+            yield self._slots.down()
+            yield Run(msec(1))  # dependency scanning
+            yield Fork(ThreadSpec(f"{self.app}/cc{i}",
+                                  self._job_behavior(i)))
+
+    def _job_behavior(self, index: int):
+        def behavior(ctx):
+            yield Run(ctx.rng.jitter_ns(self.job_ns, 0.3))
+            yield self._slots.up()
+        return behavior
+
+
+class ScimarkWorkload(Workload):
+    """Single-threaded Java compute + bursty JVM service threads.
+
+    The service threads sleep long (interactive under ULE), then run a
+    burst.  Under ULE a burst owns the core outright (absolute
+    interactive priority, no preemption of... the batch compute thread
+    only runs when no service thread is runnable); under CFS the burst
+    competes fairly with the compute thread.
+    """
+
+    def __init__(self, variant: int = 1, compute_ns: int = msec(4000),
+                 njvm: int = 8, burst_ns: int = msec(12),
+                 period_ns: int = msec(100),
+                 name: Optional[str] = None):
+        self.app = f"scimark2-({variant})"
+        super().__init__(name or self.app)
+        self.variant = variant
+        self.compute_ns = compute_ns
+        self.njvm = njvm
+        self.burst_ns = burst_ns
+        self.period_ns = period_ns
+        self.compute_thread = None
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        self.compute_thread = self.spawn(engine, ThreadSpec(
+            f"{self.app}/compute", self._compute_behavior), at=at)
+        for i in range(self.njvm):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/jvm{i}", self._jvm_behavior(i)), at=at)
+
+    def _compute_behavior(self, ctx):
+        remaining = self.compute_ns
+        chunk = msec(10)
+        while remaining > 0:
+            step = min(chunk, remaining)
+            yield Run(step)
+            remaining -= step
+        self._finished_at = ctx.now
+
+    def _jvm_behavior(self, index: int):
+        def behavior(ctx):
+            # Open-loop periodic service work: the burst schedule is
+            # absolute (GC/JIT backlog does not shrink when the thread
+            # is delayed), so the demand is fixed regardless of how the
+            # scheduler treats the thread.
+            offset = self.period_ns * (index + 1) // (self.njvm + 1)
+            yield Sleep(offset)
+            next_burst = ctx.now
+            while not self.compute_thread.has_exited:
+                next_burst += self.period_ns
+                gap = next_burst - ctx.now
+                if gap > 0:
+                    yield Sleep(gap)
+                yield Run(self.burst_ns)
+        return behavior
+
+    def done(self, engine: "Engine") -> bool:
+        return (self.compute_thread is not None
+                and self.compute_thread.has_exited)
+
+    def performance(self, engine: "Engine") -> float:
+        """1 / compute completion time (Mflops analogue)."""
+        if not self.done(engine):
+            return 0.0
+        elapsed = self.compute_thread.exited_at - (self._launched_at or 0)
+        return NSEC_PER_SEC / elapsed
+
+
+# ----------------------------------------------------------------------
+# factories
+# ----------------------------------------------------------------------
+
+def build_apache():
+    """Parallel build of Apache httpd."""
+    return BuildWorkload(app="Build-apache", jobs=36, job_ns=msec(70))
+
+
+def build_php():
+    """Parallel build of PHP."""
+    return BuildWorkload(app="Build-php", jobs=48, job_ns=msec(55))
+
+
+def sevenzip():
+    """7zip compression: one thread per core."""
+    return ComputeWorkload(app="7zip", nthreads=None, work_ns=msec(1200),
+                           chunk_ns=msec(30), jitter=0.03)
+
+
+def gzip_():
+    """gzip compression: single-threaded compute."""
+    return ComputeWorkload(app="Gzip", nthreads=1, work_ns=msec(2500),
+                           chunk_ns=msec(50))
+
+
+def dcraw():
+    """RAW photo decoding: single-threaded compute."""
+    return ComputeWorkload(app="DCraw", nthreads=1, work_ns=msec(2200),
+                           chunk_ns=msec(40))
+
+
+def himeno():
+    """Himeno pressure solver: single-threaded compute."""
+    return ComputeWorkload(app="himeno", nthreads=1, work_ns=msec(2800),
+                           chunk_ns=msec(40))
+
+
+def hmmer():
+    """HMMER sequence search: single-threaded compute."""
+    return ComputeWorkload(app="hmmer", nthreads=1, work_ns=msec(2400),
+                           chunk_ns=msec(30))
+
+
+def scimark(variant: int):
+    """One of the six scimark2 subtests (Java + JVM threads)."""
+    return ScimarkWorkload(variant=variant,
+                           compute_ns=msec(3000 + 400 * variant))
+
+
+def john(variant: int):
+    """One of the three john-the-ripper crypto kernels."""
+    return ComputeWorkload(app=f"john-({variant})", nthreads=None,
+                           work_ns=msec(900 + 250 * variant),
+                           chunk_ns=msec(25), jitter=0.02)

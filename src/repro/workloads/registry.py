@@ -1,0 +1,104 @@
+"""Registry of the paper's benchmark applications.
+
+Maps each bar of Figs. 5 and 8 to a workload factory.  The order below
+is the order of the x-axis in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.errors import WorkloadError
+from . import nas, parsec, phoronix
+from .apache import ApacheWorkload
+from .base import Workload
+from .cray import CrayWorkload
+from .fibo import FiboWorkload
+from .hackbench import HackbenchWorkload
+from .rocksdb import RocksDbWorkload
+from .sysbench import SysbenchWorkload
+
+
+def _cray_small() -> CrayWorkload:
+    """c-ray sized for the Fig. 5/8 performance comparison (the full
+    512-thread configuration is used by the Fig. 7 experiment)."""
+    from ..core.clock import msec
+    return CrayWorkload(nthreads=64, fork_spacing_ns=msec(4),
+                        compute_ns=msec(300))
+
+
+#: The Fig. 5 x-axis (single-core and multicore performance bars).
+FIGURE5_APPS: Dict[str, Callable[[], Workload]] = {
+    "Build-apache": phoronix.build_apache,
+    "Build-php": phoronix.build_php,
+    "7zip": phoronix.sevenzip,
+    "Gzip": phoronix.gzip_,
+    "C-Ray": _cray_small,
+    "DCraw": phoronix.dcraw,
+    "himeno": phoronix.himeno,
+    "hmmer": phoronix.hmmer,
+    "scimark2-(1)": lambda: phoronix.scimark(1),
+    "scimark2-(2)": lambda: phoronix.scimark(2),
+    "scimark2-(3)": lambda: phoronix.scimark(3),
+    "scimark2-(4)": lambda: phoronix.scimark(4),
+    "scimark2-(5)": lambda: phoronix.scimark(5),
+    "scimark2-(6)": lambda: phoronix.scimark(6),
+    "john-(1)": lambda: phoronix.john(1),
+    "john-(2)": lambda: phoronix.john(2),
+    "john-(3)": lambda: phoronix.john(3),
+    "Apache": ApacheWorkload,
+    "BT": nas.bt,
+    "CG": nas.cg,
+    "DC": nas.dc,
+    "EP": nas.ep,
+    "FT": nas.ft,
+    "IS": nas.is_,
+    "LU": nas.lu,
+    "MG": nas.mg,
+    "SP": nas.sp,
+    "UA": nas.ua,
+    "Sysbench": SysbenchWorkload,
+    "Rocksdb": RocksDbWorkload,
+    "blackscholes": parsec.blackscholes,
+    "bodytrack": parsec.bodytrack,
+    "canneal": parsec.canneal,
+    "facesim": parsec.facesim,
+    "ferret": parsec.ferret,
+    "fluidanimate": parsec.fluidanimate,
+    "freqmine": parsec.freqmine,
+    "raytrace": parsec.raytrace,
+    "streamcluster": parsec.streamcluster,
+    "swaptions": parsec.swaptions,
+    "vips": parsec.vips,
+    "x264": parsec.x264,
+}
+
+#: Fig. 8 adds the two hackbench configurations.
+FIGURE8_EXTRA: Dict[str, Callable[[], Workload]] = {
+    "Hackb-800": lambda: HackbenchWorkload(groups=20, fan=20, loops=10),
+    "Hackb-10": lambda: HackbenchWorkload(groups=1, fan=5, loops=40),
+}
+
+#: Everything by name, for the CLI and tests.
+ALL_WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    **FIGURE5_APPS,
+    **FIGURE8_EXTRA,
+    "fibo": FiboWorkload,
+    "c-ray-512": CrayWorkload,
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a registered workload by its figure label."""
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise WorkloadError(
+            f"unknown workload {name!r} (known: {known})") from None
+    return factory()
+
+
+def workload_names() -> list[str]:
+    """All registered workload names (figure order first)."""
+    return list(ALL_WORKLOADS)

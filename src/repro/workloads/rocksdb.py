@@ -1,0 +1,84 @@
+"""RocksDB read-write benchmark (§4.2).
+
+A read-while-writing workload chosen by the authors "to schedule
+threads with different behaviors": reader threads are short-lived CPU
+bursts between I/O waits (interactive-leaning), while compaction /
+writer threads run long flushes (batch-leaning).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import Run, Sleep, ThreadSpec
+from ..core.clock import NSEC_PER_SEC, msec, usec
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class RocksDbWorkload(Workload):
+    """Readers (mostly sleeping) + writers (compaction bursts)."""
+
+    app = "Rocksdb"
+
+    def __init__(self, nreaders: int = 16, nwriters: int = 2,
+                 read_ns: int = usec(300), read_wait_ns: int = msec(2),
+                 compact_ns: int = msec(20), flush_wait_ns: int = msec(8),
+                 total_reads: int = 20_000, name: str = "rocksdb"):
+        super().__init__(name)
+        self.nreaders = nreaders
+        self.nwriters = nwriters
+        self.read_ns = read_ns
+        self.read_wait_ns = read_wait_ns
+        self.compact_ns = compact_ns
+        self.flush_wait_ns = flush_wait_ns
+        self.total_reads = total_reads
+        self.completed_reads = 0
+        self.finished_at = None
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        for i in range(self.nreaders):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/reader{i}", self._reader), at=at)
+        for i in range(self.nwriters):
+            self.spawn(engine, ThreadSpec(
+                f"{self.app}/writer{i}", self._writer), at=at)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_reads >= self.total_reads
+
+    def _reader(self, ctx):
+        latency = ctx.metrics.latency(f"{self.app}.latency")
+        while not self.finished:
+            before = ctx.now
+            yield Sleep(ctx.rng.jitter_ns(self.read_wait_ns, 0.3))
+            if self.finished:
+                break
+            arrival = ctx.now
+            yield Run(self.read_ns)
+            self.completed_reads += 1
+            latency.record(ctx.now - arrival)
+            if self.finished and self.finished_at is None:
+                self.finished_at = ctx.now
+
+    def _writer(self, ctx):
+        while not self.finished:
+            yield Sleep(ctx.rng.jitter_ns(self.flush_wait_ns, 0.3))
+            if self.finished:
+                break
+            yield Run(ctx.rng.jitter_ns(self.compact_ns, 0.2))
+
+    def done(self, engine: "Engine") -> bool:
+        return self.finished
+
+    def performance(self, engine: "Engine") -> float:
+        """Read operations per second (up to the last read)."""
+        end = self.finished_at if self.finished_at is not None \
+            else engine.now
+        elapsed = end - (self._launched_at or 0)
+        if elapsed <= 0:
+            return 0.0
+        return self.completed_reads * NSEC_PER_SEC / elapsed

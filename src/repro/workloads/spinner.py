@@ -1,0 +1,52 @@
+"""Pinned spinner herds — the Fig. 6 load-balancing workload.
+
+512 infinite-loop threads pinned to core 0; a ``taskset`` at a chosen
+time unpins them, and the load balancer's convergence is observed as
+threads-per-core over time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import ThreadSpec, run_forever
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class SpinnerWorkload(Workload):
+    """``count`` spinners, optionally pinned to one CPU, with an
+    optional scheduled unpin (the paper's taskset at 14.5 s)."""
+
+    app = "spinner"
+
+    def __init__(self, count: int = 512, pin_cpu: Optional[int] = 0,
+                 unpin_at: Optional[int] = None, name: str = "spinners"):
+        super().__init__(name)
+        self.count = count
+        self.pin_cpu = pin_cpu
+        self.unpin_at = unpin_at
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        affinity = (frozenset({self.pin_cpu})
+                    if self.pin_cpu is not None else None)
+        for i in range(self.count):
+            self.spawn(engine, ThreadSpec(
+                f"spin/{i}", self._spin, affinity=affinity), at=at)
+        if self.unpin_at is not None:
+            engine.events.post(self.unpin_at, self._unpin_all, engine,
+                               label="taskset-unpin")
+
+    @staticmethod
+    def _spin(ctx):
+        yield run_forever()
+
+    def _unpin_all(self, engine: "Engine") -> None:
+        for thread in self._threads:
+            engine.set_affinity(thread, None)
+        engine.metrics.incr("spinner.unpinned", len(self._threads))
+
+    def done(self, engine: "Engine") -> bool:
+        return False  # spinners never exit; runs are time-bounded

@@ -1,0 +1,150 @@
+"""sysbench OLTP against MySQL (§4.2, §5.1, §5.2, §6.3, §6.4).
+
+The model captures every property the paper leans on:
+
+* a **master** thread forked from an interactive shell (bash-like
+  history) that initializes data *without sleeping* while forking the
+  worker threads one by one — so early workers inherit an interactive
+  history and late workers inherit a batch history (the §5.2
+  starvation bifurcation, Figs. 3-4);
+* **workers** that serve transactions in a closed loop: wait for the
+  request/disk (voluntary sleep), then execute the query (CPU), with
+  optional contention on a shared lock (MySQL's internal locks, §6.4
+  — under ULE the lock handoff is not followed by preemption, adding
+  up to a timeslice of delay);
+* throughput (transactions/s) and per-transaction latency metrics
+  (Table 2's 290/532 tx/s and 441/125 ms rows).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.actions import Fork, Run, Sleep, ThreadSpec
+from ..core.clock import NSEC_PER_SEC, msec, usec
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+
+class SysbenchWorkload(Workload):
+    """Closed-loop OLTP worker pool with fork-time inheritance."""
+
+    app = "sysbench"
+
+    def __init__(self, nthreads: int = 80,
+                 service_ns: int = msec(1),
+                 wait_ns: int = msec(70),
+                 init_per_thread_ns: int = msec(28),
+                 transactions_per_thread: int = 100,
+                 lock_fraction: float = 0.0,
+                 lock_hold_ns: int = usec(100),
+                 name: str = "sysbench"):
+        super().__init__(name)
+        self.nthreads = nthreads
+        self.service_ns = service_ns
+        self.wait_ns = wait_ns
+        self.init_per_thread_ns = init_per_thread_ns
+        self.transactions_per_thread = transactions_per_thread
+        self.lock_fraction = lock_fraction
+        self.lock_hold_ns = lock_hold_ns
+        self.completed = 0
+        self.finished_at = None
+        self.master = None
+        self.workers: list = []
+        self._lock = None
+        self._start = None
+
+    def _do_launch(self, engine: "Engine", at: int) -> None:
+        from ..sync.semaphore import OneShotEvent
+        if self.lock_fraction > 0.0:
+            from ..sync.mutex import Mutex
+            self._lock = Mutex(engine, f"{self.app}.mysql_lock")
+        self._start = OneShotEvent(engine, f"{self.app}.start")
+        self.master = self.spawn(engine, ThreadSpec(
+            f"{self.app}/master", self._master_behavior), at=at)
+
+    def _master_behavior(self, ctx):
+        # Initialization: CPU-bound table setup interleaved with
+        # forking the workers.  The master never sleeps here, so its
+        # inherited-by-children interactivity penalty keeps growing.
+        # Created workers block on the start latch (connecting to
+        # MySQL) until initialization completes.
+        for i in range(self.nthreads):
+            yield Run(self.init_per_thread_ns)
+            worker = yield Fork(ThreadSpec(
+                f"{self.app}/worker{i}", self._worker_behavior(i)))
+            self.workers.append(worker)
+        yield self._start.fire()
+        # The master then sleeps waiting for the run to finish.
+        while not self.finished:
+            yield Sleep(msec(100))
+
+    def _worker_behavior(self, index: int):
+        lock_every = (int(1 / self.lock_fraction)
+                      if self.lock_fraction > 0 else 0)
+
+        def behavior(ctx):
+            # The transaction budget is global (like sysbench's
+            # --max-requests): starved workers contribute nothing and
+            # the survivors complete the whole run (§5.2).
+            yield self._start.wait()
+            latency = ctx.metrics.latency(f"{self.app}.latency")
+            txn = 0
+            while not self.finished:
+                before = ctx.now
+                yield Sleep(self.wait_ns)
+                if self.finished:
+                    break
+                arrival = before + self.wait_ns
+                if lock_every and txn % lock_every == 0:
+                    yield self._lock.acquire()
+                    yield Run(self.lock_hold_ns)
+                    yield self._lock.release()
+                    remaining = self.service_ns - self.lock_hold_ns
+                    if remaining > 0:
+                        yield Run(remaining)
+                else:
+                    yield Run(self.service_ns)
+                self.completed += 1
+                txn += 1
+                latency.record(ctx.now - arrival)
+                if self.finished and self.finished_at is None:
+                    self.finished_at = ctx.now
+        return behavior
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def total_transactions(self) -> int:
+        return self.nthreads * self.transactions_per_thread
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.total_transactions
+
+    def done(self, engine: "Engine") -> bool:
+        return self.finished
+
+    def performance(self, engine: "Engine") -> float:
+        """Transactions per second (up to the completing request)."""
+        end = self.finished_at if self.finished_at is not None \
+            else engine.now
+        elapsed = end - (self._launched_at or 0)
+        if elapsed <= 0:
+            return 0.0
+        return self.completed * NSEC_PER_SEC / elapsed
+
+    def throughput(self, engine: "Engine") -> float:
+        """Alias of :meth:`performance` (transactions per second)."""
+        return self.performance(engine)
+
+    def mean_latency_ns(self, engine: "Engine") -> float:
+        """Mean per-transaction latency recorded so far."""
+        return engine.metrics.latency(f"{self.app}.latency").mean
+
+    def starved_workers(self, engine: "Engine") -> list:
+        """Workers that never executed a single transaction (the §5.2
+        threads 'forked late in the initialization process')."""
+        return [w for w in self.workers if w.total_runtime == 0]

@@ -1,0 +1,168 @@
+"""Tests for the analysis and tracing packages."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (confidence_interval95, final_spread, geomean,
+                            is_balanced, jain_index, max_min_ratio, mean,
+                            percent_diff, render_bar_chart, render_table,
+                            starvation_count, stdev, time_to_balance)
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec
+from repro.core.metrics import MetricRegistry, TimeSeries
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.tracing import (ascii_chart, downsample, heatmap,
+                           sample_threads_per_core, series_to_csv)
+
+
+# -------------------------------------------------------------- stats
+
+def test_mean_stdev():
+    assert mean([1, 2, 3]) == 2
+    assert stdev([2, 2, 2]) == 0
+    assert stdev([1, 3]) == pytest.approx(math.sqrt(2))
+
+
+def test_geomean():
+    assert geomean([1, 100]) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        geomean([0.0, 1.0])
+
+
+def test_percent_diff():
+    assert percent_diff(110, 100) == pytest.approx(10.0)
+    assert percent_diff(60, 100) == pytest.approx(-40.0)
+    with pytest.raises(ValueError):
+        percent_diff(1, 0)
+
+
+def test_confidence_interval():
+    lo, hi = confidence_interval95([10.0] * 5)
+    assert lo == hi == 10.0
+    lo, hi = confidence_interval95([1, 2, 3, 4, 5])
+    assert lo < 3 < hi
+
+
+# ------------------------------------------------------------ fairness
+
+def test_jain_perfect_fairness():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_total_unfairness():
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+def test_property_jain_bounds(values):
+    idx = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= idx <= 1.0 + 1e-9
+
+
+def test_starvation_count():
+    class T:
+        def __init__(self, rt):
+            self.total_runtime = rt
+    threads = [T(0), T(0), T(100)]
+    assert starvation_count(threads) == 2
+
+
+def test_max_min_ratio():
+    assert max_min_ratio([1, 2]) == 2
+    assert max_min_ratio([0, 2]) == float("inf")
+    assert max_min_ratio([0, 0]) == 1.0
+
+
+# --------------------------------------------------------- convergence
+
+def test_is_balanced():
+    assert is_balanced([3, 3, 4], tolerance=1)
+    assert not is_balanced([1, 5], tolerance=1)
+
+
+def test_time_to_balance_from_series():
+    metrics = MetricRegistry()
+    # two cores: imbalanced until t=30, balanced after
+    for t, (a, b) in [(10, (5, 1)), (20, (4, 2)), (30, (3, 3)),
+                      (40, (3, 3))]:
+        metrics.series("core0.nr_threads").record(t, a)
+        metrics.series("core1.nr_threads").record(t, b)
+    assert time_to_balance(metrics, 2, start_ns=0, tolerance=1) == 30
+    assert final_spread(metrics, 2) == 0
+
+
+def test_time_to_balance_never():
+    metrics = MetricRegistry()
+    metrics.series("core0.nr_threads").record(10, 9)
+    metrics.series("core1.nr_threads").record(10, 1)
+    assert time_to_balance(metrics, 2, start_ns=0) is None
+
+
+# -------------------------------------------------------------- report
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"],
+                        [["fibo", 160.0], ["sysbench", 290.5]],
+                        title="Table 2")
+    assert "Table 2" in text
+    assert "fibo" in text
+    assert "290.50" in text
+
+
+def test_render_bar_chart_signs():
+    text = render_bar_chart(["up", "down"], [40.0, -36.0])
+    lines = text.splitlines()
+    assert "+40.0%" in lines[0]
+    assert "-36.0%" in lines[1]
+
+
+# ------------------------------------------------------------- tracing
+
+def test_series_to_csv():
+    s = TimeSeries("x")
+    s.record(1, 2.0)
+    s.record(3, 4.0)
+    csv = series_to_csv([s])
+    assert "series,time_ns,value" in csv
+    assert "x,1,2.0" in csv
+
+
+def test_ascii_chart_renders():
+    s = TimeSeries("y")
+    for i in range(50):
+        s.record(i * 10**9, i * i)
+    text = ascii_chart(s, title="squares")
+    assert "squares" in text
+    assert "*" in text
+
+
+def test_downsample_caps_points():
+    s = TimeSeries("z")
+    for i in range(1000):
+        s.record(i, i)
+    points = downsample(s, max_points=100)
+    assert len(points) <= 101
+    assert points[0] == (0, 0)
+
+
+def test_threads_per_core_sampler_and_heatmap():
+    eng = Engine(smp(2), scheduler_factory("fifo"), seed=3)
+
+    def spin(ctx):
+        from repro.core.actions import run_forever
+        yield run_forever()
+
+    for i in range(4):
+        eng.spawn(ThreadSpec(f"w{i}", spin))
+    sample_threads_per_core(eng, msec(10))
+    eng.run(until=msec(200))
+    series = eng.metrics.series("core0.nr_threads")
+    assert len(series) >= 15
+    text = heatmap(eng.metrics, 2)
+    assert "core  0" in text
+    assert "time (s)" in text

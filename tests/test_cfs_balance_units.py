@@ -1,0 +1,132 @@
+"""Unit-level tests for the CFS balancing gates."""
+
+import pytest
+
+from repro.cfs.balance import can_migrate_task, load_balance
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import opteron_6172, smp
+from repro.sched import scheduler_factory
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def make_engine(ncpus=4, **kw):
+    topo = opteron_6172() if ncpus == 32 else smp(ncpus)
+    return Engine(topo, scheduler_factory("cfs", **kw), seed=51)
+
+
+def pinned_spinners(eng, count, cpu):
+    return [eng.spawn(ThreadSpec(f"p{cpu}-{i}", spin, app="app",
+                                 affinity=frozenset({cpu})))
+            for i in range(count)]
+
+
+def test_can_migrate_rejects_running_and_affinity():
+    eng = make_engine(ncpus=2)
+    a = eng.spawn(ThreadSpec("a", spin, affinity=frozenset({0})))
+    b = eng.spawn(ThreadSpec("b", spin, affinity=frozenset({0})))
+    eng.run(until=msec(20))
+    running = a if a.is_running else b
+    queued = b if running is a else a
+    sched = eng.scheduler
+    assert not can_migrate_task(sched, running, 1, None)
+    # queued thread is pinned to cpu 0: cannot go to 1
+    assert not can_migrate_task(sched, queued, 1, None)
+    eng.set_affinity(queued, None)
+    # cache hot right after running? it never ran; allow
+    assert can_migrate_task(sched, queued, 1, None)
+
+
+def test_cache_hot_blocks_until_failures():
+    eng = make_engine(ncpus=2)
+    a = eng.spawn(ThreadSpec("a", spin))
+    eng.run(until=msec(10))
+    sched = eng.scheduler
+    domain = sched.cpurq(eng.machine.cores[1]).domains[0]
+    # simulate: thread ran very recently
+    a.last_ran = eng.now
+    a.state = a.state  # no-op; just clarity
+    # while running it's excluded anyway; test the hot window on a
+    # queued clone
+    b = eng.spawn(ThreadSpec("b", spin, affinity=frozenset({0})))
+    eng.run(until=msec(12))
+    eng.set_affinity(b, None)
+    queued = b if not b.is_running else a
+    queued.last_ran = eng.now
+    domain.nr_balance_failed = 0
+    assert not can_migrate_task(sched, queued, 1, domain)
+    domain.nr_balance_failed = 5
+    assert can_migrate_task(sched, queued, 1, domain)
+
+
+def test_imbalance_within_threshold_not_balanced():
+    """5 vs 4 equal spinners inside an LLC (117% threshold ~ 1.17 <
+    5/4=1.25... but moving would invert): the anti-ping-pong rule
+    leaves it alone."""
+    eng = make_engine(ncpus=2)
+    pinned_spinners(eng, 3, 0)
+    pinned_spinners(eng, 2, 1)
+    eng.run(until=msec(50))
+    for t in eng.threads:
+        eng.set_affinity(t, None)
+    eng.run(until=sec(2))
+    counts = sorted(eng.nr_runnable_on(c) for c in range(2))
+    assert counts == [2, 3]
+
+
+def test_numa_threshold_gates_cross_node_moves():
+    """Across NUMA nodes a 25% imbalance persists (the threshold)."""
+    eng = make_engine(ncpus=32)
+    # node 0 carries 5 spinners/core, the other three nodes 4/core:
+    # node ratio 1.25 sits exactly at the tolerance
+    for cpu in range(8):
+        pinned_spinners(eng, 5, cpu)
+    for cpu in range(8, 32):
+        pinned_spinners(eng, 4, cpu)
+    eng.run(until=msec(50))
+    for t in eng.threads:
+        eng.set_affinity(t, None)
+    eng.run(until=sec(3))
+    node0 = sum(eng.nr_runnable_on(c) for c in range(8))
+    assert node0 == 40
+    for node in range(1, 4):
+        total = sum(eng.nr_runnable_on(c)
+                    for c in range(8 * node, 8 * node + 8))
+        assert total == 32
+
+
+def test_big_numa_imbalance_is_balanced():
+    eng = make_engine(ncpus=32)
+    for cpu in range(8):
+        pinned_spinners(eng, 8, cpu)  # node0: 64 threads
+    eng.run(until=msec(50))
+    for t in eng.threads:
+        eng.set_affinity(t, None)
+    eng.run(until=sec(5))
+    node0 = sum(eng.nr_runnable_on(c) for c in range(8))
+    # 64 threads over 4 nodes: node0 ends near 16-24 (within the
+    # 25% tolerance of 16), far below 64
+    assert node0 < 32
+
+
+def test_newidle_pull_happens_immediately():
+    """A core that *becomes* idle pulls work in its very next pick —
+    long before the lazy idle-periodic balancing would."""
+    eng = make_engine(ncpus=2)
+    a = eng.spawn(ThreadSpec("a", lambda ctx: iter([Run(msec(10))]),
+                             app="app", affinity=frozenset({1})))
+    b = eng.spawn(ThreadSpec("b", spin, app="app",
+                             affinity=frozenset({0})))
+    c = eng.spawn(ThreadSpec("c", spin, app="app",
+                             affinity=frozenset({0})))
+    eng.run(until=msec(5))
+    eng.set_affinity(b, None)
+    eng.set_affinity(c, None)
+    # 'a' exits at 10 ms; cpu1's pick runs newidle and steals b or c
+    eng.run(until=msec(12))
+    counts = [eng.nr_runnable_on(i) for i in range(2)]
+    assert counts == [1, 1]
+    assert eng.metrics.counter("cfs.newidle_calls") > 0

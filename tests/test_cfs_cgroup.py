@@ -1,0 +1,120 @@
+"""Tests for CFS task groups (per-application fairness)."""
+
+import pytest
+
+from repro.cfs.cgroup import TaskGroup
+from repro.cfs.params import CfsTunables
+from repro.cfs.weights import MIN_WEIGHT, NICE_0_LOAD
+from repro.core import Engine, ThreadSpec, run_forever
+from repro.core.clock import msec, sec
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+# ------------------------------------------------------------- unit level
+
+def make_groups(ncpus=2):
+    tun = CfsTunables()
+    root = TaskGroup("root", ncpus, tun)
+    child = TaskGroup("app", ncpus, tun, parent=root)
+    return root, child
+
+
+def test_root_group_has_no_entities():
+    root, child = make_groups()
+    assert root.is_root
+    assert root.entity_on(0) is None
+    assert child.entity_on(0) is not None
+    assert child.entity_on(0).my_rq is child.rq_on(0)
+
+
+def test_group_weight_follows_load_distribution():
+    root, child = make_groups(ncpus=2)
+    # all of the group's queued weight on cpu 0
+    from repro.cfs.entity import SchedEntity
+    se = SchedEntity(weight=NICE_0_LOAD)
+    child.rq_on(0).enqueue_entity(se)
+    assert child.group_weight_on(0) == child.shares
+    assert child.group_weight_on(1) == MIN_WEIGHT
+    # split across both cpus -> half the shares each
+    se2 = SchedEntity(weight=NICE_0_LOAD)
+    child.rq_on(1).enqueue_entity(se2)
+    assert child.group_weight_on(0) == child.shares // 2
+
+
+def test_group_weight_empty_group_uses_full_shares():
+    _, child = make_groups()
+    assert child.group_weight_on(0) == child.shares
+
+
+# ------------------------------------------------------ integration level
+
+def test_hierarchy_nr_running_consistency():
+    eng = Engine(single_core(), scheduler_factory("cfs"), seed=2)
+    for app in ("a", "b"):
+        for i in range(3):
+            eng.spawn(ThreadSpec(f"{app}{i}", spin, app=app))
+    eng.run(until=msec(50))
+    sched = eng.scheduler
+    core = eng.machine.cores[0]
+    assert sched.nr_runnable(core) == 6
+    root = core.rq.root
+    # root holds two group entities, each group rq holds three tasks
+    assert root.h_nr_running == 6
+    assert root.nr_running == 2
+    for app in ("a", "b"):
+        rq = sched._app_groups[app].rq_on(0)
+        assert rq.nr_running == 3
+
+
+def test_two_apps_split_core_regardless_of_thread_count():
+    """3-thread app vs 1-thread app: ~50/50 with autogroup."""
+    eng = Engine(single_core(), scheduler_factory("cfs"), seed=2)
+    big = [eng.spawn(ThreadSpec(f"big{i}", spin, app="big"))
+           for i in range(3)]
+    small = eng.spawn(ThreadSpec("small", spin, app="small"))
+    eng.run(until=sec(3))
+    big_total = sum(t.total_runtime for t in big)
+    assert big_total == pytest.approx(sec(1.5), rel=0.12)
+    assert small.total_runtime == pytest.approx(sec(1.5), rel=0.12)
+    # within the big app, threads are mutually fair
+    for t in big:
+        assert t.total_runtime == pytest.approx(big_total / 3, rel=0.2)
+
+
+def test_group_cleanup_when_threads_sleep():
+    """A group whose threads all block leaves the root timeline."""
+    from repro.core import Run, Sleep
+
+    def napper(ctx):
+        yield Run(msec(5))
+        yield Sleep(msec(100))
+        yield Run(msec(5))
+
+    eng = Engine(single_core(), scheduler_factory("cfs"), seed=2)
+    eng.spawn(ThreadSpec("hog", spin, app="hog"))
+    eng.spawn(ThreadSpec("nap", napper, app="nap"))
+    eng.run(until=msec(60))
+    core = eng.machine.cores[0]
+    root = core.rq.root
+    # only the hog's group remains queued
+    assert root.h_nr_running == 1
+    nap_gse = eng.scheduler._app_groups["nap"].entity_on(0)
+    assert not nap_gse.on_rq
+
+
+def test_groups_per_cpu_on_multicore():
+    eng = Engine(smp(2), scheduler_factory("cfs"), seed=2)
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin, app="app"))
+          for i in range(4)]
+    eng.run(until=sec(1))
+    group = eng.scheduler._app_groups["app"]
+    # the group entity exists independently per CPU and both carry load
+    assert sum(group.rq_on(c).nr_running for c in range(2)) == 4
+    for cpu in range(2):
+        if group.rq_on(cpu).nr_running:
+            assert group.entity_on(cpu).on_rq

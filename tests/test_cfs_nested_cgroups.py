@@ -1,0 +1,89 @@
+"""Tests for nested cgroups (§2.1's systemd pattern: fairness between
+users, then between a user's applications)."""
+
+import pytest
+
+from repro.core import Engine, ThreadSpec, run_forever
+from repro.core.clock import sec
+from repro.core.topology import single_core
+from repro.sched import scheduler_factory
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def make_engine():
+    return Engine(single_core(), scheduler_factory("cfs"), seed=71)
+
+
+def spawn_in(eng, name, cgroup):
+    return eng.spawn(ThreadSpec(name, spin, tags={"cgroup": cgroup}))
+
+
+def test_group_by_path_creates_hierarchy():
+    eng = make_engine()
+    sched = eng.scheduler
+    leaf = sched.group_by_path("alice/browser")
+    assert leaf.name == "alice/browser"
+    assert leaf.parent.name == "alice"
+    assert leaf.parent.parent is sched.root_group
+    # resolving again returns the same objects
+    assert sched.group_by_path("alice/browser") is leaf
+    assert sched.group_by_path("alice") is leaf.parent
+
+
+def test_fairness_between_users_then_apps():
+    """alice runs two apps with 3 threads total, bob one app with one
+    thread: each *user* gets half the core; alice's apps split her
+    half again."""
+    eng = make_engine()
+    a1 = [spawn_in(eng, f"a-browser{i}", "alice/browser")
+          for i in range(2)]
+    a2 = [spawn_in(eng, "a-build", "alice/build")]
+    b1 = [spawn_in(eng, "b-game", "bob/game")]
+    eng.run(until=sec(8))
+    alice = sum(t.total_runtime for t in a1 + a2)
+    bob = sum(t.total_runtime for t in b1)
+    assert alice == pytest.approx(sec(4), rel=0.12)
+    assert bob == pytest.approx(sec(4), rel=0.12)
+    # within alice: browser and build each get a quarter of the core
+    browser = sum(t.total_runtime for t in a1)
+    build = sum(t.total_runtime for t in a2)
+    assert browser == pytest.approx(sec(2), rel=0.15)
+    assert build == pytest.approx(sec(2), rel=0.15)
+
+
+def test_forked_children_inherit_cgroup():
+    from repro.core.actions import Fork, Run
+    eng = make_engine()
+    children = []
+
+    def parent_behavior(ctx):
+        child = yield Fork(ThreadSpec("kid", spin))
+        children.append(child)
+        yield run_forever()
+
+    eng.spawn(ThreadSpec("parent", parent_behavior,
+                         tags={"cgroup": "carol/app"}))
+    eng.run(until=sec(1))
+    assert children[0].tags["cgroup"] == "carol/app"
+    state = eng.scheduler.state_of(children[0])
+    assert state.group.name == "carol/app"
+
+
+def test_three_level_nesting_accounting():
+    eng = make_engine()
+    spawn_in(eng, "deep", "org/team/service")
+    spawn_in(eng, "shallow", "other")
+    eng.run(until=sec(2))
+    sched = eng.scheduler
+    core = eng.machine.cores[0]
+    # hierarchical counts are consistent at every level
+    assert sched.nr_runnable(core) == 2
+    assert sched.group_by_path("org").rq_on(0).h_nr_running == 1
+    assert sched.group_by_path("org/team").rq_on(0).h_nr_running == 1
+    # and both threads progressed (one deep, one shallow): ~50/50
+    deep, shallow = eng.threads
+    assert deep.total_runtime == pytest.approx(sec(1), rel=0.15)
+    assert shallow.total_runtime == pytest.approx(sec(1), rel=0.15)

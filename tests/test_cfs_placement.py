@@ -1,0 +1,128 @@
+"""Unit tests for CFS wake placement heuristics."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec
+from repro.core.topology import smp
+from repro.cfs.placement import record_wakee, wake_wide
+from repro.sched import scheduler_factory
+from repro.sync import Channel
+
+
+def make_engine(ncpus=4):
+    return Engine(smp(ncpus), scheduler_factory("cfs"), seed=13)
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+class FakeState:
+    def __init__(self):
+        self.last_wakee = None
+        self.wakee_flips = 0
+        self.wakee_flip_ts = 0
+
+
+def test_record_wakee_counts_distinct_wakees():
+    state = FakeState()
+    a, b = object(), object()
+    record_wakee(state, a, now=0)
+    record_wakee(state, a, now=1)  # same wakee: no flip
+    record_wakee(state, b, now=2)
+    record_wakee(state, a, now=3)
+    assert state.wakee_flips == 3
+
+
+def test_record_wakee_decays_every_second():
+    state = FakeState()
+    wakees = [object() for _ in range(8)]
+    for i, w in enumerate(wakees):
+        record_wakee(state, w, now=i)
+    flips_before = state.wakee_flips
+    record_wakee(state, object(), now=2 * 10**9)
+    assert state.wakee_flips <= flips_before // 2 + 1
+
+
+def test_wake_wide_detects_one_to_many():
+    """A dispatcher that wakes many distinct workers goes 'wide'."""
+    eng = make_engine(ncpus=4)
+    chan = Channel(eng)
+    n = 12
+
+    def dispatcher(ctx):
+        for round_ in range(20):
+            yield Sleep(msec(2))
+            for _ in range(n):
+                yield chan.put(round_)
+
+    def worker(ctx):
+        while True:
+            item = yield chan.get()
+            yield Run(msec(1))
+
+    disp = eng.spawn(ThreadSpec("disp", dispatcher, app="svc"))
+    workers = [eng.spawn(ThreadSpec(f"w{i}", worker, app="svc"))
+               for i in range(n)]
+    eng.run(until=sec(1))
+    # the dispatcher accumulated wakee flips well above the LLC size
+    state = eng.scheduler.state_of(disp)
+    assert state.wakee_flips > 4
+    # and its wakees were spread across the machine
+    used_cpus = {w.cpu for w in workers}
+    assert len(used_cpus) >= 3
+
+
+def test_wake_wide_formula():
+    """The kernel's rule: wide only when the *slave* also flips at
+    least factor times and master >= slave * factor."""
+    eng = make_engine(ncpus=4)  # one LLC of 4 -> factor 4
+    sched = eng.scheduler
+    master = eng.spawn(ThreadSpec("m", spin))
+    slave = eng.spawn(ThreadSpec("s", spin))
+    eng.run(until=msec(1))
+    ms, ss = sched.state_of(master), sched.state_of(slave)
+    ms.wakee_flips, ss.wakee_flips = 40, 5
+    assert wake_wide(sched, master, slave)
+    ms.wakee_flips, ss.wakee_flips = 40, 2  # slave below factor
+    assert not wake_wide(sched, master, slave)
+    ms.wakee_flips, ss.wakee_flips = 10, 5  # master < slave * factor
+    assert not wake_wide(sched, master, slave)
+
+
+def test_one_to_one_stays_affine():
+    """A ping-pong pair is kept close (not spread machine-wide)."""
+    eng = make_engine(ncpus=4)
+    a2b, b2a = Channel(eng), Channel(eng)
+
+    def ping(ctx):
+        for i in range(200):
+            yield a2b.put(i)
+            yield b2a.get()
+            yield Run(msec(1))
+
+    def pong(ctx):
+        for _ in range(200):
+            yield a2b.get()
+            yield Run(msec(1))
+            yield b2a.put(None)
+
+    a = eng.spawn(ThreadSpec("ping", ping, app="pp"))
+    b = eng.spawn(ThreadSpec("pong", pong, app="pp"))
+    eng.run(until=sec(2))
+    sa = eng.scheduler.state_of(a)
+    sb = eng.scheduler.state_of(b)
+    # each always wakes the same partner: flips stay at 1
+    assert sa.wakee_flips <= 1
+    assert sb.wakee_flips <= 1
+    assert not wake_wide(eng.scheduler, a, b)
+    # pair migrated rarely (placement kept them on their CPUs)
+    assert a.nr_migrations + b.nr_migrations <= 4
+
+
+def test_fork_spreads_to_idle_cpus():
+    eng = make_engine(ncpus=4)
+    ts = [eng.spawn(ThreadSpec(f"s{i}", spin)) for i in range(4)]
+    eng.run(until=msec(100))
+    assert {t.cpu for t in ts} == {0, 1, 2, 3}

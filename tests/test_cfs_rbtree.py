@@ -1,0 +1,110 @@
+"""Red-black tree unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfs.rbtree import RBTree
+
+
+def test_insert_and_min():
+    tree = RBTree()
+    for key in [5, 3, 8, 1, 9]:
+        tree.insert(key, f"v{key}")
+    assert tree.min_key() == 1
+    assert tree.min_value() == "v1"
+    assert len(tree) == 5
+
+
+def test_remove_returns_value():
+    tree = RBTree()
+    tree.insert(1, "a")
+    tree.insert(2, "b")
+    assert tree.remove(1) == "a"
+    assert tree.min_key() == 2
+    assert len(tree) == 1
+
+
+def test_remove_missing_raises():
+    tree = RBTree()
+    with pytest.raises(KeyError):
+        tree.remove(42)
+
+
+def test_duplicate_insert_raises():
+    tree = RBTree()
+    tree.insert(1, "a")
+    with pytest.raises(KeyError):
+        tree.insert(1, "b")
+
+
+def test_second_value():
+    tree = RBTree()
+    assert tree.second_value() is None
+    tree.insert(10, "x")
+    assert tree.second_value() is None
+    tree.insert(5, "y")
+    assert tree.min_value() == "y"
+    assert tree.second_value() == "x"
+
+
+def test_items_inorder():
+    tree = RBTree()
+    keys = [7, 2, 9, 4, 1, 8, 3]
+    for k in keys:
+        tree.insert(k, k)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def test_contains():
+    tree = RBTree()
+    tree.insert((5, 1), "a")
+    assert (5, 1) in tree
+    assert (5, 2) not in tree
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 1000), unique=True, min_size=1))
+def test_property_insert_preserves_invariants(keys):
+    tree = RBTree()
+    for k in keys:
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert tree.min_key() == min(keys)
+    assert list(tree.values()) == sorted(keys)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 300), unique=True, min_size=2),
+       st.data())
+def test_property_interleaved_insert_delete(keys, data):
+    tree = RBTree()
+    present = set()
+    for k in keys:
+        tree.insert(k, k)
+        present.add(k)
+        if len(present) > 1 and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(present)))
+            tree.remove(victim)
+            present.discard(victim)
+        tree.check_invariants()
+    if present:
+        assert tree.min_key() == min(present)
+    assert set(tree.values()) == present
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 100), unique=True, min_size=1))
+def test_property_drain_by_min(keys):
+    """Repeatedly removing the minimum yields keys in sorted order —
+    the exact access pattern of pick_next_task."""
+    tree = RBTree()
+    for k in keys:
+        tree.insert(k, k)
+    drained = []
+    while tree:
+        k = tree.min_key()
+        drained.append(k)
+        tree.remove(k)
+        tree.check_invariants()
+    assert drained == sorted(keys)

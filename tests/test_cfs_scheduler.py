@@ -1,0 +1,240 @@
+"""Integration tests for the CFS scheduler running in the engine."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec
+from repro.core.topology import opteron_6172, single_core, smp
+from repro.sched import scheduler_factory
+
+
+def make_engine(ncpus=1, **sched_kw):
+    if ncpus == 1:
+        topo = single_core()
+    elif ncpus == 32:
+        topo = opteron_6172()
+    else:
+        topo = smp(ncpus)
+    return Engine(topo, scheduler_factory("cfs", **sched_kw), seed=1)
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def compute(duration):
+    def behavior(ctx):
+        yield Run(duration)
+    return behavior
+
+
+def test_single_thread_runs():
+    eng = make_engine()
+    t = eng.spawn(ThreadSpec("solo", compute(msec(50))))
+    assert eng.run(until=sec(2)) == "all-exited"
+    assert t.total_runtime == msec(50)
+
+
+def test_equal_threads_share_fairly():
+    eng = make_engine()
+    # Same app so they share one cgroup -> pure thread fairness.
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin, app="app"))
+          for i in range(4)]
+    eng.run(until=sec(2))
+    runtimes = [t.total_runtime for t in ts]
+    mean = sum(runtimes) / 4
+    assert mean == pytest.approx(sec(2) / 4, rel=0.05)
+    for rt in runtimes:
+        assert rt == pytest.approx(mean, rel=0.10)
+
+
+def test_nice_weighting_shifts_share():
+    eng = make_engine()
+    hi = eng.spawn(ThreadSpec("hi", spin, nice=-5, app="app"))
+    lo = eng.spawn(ThreadSpec("lo", spin, nice=5, app="app"))
+    eng.run(until=sec(2))
+    # weight(-5)=3121, weight(5)=335 -> ratio ~9.3
+    ratio = hi.total_runtime / lo.total_runtime
+    assert 6.0 < ratio < 13.0
+
+
+def test_cgroup_fairness_between_apps():
+    """One single-threaded app vs one 10-threaded app: with autogroup
+    each app gets ~half the core (fibo-vs-sysbench in Table 2)."""
+    eng = make_engine()
+    solo = eng.spawn(ThreadSpec("solo", spin, app="solo"))
+    herd = [eng.spawn(ThreadSpec(f"h{i}", spin, app="herd"))
+            for i in range(10)]
+    eng.run(until=sec(4))
+    herd_total = sum(t.total_runtime for t in herd)
+    assert solo.total_runtime == pytest.approx(sec(2), rel=0.12)
+    assert herd_total == pytest.approx(sec(2), rel=0.12)
+
+
+def test_no_autogroup_gives_per_thread_fairness():
+    eng = make_engine(autogroup=False)
+    solo = eng.spawn(ThreadSpec("solo", spin, app="solo"))
+    herd = [eng.spawn(ThreadSpec(f"h{i}", spin, app="herd"))
+            for i in range(9)]
+    eng.run(until=sec(2))
+    # 10 equal threads, no grouping: solo gets ~1/10 (tolerance covers
+    # slice-boundary truncation at the 2 s cutoff).
+    assert solo.total_runtime == pytest.approx(sec(2) / 10, rel=0.25)
+
+
+def test_vruntime_spread_bounded():
+    """CFS keeps every thread scheduled within the period: no thread
+    starves (contrast with ULE)."""
+    eng = make_engine()
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin, app="app"))
+          for i in range(6)]
+    eng.run(until=sec(1))
+    # all six made progress in the first second
+    for t in ts:
+        assert t.total_runtime > msec(50)
+
+
+def test_sleeper_scheduled_promptly_on_wake():
+    """A mostly-sleeping thread gets the CPU quickly when it wakes
+    (min-vruntime placement + wakeup preemption).  Wake latency shows
+    up as the thread's accumulated runnable-wait time."""
+    from repro.core.clock import usec
+    eng = make_engine()
+    eng.spawn(ThreadSpec("hog", spin, app="hog"))
+
+    def sleeper(ctx):
+        for _ in range(20):
+            yield Sleep(msec(10) + usec(137))
+            yield Run(usec(500))
+
+    t = eng.spawn(ThreadSpec("interactive", sleeper, app="ia"))
+    # warm up past the initial queue wait, then measure
+    eng.run(until=msec(100))
+    baseline = t.total_waittime
+    eng.run(until=sec(2))
+    wakeups = 20 - 100 // 11  # cycles measured after warm-up
+    assert (t.total_waittime - baseline) / wakeups < usec(100)
+
+
+def test_wakeup_preemption_disabled_increases_latency():
+    from repro.core.clock import usec
+
+    def run_one(preempt):
+        eng = make_engine(wakeup_preemption=preempt)
+        eng.spawn(ThreadSpec("hog", spin, app="hog"))
+
+        def sleeper(ctx):
+            for _ in range(20):
+                # unaligned sleeps so wakes land between ticks
+                yield Sleep(msec(10) + usec(137))
+                yield Run(usec(500))
+
+        t = eng.spawn(ThreadSpec("interactive", sleeper, app="ia"))
+        eng.run(until=msec(100))  # warm up past the initial queue wait
+        baseline = t.total_waittime
+        eng.run(until=sec(2))
+        wakeups = 20 - 100 // 11
+        return ((t.total_waittime - baseline) / wakeups,
+                eng.metrics.counter("cfs.wakeup_preemptions"))
+
+    wait_on, preempts_on = run_one(True)
+    wait_off, preempts_off = run_one(False)
+    assert preempts_on > 0
+    assert preempts_off == 0
+    # wakeup preemption runs the woken sleeper immediately; without it
+    # the sleeper waits for the next tick-driven check
+    assert wait_on < wait_off
+    assert wait_on < usec(50)
+
+
+def test_fork_placement_spreads_on_idle_cpus():
+    eng = make_engine(ncpus=4)
+    done = []
+
+    def master(ctx):
+        from repro.core.actions import Fork
+        for i in range(4):
+            yield Fork(ThreadSpec(f"child{i}", spin, app="app"))
+        done.append(True)
+        yield Run(msec(1))
+
+    eng.spawn(ThreadSpec("master", master, app="app"))
+    eng.run(until=msec(200))
+    children = eng.threads_named("child")
+    cpus = {t.cpu for t in children}
+    assert len(cpus) >= 3  # spread across the idle machine
+
+
+def test_idle_balance_pulls_work():
+    eng = make_engine(ncpus=4)
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin, app="app",
+                               affinity=frozenset({0})))
+          for i in range(8)]
+    eng.run(until=msec(20))
+    for t in ts:
+        eng.set_affinity(t, None)
+    eng.run(until=msec(500))
+    counts = [eng.nr_runnable_on(c) for c in range(4)]
+    assert counts == [2, 2, 2, 2]
+
+
+def test_numa_imbalance_tolerated():
+    """Across NUMA nodes CFS accepts up to ~25% imbalance (Fig. 6's
+    15-vs-18 outcome)."""
+    eng = make_engine(ncpus=32)
+    # 2 spinners per core in node 0 plus 1 extra per core: make node0
+    # carry 20% more than node1 -> should NOT be rebalanced.
+    for cpu in range(8):
+        for j in range(6 if cpu < 4 else 5):
+            eng.spawn(ThreadSpec(f"a{cpu}-{j}", spin, app="app",
+                                 affinity=frozenset({cpu})))
+    eng.run(until=msec(50))
+    for t in eng.threads:
+        eng.set_affinity(t, None)
+    eng.run(until=sec(3))
+    node0 = sum(eng.nr_runnable_on(c) for c in range(8))
+    node_rest = sum(eng.nr_runnable_on(c) for c in range(8, 32))
+    # everything spread out but some imbalance may remain
+    assert node_rest > 0
+    total = node0 + node_rest
+    assert total == 44
+
+
+def test_yield_lets_peer_run():
+    eng = make_engine()
+    order = []
+
+    def politer(ctx):
+        from repro.core.actions import Yield
+        for _ in range(3):
+            yield Run(msec(1))
+            order.append(ctx.thread.name)
+            yield Yield()
+
+    eng.spawn(ThreadSpec("y1", politer, app="app"))
+    eng.spawn(ThreadSpec("y2", politer, app="app"))
+    eng.run(until=sec(1))
+    assert len(order) == 6
+    assert set(order[:2]) == {"y1", "y2"}
+
+
+def test_runnable_threads_reporting():
+    eng = make_engine()
+    eng.spawn(ThreadSpec("a", spin, app="x"))
+    eng.spawn(ThreadSpec("b", spin, app="y"))
+    eng.run(until=msec(10))
+    core = eng.machine.cores[0]
+    names = sorted(t.name for t in eng.scheduler.runnable_threads(core))
+    assert names == ["a", "b"]
+    assert eng.scheduler.nr_runnable(core) == 2
+
+
+def test_migration_preserves_fairness():
+    """Threads migrated between CPUs do not gain or lose vruntime
+    (min_vruntime normalization)."""
+    eng = make_engine(ncpus=2)
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin, app="app"))
+          for i in range(4)]
+    eng.run(until=sec(2))
+    runtimes = sorted(t.total_runtime for t in ts)
+    assert runtimes[0] > runtimes[-1] * 0.8

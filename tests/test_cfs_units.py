@@ -1,0 +1,250 @@
+"""Unit tests for CFS building blocks: weights, PELT, runqueue,
+domains, tunables."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import msec, sec
+from repro.cfs.domains import build_domains
+from repro.cfs.entity import SchedEntity
+from repro.cfs.params import CfsTunables
+from repro.cfs.pelt import HALF_LIFE_NS, LoadAvg, decay_factor
+from repro.cfs.runqueue import CfsRq
+from repro.cfs.weights import (NICE_0_LOAD, calc_delta_fair,
+                               nice_to_weight)
+from repro.core.topology import opteron_6172, single_core, smp
+
+
+# ----------------------------------------------------------------- weights
+
+def test_nice_zero_is_1024():
+    assert nice_to_weight(0) == NICE_0_LOAD
+
+
+def test_weight_monotonic_in_priority():
+    weights = [nice_to_weight(n) for n in range(-20, 20)]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_each_nice_step_is_about_25_percent():
+    for nice in range(-20, 19):
+        ratio = nice_to_weight(nice) / nice_to_weight(nice + 1)
+        assert 1.18 < ratio < 1.32
+
+
+def test_nice_out_of_range():
+    with pytest.raises(ValueError):
+        nice_to_weight(20)
+    with pytest.raises(ValueError):
+        nice_to_weight(-21)
+
+
+def test_calc_delta_fair_scales_inverse_to_weight():
+    # nice 0: wall speed
+    assert calc_delta_fair(1000, NICE_0_LOAD) == 1000
+    # heavier threads accumulate vruntime slower
+    assert calc_delta_fair(1000, nice_to_weight(-5)) < 1000
+    # lighter threads faster
+    assert calc_delta_fair(1000, nice_to_weight(5)) > 1000
+
+
+# ----------------------------------------------------------------- PELT
+
+def test_decay_half_life():
+    assert math.isclose(decay_factor(HALF_LIFE_NS), 0.5, rel_tol=1e-9)
+    assert math.isclose(decay_factor(2 * HALF_LIFE_NS), 0.25,
+                        rel_tol=1e-9)
+    assert decay_factor(0) == 1.0
+
+
+def test_load_avg_rises_when_running():
+    avg = LoadAvg(NICE_0_LOAD, now=0)
+    avg.update(msec(320), running=True)  # 10 half-lives
+    assert avg.util_avg > 0.999
+    assert avg.load_avg == pytest.approx(NICE_0_LOAD, rel=1e-2)
+
+
+def test_load_avg_decays_when_idle():
+    avg = LoadAvg(NICE_0_LOAD, now=0)
+    avg.update(msec(320), running=True)
+    avg.update(msec(320) + HALF_LIFE_NS, running=False)
+    assert avg.util_avg == pytest.approx(0.5, rel=1e-2)
+
+
+def test_peek_does_not_mutate():
+    avg = LoadAvg(NICE_0_LOAD, now=0)
+    avg.update(msec(32), running=True)
+    before = avg.util_avg
+    avg.peek(msec(64), running=False)
+    assert avg.util_avg == before
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 50_000_000), st.booleans()),
+                min_size=1, max_size=30))
+def test_property_util_stays_in_unit_interval(steps):
+    avg = LoadAvg(NICE_0_LOAD, now=0)
+    now = 0
+    for delta, running in steps:
+        now += delta
+        avg.update(now, running)
+        assert 0.0 <= avg.util_avg <= 1.0
+
+
+# ----------------------------------------------------------------- runqueue
+
+def make_rq():
+    return CfsRq(0, CfsTunables())
+
+
+def make_se(vruntime=0, weight=NICE_0_LOAD):
+    se = SchedEntity(thread=None, weight=weight)
+    se.vruntime = vruntime
+    return se
+
+
+def test_enqueue_pick_leftmost():
+    rq = make_rq()
+    a, b, c = make_se(30), make_se(10), make_se(20)
+    for se in (a, b, c):
+        rq.enqueue_entity(se)
+    assert rq.pick_first() is b
+    assert rq.nr_running == 3
+    assert rq.load_weight == 3 * NICE_0_LOAD
+
+
+def test_set_next_removes_from_tree():
+    rq = make_rq()
+    a, b = make_se(10), make_se(20)
+    rq.enqueue_entity(a)
+    rq.enqueue_entity(b)
+    rq.set_next(a)
+    assert rq.curr is a
+    assert rq.pick_first() is b
+    rq.put_prev(a)
+    assert rq.pick_first() is a
+
+
+def test_min_vruntime_monotonic():
+    rq = make_rq()
+    a = make_se(100)
+    rq.enqueue_entity(a)
+    rq.update_min_vruntime()
+    assert rq.min_vruntime == 100
+    rq.dequeue_entity(a)
+    b = make_se(50)
+    rq.enqueue_entity(b)
+    rq.update_min_vruntime()
+    # never goes backwards
+    assert rq.min_vruntime == 100
+
+
+def test_place_entity_initial_is_ahead():
+    rq = make_rq()
+    a = make_se(0)
+    rq.enqueue_entity(a)
+    rq.update_min_vruntime()
+    child = make_se(0)
+    rq.place_entity(child, initial=True)
+    assert child.vruntime > rq.min_vruntime
+
+
+def test_place_entity_wakeup_gets_credit_but_not_unbounded():
+    tun = CfsTunables()
+    rq = make_rq()
+    runner = make_se(sec(10))
+    rq.enqueue_entity(runner)
+    rq.update_min_vruntime()
+    sleeper = make_se(0)  # slept for ages, ancient vruntime
+    rq.place_entity(sleeper, initial=False)
+    credit = tun.sched_latency_ns // 2
+    assert sleeper.vruntime == rq.min_vruntime - credit
+    # a barely-slept entity keeps its own (higher) vruntime
+    fresh = make_se(sec(10) + msec(1))
+    rq.place_entity(fresh, initial=False)
+    assert fresh.vruntime == sec(10) + msec(1)
+
+
+def test_sched_period_matches_paper():
+    tun = CfsTunables()
+    # "for a core executing fewer than 8 threads the default time
+    # period is 48ms"
+    assert tun.sched_period(1) == msec(48)
+    assert tun.sched_period(8) == msec(48)
+    # "when a core executes more than 8 threads ... 6 * nr ms"
+    assert tun.sched_period(9) == msec(54)
+    assert tun.sched_period(80) == msec(480)
+
+
+def test_sched_slice_divides_by_weight():
+    rq = make_rq()
+    a, b = make_se(0), make_se(0, weight=nice_to_weight(-5))
+    rq.enqueue_entity(a)
+    rq.enqueue_entity(b)
+    sa = rq.sched_slice(a)
+    sb = rq.sched_slice(b)
+    assert sa + sb == pytest.approx(msec(48), rel=0.01)
+    assert sb > sa
+
+
+def test_skip_hint_prefers_second():
+    rq = make_rq()
+    a, b = make_se(10), make_se(20)
+    rq.enqueue_entity(a)
+    rq.enqueue_entity(b)
+    rq.skip = a
+    assert rq.pick_first() is b
+    # with nothing else queued, the skipped entity still runs
+    rq.dequeue_entity(b)
+    rq.skip = a
+    assert rq.pick_first() is a
+
+
+def test_reweight_keeps_tree_consistent():
+    rq = make_rq()
+    a, b = make_se(10), make_se(20)
+    rq.enqueue_entity(a)
+    rq.enqueue_entity(b)
+    rq.reweight_entity(a, 2048)
+    assert rq.load_weight == 2048 + NICE_0_LOAD
+    assert rq.pick_first() is a
+    rq.tree.check_invariants()
+
+
+# ----------------------------------------------------------------- domains
+
+def test_domains_on_paper_machine():
+    tun = CfsTunables()
+    domains = build_domains(0, opteron_6172(), tun)
+    # LLC == NUMA node on the Opteron: two non-degenerate levels.
+    assert [d.name for d in domains] == ["llc", "machine"]
+    llc, machine = domains
+    assert llc.span == frozenset(range(8))
+    assert len(llc.groups) == 8  # singleton CPUs
+    assert machine.span == frozenset(range(32))
+    assert len(machine.groups) == 4  # the NUMA nodes
+    assert machine.imbalance_pct == tun.imbalance_pct_numa
+    assert llc.imbalance_pct == tun.imbalance_pct_llc
+    # wider domains are balanced less often
+    assert machine.interval_ns > llc.interval_ns
+
+
+def test_domains_single_core():
+    domains = build_domains(0, single_core(), CfsTunables())
+    assert domains == []
+
+
+def test_domains_local_group():
+    domains = build_domains(9, opteron_6172(), CfsTunables())
+    machine = domains[-1]
+    assert machine.local_group() == frozenset(range(8, 16))
+
+
+def test_domains_flat_smp():
+    domains = build_domains(0, smp(4), CfsTunables())
+    assert len(domains) == 1
+    assert domains[0].span == frozenset(range(4))
+    assert len(domains[0].groups) == 4

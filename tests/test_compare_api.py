@@ -1,0 +1,106 @@
+"""Tests for the compare_schedulers API and a sync-fuzz hardening
+pass."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compare_schedulers
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.workloads.base import ComputeWorkload
+
+
+def small_compute():
+    return ComputeWorkload(app="cw", nthreads=4, work_ns=msec(20),
+                           chunk_ns=msec(5))
+
+
+def test_compare_runs_both_schedulers():
+    out = compare_schedulers(small_compute, ncpus=2,
+                             timeout_ns=sec(60))
+    assert set(out.runs) == {"cfs", "ule"}
+    assert out.runs["cfs"].performance > 0
+    assert out.winner in ("cfs", "ule")
+    assert "ULE is" in out.summary()
+
+
+def test_compare_custom_scheduler_list():
+    out = compare_schedulers(small_compute, schedulers=("fifo",),
+                             ncpus=2, timeout_ns=sec(60))
+    assert set(out.runs) == {"fifo"}
+    with pytest.raises(KeyError):
+        _ = out.diff_pct  # needs both cfs and ule
+
+
+def test_compare_scheduler_options_forwarded():
+    out = compare_schedulers(
+        small_compute, ncpus=2, timeout_ns=sec(60),
+        scheduler_options={"ule": {"pickcpu_scan_cost_ns": usec(5)}})
+    # scans were charged only on the ULE run
+    assert out.runs["ule"].overhead_pct >= 0.0
+    assert out.runs["cfs"].overhead_pct == 0.0
+
+
+def test_compare_deterministic():
+    a = compare_schedulers(small_compute, ncpus=2, timeout_ns=sec(60))
+    b = compare_schedulers(small_compute, ncpus=2, timeout_ns=sec(60))
+    assert a.runs["ule"].performance == b.runs["ule"].performance
+    assert a.runs["cfs"].switches == b.runs["cfs"].switches
+
+
+# ----------------------------------------------------------- sync fuzz
+
+@pytest.mark.parametrize("sched", ["cfs", "ule"])
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_fuzz_sync_workloads_conserve_work(sched, data):
+    """Random mixtures of compute, sleep, and well-paired lock usage
+    never crash any scheduler, always complete, and conserve work."""
+    from repro.sync import Mutex, Semaphore
+
+    nthreads = data.draw(st.integers(2, 6))
+    ncpus = data.draw(st.sampled_from([1, 2, 4]))
+    engine = Engine(smp(ncpus), scheduler_factory(sched),
+                    seed=data.draw(st.integers(0, 99)))
+    mutex = Mutex(engine)
+    sem = Semaphore(engine, value=data.draw(st.integers(1, 3)))
+    plans = []
+    for i in range(nthreads):
+        steps = data.draw(st.lists(
+            st.tuples(st.sampled_from(["run", "sleep", "lock", "sem"]),
+                      st.integers(1, 5)),
+            min_size=1, max_size=5))
+        plans.append(steps)
+
+    def behavior_for(steps):
+        def behavior(ctx):
+            for kind, amount in steps:
+                if kind == "run":
+                    yield Run(msec(amount))
+                elif kind == "sleep":
+                    yield Sleep(msec(amount))
+                elif kind == "lock":
+                    yield mutex.acquire()
+                    yield Run(msec(amount))
+                    yield mutex.release()
+                else:
+                    yield sem.down()
+                    yield Run(msec(amount))
+                    yield sem.up()
+        return behavior
+
+    threads = [engine.spawn(ThreadSpec(f"f{i}", behavior_for(p)))
+               for i, p in enumerate(plans)]
+    reason = engine.run(until=sec(60))
+    assert reason == "all-exited"
+    for thread, steps in zip(threads, plans):
+        want = sum(msec(a) for k, a in steps if k != "sleep")
+        assert thread.total_runtime == want
+    for core in engine.machine.cores:
+        core.account_to_now()
+    assert sum(c.busy_ns for c in engine.machine.cores) == \
+        sum(t.total_runtime for t in threads)
+    assert mutex.owner is None

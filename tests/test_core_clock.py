@@ -1,0 +1,33 @@
+"""Tests for time units and conversions."""
+
+from repro.core import clock
+
+
+def test_unit_constants_consistent():
+    assert clock.NSEC_PER_SEC == 1000 * clock.NSEC_PER_MSEC
+    assert clock.NSEC_PER_MSEC == 1000 * clock.NSEC_PER_USEC
+
+
+def test_conversions_roundtrip():
+    assert clock.sec(1) == clock.NSEC_PER_SEC
+    assert clock.msec(1.5) == 1_500_000
+    assert clock.usec(2) == 2_000
+    assert clock.to_sec(clock.sec(3)) == 3.0
+    assert clock.to_msec(clock.msec(7)) == 7.0
+
+
+def test_linux_tick_is_one_ms():
+    assert clock.LINUX_TICK_NSEC == clock.msec(1)
+
+
+def test_freebsd_tick_matches_stathz():
+    # 127 Hz -> ~7.874 ms; 10 ticks is the paper's "78 ms" timeslice.
+    assert 7_800_000 < clock.FREEBSD_TICK_NSEC < 7_900_000
+    assert abs(10 * clock.FREEBSD_TICK_NSEC - clock.msec(78)) < clock.msec(1)
+
+
+def test_format_ns_picks_unit():
+    assert clock.format_ns(5) == "5ns"
+    assert clock.format_ns(1_500) == "1.500us"
+    assert clock.format_ns(1_500_000) == "1.500ms"
+    assert clock.format_ns(2_500_000_000) == "2.500s"

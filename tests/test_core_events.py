@@ -1,0 +1,67 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.core.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.post(30, fired.append, "c")
+    q.post(10, fired.append, "a")
+    q.post(20, fired.append, "b")
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        e.callback(*e.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    q = EventQueue()
+    fired = []
+    for i in range(10):
+        q.post(5, fired.append, i)
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == list(range(10))
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    fired = []
+    keep = q.post(1, fired.append, "keep")
+    drop = q.post(1, fired.append, "drop")
+    drop.cancel()
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == ["keep"]
+    assert not keep.cancelled
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.post(1, lambda: None)
+    q.post(2, lambda: None)
+    assert q.peek_time() == 1
+    first.cancel()
+    assert q.peek_time() == 2
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    a = q.post(1, lambda: None)
+    q.post(2, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+    assert bool(q)
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None
+    assert not q

@@ -1,0 +1,82 @@
+"""Tests for machine topology descriptions."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.topology import (Topology, TopologyLevel, i7_3770,
+                                 opteron_6172, single_core, smp)
+
+
+def test_single_core():
+    topo = single_core()
+    assert topo.ncpus == 1
+    assert topo.llc_of(0) == {0}
+    assert topo.node_of(0) == {0}
+
+
+def test_opteron_shape_matches_paper():
+    """The paper's machine: 32 cores, 4 NUMA nodes of 8 cores."""
+    topo = opteron_6172()
+    assert topo.ncpus == 32
+    assert len(topo.level("numa").groups) == 4
+    assert all(len(g) == 8 for g in topo.level("numa").groups)
+    # LLC == node on this machine
+    assert topo.llc_of(0) == topo.node_of(0)
+    assert topo.shares_llc(0, 7)
+    assert not topo.shares_llc(0, 8)
+
+
+def test_i7_has_smt_level():
+    topo = i7_3770()
+    assert topo.ncpus == 8
+    assert topo.siblings("smt", 0) == {1}
+    assert topo.shares_llc(0, 7)
+
+
+def test_levels_above_walk_widens():
+    topo = opteron_6172()
+    walk = list(topo.levels_above(9))
+    names = [name for name, _ in walk]
+    assert names == ["llc", "numa", "machine"]
+    sizes = [len(group) for _, group in walk]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] == 32
+
+
+def test_invalid_overlapping_groups_rejected():
+    with pytest.raises(TopologyError):
+        Topology(2, [TopologyLevel.make("machine", [[0, 1], [1]])])
+
+
+def test_invalid_partial_cover_rejected():
+    with pytest.raises(TopologyError):
+        Topology(4, [TopologyLevel.make("machine", [[0, 1, 2]])])
+
+
+def test_invalid_nesting_rejected():
+    with pytest.raises(TopologyError):
+        Topology(4, [
+            TopologyLevel.make("llc", [[0, 1], [2, 3]]),
+            TopologyLevel.make("numa", [[0, 2], [1, 3]]),
+            TopologyLevel.make("machine", [[0, 1, 2, 3]]),
+        ])
+
+
+def test_top_level_must_be_single_group():
+    with pytest.raises(TopologyError):
+        Topology(4, [TopologyLevel.make("machine", [[0, 1], [2, 3]])])
+
+
+def test_smp_node_major_numbering():
+    topo = smp(8, cpus_per_llc=2, numa_nodes=2)
+    assert topo.node_of(0) == {0, 1, 2, 3}
+    assert topo.node_of(5) == {4, 5, 6, 7}
+    assert topo.llc_of(0) == {0, 1}
+
+
+def test_unknown_level_raises():
+    topo = single_core()
+    with pytest.raises(TopologyError):
+        topo.level("smt")
+    with pytest.raises(TopologyError):
+        topo.group_of("smt", 0)

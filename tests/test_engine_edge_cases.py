@@ -1,0 +1,205 @@
+"""Engine edge cases: zero durations, exits, overlapping events,
+metrics, and error paths."""
+
+import pytest
+
+from repro.core import (Engine, Exit, Run, Sleep, ThreadSpec, Yield,
+                        run_forever)
+from repro.core.actions import Fork
+from repro.core.clock import msec, sec, usec
+from repro.core.errors import SimulationError, ThreadStateError
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+
+
+def make_engine(ncpus=1, **kw):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory("fifo"), seed=41, **kw)
+
+
+def test_zero_duration_run_and_sleep_are_instant():
+    eng = make_engine()
+    marks = []
+
+    def behavior(ctx):
+        yield Run(0)
+        marks.append(ctx.now)
+        yield Sleep(0)
+        marks.append(ctx.now)
+        yield Run(msec(1))
+
+    t = eng.spawn(ThreadSpec("z", behavior))
+    eng.run(until=sec(1))
+    assert marks == [0, 0]
+    assert t.total_runtime == msec(1)
+    assert t.total_sleeptime == 0
+
+
+def test_negative_durations_rejected():
+    with pytest.raises(ValueError):
+        Run(-1)
+    with pytest.raises(ValueError):
+        Sleep(-5)
+
+
+def test_explicit_exit_action():
+    eng = make_engine()
+
+    def behavior(ctx):
+        yield Run(msec(1))
+        yield Exit()
+        yield Run(sec(100))  # unreachable
+
+    t = eng.spawn(ThreadSpec("e", behavior))
+    eng.run(until=sec(1))
+    assert t.has_exited
+    assert t.total_runtime == msec(1)
+
+
+def test_nested_forks():
+    eng = make_engine(ncpus=2)
+    generations = []
+
+    def child_of(depth):
+        def behavior(ctx):
+            generations.append(depth)
+            yield Run(usec(100))
+            if depth < 3:
+                yield Fork(ThreadSpec(f"g{depth + 1}",
+                                      child_of(depth + 1)))
+        return behavior
+
+    eng.spawn(ThreadSpec("g0", child_of(0)))
+    eng.run(until=sec(1))
+    assert sorted(generations) == [0, 1, 2, 3]
+    # app label propagates down the fork chain
+    assert all(t.app == "g0" for t in eng.threads)
+
+
+def test_yield_alone_keeps_running():
+    eng = make_engine()
+
+    def polite_solo(ctx):
+        for _ in range(3):
+            yield Run(msec(1))
+            yield Yield()
+
+    t = eng.spawn(ThreadSpec("p", polite_solo))
+    eng.run(until=sec(1))
+    assert t.has_exited
+    assert t.total_runtime == msec(3)
+
+
+def test_many_simultaneous_wakeups_same_instant():
+    """A broadcast wake of many threads at one instant is handled
+    without loss."""
+    from repro.sync import OneShotEvent
+    eng = make_engine(ncpus=4)
+    event = OneShotEvent(eng)
+    done = []
+
+    def waiter(ctx):
+        yield event.wait()
+        yield Run(msec(1))
+        done.append(ctx.thread.name)
+
+    for i in range(40):
+        eng.spawn(ThreadSpec(f"w{i}", waiter))
+
+    def firer(ctx):
+        yield Sleep(msec(5))
+        yield event.fire()
+
+    eng.spawn(ThreadSpec("firer", firer))
+    eng.run(until=sec(5))
+    assert len(done) == 40
+
+
+def test_spawn_in_the_past_activates_now():
+    eng = make_engine()
+    eng.spawn(ThreadSpec("a", lambda ctx: iter([Run(msec(10))])))
+    eng.run(until=msec(5))
+    t = eng.spawn(ThreadSpec("late", lambda ctx: iter([Run(msec(1))])),
+                  at=msec(1))  # in the past
+    eng.run(until=sec(1))
+    assert t.has_exited
+    assert t.created_at >= msec(5)
+
+
+def test_double_activation_rejected():
+    eng = make_engine()
+    t = eng.spawn(ThreadSpec("a", lambda ctx: iter([Run(msec(1))])))
+    with pytest.raises(ThreadStateError):
+        eng._activate_new(t)
+
+
+def test_run_deadline_flushes_accounting():
+    eng = make_engine()
+    t = eng.spawn(ThreadSpec("spin",
+                             lambda ctx: iter([run_forever()])))
+    eng.run(until=msec(7))
+    # accounting is exact at the deadline, not at the last event
+    assert t.total_runtime == msec(7)
+    core = eng.machine.cores[0]
+    core.account_to_now()
+    assert core.busy_ns == msec(7)
+
+
+def test_unknown_action_raises():
+    eng = make_engine()
+
+    def bad(ctx):
+        yield "not-an-action"
+
+    eng.spawn(ThreadSpec("bad", bad))
+    with pytest.raises(SimulationError):
+        eng.run(until=sec(1))
+
+
+def test_wake_value_delivered_once():
+    from repro.sync import Channel
+    eng = make_engine(ncpus=2)
+    chan = Channel(eng)
+    got = []
+
+    def consumer(ctx):
+        a = yield chan.get()
+        b = yield chan.get()
+        got.append((a, b))
+
+    def producer(ctx):
+        yield Sleep(msec(1))
+        yield chan.put("first")
+        yield Sleep(msec(1))
+        yield chan.put("second")
+
+    eng.spawn(ThreadSpec("c", consumer))
+    eng.spawn(ThreadSpec("p", producer))
+    eng.run(until=sec(1))
+    assert got == [("first", "second")]
+
+
+def test_charge_overhead_on_idle_core_is_recorded_only():
+    eng = make_engine(ncpus=2)
+    eng.spawn(ThreadSpec("a", lambda ctx: iter([Run(msec(5))])))
+    eng.events.post(msec(1), eng.charge_overhead, 1, usec(500))
+    eng.run(until=sec(1))
+    assert eng.machine.cores[1].sched_overhead_ns == usec(500)
+    assert eng.metrics.counter("sched.overhead_ns") == usec(500)
+
+
+def test_nice_out_of_range_rejected_in_spec():
+    with pytest.raises(ValueError):
+        ThreadSpec("x", lambda ctx: iter([]), nice=25)
+
+
+def test_threads_named_and_of_app_queries():
+    eng = make_engine(ncpus=2)
+    eng.spawn(ThreadSpec("web/1", lambda ctx: iter([Run(msec(1))]),
+                         app="web"))
+    eng.spawn(ThreadSpec("web/2", lambda ctx: iter([Run(msec(1))]),
+                         app="web"))
+    eng.spawn(ThreadSpec("db/1", lambda ctx: iter([Run(msec(1))]),
+                         app="db"))
+    assert len(eng.threads_named("web/")) == 2
+    assert len(eng.threads_of_app("db")) == 1

@@ -1,0 +1,129 @@
+"""Property-based tests of engine-level invariants, run under all
+three schedulers.
+
+Invariants:
+
+* **work conservation** — total runtime accumulated by threads equals
+  total core busy time;
+* **no lost threads** — every runnable thread is on exactly one
+  runqueue; exited threads are on none;
+* **completion** — finite workloads always finish, and each thread
+  executes exactly the work it asked for;
+* **determinism** — identical seeds give identical schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+
+# "linux" is the rt+fair class stack; with no rt-tagged threads it
+# must satisfy the same invariants as plain CFS
+SCHEDULERS = ["fifo", "cfs", "ule", "linux"]
+
+
+def behavior_from_plan(plan):
+    """Build a behaviour from a list of ('run'|'sleep', ms) steps."""
+    def behavior(ctx):
+        for kind, duration_ms in plan:
+            if kind == "run":
+                yield Run(msec(duration_ms))
+            else:
+                yield Sleep(msec(duration_ms))
+    return behavior
+
+
+plan_strategy = st.lists(
+    st.tuples(st.sampled_from(["run", "sleep"]), st.integers(1, 20)),
+    min_size=1, max_size=6)
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+@settings(max_examples=20, deadline=None)
+@given(plans=st.lists(plan_strategy, min_size=1, max_size=6),
+       ncpus=st.sampled_from([1, 2, 4]))
+def test_property_work_conservation_and_completion(sched, plans, ncpus):
+    engine = Engine(smp(ncpus), scheduler_factory(sched), seed=3)
+    threads = [
+        engine.spawn(ThreadSpec(f"t{i}", behavior_from_plan(plan)))
+        for i, plan in enumerate(plans)
+    ]
+    reason = engine.run(until=sec(30))
+    assert reason == "all-exited"
+    # each thread executed exactly its requested work
+    for thread, plan in zip(threads, plans):
+        want_run = sum(msec(d) for k, d in plan if k == "run")
+        want_sleep = sum(msec(d) for k, d in plan if k == "sleep")
+        assert thread.total_runtime == want_run
+        assert thread.total_sleeptime == want_sleep
+    # work conservation: busy time == executed time
+    for core in engine.machine.cores:
+        core.account_to_now()
+    busy = sum(c.busy_ns for c in engine.machine.cores)
+    executed = sum(t.total_runtime for t in threads)
+    assert busy == executed
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_runqueue_membership_invariant(sched):
+    """At arbitrary instants, runnable threads are each on exactly one
+    runqueue; blocked/exited threads on none."""
+    engine = Engine(smp(4), scheduler_factory(sched), seed=9)
+
+    def worker(ctx):
+        for _ in range(30):
+            yield Run(msec(2))
+            yield Sleep(msec(3))
+
+    threads = [engine.spawn(ThreadSpec(f"w{i}", worker))
+               for i in range(12)]
+    for checkpoint in range(1, 10):
+        engine.run(until=checkpoint * msec(17))
+        seen = {}
+        for core in engine.machine.cores:
+            for t in engine.scheduler.runnable_threads(core):
+                assert t.tid not in seen, \
+                    f"{t} on two runqueues ({seen[t.tid]}, {core.index})"
+                seen[t.tid] = core.index
+        for t in threads:
+            if t.is_runnable:
+                assert t.tid in seen, f"runnable {t} not on any rq"
+            else:
+                assert t.tid not in seen, f"blocked {t} still queued"
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_determinism_same_seed_same_schedule(sched):
+    def run_once():
+        engine = Engine(smp(2), scheduler_factory(sched), seed=77)
+
+        def worker(ctx):
+            for _ in range(20):
+                yield Run(msec(1 + ctx.thread.tid % 3))
+                yield Sleep(msec(2))
+
+        threads = [engine.spawn(ThreadSpec(f"w{i}", worker))
+                   for i in range(6)]
+        engine.run(until=sec(2))
+        return [(t.total_runtime, t.nr_switches, t.nr_migrations)
+                for t in threads]
+
+    assert run_once() == run_once()
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_no_starvation_of_equal_batch_threads(sched):
+    """Identical always-runnable threads all make progress (both
+    schedulers are fair among equals)."""
+    from repro.core import run_forever
+    engine = Engine(smp(2), scheduler_factory(sched), seed=11)
+    threads = [engine.spawn(ThreadSpec(
+        f"w{i}", lambda ctx: iter([run_forever()]), app="same"))
+        for i in range(8)]
+    engine.run(until=sec(5))
+    for t in threads:
+        assert t.total_runtime > msec(200), f"{t.name} starved"

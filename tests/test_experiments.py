@@ -1,0 +1,87 @@
+"""Smoke and correctness tests for the experiment drivers.
+
+The heavyweight assertions live in benchmarks/ (one bench per table/
+figure); here we validate the drivers' structure and the fast
+experiments' headline claims.
+"""
+
+import pytest
+
+from repro.experiments import (EXPERIMENTS, experiment_names,
+                               run_experiment)
+from repro.experiments import fibo_sysbench, table1_api
+from repro.experiments.base import make_engine
+
+
+def test_registry_covers_all_tables_and_figures():
+    names = set(experiment_names())
+    assert names == {"table1", "table2", "fig1", "fig2", "fig3", "fig4",
+                     "fig5", "fig6", "fig7", "fig8", "fig9", "i7",
+                     "sensitivity", "latency"}
+
+
+def test_unknown_experiment_raises():
+    from repro.core.errors import ExperimentError
+    with pytest.raises(ExperimentError):
+        run_experiment("fig42")
+
+
+def test_make_engine_topologies():
+    assert len(make_engine("fifo", ncpus=1).machine) == 1
+    eng32 = make_engine("fifo", ncpus=32)
+    assert len(eng32.machine) == 32
+    assert len(eng32.machine.topology.level("numa").groups) == 4
+    assert len(make_engine("fifo", ncpus=4).machine) == 4
+
+
+def test_table1_driver():
+    result = table1_api.run()
+    assert len(result.rows) == 6
+    assert all(result.data["exercised"].values())
+    assert "sched_add / sched_wakeup" in result.text
+
+
+def test_table2_driver_claims():
+    result = run_experiment("table2")
+    assert result.data["tps_ratio"] > 1.3
+    assert result.data["latency_ratio"] > 2.0
+    # rows carry both schedulers' numbers
+    metrics = {r["metric"] for r in result.rows}
+    assert any("Transactions" in m for m in metrics)
+
+
+def test_fibo_sysbench_scenario_outcome_fields():
+    out = fibo_sysbench.run_scenario("ule", seed=2)
+    assert out.fibo_runtime_s > 10
+    assert out.sysbench_tps > 100
+    assert out.sysbench_completion_s is not None
+    assert out.engine.metrics.has_series("runtime.fibo")
+
+
+def test_fig1_starvation_gap():
+    result = run_experiment("fig1")
+    assert result.data["ule_stall_s"] > result.data["cfs_stall_s"] + 3
+
+
+def test_fig2_classification():
+    result = run_experiment("fig2")
+    assert result.data["fibo_max_penalty"] > 90
+    assert result.data["sysb_steady_penalty"] < 30
+
+
+def test_fig3_fig4_starvation_counts_consistent():
+    r3 = run_experiment("fig3")
+    assert r3.data["ule_starved"] > 20
+    assert r3.data["cfs_starved"] == 0
+    r4 = run_experiment("fig4")
+    assert len(r4.data["starved_pens"]) > 20
+    # starved threads keep high penalties, executed ones low
+    assert min(r4.data["starved_pens"]) > max(
+        0, min(r4.data["executed_pens"]))
+
+
+def test_experiment_result_row_helper():
+    from repro.experiments.base import ExperimentResult
+    result = ExperimentResult("x", "claim")
+    result.row(a=1, b=2)
+    assert result.rows == [{"a": 1, "b": 2}]

@@ -1,0 +1,139 @@
+"""Tests for dynamic renicing and the §3 port-fidelity rules."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec
+from repro.core.errors import ThreadStateError
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def make_engine(sched, ncpus=1):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched), seed=61)
+
+
+# ----------------------------------------------------------------- renice
+
+def test_renice_shifts_cfs_share():
+    eng = make_engine("cfs")
+    a = eng.spawn(ThreadSpec("a", spin, app="app"))
+    b = eng.spawn(ThreadSpec("b", spin, app="app"))
+    eng.run(until=sec(2))
+    # equal so far
+    assert a.total_runtime == pytest.approx(b.total_runtime, rel=0.15)
+    base_a = a.total_runtime
+    base_b = b.total_runtime
+    eng.set_nice(b, 10)
+    eng.run(until=sec(6))
+    gain_a = a.total_runtime - base_a
+    gain_b = b.total_runtime - base_b
+    # weight(0)/weight(10) ~ 9.3
+    assert gain_a / gain_b > 4.0
+
+
+def test_renice_flips_ule_classification():
+    """A mildly-sleeping thread near the threshold flips between
+    interactive and batch purely via nice (score = penalty + nice)."""
+    eng = make_engine("ule", ncpus=2)
+
+    def duty(ctx):
+        while True:
+            yield Run(msec(2))
+            yield Sleep(msec(3))
+
+    # neutral starting history (no inherited bash sleep credit)
+    t = eng.spawn(ThreadSpec("d", duty, affinity=frozenset({1}),
+                             tags={"ule_history": (sec(1), sec(1))}))
+    eng.run(until=sec(8))
+    # penalty settles toward 50*r/s = ~33: batch at nice 0
+    assert not t.policy.interactive
+    eng.set_nice(t, -10)
+    eng.run(until=sec(7))
+    assert t.policy.interactive
+
+
+def test_renice_rejects_bad_values():
+    eng = make_engine("cfs")
+    t = eng.spawn(ThreadSpec("a", spin))
+    with pytest.raises(ValueError):
+        eng.set_nice(t, 42)
+
+
+def test_renice_exited_thread_rejected():
+    eng = make_engine("cfs")
+    t = eng.spawn(ThreadSpec("a", lambda ctx: iter([Run(msec(1))])))
+    eng.run(until=sec(1))
+    with pytest.raises(ThreadStateError):
+        eng.set_nice(t, 5)
+
+
+def test_renice_queued_thread_requeues_consistently():
+    eng = make_engine("ule")
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin)) for i in range(3)]
+    eng.run(until=msec(100))
+    queued = [t for t in ts if not t.is_running]
+    eng.set_nice(queued[0], 15)
+    # structural consistency after the requeue
+    core = eng.machine.cores[0]
+    names = sorted(t.name for t in eng.scheduler.runnable_threads(core))
+    assert names == sorted(t.name for t in ts)
+    eng.run(until=sec(2))  # still scheduleable
+    assert all(t.total_runtime > 0 for t in ts)
+
+
+# ----------------------------------------------------- §3 port fidelity
+
+@pytest.mark.parametrize("sched", ["cfs", "ule"])
+def test_running_thread_counted_on_runqueue(sched):
+    """The port keeps the running thread in the runqueue: it must be
+    visible to introspection and counted in nr_runnable."""
+    eng = make_engine(sched)
+    t = eng.spawn(ThreadSpec("solo", spin))
+    eng.run(until=msec(50))
+    core = eng.machine.cores[0]
+    assert t.is_running
+    assert eng.scheduler.nr_runnable(core) == 1
+    assert t in list(eng.scheduler.runnable_threads(core))
+
+
+@pytest.mark.parametrize("sched", ["cfs", "ule"])
+def test_balancers_never_migrate_running_threads(sched):
+    """§3: 'we had to slightly change the ULE load balancing to avoid
+    migrating a currently running thread' (CFS does the same)."""
+    eng = make_engine(sched, ncpus=4)
+    ts = [eng.spawn(ThreadSpec(f"w{i}", spin,
+                               affinity=frozenset({0})))
+          for i in range(10)]
+    eng.run(until=msec(50))
+    bad = []
+    eng.tracer.on_migrate.append(
+        lambda t, src, dst: bad.append(t) if t.is_running else None)
+    for t in ts:
+        eng.set_affinity(t, None)
+    eng.run(until=sec(10))
+    assert not bad
+
+
+def test_ule_priority_scaling_stays_in_band():
+    """§3: ULE's penalty scores are scaled into the scheduler's
+    priority range; no computed priority may leave the band."""
+    from repro.ule.interactivity import SleepRunHistory
+    from repro.ule.params import UleTunables
+    from repro.ule.priority import compute_priority
+    tun = UleTunables()
+    for run in range(0, 10**10, 10**9):
+        for sleep in range(0, 10**10, 10**9):
+            for nice in (-20, 0, 19):
+                hist = SleepRunHistory(tun, run, sleep)
+                pri, interactive = compute_priority(tun, hist, nice)
+                assert 0 <= pri < tun.nqueues
+                if interactive:
+                    assert pri <= tun.interact_prio_max
+                else:
+                    assert pri >= tun.batch_prio_min

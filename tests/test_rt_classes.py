@@ -1,0 +1,151 @@
+"""Tests for the realtime class and the Linux class stack (rt + fair).
+
+The §5.1 claim under test: on Linux, putting the latency-sensitive
+application in the realtime class reproduces ULE's absolute
+prioritization over CFS threads.
+"""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+
+
+def make_engine(ncpus=1, sched="linux", **kw):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched, **kw), seed=6)
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def rt_spec(name, behavior, prio, policy=None, **kw):
+    tags = {"rt_priority": prio}
+    if policy:
+        tags["rt_policy"] = policy
+    return ThreadSpec(name, behavior, tags=tags, **kw)
+
+
+# ------------------------------------------------------------- RT class
+
+def test_rt_thread_preempts_and_starves_fair():
+    eng = make_engine()
+    fair = eng.spawn(ThreadSpec("fair", spin, app="fair"))
+    eng.run(until=msec(50))
+    rt = eng.spawn(rt_spec("rt", spin, prio=50))
+    eng.run(until=msec(200))
+    # the realtime thread takes the core outright
+    assert rt.is_running
+    assert fair.total_runtime <= msec(51)
+
+
+def test_rt_priority_order_among_rt_threads():
+    eng = make_engine()
+    lo = eng.spawn(rt_spec("lo", spin, prio=10))
+    eng.run(until=msec(10))
+    hi = eng.spawn(rt_spec("hi", spin, prio=90))
+    eng.run(until=msec(50))
+    assert hi.is_running
+    # low-prio RT got nothing after hi appeared
+    assert lo.total_runtime <= msec(11)
+
+
+def test_fifo_runs_until_block_among_equals():
+    eng = make_engine()
+    a = eng.spawn(rt_spec("a", spin, prio=30))
+    b = eng.spawn(rt_spec("b", spin, prio=30))
+    eng.run(until=sec(1))
+    # SCHED_FIFO: the first thread keeps the CPU; its equal never runs
+    assert a.total_runtime == sec(1)
+    assert b.total_runtime == 0
+
+
+def test_rr_shares_among_equals():
+    eng = make_engine()
+    a = eng.spawn(rt_spec("a", spin, prio=30, policy="rr"))
+    b = eng.spawn(rt_spec("b", spin, prio=30, policy="rr"))
+    eng.run(until=sec(2))
+    # SCHED_RR: 100 ms round robin between equals
+    assert a.total_runtime == pytest.approx(sec(1), rel=0.15)
+    assert b.total_runtime == pytest.approx(sec(1), rel=0.15)
+
+
+def test_rt_blocking_lets_fair_run():
+    eng = make_engine()
+
+    def duty_cycle(ctx):
+        for _ in range(20):
+            yield Run(msec(2))
+            yield Sleep(msec(8))
+
+    rt = eng.spawn(rt_spec("rt", duty_cycle, prio=70))
+    fair = eng.spawn(ThreadSpec("fair", spin, app="fair"))
+    eng.run(until=msec(200))
+    # RT used ~20%, fair got the rest
+    assert rt.total_runtime == msec(40)
+    assert fair.total_runtime == pytest.approx(msec(160), rel=0.1)
+
+
+def test_rt_placement_avoids_higher_rt(ncpus=2):
+    eng = make_engine(ncpus=2)
+    hi = eng.spawn(rt_spec("hi", spin, prio=90))
+    eng.run(until=msec(10))
+    lo = eng.spawn(rt_spec("lo", spin, prio=10))
+    eng.run(until=msec(50))
+    # the low-priority RT thread was placed on the other core
+    assert lo.is_running
+    assert lo.cpu != hi.cpu
+
+
+# ------------------------------------------------- the paper's §5.1 claim
+
+def test_rt_class_reproduces_ule_prioritization():
+    """fibo + a latency-sensitive worker pool: on plain CFS they share;
+    with the pool in the RT class it gets absolute priority — the
+    behaviour ULE gives for free (§5.1)."""
+
+    def sleeper_behavior(ctx):
+        for _ in range(100):
+            yield Sleep(msec(5) + usec(137))
+            yield Run(msec(1))
+
+    def run_once(rt_pool):
+        eng = make_engine(sched="linux")
+        hog = eng.spawn(ThreadSpec("fibo", spin, app="fibo"))
+        workers = []
+        for i in range(4):
+            if rt_pool:
+                spec = rt_spec(f"db{i}", sleeper_behavior, prio=50,
+                               app="db")
+            else:
+                spec = ThreadSpec(f"db{i}", sleeper_behavior, app="db")
+            workers.append(eng.spawn(spec))
+        eng.run(until=sec(3))
+        wait = sum(w.total_waittime for w in workers)
+        switches = sum(w.nr_switches for w in workers)
+        return wait / max(1, switches)
+
+    cfs_wait = run_once(rt_pool=False)
+    rt_wait = run_once(rt_pool=True)
+    # realtime workers run the moment they wake
+    assert rt_wait < usec(50)
+    assert rt_wait < cfs_wait
+
+
+def test_stack_accounting_consistency():
+    eng = make_engine(ncpus=2)
+    rt = eng.spawn(rt_spec("rt", spin, prio=20))
+    fair = [eng.spawn(ThreadSpec(f"f{i}", spin, app="f"))
+            for i in range(3)]
+    eng.run(until=sec(1))
+    total = sum(eng.scheduler.nr_runnable(c)
+                for c in eng.machine.cores)
+    assert total == 4
+    for core in eng.machine.cores:
+        core.account_to_now()
+    busy = sum(c.busy_ns for c in eng.machine.cores)
+    executed = rt.total_runtime + sum(t.total_runtime for t in fair)
+    assert busy == executed

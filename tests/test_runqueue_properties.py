@@ -1,0 +1,110 @@
+"""Property-based tests on the schedulers' runqueue data structures:
+random enqueue/dequeue/pick sequences preserve all counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfs.entity import SchedEntity
+from repro.cfs.params import CfsTunables
+from repro.cfs.runqueue import CfsRq
+from repro.cfs.weights import NICE_0_LOAD
+
+
+def fresh_entity(vruntime):
+    se = SchedEntity(thread=None, weight=NICE_0_LOAD)
+    se.vruntime = vruntime
+    return se
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["enq", "deq", "pick", "put",
+                                           "charge"]),
+                          st.integers(0, 10**9)),
+                min_size=1, max_size=60))
+def test_property_cfs_rq_counters_consistent(ops):
+    rq = CfsRq(0, CfsTunables())
+    queued = []
+    last_min = 0
+    for op, value in ops:
+        if op == "enq":
+            se = fresh_entity(value)
+            rq.place_entity(se, initial=False)
+            rq.enqueue_entity(se)
+            queued.append(se)
+        elif op == "deq" and queued:
+            se = queued.pop()
+            if se is rq.curr:
+                rq.put_prev(se)
+            rq.dequeue_entity(se)
+        elif op == "pick" and rq.curr is None:
+            se = rq.pick_first()
+            if se is not None:
+                rq.set_next(se)
+        elif op == "put" and rq.curr is not None:
+            rq.put_prev(rq.curr)
+        elif op == "charge" and rq.curr is not None:
+            rq.update_curr(value % 10**7)
+        # invariants after every operation
+        assert rq.nr_running == len(queued)
+        assert rq.load_weight == len(queued) * NICE_0_LOAD
+        in_tree = sum(1 for _ in rq.tree.values())
+        expected_tree = len(queued) - (1 if rq.curr is not None else 0)
+        assert in_tree == expected_tree
+        assert rq.min_vruntime >= last_min  # monotonic
+        last_min = rq.min_vruntime
+        rq.tree.check_invariants()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["add", "rem", "choose"]),
+                          st.integers(0, 63), st.booleans()),
+                min_size=1, max_size=60))
+def test_property_ule_runq_count_consistent(ops):
+    from repro.ule.runq import RunQueue
+
+    class T:
+        n = 0
+
+        def __init__(self):
+            T.n += 1
+            self.tid = T.n
+
+    rq = RunQueue(64)
+    queued = {}  # thread -> pri
+    for op, pri, head in ops:
+        if op == "add":
+            t = T()
+            rq.add(t, pri, at_head=head)
+            queued[t] = pri
+        elif op == "rem" and queued:
+            t, p = next(iter(queued.items()))
+            rq.remove(t, p)
+            del queued[t]
+        elif op == "choose":
+            t = rq.choose()
+            if t is not None:
+                assert t in queued
+                # chosen thread had the best occupied priority
+                assert queued[t] == min(queued.values())
+                del queued[t]
+        assert len(rq) == len(queued)
+        rq.check_invariants()
+    assert sorted(t.tid for t in rq.threads()) == \
+        sorted(t.tid for t in queued)
+
+
+def test_cfs_rq_vruntime_accounting_progression():
+    rq = CfsRq(0, CfsTunables())
+    a = fresh_entity(0)
+    b = fresh_entity(0)
+    rq.enqueue_entity(a)
+    rq.enqueue_entity(b)
+    rq.set_next(a)
+    rq.update_curr(1_000_000)
+    assert a.vruntime == 1_000_000  # nice-0: wall speed
+    assert a.sum_exec == 1_000_000
+    assert a.slice_exec == 1_000_000
+    rq.put_prev(a)
+    # b is now leftmost
+    assert rq.pick_first() is b

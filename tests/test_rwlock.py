@@ -1,0 +1,139 @@
+"""Tests for the reader-writer lock."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec
+from repro.core.errors import SimulationError
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.sync import RWLock
+
+
+def make_engine(ncpus=4):
+    return Engine(smp(ncpus), scheduler_factory("fifo"), seed=81)
+
+
+def test_concurrent_readers():
+    eng = make_engine()
+    lock = RWLock(eng)
+    concurrency = {"now": 0, "peak": 0}
+
+    def reader(ctx):
+        yield lock.acquire_read()
+        concurrency["now"] += 1
+        concurrency["peak"] = max(concurrency["peak"],
+                                  concurrency["now"])
+        yield Run(msec(5))
+        concurrency["now"] -= 1
+        yield lock.release()
+
+    for i in range(4):
+        eng.spawn(ThreadSpec(f"r{i}", reader))
+    eng.run(until=sec(1))
+    assert concurrency["peak"] == 4
+    assert lock.read_acquisitions == 4
+
+
+def test_writer_excludes_everyone():
+    eng = make_engine()
+    lock = RWLock(eng)
+    overlaps = []
+    state = {"writer_active": False, "readers": 0}
+
+    def writer(ctx):
+        yield lock.acquire_write()
+        state["writer_active"] = True
+        if state["readers"]:
+            overlaps.append("reader-during-write")
+        yield Run(msec(5))
+        state["writer_active"] = False
+        yield lock.release()
+
+    def reader(ctx):
+        yield lock.acquire_read()
+        state["readers"] += 1
+        if state["writer_active"]:
+            overlaps.append("write-during-read")
+        yield Run(msec(3))
+        state["readers"] -= 1
+        yield lock.release()
+
+    eng.spawn(ThreadSpec("w", writer))
+    for i in range(3):
+        eng.spawn(ThreadSpec(f"r{i}", reader))
+    eng.run(until=sec(1))
+    assert not overlaps
+
+
+def test_writer_preference_blocks_new_readers():
+    eng = make_engine()
+    lock = RWLock(eng)
+    order = []
+
+    def long_reader(ctx):
+        yield lock.acquire_read()
+        order.append("reader1-in")
+        yield Run(msec(10))
+        yield lock.release()
+
+    def writer(ctx):
+        yield Sleep(msec(2))
+        yield lock.acquire_write()
+        order.append("writer-in")
+        yield Run(msec(2))
+        yield lock.release()
+
+    def late_reader(ctx):
+        yield Sleep(msec(4))  # arrives while the writer waits
+        yield lock.acquire_read()
+        order.append("reader2-in")
+        yield lock.release()
+
+    eng.spawn(ThreadSpec("r1", long_reader))
+    eng.spawn(ThreadSpec("w", writer))
+    eng.spawn(ThreadSpec("r2", late_reader))
+    eng.run(until=sec(1))
+    # the late reader queued behind the waiting writer
+    assert order == ["reader1-in", "writer-in", "reader2-in"]
+
+
+def test_release_without_holding_raises():
+    eng = make_engine()
+    lock = RWLock(eng)
+
+    def bad(ctx):
+        yield lock.release()
+
+    eng.spawn(ThreadSpec("bad", bad))
+    with pytest.raises(SimulationError):
+        eng.run(until=sec(1))
+
+
+def test_batched_reader_admission_after_writer():
+    """When the writer releases, every leading queued reader is
+    admitted together."""
+    eng = make_engine()
+    lock = RWLock(eng)
+    admitted_at = {}
+
+    def writer(ctx):
+        yield lock.acquire_write()
+        yield Run(msec(10))
+        yield lock.release()
+
+    def reader(ctx):
+        yield Sleep(msec(1))
+        yield lock.acquire_read()
+        admitted_at[ctx.thread.name] = ctx.now
+        yield Run(msec(2))
+        yield lock.release()
+
+    eng.spawn(ThreadSpec("w", writer))
+    for i in range(3):
+        eng.spawn(ThreadSpec(f"r{i}", reader))
+    eng.run(until=sec(1))
+    times = list(admitted_at.values())
+    assert len(times) == 3
+    assert max(times) - min(times) <= msec(1)
+    assert min(times) >= msec(10)

@@ -1,0 +1,236 @@
+"""Edge-case tests for the synchronization primitives."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec
+from repro.core.errors import SimulationError
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+from repro.sync import (Barrier, CascadingBarrier, Channel, CondVar,
+                        Mutex, Pipe, Semaphore)
+
+
+def make_engine(ncpus=2):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory("fifo"), seed=21)
+
+
+def test_semaphore_up_many_wakes_many():
+    eng = make_engine(ncpus=4)
+    sem = Semaphore(eng, value=0)
+    woken = []
+
+    def waiter(ctx):
+        yield sem.down()
+        woken.append(ctx.thread.name)
+
+    def releaser(ctx):
+        yield Sleep(msec(5))
+        yield sem.up(count=3)
+
+    for i in range(3):
+        eng.spawn(ThreadSpec(f"w{i}", waiter))
+    eng.spawn(ThreadSpec("rel", releaser))
+    eng.run(until=msec(100))
+    assert sorted(woken) == ["w0", "w1", "w2"]
+    assert sem.value == 0
+
+
+def test_semaphore_up_surplus_accumulates():
+    eng = make_engine()
+    sem = Semaphore(eng, value=0)
+
+    def releaser(ctx):
+        yield sem.up(count=5)
+
+    eng.spawn(ThreadSpec("rel", releaser))
+    eng.run(until=msec(10))
+    assert sem.value == 5
+
+
+def test_semaphore_negative_value_rejected():
+    eng = make_engine()
+    with pytest.raises(ValueError):
+        Semaphore(eng, value=-1)
+
+
+def test_pipe_zero_capacity_rejected():
+    eng = make_engine()
+    with pytest.raises(ValueError):
+        Pipe(eng, capacity=0)
+
+
+def test_pipe_multiple_blocked_writers_commit_in_order():
+    eng = make_engine(ncpus=4)
+    pipe = Pipe(eng, capacity=1)
+    order = []
+
+    def writer(ctx):
+        # stagger arrivals so the block order is deterministic
+        yield Sleep(msec(ctx.thread.tags["delay"]))
+        yield pipe.write(ctx.thread.name)
+
+    def reader(ctx):
+        yield Sleep(msec(50))
+        for _ in range(4):
+            msg = yield pipe.read()
+            order.append(msg)
+
+    for i, delay in enumerate([1, 2, 3, 4]):
+        eng.spawn(ThreadSpec(f"wr{i}", writer, tags={"delay": delay}))
+    eng.spawn(ThreadSpec("rd", reader))
+    eng.run(until=sec(1))
+    assert order == ["wr0", "wr1", "wr2", "wr3"]
+
+
+def test_mutex_double_acquire_raises():
+    eng = make_engine()
+    mutex = Mutex(eng)
+
+    def bad(ctx):
+        yield mutex.acquire()
+        yield mutex.acquire()
+
+    eng.spawn(ThreadSpec("bad", bad))
+    with pytest.raises(SimulationError):
+        eng.run(until=msec(100))
+
+
+def test_condvar_wait_without_mutex_raises():
+    eng = make_engine()
+    mutex = Mutex(eng)
+    cond = CondVar(eng)
+
+    def bad(ctx):
+        yield cond.wait(mutex)
+
+    eng.spawn(ThreadSpec("bad", bad))
+    with pytest.raises(SimulationError):
+        eng.run(until=msec(100))
+
+
+def test_condvar_signal_with_no_waiters_is_noop():
+    eng = make_engine()
+    mutex = Mutex(eng)
+    cond = CondVar(eng)
+    done = []
+
+    def signaller(ctx):
+        yield mutex.acquire()
+        yield cond.signal()
+        yield cond.broadcast()
+        yield mutex.release()
+        done.append(True)
+
+    eng.spawn(ThreadSpec("sig", signaller))
+    eng.run(until=msec(100))
+    assert done == [True]
+
+
+def test_condvar_morphing_under_held_mutex():
+    """Signal while holding the mutex: the waiter is moved to the
+    mutex queue, not woken early (wait morphing)."""
+    eng = make_engine(ncpus=2)
+    mutex = Mutex(eng)
+    cond = CondVar(eng)
+    events = []
+
+    def waiter(ctx):
+        yield mutex.acquire()
+        yield cond.wait(mutex)
+        events.append(("waiter-resumed", ctx.now))
+        yield mutex.release()
+
+    def signaller(ctx):
+        yield Sleep(msec(5))
+        yield mutex.acquire()
+        yield cond.signal()
+        # keep holding the mutex: the waiter must NOT resume yet
+        yield Run(msec(20))
+        events.append(("releasing", ctx.now))
+        yield mutex.release()
+
+    eng.spawn(ThreadSpec("waiter", waiter))
+    eng.spawn(ThreadSpec("sig", signaller))
+    eng.run(until=sec(1))
+    assert events[0][0] == "releasing"
+    assert events[1][0] == "waiter-resumed"
+    assert events[1][1] >= events[0][1]
+
+
+def test_barrier_single_party_never_blocks():
+    eng = make_engine()
+    barrier = Barrier(eng, parties=1)
+    laps = []
+
+    def solo(ctx):
+        for i in range(3):
+            yield from barrier.wait()
+            laps.append(i)
+
+    eng.spawn(ThreadSpec("solo", solo))
+    eng.run(until=msec(100))
+    assert laps == [0, 1, 2]
+
+
+def test_cascading_barrier_duplicate_index_rejected():
+    eng = make_engine(ncpus=2)
+    cascade = CascadingBarrier(eng, parties=3)
+
+    def worker(ctx):
+        yield from cascade.wait(0)
+
+    eng.spawn(ThreadSpec("a", worker))
+    eng.spawn(ThreadSpec("b", worker))
+    with pytest.raises(ValueError):
+        eng.run(until=msec(100))
+
+
+def test_channel_fifo_across_getters_and_queue():
+    eng = make_engine()
+    chan = Channel(eng)
+    got = []
+
+    def putter(ctx):
+        for i in range(4):
+            yield chan.put(i)
+
+    def getter(ctx):
+        for _ in range(4):
+            item = yield chan.get()
+            got.append(item)
+
+    eng.spawn(ThreadSpec("put", putter))
+    eng.spawn(ThreadSpec("get", getter))
+    eng.run(until=msec(100))
+    assert got == [0, 1, 2, 3]
+
+
+def test_mutex_handoff_transfers_ownership_before_run():
+    """Direct handoff: between release and the waiter running, the
+    mutex is owned by the waiter (no barging window).  Two CPUs so the
+    waiter actually queues on the mutex before the release."""
+    eng = make_engine(ncpus=2)
+    mutex = Mutex(eng)
+    observed = []
+
+    def holder(ctx):
+        yield mutex.acquire()
+        yield Run(msec(5))
+        yield mutex.release()
+        # immediately try to re-acquire: must queue behind the waiter
+        yield mutex.acquire()
+        observed.append("holder-reacquired")
+        yield mutex.release()
+
+    def waiter(ctx):
+        yield Sleep(msec(1))
+        yield mutex.acquire()
+        observed.append("waiter-got-lock")
+        yield mutex.release()
+
+    eng.spawn(ThreadSpec("holder", holder))
+    eng.spawn(ThreadSpec("waiter", waiter))
+    eng.run(until=sec(1))
+    assert observed == ["waiter-got-lock", "holder-reacquired"]

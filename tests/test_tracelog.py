@@ -1,0 +1,92 @@
+"""Tests for the structured trace log and Chrome-trace export."""
+
+import json
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec, sec
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.tracing import TraceLog
+
+
+def make_traced_engine():
+    eng = Engine(smp(2), scheduler_factory("fifo"), seed=3)
+    log = TraceLog(eng)
+
+    def worker(ctx):
+        for _ in range(5):
+            yield Run(msec(2))
+            yield Sleep(msec(3))
+
+    threads = [eng.spawn(ThreadSpec(f"w{i}", worker)) for i in range(4)]
+    eng.run(until=sec(1))
+    return eng, log, threads
+
+
+def test_records_collected():
+    eng, log, threads = make_traced_engine()
+    assert log.switches
+    assert log.wakes
+    assert log.dropped == 0
+
+
+def test_intervals_are_well_formed():
+    eng, log, threads = make_traced_engine()
+    for cpu, name, start, end in log.intervals():
+        assert 0 <= cpu < 2
+        assert end >= start
+
+
+def test_intervals_cover_runtime():
+    """Per-thread interval durations sum to its accounted runtime."""
+    eng, log, threads = make_traced_engine()
+    for t in threads:
+        covered = sum(end - start
+                      for _, name, start, end in log.timeline_of(t.name))
+        assert covered == t.total_runtime
+
+
+def test_no_overlapping_intervals_per_cpu():
+    eng, log, threads = make_traced_engine()
+    by_cpu = {}
+    for cpu, name, start, end in log.intervals():
+        by_cpu.setdefault(cpu, []).append((start, end))
+    for cpu, spans in by_cpu.items():
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"overlap on cpu {cpu}"
+
+
+def test_chrome_trace_is_valid_json():
+    eng, log, threads = make_traced_engine()
+    doc = json.loads(log.to_chrome_trace())
+    events = doc["traceEvents"]
+    assert any(e.get("ph") == "X" for e in events)
+    assert any(e.get("ph") == "i" and e["cat"] == "wakeup"
+               for e in events)
+    names = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+    assert names == {"cpu0", "cpu1"}
+
+
+def test_write_chrome_trace(tmp_path):
+    eng, log, threads = make_traced_engine()
+    path = tmp_path / "trace.json"
+    log.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert "traceEvents" in doc
+
+
+def test_bounded_memory():
+    eng = Engine(smp(2), scheduler_factory("fifo"), seed=3)
+    log = TraceLog(eng, max_records=50)
+
+    def churn(ctx):
+        for _ in range(200):
+            yield Run(msec(1))
+            yield Sleep(msec(1))
+
+    eng.spawn(ThreadSpec("churn", churn))
+    eng.run(until=sec(2))
+    total = len(log.switches) + len(log.wakes) + len(log.migrations)
+    assert total <= 50
+    assert log.dropped > 0

@@ -1,0 +1,122 @@
+"""Tests for ULE load balancing and placement at the unit level."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import opteron_6172, smp
+from repro.sched import scheduler_factory
+
+
+def make_engine(ncpus=4, **kw):
+    topo = opteron_6172() if ncpus == 32 else smp(ncpus)
+    return Engine(topo, scheduler_factory("ule", **kw), seed=4)
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def pin_spinners(eng, count, cpu=0):
+    ts = [eng.spawn(ThreadSpec(f"s{i}", spin,
+                               affinity=frozenset({cpu})))
+          for i in range(count)]
+    eng.run(until=msec(20))
+    for t in ts:
+        eng.set_affinity(t, None)
+    return ts
+
+
+def test_balancer_respects_donor_receiver_once():
+    """Per invocation, each core is donor or receiver at most once, so
+    at most ncpus/2 migrations can happen per invocation."""
+    eng = make_engine(ncpus=4)
+    pin_spinners(eng, 16)
+    eng.run(until=sec(30))
+    inv = eng.metrics.counter("ule.balance_invocations")
+    moved = eng.metrics.counter("ule.balance_migrations")
+    assert inv > 0
+    assert moved <= inv * 2  # 4 cores -> max 2 pairs per invocation
+
+
+def test_balancer_needs_gap_of_two():
+    """Loads differing by one thread are left alone (the gain is
+    zero)."""
+    eng = make_engine(ncpus=2)
+    a = eng.spawn(ThreadSpec("a", spin, affinity=frozenset({0})))
+    b = eng.spawn(ThreadSpec("b", spin, affinity=frozenset({0})))
+    c = eng.spawn(ThreadSpec("c", spin, affinity=frozenset({1})))
+    eng.run(until=msec(20))
+    for t in (a, b, c):
+        eng.set_affinity(t, None)
+    eng.run(until=sec(10))
+    counts = sorted(eng.nr_runnable_on(i) for i in range(2))
+    assert counts == [1, 2]
+    assert eng.metrics.counter("ule.balance_migrations") == 0
+
+
+def test_running_thread_never_migrated():
+    """The paper's port rule: the balancer moves only queued threads."""
+    eng = make_engine(ncpus=2)
+    ts = pin_spinners(eng, 6)
+    migrated_while_running = []
+
+    def watch(thread, src, dst):
+        if thread.is_running:
+            migrated_while_running.append(thread)
+
+    eng.tracer.on_migrate.append(watch)
+    eng.run(until=sec(10))
+    assert not migrated_while_running
+
+
+def test_idle_steal_prefers_llc_victim():
+    """The single idle core steals from the pile in its own LLC (the
+    steal search starts at the cache level and widens)."""
+    from repro.core.topology import smp as smp_topo
+    eng = Engine(smp_topo(4, cpus_per_llc=2, numa_nodes=2),
+                 scheduler_factory("ule", balance_enabled=False), seed=4)
+    # cpu1 (cpu0's LLC sibling) holds a stealable pile; cpus 2 and 3
+    # are busy but below the steal threshold.
+    pile = [eng.spawn(ThreadSpec(f"p{i}", spin,
+                                 affinity=frozenset({1})))
+            for i in range(3)]
+    for cpu in (2, 3):
+        eng.spawn(ThreadSpec(f"busy{cpu}", spin,
+                             affinity=frozenset({cpu})))
+    eng.run(until=msec(20))
+    for t in pile:
+        eng.set_affinity(t, None)
+    eng.run(until=msec(100))
+    stolen = [t for t in pile if t.cpu == 0]
+    assert len(stolen) == 1
+    assert eng.metrics.counter("ule.idle_steals") == 1
+
+
+def test_steal_thresh_leaves_singletons_alone():
+    """A core with a single runnable thread is not a steal victim."""
+    eng = make_engine(ncpus=4, balance_enabled=False)
+    eng.spawn(ThreadSpec("only", spin, affinity=frozenset({3})))
+    eng.run(until=msec(50))
+    t = eng.threads[0]
+    eng.set_affinity(t, None)
+    eng.run(until=sec(2))
+    assert t.cpu == 3
+    assert eng.metrics.counter("ule.idle_steals") == 0
+
+
+def test_pickcpu_prefers_affine_core():
+    """A thread that recently ran on a core is placed back there when
+    it would run promptly."""
+    eng = make_engine(ncpus=4)
+
+    def napper(ctx):
+        for _ in range(50):
+            yield Run(msec(1))
+            yield Sleep(msec(4))
+
+    t = eng.spawn(ThreadSpec("nap", napper))
+    eng.run(until=sec(1))
+    # a lone sleeper on an idle machine bounces between zero and one
+    # migrations; it must not wander over the whole machine
+    assert t.nr_migrations <= 2

@@ -1,0 +1,119 @@
+"""Unit tests for ULE's sched_pickcpu decision ladder."""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core.clock import msec, sec, usec
+from repro.core.schedflags import SelectFlags
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+
+
+def spin(ctx):
+    yield run_forever()
+
+
+def make_engine(ncpus=4, **kw):
+    return Engine(smp(ncpus), scheduler_factory("ule", **kw), seed=91)
+
+
+def test_affine_placement_returns_home_when_prompt():
+    """A recently-run thread whose home core would run it promptly is
+    placed back there (step 1 of §2.2's ladder)."""
+    eng = make_engine()
+
+    def napper(ctx):
+        while True:
+            yield Run(msec(1))
+            yield Sleep(msec(2))
+
+    t = eng.spawn(ThreadSpec("nap", napper))
+    eng.run(until=msec(200))
+    home = t.cpu
+    cpu = eng.scheduler.select_task_rq(t, SelectFlags.WAKEUP)
+    assert cpu == home
+
+
+def test_affinity_window_expires():
+    """A thread that has not run for longer than the affinity window
+    is placed by the load search instead."""
+    eng = make_engine()
+
+    def one_shot(ctx):
+        yield Run(msec(1))
+        yield Sleep(sec(5))  # sleeps past the 500 ms affinity window
+        yield Run(msec(1))
+
+    t = eng.spawn(ThreadSpec("cold", one_shot))
+    # load up the thread's home core so the fallback search avoids it
+    eng.run(until=msec(50))
+    home = t.cpu
+    hogs = [eng.spawn(ThreadSpec(f"h{i}", spin,
+                                 affinity=frozenset({home})))
+            for i in range(3)]
+    eng.run(until=sec(6))
+    # woken cold: placed away from its crowded old home
+    assert t.cpu != home
+
+
+def test_lowpri_search_prefers_core_where_thread_runs_first():
+    """Placement passes over a core whose running thread has *better*
+    priority than the newcomer, choosing one where the newcomer would
+    run first — even at equal load (§2.2's min-priority search)."""
+    eng = make_engine(ncpus=2)
+    # cpu0: a batch hog (bad priority ~56)
+    hog = eng.spawn(ThreadSpec("hog", spin, affinity=frozenset({0}),
+                               tags={"ule_history": (sec(4), 0)}))
+    # cpu1: a *running* strongly-interactive spinner (priority ~10)
+    svc = eng.spawn(ThreadSpec("svc", spin, affinity=frozenset({1}),
+                               tags={"ule_history": (0, sec(4900) // 1000)}))
+    eng.run(until=sec(1))
+    assert svc.policy.interactive  # still inside its sleep credit
+    # a mildly-interactive newcomer (priority ~ 24, worse than svc's
+    # but better than the hog's): only cpu0 passes the lowpri test
+    probe = eng.spawn(ThreadSpec(
+        "probe", spin,
+        tags={"ule_history": (sec(1), sec(1) + sec(1) // 10)}))
+    eng.run(until=sec(1) + msec(1))
+    hog_pri = hog.policy.priority
+    svc_pri = svc.policy.priority
+    probe_pri = probe.policy.priority
+    assert svc_pri < probe_pri < hog_pri
+    assert probe.rq_cpu == 0
+
+
+def test_pickcpu_scan_cost_scales_with_cores():
+    from repro.experiments.base import make_engine as mk
+    costs = {}
+    for ncpus in (4, 16):
+        eng = mk("ule", ncpus=ncpus, seed=1,
+                 pickcpu_scan_cost_ns=usec(1))
+
+        def sleeper(ctx):
+            for _ in range(200):
+                yield Run(msec(1))
+                yield Sleep(msec(3))
+
+        for i in range(ncpus):
+            eng.spawn(ThreadSpec(f"s{i}", sleeper))
+        eng.run(until=sec(2))
+        wakeups = max(1.0, eng.metrics.counter("ule.pickcpu_scans"))
+        costs[ncpus] = eng.metrics.counter("sched.overhead_ns")
+    # more cores -> more scanning work overall
+    assert costs[16] > costs[4]
+
+
+def test_fork_balances_by_thread_count_not_load():
+    """ULE forks onto the core with the fewest threads even when PELT
+    would say otherwise ('ULE simply picks the core with the lowest
+    number of running threads')."""
+    eng = make_engine(ncpus=2)
+    # cpu0 runs one long-established hog; cpu1 runs two fresh ones
+    eng.spawn(ThreadSpec("old", spin, affinity=frozenset({0})))
+    eng.run(until=sec(1))
+    for i in range(2):
+        eng.spawn(ThreadSpec(f"new{i}", spin, affinity=frozenset({1})))
+    eng.run(until=sec(1) + msec(10))
+    t = eng.spawn(ThreadSpec("fork", spin))
+    eng.run(until=sec(1) + msec(50))
+    assert t.rq_cpu == 0  # fewer threads, despite the older hog

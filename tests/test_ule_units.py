@@ -1,0 +1,249 @@
+"""Unit tests for ULE building blocks: runq, interactivity, priority,
+tunables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import msec, sec
+from repro.ule.interactivity import SleepRunHistory
+from repro.ule.params import UleTunables
+from repro.ule.priority import (batch_priority, compute_priority,
+                                interactive_priority)
+from repro.ule.runq import RunQueue
+
+
+TUN = UleTunables()
+
+
+# ------------------------------------------------------------------ runq
+
+class FakeThread:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_runq_fifo_within_priority():
+    q = RunQueue()
+    a, b = FakeThread("a"), FakeThread("b")
+    q.add(a, 5)
+    q.add(b, 5)
+    assert q.choose() is a
+    assert q.choose() is b
+    assert q.choose() is None
+
+
+def test_runq_priority_order():
+    q = RunQueue()
+    lo, hi = FakeThread("lo"), FakeThread("hi")
+    q.add(lo, 40)
+    q.add(hi, 3)
+    assert q.first_priority() == 3
+    assert q.choose() is hi
+    assert q.choose() is lo
+
+
+def test_runq_at_head():
+    q = RunQueue()
+    a, b = FakeThread("a"), FakeThread("b")
+    q.add(a, 5)
+    q.add(b, 5, at_head=True)
+    assert q.choose() is b
+
+
+def test_runq_remove():
+    q = RunQueue()
+    a, b = FakeThread("a"), FakeThread("b")
+    q.add(a, 5)
+    q.add(b, 7)
+    q.remove(a, 5)
+    assert len(q) == 1
+    assert q.choose() is b
+    q.check_invariants()
+
+
+def test_runq_remove_missing_raises():
+    from repro.core.errors import SchedulerError
+    q = RunQueue()
+    with pytest.raises(SchedulerError):
+        q.remove(FakeThread("x"), 5)
+
+
+def test_runq_priority_bounds():
+    from repro.core.errors import SchedulerError
+    q = RunQueue(64)
+    with pytest.raises(SchedulerError):
+        q.add(FakeThread("x"), 64)
+    with pytest.raises(SchedulerError):
+        q.add(FakeThread("x"), -1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=50))
+def test_property_runq_drains_in_priority_order(priorities):
+    q = RunQueue()
+    for i, pri in enumerate(priorities):
+        q.add(FakeThread(i), pri)
+        q.check_invariants()
+    drained = []
+    while q:
+        pri = q.first_priority()
+        q.choose()
+        drained.append(pri)
+        q.check_invariants()
+    assert drained == sorted(priorities)
+
+
+# -------------------------------------------------------- interactivity
+
+def test_penalty_all_sleep_is_zero():
+    hist = SleepRunHistory(TUN, runtime=0, sleeptime=sec(3))
+    assert hist.penalty() == 0
+
+
+def test_penalty_all_run_is_max():
+    hist = SleepRunHistory(TUN, runtime=sec(3), sleeptime=0)
+    assert hist.penalty() == 100
+
+
+def test_penalty_equal_split_is_mid():
+    # FreeBSD returns exactly HALF (50) at r == s; the formula is
+    # continuous around that point.
+    hist = SleepRunHistory(TUN, runtime=sec(1), sleeptime=sec(1))
+    assert hist.penalty() == 50
+    hist = SleepRunHistory(TUN, runtime=sec(1), sleeptime=sec(1) + 1)
+    assert 49 <= hist.penalty() <= 50
+
+
+def test_penalty_formula_matches_freebsd():
+    # sleeping 2x as much as running: m * r/s = 25
+    hist = SleepRunHistory(TUN, runtime=sec(1), sleeptime=sec(2))
+    assert hist.penalty() == 25
+    # running 2x as much as sleeping: 2m - m * s/r = 75
+    hist = SleepRunHistory(TUN, runtime=sec(2), sleeptime=sec(1))
+    assert hist.penalty() == 75
+    # running 4x as much: 2m - m/4 = 87 (not the paper-typo 62.5)
+    hist = SleepRunHistory(TUN, runtime=sec(4), sleeptime=sec(1))
+    assert hist.penalty() == 87
+
+
+def test_penalty_monotone_in_runtime():
+    pens = [SleepRunHistory(TUN, runtime=r, sleeptime=sec(1)).penalty()
+            for r in range(0, 5 * 10**9, 10**8)]
+    assert pens == sorted(pens)
+
+
+def test_interactive_threshold_sixty_percent_sleep():
+    """Paper: with nice 0 the threshold corresponds roughly to sleeping
+    more than 60% of the time."""
+    # 62% sleep: penalty = 50/(0.62/0.38) = 30.6 -> just interactive
+    hist = SleepRunHistory(TUN, runtime=msec(380), sleeptime=msec(625))
+    assert hist.is_interactive(0)
+    # 50% sleep: not interactive
+    hist = SleepRunHistory(TUN, runtime=msec(500), sleeptime=msec(500))
+    assert not hist.is_interactive(0)
+
+
+def test_negative_nice_helps_interactivity():
+    hist = SleepRunHistory(TUN, runtime=msec(500), sleeptime=msec(600))
+    # penalty ~41: batch at nice 0, interactive at nice -15
+    assert not hist.is_interactive(0)
+    assert hist.is_interactive(-15)
+
+
+def test_history_decay_keeps_window_bounded():
+    hist = SleepRunHistory(TUN)
+    for _ in range(100):
+        hist.add_runtime(msec(200))
+        hist.add_sleeptime(msec(100))
+    assert hist.runtime + hist.sleeptime <= (TUN.slp_run_max_ns // 5) * 6
+
+
+def test_history_decay_preserves_ratio_roughly():
+    hist = SleepRunHistory(TUN)
+    for _ in range(200):
+        hist.add_runtime(msec(100))
+        hist.add_sleeptime(msec(300))
+    share = hist.cpu_share()
+    assert share == pytest.approx(0.25, abs=0.05)
+
+
+def test_fork_copy_and_absorb():
+    parent = SleepRunHistory(TUN, runtime=sec(1), sleeptime=sec(2))
+    child = parent.copy()
+    assert child.penalty() == parent.penalty()
+    child.add_runtime(sec(1))
+    before = parent.runtime
+    parent.absorb(child)
+    assert parent.runtime > before
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 10**10), st.integers(0, 10**10))
+def test_property_penalty_bounded(run, sleep):
+    hist = SleepRunHistory(TUN, runtime=run, sleeptime=sleep)
+    assert 0 <= hist.penalty() <= TUN.interact_max
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 10**9)),
+                min_size=1, max_size=40))
+def test_property_history_window_bounded(steps):
+    hist = SleepRunHistory(TUN)
+    for is_run, delta in steps:
+        if is_run:
+            hist.add_runtime(delta)
+        else:
+            hist.add_sleeptime(delta)
+        assert hist.runtime + hist.sleeptime <= \
+            max((TUN.slp_run_max_ns // 5) * 6, delta + TUN.slp_run_max_ns)
+
+
+# ------------------------------------------------------------ priority
+
+def test_interactive_priority_interpolation():
+    assert interactive_priority(TUN, 0) == 0
+    assert interactive_priority(TUN, TUN.interact_thresh) == \
+        TUN.interact_prio_max
+    # monotone
+    pris = [interactive_priority(TUN, s) for s in range(31)]
+    assert pris == sorted(pris)
+
+
+def test_batch_priority_rises_with_usage():
+    lazy = SleepRunHistory(TUN, runtime=msec(400), sleeptime=msec(100))
+    hog = SleepRunHistory(TUN, runtime=sec(4), sleeptime=0)
+    assert batch_priority(TUN, hog, 0) > batch_priority(TUN, lazy, 0)
+
+
+def test_batch_priority_in_band():
+    for run, sleep, nice in [(0, 0, -20), (sec(5), 0, 19),
+                             (sec(1), sec(1), 0)]:
+        hist = SleepRunHistory(TUN, runtime=run, sleeptime=sleep)
+        pri = batch_priority(TUN, hist, nice)
+        assert TUN.batch_prio_min <= pri <= TUN.nqueues - 1
+
+
+def test_compute_priority_classifies():
+    sleeper = SleepRunHistory(TUN, runtime=msec(100), sleeptime=sec(2))
+    pri, interactive = compute_priority(TUN, sleeper, 0)
+    assert interactive
+    assert pri <= TUN.interact_prio_max
+    hog = SleepRunHistory(TUN, runtime=sec(3), sleeptime=0)
+    pri, interactive = compute_priority(TUN, hog, 0)
+    assert not interactive
+    assert pri >= TUN.batch_prio_min
+
+
+# ------------------------------------------------------------ tunables
+
+def test_slice_matches_paper():
+    tun = UleTunables()
+    # one thread: 10 ticks (~78 ms)
+    assert tun.slice_for_load(1) == 10
+    assert abs(tun.slice_ns - msec(78)) < msec(1)
+    # divided by thread count
+    assert tun.slice_for_load(2) == 5
+    assert tun.slice_for_load(10) == 1
+    # floored at 1 tick (1/127th of a second)
+    assert tun.slice_for_load(100) == 1

@@ -1,0 +1,200 @@
+"""Behavioural tests for the workload models: the properties the
+paper's arguments depend on."""
+
+import pytest
+
+from repro.core import Engine
+from repro.core.clock import msec, sec, usec
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+from repro.workloads import (ApacheWorkload, CrayWorkload,
+                             KernelNoiseWorkload, SysbenchWorkload)
+from repro.workloads.nas import dc, ep, mg
+from repro.workloads.phoronix import ScimarkWorkload
+from repro.workloads.registry import FIGURE5_APPS
+
+
+def make_engine(ncpus=1, sched="fifo", **kw):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched), seed=17, **kw)
+
+
+# ------------------------------------------------------------- sysbench
+
+def test_sysbench_workers_inherit_growing_penalty():
+    """Under ULE, later-forked workers start with higher inherited
+    penalties (the §5.2 gradient)."""
+    eng = make_engine(sched="ule")
+    wl = SysbenchWorkload(nthreads=32, transactions_per_thread=5)
+    wl.launch(eng, at=0)
+    eng.run(until=sec(2))
+    # sample the inherited history of first vs last forked worker
+    first, last = wl.workers[0], wl.workers[-1]
+    assert last.policy.hist.runtime > first.policy.hist.runtime
+
+
+def test_sysbench_latency_measured_from_arrival():
+    eng = make_engine()
+    wl = SysbenchWorkload(nthreads=4, transactions_per_thread=10,
+                          init_per_thread_ns=msec(1))
+    wl.launch(eng, at=0)
+    eng.run(until=sec(30), stop_when=lambda e: wl.done(e))
+    lat = eng.metrics.latency("sysbench.latency")
+    # latency excludes the voluntary wait: at least the service time,
+    # far less than wait + service on an idle core
+    assert lat.count >= 40
+    assert lat.mean >= wl.service_ns
+
+
+def test_sysbench_master_sleeps_after_init():
+    eng = make_engine(ncpus=2)
+    wl = SysbenchWorkload(nthreads=8, transactions_per_thread=20,
+                          init_per_thread_ns=msec(2))
+    wl.launch(eng, at=0)
+    eng.run(until=sec(30), stop_when=lambda e: wl.done(e))
+    assert wl.master.total_sleeptime > 0
+    # master's CPU time is just the init work
+    assert wl.master.total_runtime == pytest.approx(
+        8 * msec(2), rel=0.05)
+
+
+# --------------------------------------------------------------- apache
+
+def test_apache_request_conservation():
+    eng = make_engine(ncpus=2)
+    wl = ApacheWorkload(nworkers=8, outstanding=8, total_requests=100)
+    wl.launch(eng, at=0)
+    eng.run(until=sec(30), stop_when=lambda e: wl.done(e))
+    assert wl.sent == 100
+    assert wl.completed >= 100
+
+
+def test_apache_ab_single_threaded():
+    eng = make_engine(ncpus=4)
+    wl = ApacheWorkload(nworkers=8, total_requests=100)
+    wl.launch(eng, at=0)
+    eng.run(until=sec(30), stop_when=lambda e: wl.done(e))
+    ab_threads = [t for t in wl.threads(eng) if t.name == "ab"]
+    assert len(ab_threads) == 1
+
+
+# ----------------------------------------------------------------- NAS
+
+def test_mg_threads_never_voluntarily_sleep_when_synchronized():
+    """With balanced phases and spin barriers, MG threads spin instead
+    of sleeping (the §6.3 precondition for ULE's advantage)."""
+    eng = make_engine(ncpus=4, sched="ule")
+    wl = mg()
+    wl.nthreads = 4
+    wl.iterations = 10
+    wl.imbalance = 0.0  # perfectly balanced phases
+    wl.launch(eng, at=0)
+    eng.run(until=sec(60), stop_when=lambda e: wl.done(e))
+    for t in wl.threads(eng):
+        assert t.total_sleeptime == 0
+
+
+def test_dc_threads_sleep_for_io():
+    eng = make_engine(ncpus=4)
+    wl = dc()
+    wl.nthreads = 4
+    wl.iterations = 5
+    wl.launch(eng, at=0)
+    eng.run(until=sec(60), stop_when=lambda e: wl.done(e))
+    for t in wl.threads(eng):
+        assert t.total_sleeptime >= 5 * wl.io_ns
+
+
+def test_ep_has_no_barrier_coupling():
+    """EP threads finish independently: with unequal work, early
+    finishers exit while others continue."""
+    eng = make_engine(ncpus=2)
+    wl = ep()
+    wl.nthreads = 4
+    wl.jitter = 0.3
+    wl.launch(eng, at=0)
+    eng.run(until=sec(120), stop_when=lambda e: wl.done(e))
+    exits = sorted(t.exited_at for t in wl.threads(eng))
+    assert exits[0] < exits[-1]
+
+
+# ----------------------------------------------------------- c-ray
+
+def test_cray_wake_times_monotone_along_chain():
+    eng = make_engine(ncpus=4)
+    wl = CrayWorkload(nthreads=12, compute_ns=msec(5),
+                      fork_spacing_ns=msec(1))
+    wl.launch(eng, at=0)
+    eng.run(until=sec(60), stop_when=lambda e: wl.done(e))
+    times = wl.wake_times()
+    # the releasing party (whoever arrived last) records its own
+    # arrival time and sits outside the serial chain
+    releaser = wl._cascade._release_index
+    chain = [times[i] for i in sorted(times) if i != releaser]
+    assert chain == sorted(chain)
+
+
+# ----------------------------------------------------------- scimark
+
+def test_scimark_jvm_demand_is_open_loop():
+    """The JVM service threads' total burst work tracks elapsed time,
+    not scheduling generosity."""
+    eng = make_engine(ncpus=2)
+    wl = ScimarkWorkload(variant=1, compute_ns=msec(500), njvm=2,
+                         burst_ns=msec(5), period_ns=msec(50))
+    wl.launch(eng, at=0)
+    eng.run(until=sec(30), stop_when=lambda e: wl.done(e))
+    jvm = [t for t in wl.threads(eng) if "jvm" in t.name]
+    elapsed = wl.compute_thread.exited_at
+    expected = (elapsed / msec(50)) * msec(5)
+    total = sum(t.total_runtime for t in jvm)
+    assert total == pytest.approx(2 * expected, rel=0.3)
+
+
+# ------------------------------------------------------------- noise
+
+def test_noise_heavy_tail_produces_long_bursts():
+    eng = make_engine(ncpus=2)
+    wl = KernelNoiseWorkload(period_ns=msec(5), burst_ns=usec(100),
+                             tail_prob=0.2, tail_factor=50)
+    wl.launch(eng, at=0)
+    eng.run(until=sec(5))
+    # with 20% tails the daemons' consumption is dominated by them
+    total = sum(t.total_runtime for t in wl.threads(eng))
+    no_tail_expected = 2 * (sec(5) / msec(5)) * usec(100)
+    assert total > 3 * no_tail_expected
+
+
+def test_noise_daemons_stay_pinned():
+    eng = make_engine(ncpus=4)
+    wl = KernelNoiseWorkload()
+    wl.launch(eng, at=0)
+    eng.run(until=sec(1))
+    for t in wl.threads(eng):
+        cpu = int(t.name.split("/")[1])
+        assert t.cpu == cpu
+
+
+# ------------------------------------------------------- whole registry
+
+@pytest.mark.parametrize("name", sorted(FIGURE5_APPS))
+def test_every_figure5_app_completes_under_both_schedulers(name):
+    """Every registered application finishes under CFS and ULE on a
+    small machine (the full-size runs live in benchmarks/)."""
+    for sched in ("cfs", "ule"):
+        eng = make_engine(ncpus=4, sched=sched)
+        wl = FIGURE5_APPS[name]()
+        # shrink the big ones for test speed
+        if hasattr(wl, "total_requests"):
+            wl.total_requests = min(wl.total_requests, 2000)
+        if hasattr(wl, "total_reads"):
+            wl.total_reads = min(wl.total_reads, 2000)
+        if name == "Sysbench":
+            wl.transactions_per_thread = 5
+        if hasattr(wl, "items"):
+            wl.items = min(wl.items, 200)
+        wl.launch(eng, at=0)
+        eng.run(until=sec(300), stop_when=lambda e: wl.done(e),
+                check_interval=64)
+        assert wl.done(eng), f"{name} under {sched} did not finish"
+        assert wl.performance(eng) > 0

@@ -1,0 +1,216 @@
+"""Tests for the workload models, run under the FIFO reference
+scheduler (scheduler-specific behaviour is tested in the experiment
+tests)."""
+
+import pytest
+
+from repro.core import Engine
+from repro.core.clock import msec, sec, to_sec
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+from repro.workloads import (ApacheWorkload, CrayWorkload, FiboWorkload,
+                             HackbenchWorkload, KernelNoiseWorkload,
+                             RocksDbWorkload, SpinnerWorkload,
+                             SysbenchWorkload, make_workload,
+                             workload_names)
+from repro.workloads.base import (BarrierWorkload, ComputeWorkload,
+                                  ServerWorkload)
+from repro.workloads.parsec import PipelineWorkload
+from repro.workloads.phoronix import BuildWorkload, ScimarkWorkload
+
+
+def make_engine(ncpus=4, sched="fifo", **kw):
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched), seed=7, **kw)
+
+
+def run_to_done(eng, wl, timeout=sec(300)):
+    reason = eng.run(until=timeout,
+                     stop_when=lambda e: wl.done(e), check_interval=16)
+    assert wl.done(eng) or reason == "all-exited", \
+        f"{wl.name} did not finish ({reason})"
+
+
+# ------------------------------------------------------------ archetypes
+
+def test_compute_workload_completes():
+    eng = make_engine(ncpus=2)
+    wl = ComputeWorkload(app="cw", nthreads=4, work_ns=msec(20),
+                         chunk_ns=msec(5))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completion_time(eng) == pytest.approx(msec(40), rel=0.2)
+    assert wl.performance(eng) > 0
+
+
+def test_compute_workload_ncores_default():
+    eng = make_engine(ncpus=4)
+    wl = ComputeWorkload(app="cw", nthreads=None, work_ns=msec(10))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert len(wl.threads(eng)) == 4
+
+
+def test_barrier_workload_iterations():
+    eng = make_engine(ncpus=4)
+    wl = BarrierWorkload(app="bw", nthreads=4, iterations=5,
+                         phase_ns=msec(10))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    # 5 iterations of 10ms, one thread per core: ~50ms
+    assert wl.completion_time(eng) == pytest.approx(msec(50), rel=0.25)
+
+
+def test_barrier_workload_with_io():
+    eng = make_engine(ncpus=2)
+    wl = BarrierWorkload(app="bw", nthreads=2, iterations=3,
+                         phase_ns=msec(5), io_ns=msec(10))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    threads = wl.threads(eng)
+    assert all(t.total_sleeptime >= 3 * msec(10) for t in threads)
+
+
+def test_server_workload_completes_requests():
+    eng = make_engine(ncpus=2)
+    wl = ServerWorkload(app="srv", nworkers=4, service_ns=msec(1),
+                        nclients=2, think_ns=msec(1),
+                        total_requests=100)
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completed >= 100
+    assert wl.throughput(eng) > 0
+    assert wl.mean_latency_ns(eng) > 0
+
+
+# ----------------------------------------------------------- applications
+
+def test_fibo_is_pure_compute():
+    eng = make_engine(ncpus=1)
+    wl = FiboWorkload(work_ns=msec(100))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.thread.total_sleeptime == 0
+    assert wl.thread.total_runtime == msec(100)
+
+
+def test_sysbench_fork_pattern_and_budget():
+    eng = make_engine(ncpus=4)
+    wl = SysbenchWorkload(nthreads=8, transactions_per_thread=10,
+                          init_per_thread_ns=msec(1))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completed >= wl.total_transactions
+    assert len(wl.workers) == 8
+    assert all(w.parent is wl.master for w in wl.workers)
+    assert wl.mean_latency_ns(eng) > 0
+
+
+def test_apache_closed_loop():
+    eng = make_engine(ncpus=2)
+    wl = ApacheWorkload(nworkers=10, outstanding=10, total_requests=200)
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completed >= 200
+    assert wl.performance(eng) > 0
+
+
+def test_cray_cascade_wakes_everyone():
+    eng = make_engine(ncpus=4)
+    wl = CrayWorkload(nthreads=16, fork_spacing_ns=msec(1),
+                      compute_ns=msec(10), chunk_ns=msec(5))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.all_runnable_at() is not None
+    assert len(wl.wake_times()) == 17  # workers + master
+
+
+def test_hackbench_message_conservation():
+    eng = make_engine(ncpus=4)
+    wl = HackbenchWorkload(groups=2, fan=3, loops=5)
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    # every written message was read
+    for pipes in wl._pipes:
+        for pipe in pipes:
+            assert pipe.messages_written == pipe.messages_read == 15
+
+
+def test_rocksdb_readers_and_writers():
+    eng = make_engine(ncpus=2)
+    wl = RocksDbWorkload(nreaders=4, nwriters=1, total_reads=200)
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completed_reads >= 200
+    assert wl.performance(eng) > 0
+
+
+def test_spinner_unpin_event():
+    eng = make_engine(ncpus=4)
+    wl = SpinnerWorkload(count=8, pin_cpu=0, unpin_at=msec(10))
+    wl.launch(eng)
+    eng.run(until=msec(5))
+    assert all(t.affinity == frozenset({0}) for t in wl._threads)
+    eng.run(until=msec(20))
+    assert all(t.affinity is None for t in wl._threads)
+
+
+def test_pipeline_processes_all_items():
+    eng = make_engine(ncpus=4)
+    wl = PipelineWorkload(app="pl", nstages=3, stage_threads=2,
+                          items=50, stage_work_ns=msec(1))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.completed == 50
+
+
+def test_build_workload_parallelism_cap():
+    eng = make_engine(ncpus=4)
+    wl = BuildWorkload(app="bld", jobs=12, job_ns=msec(10),
+                       parallelism=2)
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    # 12 jobs of ~10ms at parallelism 2: at least ~60ms
+    assert wl.completion_time(eng) >= msec(45)
+
+
+def test_scimark_compute_finishes_with_jvm_noise():
+    eng = make_engine(ncpus=1)
+    wl = ScimarkWorkload(variant=1, compute_ns=msec(200))
+    wl.launch(eng)
+    run_to_done(eng, wl)
+    assert wl.performance(eng) > 0
+
+
+def test_kernel_noise_runs_forever():
+    eng = make_engine(ncpus=2)
+    wl = KernelNoiseWorkload()
+    wl.launch(eng)
+    eng.run(until=msec(100))
+    assert not wl.done(eng)
+    threads = wl.threads(eng)
+    assert len(threads) == 2
+    assert all(t.total_runtime > 0 for t in threads)
+
+
+# -------------------------------------------------------------- registry
+
+def test_registry_contains_figure5_apps():
+    names = workload_names()
+    for expected in ["MG", "EP", "Apache", "Sysbench", "ferret",
+                     "scimark2-(1)", "Hackb-800"]:
+        assert expected in names
+
+
+def test_registry_unknown_name_raises():
+    from repro.core.errors import WorkloadError
+    with pytest.raises(WorkloadError):
+        make_workload("doom")
+
+
+@pytest.mark.parametrize("name", ["Gzip", "IS", "swaptions", "x264"])
+def test_registry_workloads_run_under_fifo(name):
+    eng = make_engine(ncpus=4)
+    wl = make_workload(name)
+    wl.launch(eng)
+    run_to_done(eng, wl, timeout=sec(600))
