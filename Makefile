@@ -1,0 +1,30 @@
+# Developer entry points.  PYTHONPATH=src everywhere: the package is
+# run from the source tree, no install step needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-baseline bench-full
+
+## tier-1 test suite (the gate every PR must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## simulator-performance benchmarks in smoke mode + regression gate:
+## fails when any profile's events/sec is >2x below the recorded
+## baseline (benchmarks/BENCH_baseline.json)
+bench:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_simulator_performance.py -q
+	$(PYTHON) benchmarks/check_bench.py
+
+## re-record the smoke baseline after an intentional perf change
+bench-baseline:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_simulator_performance.py -q
+	cp benchmarks/BENCH_simulator.json benchmarks/BENCH_baseline.json
+	@echo "baseline re-recorded"
+
+## full-size benchmark profiles (slower, prints throughput)
+bench-full:
+	$(PYTHON) -m pytest benchmarks/test_simulator_performance.py -q

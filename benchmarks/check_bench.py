@@ -1,0 +1,78 @@
+"""Compare BENCH_simulator.json against the recorded baseline.
+
+Run by ``make bench`` after the simulator-performance benchmarks:
+exits non-zero when any profile's events/sec regressed more than
+``MAX_REGRESSION``x against ``BENCH_baseline.json``.  Baselines are
+machine-dependent; the 2x threshold leaves headroom for hardware
+variance while still catching algorithmic regressions (an accidental
+O(n) in the event queue shows up as 5-50x).
+
+To re-record the baseline after an intentional change::
+
+    make bench-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CURRENT = os.path.join(HERE, "BENCH_simulator.json")
+BASELINE = os.path.join(HERE, "BENCH_baseline.json")
+
+#: fail when events/sec drops below baseline / MAX_REGRESSION
+MAX_REGRESSION = 2.0
+
+
+def main() -> int:
+    if not os.path.exists(CURRENT):
+        print(f"check_bench: {CURRENT} missing - run the benchmarks "
+              f"first (make bench)", file=sys.stderr)
+        return 2
+    if not os.path.exists(BASELINE):
+        print(f"check_bench: no baseline recorded; copying current "
+              f"results to {BASELINE}")
+        with open(CURRENT) as fh:
+            data = fh.read()
+        with open(BASELINE, "w") as fh:
+            fh.write(data)
+        return 0
+    with open(CURRENT) as fh:
+        current = json.load(fh)
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+    if current.get("smoke") != baseline.get("smoke"):
+        print("check_bench: smoke-mode mismatch between current and "
+              "baseline; skipping comparison")
+        return 0
+    failures = []
+    for profile, base in sorted(baseline["profiles"].items()):
+        cur = current["profiles"].get(profile)
+        if cur is None:
+            failures.append(f"{profile}: missing from current results")
+            continue
+        base_eps = base["events_per_sec"]
+        cur_eps = cur["events_per_sec"]
+        ratio = base_eps / cur_eps if cur_eps else float("inf")
+        status = "FAIL" if ratio > MAX_REGRESSION else "ok"
+        print(f"  {profile:<16} {cur_eps:>12,.0f} ev/s "
+              f"(baseline {base_eps:>12,.0f}, {base_eps / cur_eps:.2f}x) "
+              f"{status}")
+        if ratio > MAX_REGRESSION:
+            failures.append(
+                f"{profile}: {cur_eps:,.0f} ev/s is more than "
+                f"{MAX_REGRESSION}x below baseline {base_eps:,.0f}")
+    if failures:
+        print("\ncheck_bench: PERFORMANCE REGRESSION", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: all profiles within "
+          f"{MAX_REGRESSION}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,57 @@
 """Bench: the simulator's own performance.
 
 Not a paper figure — it tracks the engine's event throughput so
-regressions in the simulation kernel are visible.  Three profiles:
+regressions in the simulation kernel are visible.  Four profiles:
 
 * compute-bound (few events, long run actions),
 * wakeup-heavy (channels, the hackbench shape),
-* tick-dominated (spinners under the 1 ms CFS tick).
+* tick-dominated (spinners under the 1 ms CFS tick),
+* idle-heavy (a mostly idle machine; the NO_HZ tickless showcase).
+
+Each run writes ``benchmarks/BENCH_simulator.json`` (events/sec and
+switches per profile) so the perf trajectory is tracked across PRs;
+``benchmarks/check_bench.py`` compares it against the recorded
+baseline.  ``REPRO_BENCH_SMOKE=1`` shrinks the simulated durations
+~10x for CI (``make bench``).
 """
 
-from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+import json
+import os
+
+import pytest
+
+from repro.core import Engine, Run, ThreadSpec, run_forever
 from repro.core.clock import msec, sec, usec
 from repro.core.topology import smp
 from repro.sched import scheduler_factory
 from repro.sync import Channel
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
 
-def _events_per_second(benchmark, build, simulated_ns):
+#: collected per-profile results, flushed to JSON at session end
+RESULTS: dict = {}
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__),
+                          "BENCH_simulator.json")
+
+
+def _scaled(ns: int) -> int:
+    """Simulated duration, shrunk ~10x in smoke mode."""
+    return ns // 10 if SMOKE else ns
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_results():
+    yield
+    if not RESULTS:
+        return
+    with open(_JSON_PATH, "w") as fh:
+        json.dump({"smoke": SMOKE, "profiles": RESULTS}, fh,
+                  indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _events_per_second(benchmark, build, simulated_ns, profile):
     def run():
         engine = build()
         engine.run(until=simulated_ns)
@@ -24,8 +60,18 @@ def _events_per_second(benchmark, build, simulated_ns):
     engine = benchmark.pedantic(run, rounds=1, iterations=1)
     switches = engine.metrics.counter("engine.switches")
     wall = benchmark.stats.stats.mean
+    events = engine.events_processed
+    RESULTS[profile] = {
+        "events": int(events),
+        "events_per_sec": round(events / wall, 1),
+        "switches": int(switches),
+        "simulated_ns": int(simulated_ns),
+        "wall_s": round(wall, 4),
+        "tick_stops": int(engine.metrics.counter("engine.tick_stops")),
+    }
     print(f"\n  simulated {simulated_ns / 1e9:.1f}s in {wall:.2f}s wall "
           f"({simulated_ns / 1e9 / wall:.1f}x realtime), "
+          f"{events} events ({events / wall:,.0f}/s), "
           f"{switches:.0f} switches")
     return engine
 
@@ -38,8 +84,10 @@ def test_perf_compute_bound(benchmark):
                 f"w{i}", lambda ctx: iter([run_forever()]), app="app"))
         return engine
 
-    engine = _events_per_second(benchmark, build, sec(20))
-    assert engine.now == sec(20)
+    simulated = _scaled(sec(20))
+    engine = _events_per_second(benchmark, build, simulated,
+                                "compute_bound")
+    assert engine.now == simulated
 
 
 def test_perf_wakeup_heavy(benchmark):
@@ -66,8 +114,10 @@ def test_perf_wakeup_heavy(benchmark):
                                     tags={"idx": i}))
         return engine
 
-    engine = _events_per_second(benchmark, build, sec(5))
-    assert engine.metrics.counter("engine.switches") > 1000
+    engine = _events_per_second(benchmark, build, _scaled(sec(5)),
+                                "wakeup_heavy")
+    assert engine.metrics.counter("engine.switches") > (
+        100 if SMOKE else 1000)
 
 
 def test_perf_tick_dominated(benchmark):
@@ -78,5 +128,25 @@ def test_perf_tick_dominated(benchmark):
                 f"s{i}", lambda ctx: iter([run_forever()]), app="app"))
         return engine
 
-    engine = _events_per_second(benchmark, build, sec(5))
-    assert engine.now == sec(5)
+    simulated = _scaled(sec(5))
+    engine = _events_per_second(benchmark, build, simulated,
+                                "tick_dominated")
+    assert engine.now == simulated
+
+
+def test_perf_idle_heavy(benchmark):
+    """30 of 32 cores idle: tickless parks their ticks, so the event
+    count collapses compared to an always-tick engine (which posts
+    ~32 ticks/ms regardless)."""
+    def build():
+        engine = Engine(smp(32), scheduler_factory("cfs"), seed=1)
+        for i in range(2):
+            engine.spawn(ThreadSpec(
+                f"s{i}", lambda ctx: iter([run_forever()]), app="app"))
+        return engine
+
+    simulated = _scaled(sec(5))
+    engine = _events_per_second(benchmark, build, simulated,
+                                "idle_heavy")
+    assert engine.now == simulated
+    assert engine.metrics.counter("engine.tick_stops") >= 30

@@ -26,6 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .domains import SchedDomain
 
 
+def nohz_idle_balance(sched: "CfsScheduler", core: "Core") -> None:
+    """Balance on behalf of a tick-stopped idle core.
+
+    Linux kicks one unparked CPU to run ``nohz_idle_balance()`` for all
+    tickless-idle siblings; our per-core balance event chain never
+    stops, so the kick degenerates to running the core's own periodic
+    pass — identical work to the always-tick engine, plus a counter so
+    experiments can see how often parked cores were balanced.
+    """
+    sched.engine.metrics.incr("cfs.nohz_kicks")
+    periodic_balance(sched, core)
+
+
 def periodic_balance(sched: "CfsScheduler", core: "Core") -> None:
     """One tick of the periodic balancer on ``core``: run every domain
     whose interval elapsed."""
@@ -44,13 +57,21 @@ def load_balance(sched: "CfsScheduler", core: "Core",
     """Try to pull load into ``core`` from the busiest group of
     ``domain``; returns the number of migrated tasks."""
     local_group = domain.local_group()
-    local_load = group_load(sched, local_group)
+    # One batched pass over the span fills the per-instant memo; the
+    # group sums then index it directly (the balancer's hot path).
+    loads = sched.loads_for(domain.span)
+    local_load = 0.0
+    for cpu in local_group:
+        local_load += loads[cpu]
     busiest_group = None
     busiest_load = local_load
+    local_cpu = core.index
     for group in domain.groups:
-        if group is local_group or core.index in group:
+        if group is local_group or local_cpu in group:
             continue
-        load = group_load(sched, group)
+        load = 0.0
+        for cpu in group:
+            load += loads[cpu]
         if load > busiest_load:
             busiest_group = group
             busiest_load = load

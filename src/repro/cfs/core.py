@@ -17,6 +17,7 @@ Faithful to §2.1 of the paper:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core.clock import LINUX_TICK_NSEC
@@ -28,6 +29,7 @@ from .cgroup import TaskGroup
 from .domains import SchedDomain, build_domains
 from .entity import SchedEntity
 from .params import CfsTunables
+from .pelt import HALF_LIFE_NS, _LN2
 from .runqueue import CfsRq
 from .weights import calc_delta_fair, nice_to_weight
 
@@ -82,6 +84,12 @@ class CfsScheduler(SchedClass):
         #: times within one event instant
         self._load_cache: dict[int, float] = {}
         self._load_cache_time = -1
+        #: cpu -> task ``LoadAvg`` objects in traversal order, valid
+        #: until the cpu's runnable set (or timeline order) changes;
+        #: lets :meth:`cpu_load` skip the hierarchy walk entirely
+        self._avgs_cache: dict[int, list] = {}
+        #: reusable per-core balance-tick events
+        self._lb_events: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -104,15 +112,23 @@ class CfsScheduler(SchedClass):
         interval = self.tunables.balance_interval_ns
         for core in self.machine.cores:
             stagger = (core.index * interval) // max(1, len(self.machine))
-            self.engine.events.post(
-                self.engine.now + interval + stagger,
+            event = self.engine.events.make_reusable(
                 self._balance_tick, core, label=f"cfs-lb:cpu{core.index}")
+            self._lb_events[core.index] = event
+            self.engine.events.repost(
+                event, self.engine.now + interval + stagger)
 
     def _balance_tick(self, core: "Core") -> None:
-        self.engine.events.post(
-            self.engine.now + self.tunables.balance_interval_ns,
-            self._balance_tick, core, label=f"cfs-lb:cpu{core.index}")
-        balance.periodic_balance(self, core)
+        self.engine.events.repost(
+            self._lb_events[core.index],
+            self.engine.now + self.tunables.balance_interval_ns)
+        if core.tick_stopped and core.is_idle:
+            # The core's scheduler tick is parked (NO_HZ idle) but its
+            # balance pass still arrives on schedule — the model of
+            # Linux's nohz.idle_balance kick.
+            balance.nohz_idle_balance(self, core)
+        else:
+            balance.periodic_balance(self, core)
 
     # ------------------------------------------------------------------
     # per-thread state
@@ -167,6 +183,7 @@ class CfsScheduler(SchedClass):
         new_weight = nice_to_weight(thread.nice)
         if se.cfs_rq is not None and se.on_rq:
             se.cfs_rq.reweight_entity(se, new_weight)
+            self._avgs_cache.pop(se.cfs_rq.cpu, None)
         else:
             se.weight = new_weight
             se.avg.weight = new_weight
@@ -209,6 +226,7 @@ class CfsScheduler(SchedClass):
             parent_rq.h_nr_running += 1
             group.update_group_weight(cpu)
         self._load_cache.pop(cpu, None)
+        self._avgs_cache.pop(cpu, None)
 
     def dequeue_task(self, core: "Core", thread: "SimThread",
                      flags: DequeueFlags) -> None:
@@ -230,6 +248,7 @@ class CfsScheduler(SchedClass):
             parent_rq.h_nr_running -= 1
             group.update_group_weight(cpu)
         self._load_cache.pop(cpu, None)
+        self._avgs_cache.pop(cpu, None)
 
     # ------------------------------------------------------------------
     # picking
@@ -237,6 +256,9 @@ class CfsScheduler(SchedClass):
 
     def pick_next(self, core: "Core") -> Optional["SimThread"]:
         cpurq = self.cpurq(core)
+        # set_next/put_prev move entities between curr and the tree,
+        # which reorders queued_entities() traversal.
+        self._avgs_cache.pop(core.index, None)
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -264,6 +286,7 @@ class CfsScheduler(SchedClass):
         """Reinsert the current entity chain into the timelines without
         picking (used when another scheduling class takes over)."""
         cpurq = self.cpurq(core)
+        self._avgs_cache.pop(core.index, None)
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -302,6 +325,13 @@ class CfsScheduler(SchedClass):
         first = rq.pick_first()
         if first is not None and se.vruntime - first.vruntime > ideal:
             core.need_resched = True
+
+    def needs_tick(self, core: "Core") -> bool:
+        # An idle CFS core has no tick work: PELT decays lazily (the
+        # continuous form needs no periodic folding) and periodic
+        # balancing runs from its own event chain, which keeps firing
+        # on parked cores as a nohz kick (see _balance_tick).
+        return not core.is_idle
 
     def check_preempt_wakeup(self, core: "Core",
                              thread: "SimThread") -> None:
@@ -343,7 +373,15 @@ class CfsScheduler(SchedClass):
 
     def cpu_load(self, cpu: int) -> float:
         """Sum of runnable tasks' PELT loads on ``cpu`` (memoized per
-        event instant, invalidated on enqueue/dequeue)."""
+        event instant, invalidated on enqueue/dequeue).
+
+        The balancing hot path: instead of re-walking the runqueue
+        hierarchy every pass, the per-task ``LoadAvg`` objects are
+        cached in traversal order (``_avgs_cache``, invalidated on any
+        runnable-set or timeline-order change) and ``LoadAvg.peek`` is
+        inlined.  The arithmetic is kept expression-for-expression
+        identical to ``peek`` so the result is bit-identical.
+        """
         now = self.engine.now
         if self._load_cache_time != now:
             self._load_cache_time = now
@@ -351,11 +389,54 @@ class CfsScheduler(SchedClass):
         cached = self._load_cache.get(cpu)
         if cached is not None:
             return cached
-        core = self.machine.cores[cpu]
-        load = sum(self.thread_load(t)
-                   for t in self.runnable_threads(core))
+        avgs = self._avgs_cache.get(cpu)
+        if avgs is None:
+            core = self.machine.cores[cpu]
+            avgs = [t.policy.se.avg
+                    for t in self.runnable_threads(core)]
+            self._avgs_cache[cpu] = avgs
+        load = 0.0
+        exp = math.exp
+        for avg in avgs:
+            delta = now - avg.last_update
+            if delta <= 0:
+                load += avg.util_avg * avg.weight
+            else:
+                d = exp(-_LN2 * delta / HALF_LIFE_NS)
+                load += (avg.util_avg * d + (1.0 - d)) * avg.weight
         self._load_cache[cpu] = load
         return load
+
+    def loads_for(self, cpus: Iterable[int]) -> dict[int, float]:
+        """Batch form of :meth:`cpu_load` for the balancer: validate
+        the per-instant memo once, fill the missing entries in one
+        tight loop, and return the live memo dict for indexing."""
+        now = self.engine.now
+        if self._load_cache_time != now:
+            self._load_cache_time = now
+            self._load_cache = {}
+        cache = self._load_cache
+        avgs_cache = self._avgs_cache
+        cores = self.machine.cores
+        exp = math.exp
+        for cpu in cpus:
+            if cpu in cache:
+                continue
+            avgs = avgs_cache.get(cpu)
+            if avgs is None:
+                avgs = [t.policy.se.avg
+                        for t in self.runnable_threads(cores[cpu])]
+                avgs_cache[cpu] = avgs
+            load = 0.0
+            for avg in avgs:
+                delta = now - avg.last_update
+                if delta <= 0:
+                    load += avg.util_avg * avg.weight
+                else:
+                    d = exp(-_LN2 * delta / HALF_LIFE_NS)
+                    load += (avg.util_avg * d + (1.0 - d)) * avg.weight
+            cache[cpu] = load
+        return cache
 
     def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
         out: list["SimThread"] = []

@@ -3,9 +3,13 @@
 Subcommands::
 
     repro-sched list                      # experiments and workloads
-    repro-sched experiment fig6 [--full] [--seed N]
+    repro-sched experiment fig6 [--full] [--seed N] [--jobs N]
     repro-sched run MG --sched ule --cpus 32 [--trace]
     repro-sched compare MG --cpus 32      # CFS vs ULE on one workload
+
+``--jobs N`` fans independent simulation cells out to N worker
+processes (0 = all cores); results are identical to a serial run —
+parallelism only changes the wall clock.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ def _cmd_list(args) -> int:
 
 def _cmd_experiment(args) -> int:
     result = run_experiment(args.name, quick=not args.full,
-                            seed=args.seed)
+                            seed=args.seed, jobs=args.jobs)
     print(result.text)
     return 0
 
@@ -91,6 +95,24 @@ def _cmd_report(args) -> int:
     buf.write("# The Battle of the Schedulers: FreeBSD ULE vs. "
               "Linux CFS (ATC'18)\n")
     names = args.only or experiment_names()
+    if args.jobs is not None and len(names) > 1:
+        # Fan whole experiments out to worker processes; results come
+        # back in submission order, so the report is byte-identical to
+        # a serial run (minus the per-experiment timing lines).
+        from .experiments.parallel import run_experiments
+        t0 = time.time()
+        print(f"running {len(names)} experiments with "
+              f"--jobs {args.jobs} ...", flush=True)
+        results = run_experiments(names, quick=not args.full,
+                                  seed=args.seed, jobs=args.jobs)
+        elapsed = time.time() - t0
+        print(f"completed in {elapsed:.1f}s wall", flush=True)
+        for name, result in zip(names, results):
+            header = (f"\n\n{'=' * 72}\n== {name}: {result.claim}\n"
+                      f"{'=' * 72}\n")
+            buf.write(header)
+            buf.write(result.text)
+        names = []
     for name in names:
         t0 = time.time()
         print(f"running {name} ...", flush=True)
@@ -127,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="full-size configuration (slower)")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="fan simulation cells out to N worker "
+                        "processes (0 = all cores); rows are "
+                        "identical to a serial run")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("report",
@@ -138,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subset of experiments")
     p.add_argument("--full", action="store_true")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="run experiments in N worker processes "
+                        "(0 = all cores)")
     p.set_defaults(func=_cmd_report)
 
     for cmd, func, help_ in (("run", _cmd_run, "run one workload"),

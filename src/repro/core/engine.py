@@ -21,7 +21,12 @@ The engine deliberately mirrors the structure the paper's port targets:
   ``enqueue_task``, and may trigger wakeup preemption;
 * periodic scheduler work (load balancing, slice expiry) is driven by
   per-core tick events at the scheduler's native tick rate (1 ms for
-  CFS, ~7.87 ms stathz for ULE).
+  CFS, ~7.87 ms stathz for ULE);
+* like a NO_HZ/dynticks kernel, the engine parks the periodic tick on
+  cores that are idle and whose scheduler reports no periodic work
+  (:meth:`~repro.sched.base.SchedClass.needs_tick`), and re-arms it —
+  phase-aligned to the original stagger, so the schedule is identical
+  to an always-tick run — from the wakeup/enqueue path.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ from .topology import Topology
 
 #: ``run_remaining`` value meaning "spin forever".
 RUN_FOREVER = math.inf
+
+#: default for :class:`Engine`'s ``tickless`` parameter.  Tickless idle
+#: produces bit-identical schedules (see ``tests/test_tickless.py``);
+#: flip this (or pass ``tickless=False``) to force the always-tick
+#: engine, e.g. when bisecting a determinism report.
+TICKLESS_DEFAULT = True
 
 
 class Tracer:
@@ -69,9 +80,15 @@ class Engine:
 
     def __init__(self, topology: Topology, scheduler_factory,
                  seed: int = 0, corun_slowdown: float = 1.0,
-                 ctx_switch_cost_ns: int = 0):
+                 ctx_switch_cost_ns: int = 0,
+                 tickless: Optional[bool] = None):
         self.now = 0
         self.events = EventQueue()
+        #: events executed by :meth:`run` (for events/sec reporting)
+        self.events_processed = 0
+        #: park the periodic tick on quiescent idle cores (NO_HZ)
+        self.tickless = TICKLESS_DEFAULT if tickless is None else tickless
+        self._nr_stopped_ticks = 0
         self.random = RandomSource(seed)
         self.metrics = MetricRegistry()
         self.tracer = Tracer()
@@ -168,6 +185,8 @@ class Engine:
         thread.rq_cpu = cpu
         thread.wait_start = self.now
         self.scheduler.enqueue_task(core, thread, flags)
+        if self._nr_stopped_ticks:
+            self._kick_stopped_ticks()
         if flags & (EnqueueFlags.WAKEUP | EnqueueFlags.NEW):
             self.scheduler.check_preempt_wakeup(core, thread)
         if core.is_idle or core.need_resched:
@@ -212,6 +231,8 @@ class Engine:
         thread.nr_migrations += 1
         thread.rq_cpu = dst_cpu
         self.scheduler.enqueue_task(dst, thread, EnqueueFlags.MIGRATE)
+        if self._nr_stopped_ticks:
+            self._kick_stopped_ticks()
         self.metrics.incr("engine.migrations")
         Tracer._fire(self.tracer.on_migrate, thread, src_cpu, dst_cpu)
         if dst.is_idle:
@@ -226,6 +247,8 @@ class Engine:
             raise ThreadStateError(f"{thread} has exited")
         thread.nice = nice
         self.scheduler.task_nice_changed(thread)
+        if self._nr_stopped_ticks:
+            self._kick_stopped_ticks()
         if thread.cpu is not None:
             core = self.machine.cores[thread.cpu]
             if core.current is thread or core.need_resched:
@@ -239,6 +262,8 @@ class Engine:
         narrowing it off its current CPU forces an immediate move.
         """
         thread.affinity = None if cpus is None else frozenset(cpus)
+        if self._nr_stopped_ticks:
+            self._kick_stopped_ticks()
         if thread.has_exited or thread.affinity is None:
             return
         if thread.state is ThreadState.RUNNABLE:
@@ -278,9 +303,12 @@ class Engine:
         (coalesced; the analogue of a resched IPI)."""
         if core.resched_event is not None:
             return
-        core.resched_event = self.events.post(
-            self.now, self._resched_event, core,
-            label=f"resched:cpu{core.index}")
+        reuse = core._resched_reuse
+        if reuse is None:
+            reuse = core._resched_reuse = self.events.make_reusable(
+                self._resched_event, core,
+                label=f"resched:cpu{core.index}")
+        core.resched_event = self.events.repost(reuse, self.now)
 
     def _resched_event(self, core: Core) -> None:
         core.resched_event = None
@@ -324,6 +352,9 @@ class Engine:
         core.current = nxt
         core.nr_switches += 1
         self.metrics.incr("engine.switches")
+        if nxt is not None and core.tick_stopped:
+            # A parked core gained a running thread: NO_HZ exit.
+            self._restart_tick(core)
         if nxt is not None:
             if nxt.rq_cpu != core.index:
                 raise SimulationError(
@@ -517,12 +548,26 @@ class Engine:
         for core in self.machine.cores:
             # Stagger ticks across cores like real timer interrupts.
             offset = (core.index * period) // max(1, len(self.machine))
-            self.events.post(self.now + period + offset, self._tick, core,
-                             label=f"tick:cpu{core.index}")
+            core.tick_event = self.events.make_reusable(
+                self._tick, core, label=f"tick:cpu{core.index}")
+            core.tick_origin = self.now + period + offset
+            core.tick_stopped = False
+            self.events.repost(core.tick_event, core.tick_origin)
 
     def _tick(self, core: Core) -> None:
-        self.events.post(self.now + self.scheduler.tick_ns, self._tick,
-                         core, label=f"tick:cpu{core.index}")
+        if core.current is None and self.tickless \
+                and not self.scheduler.needs_tick(core):
+            # NO_HZ: the core is idle and the scheduler has no periodic
+            # work for it — park the tick instead of re-arming.  Every
+            # enqueue/migrate/renice/affinity change (and the core's own
+            # next _switch_to) re-checks needs_tick and restarts the
+            # tick phase-aligned, so the schedule is unchanged.
+            core.tick_stopped = True
+            self._nr_stopped_ticks += 1
+            self.metrics.incr("engine.tick_stops")
+            return
+        self.events.repost(core.tick_event,
+                           self.now + self.scheduler.tick_ns)
         if core.current is not None:
             self._update_curr(core)
             self.scheduler.task_tick(core)
@@ -536,6 +581,37 @@ class Engine:
             self.scheduler.idle_tick(core)
             if core.need_resched:
                 self._dispatch(core)
+
+    def _restart_tick(self, core: Core) -> None:
+        """Re-arm a parked core's tick, phase-aligned to its stagger.
+
+        The next tick lands on the same instant it would have in an
+        always-tick run: the first ``t >= now`` with
+        ``t ≡ tick_origin (mod tick_ns)``.
+        """
+        period = self.scheduler.tick_ns
+        behind = self.now - core.tick_origin
+        if behind < 0:
+            next_tick = core.tick_origin
+        else:
+            rem = behind % period
+            next_tick = self.now if rem == 0 else self.now + period - rem
+        core.tick_stopped = False
+        self._nr_stopped_ticks -= 1
+        self.metrics.incr("engine.tick_restarts")
+        self.events.repost(core.tick_event, next_tick)
+
+    def _kick_stopped_ticks(self) -> None:
+        """Restart parked ticks wherever the scheduler now has periodic
+        work (the analogue of the kernel's nohz idle-balance kick).
+
+        Called from every path that changes runqueue composition."""
+        needs_tick = self.scheduler.needs_tick
+        for core in self.machine.cores:
+            if core.tick_stopped and needs_tick(core):
+                self._restart_tick(core)
+            if not self._nr_stopped_ticks:
+                return
 
     # ------------------------------------------------------------------
     # main loop
@@ -567,6 +643,15 @@ class Engine:
                 return self._stop_reason or "stopped"
             next_time = self.events.peek_time()
             if next_time is None:
+                if until is not None:
+                    # Tickless idle can drain the queue entirely (the
+                    # always-tick engine would spin no-op ticks up to
+                    # the deadline, with threads possibly still blocked
+                    # past it); jump straight there.
+                    self.now = until
+                    for core in self.machine.cores:
+                        self._update_curr(core)
+                    return "deadline"
                 if self.live_threads > 0 and any(
                         t.is_blocked for t in self.threads):
                     raise DeadlockError(
@@ -579,6 +664,7 @@ class Engine:
                 return "deadline"
             event = self.events.pop()
             self.now = event.time
+            self.events_processed += 1
             event.callback(*event.args)
             if stop_when is not None:
                 events_since_check += 1

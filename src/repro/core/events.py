@@ -1,8 +1,16 @@
 """The discrete-event queue.
 
-A simple binary-heap event queue with stable FIFO ordering for events
-posted at the same instant, and O(1) logical cancellation (cancelled
-events stay in the heap and are skipped on pop).
+A binary-heap event queue with stable FIFO ordering for events posted
+at the same instant, O(1) logical cancellation, an O(1) live-event
+count, and lazy compaction: cancelled events stay in the heap and are
+skipped on pop, but once they outnumber the live ones the heap is
+rebuilt so pathological cancel-heavy workloads (run-completion timers
+racing preemptions) do not keep dead entries around forever.
+
+Hot-path events that recur forever with a fixed callback — the
+per-core scheduler tick, the resched IPI — can be *reused* through
+:meth:`EventQueue.repost` instead of allocating a fresh ``Event`` (and
+formatting a fresh label) every period.
 """
 
 from __future__ import annotations
@@ -18,20 +26,37 @@ class Event:
     posting order, which keeps runs deterministic.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "popped", "label", "_queue")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable[..., Any], args: tuple, label: str = ""):
+                 callback: Callable[..., Any], args: tuple, label: str = "",
+                 queue: Optional["EventQueue"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: True once the event has been returned by :meth:`EventQueue.pop`
+        self.popped = False
         self.label = label
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Logically remove the event; it will be skipped when popped."""
+        """Logically remove the event; it will be skipped when popped.
+
+        Idempotent: cancelling twice, or cancelling an event that has
+        already fired, is a harmless no-op and never double-decrements
+        the queue's live count.
+        """
+        if self.cancelled or self.popped:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            queue._dead_in_heap += 1
+            queue._maybe_compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -47,14 +72,45 @@ class EventQueue:
     def __init__(self):
         self._heap: list[Event] = []
         self._seq = 0
+        #: number of posted, not-yet-popped, not-cancelled events
+        self._live = 0
+        #: cancelled events still sitting in the heap
+        self._dead_in_heap = 0
 
     def post(self, time: int, callback: Callable[..., Any], *args,
              label: str = "") -> Event:
         """Schedule ``callback(*args)`` at ``time``; returns a handle
         whose ``cancel()`` unschedules it."""
         self._seq += 1
-        event = Event(time, self._seq, callback, args, label)
+        event = Event(time, self._seq, callback, args, label, queue=self)
+        self._live += 1
         heapq.heappush(self._heap, event)
+        return event
+
+    def repost(self, event: Event, time: int) -> Event:
+        """Re-arm a recurring event that has already fired.
+
+        The event keeps its callback, args, and label; it gets a fresh
+        sequence number so same-instant FIFO ordering is identical to
+        posting a brand-new event.  The caller must guarantee the event
+        is not currently in the heap (i.e. it was popped, or never
+        posted).  This is the allocation-free path for per-core ticks.
+        """
+        self._seq += 1
+        event.time = time
+        event.seq = self._seq
+        event.cancelled = False
+        event.popped = False
+        event._queue = self
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def make_reusable(self, callback: Callable[..., Any], *args,
+                      label: str = "") -> Event:
+        """Create an unscheduled event for later :meth:`repost` calls."""
+        event = Event(0, 0, callback, args, label, queue=self)
+        event.popped = True  # not in the heap yet
         return event
 
     def pop(self) -> Optional[Event]:
@@ -63,17 +119,31 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event.popped = True
+                self._live -= 1
                 return event
+            self._dead_in_heap -= 1
         return None
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live event without removing it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead_in_heap -= 1
         return self._heap[0].time if self._heap else None
 
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones
+        (and the heap is big enough for the O(n) rebuild to pay off)."""
+        if self._dead_in_heap <= 64 or \
+                self._dead_in_heap * 2 <= len(self._heap):
+            return
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead_in_heap = 0
+
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

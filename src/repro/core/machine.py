@@ -40,6 +40,15 @@ class Core:
         self.completion_event = None
         #: pending immediate-reschedule event, to coalesce requests
         self.resched_event = None
+        #: reusable resched event backing :meth:`Engine.request_resched`
+        self._resched_reuse = None
+        #: reusable periodic-tick event (armed by the engine)
+        self.tick_event = None
+        #: time of this core's first tick; all later ticks keep the
+        #: phase ``tick_origin mod tick_ns`` even across tickless gaps
+        self.tick_origin = 0
+        #: True while the periodic tick is parked (NO_HZ idle)
+        self.tick_stopped = False
 
         # accounting
         self.busy_ns = 0

@@ -46,11 +46,14 @@ class ExperimentResult:
 def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
                 corun_slowdown: float = 1.0,
                 ctx_switch_cost_ns: int = 0,
+                tickless: Optional[bool] = None,
                 **sched_options) -> Engine:
     """Engine factory used by all experiment drivers.
 
     ``ncpus=32`` builds the paper's Opteron topology (4 NUMA nodes of
     8 cores); ``ncpus=1`` the per-core-scheduling setup of §5.
+    ``tickless`` overrides the engine-wide NO_HZ default (the
+    determinism tests run both settings and compare).
     """
     if ncpus == 1:
         topo = single_core()
@@ -61,7 +64,8 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
         topo = smp(ncpus)
     return Engine(topo, scheduler_factory(sched, **sched_options),
                   seed=seed, corun_slowdown=corun_slowdown,
-                  ctx_switch_cost_ns=ctx_switch_cost_ns)
+                  ctx_switch_cost_ns=ctx_switch_cost_ns,
+                  tickless=tickless)
 
 
 def run_workload(engine: Engine, workload, timeout_ns: int,

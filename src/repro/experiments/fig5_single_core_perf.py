@@ -18,6 +18,7 @@ from ..analysis.stats import percent_diff
 from ..core.clock import sec, usec
 from ..workloads.registry import FIGURE5_APPS
 from .base import ExperimentResult, make_engine, run_workload
+from .parallel import cell_map
 
 CLAIM = ("per-core scheduling: ULE ~= CFS on most apps (avg +1.5%), "
          "scimark much slower on ULE, apache much faster")
@@ -58,15 +59,31 @@ def run_app(name: str, sched: str, ncpus: int = 1, seed: int = 1,
     return out
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Run this experiment and return its result (see module doc)."""
+def _run_cell(cell):
+    """One (app, scheduler, seed) simulation; module-level so the
+    parallel runner can pickle it."""
+    name, sched, seed = cell
+    return run_app(name, sched, seed=seed)
+
+
+def run(quick: bool = True, seed: int = 1,
+        jobs: int | None = None) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc).
+
+    ``jobs`` fans the (app, scheduler) cells out to worker processes;
+    the rows are identical to a serial run.
+    """
     result = ExperimentResult("fig5", CLAIM)
     apps = QUICK_APPS if quick else list(FIGURE5_APPS)
+    cells = [(name, sched, seed)
+             for name in apps for sched in ("cfs", "ule")]
+    outputs = cell_map(_run_cell, cells, jobs=jobs)
+    by_cell = dict(zip(cells, outputs))
     diffs = []
     extras = {}
     for name in apps:
-        cfs = run_app(name, "cfs", seed=seed)
-        ule = run_app(name, "ule", seed=seed)
+        cfs = by_cell[(name, "cfs", seed)]
+        ule = by_cell[(name, "ule", seed)]
         diff = percent_diff(ule["perf"], cfs["perf"])
         diffs.append(diff)
         result.row(app=name, perf_cfs=round(cfs["perf"], 4),

@@ -23,6 +23,7 @@ from ..tracing.samplers import sample_threads_per_core
 from ..tracing.timeline import heatmap
 from ..workloads import SpinnerWorkload
 from .base import ExperimentResult, make_engine
+from .parallel import cell_map
 
 CLAIM = ("CFS converges in under a second but tolerates a ~25% NUMA "
          "imbalance forever; ULE converges one migration per balancer "
@@ -53,47 +54,66 @@ def run_release(sched: str, nthreads: int, seed: int = 1,
     return engine, spinners, reason
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Run this experiment and return its result (see module doc)."""
+def _run_cell(cell):
+    """One (scheduler, nthreads, seed, timeout) release simulation;
+    module-level and returning plain data (row dict, data entries,
+    rendered section) so the parallel runner can pickle it — the
+    engine never leaves the worker."""
+    sched, nthreads, seed, timeout_ns = cell
+    engine, spinners, reason = run_release(
+        sched, nthreads, seed=seed, timeout_ns=timeout_ns)
+    counts = current_counts(engine)
+    ttb = time_to_balance(engine.metrics, NCPUS,
+                          start_ns=UNPIN_AT_NS, tolerance=1)
+    if ttb is None and max(counts) - min(counts) <= 1:
+        # balanced between two samples, just before the stop
+        ttb = engine.now - UNPIN_AT_NS
+    ttb4 = time_to_balance(engine.metrics, NCPUS,
+                           start_ns=UNPIN_AT_NS, tolerance=4)
+    spread = max(counts) - min(counts)
+    migrations = engine.metrics.counter("engine.migrations")
+    invocations = engine.metrics.counter("ule.balance_invocations")
+    steals = engine.metrics.counter("ule.idle_steals")
+    row = dict(sched=sched,
+               threads=nthreads,
+               time_to_balance_s=(round(to_sec(ttb), 2)
+                                  if ttb is not None else None),
+               time_to_rough_balance_s=(round(to_sec(ttb4), 2)
+                                        if ttb4 is not None else None),
+               final_spread=spread,
+               max_per_core=max(counts), min_per_core=min(counts),
+               migrations=int(migrations),
+               balancer_invocations=int(invocations),
+               idle_steals=int(steals))
+    data = {f"{sched}_counts": counts,
+            f"{sched}_ttb_ns": ttb,
+            f"{sched}_spread": spread}
+    section = (
+        f"--- {sched.upper()} ({nthreads} spinners, unpinned at "
+        f"{to_sec(UNPIN_AT_NS):.1f}s; run ended: {reason}) ---\n"
+        + heatmap(engine.metrics, NCPUS,
+                  vmax=max(8, 3 * nthreads // NCPUS)))
+    return {"row": row, "data": data, "section": section}
+
+
+def run(quick: bool = True, seed: int = 1,
+        jobs: int | None = None) -> ExperimentResult:
+    """Run this experiment and return its result (see module doc).
+
+    ``jobs`` runs the ULE and CFS releases in separate worker
+    processes; the merged rows are identical to a serial run.
+    """
     result = ExperimentResult("fig6", CLAIM)
     nthreads = 128 if quick else 512
     # CFS will not reach tolerance-1 balance; cap its run short.
     budgets = {"ule": sec(600 if quick else 900), "cfs": sec(6)}
+    cells = [(sched, nthreads, seed, budgets[sched])
+             for sched in ("ule", "cfs")]
     sections = []
-    for sched in ("ule", "cfs"):
-        engine, spinners, reason = run_release(
-            sched, nthreads, seed=seed, timeout_ns=budgets[sched])
-        counts = current_counts(engine)
-        ttb = time_to_balance(engine.metrics, NCPUS,
-                              start_ns=UNPIN_AT_NS, tolerance=1)
-        if ttb is None and max(counts) - min(counts) <= 1:
-            # balanced between two samples, just before the stop
-            ttb = engine.now - UNPIN_AT_NS
-        ttb4 = time_to_balance(engine.metrics, NCPUS,
-                               start_ns=UNPIN_AT_NS, tolerance=4)
-        spread = max(counts) - min(counts)
-        migrations = engine.metrics.counter("engine.migrations")
-        invocations = engine.metrics.counter("ule.balance_invocations")
-        steals = engine.metrics.counter("ule.idle_steals")
-        result.row(sched=sched,
-                   threads=nthreads,
-                   time_to_balance_s=(round(to_sec(ttb), 2)
-                                      if ttb is not None else None),
-                   time_to_rough_balance_s=(round(to_sec(ttb4), 2)
-                                            if ttb4 is not None else None),
-                   final_spread=spread,
-                   max_per_core=max(counts), min_per_core=min(counts),
-                   migrations=int(migrations),
-                   balancer_invocations=int(invocations),
-                   idle_steals=int(steals))
-        result.data[f"{sched}_counts"] = counts
-        result.data[f"{sched}_ttb_ns"] = ttb
-        result.data[f"{sched}_spread"] = spread
-        sections.append(
-            f"--- {sched.upper()} ({nthreads} spinners, unpinned at "
-            f"{to_sec(UNPIN_AT_NS):.1f}s; run ended: {reason}) ---\n"
-            + heatmap(engine.metrics, NCPUS,
-                      vmax=max(8, 3 * nthreads // NCPUS)))
+    for out in cell_map(_run_cell, cells, jobs=jobs):
+        result.rows.append(out["row"])
+        result.data.update(out["data"])
+        sections.append(out["section"])
 
     table = render_table(
         ["sched", "t_balance(1)", "t_balance(4)", "final spread",

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import importlib
-from typing import Callable
+import inspect
+from typing import Callable, Optional
 
 from ..core.errors import ExperimentError
 from .base import ExperimentResult
@@ -41,9 +42,15 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, quick: bool = True,
-                   seed: int = 1) -> ExperimentResult:
-    """Run one experiment by id ('table1' ... 'fig9')."""
+def run_experiment(name: str, quick: bool = True, seed: int = 1,
+                   jobs: Optional[int] = None) -> ExperimentResult:
+    """Run one experiment by id ('table1' ... 'fig9').
+
+    ``jobs`` fans the experiment's cells out to worker processes when
+    its driver supports it (drivers whose ``run`` takes a ``jobs``
+    parameter); other drivers silently run serially.  Rows never
+    depend on ``jobs``.
+    """
     try:
         module_name, _ = EXPERIMENTS[name]
     except KeyError:
@@ -52,6 +59,9 @@ def run_experiment(name: str, quick: bool = True,
             f"unknown experiment {name!r} (known: {known})") from None
     module = importlib.import_module(
         f"repro.experiments.{module_name}")
+    if jobs is not None and \
+            "jobs" in inspect.signature(module.run).parameters:
+        return module.run(quick=quick, seed=seed, jobs=jobs)
     return module.run(quick=quick, seed=seed)
 
 

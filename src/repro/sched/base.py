@@ -103,6 +103,21 @@ class SchedClass(abc.ABC):
         """Periodic tick while ``core`` is idle; may set
         ``need_resched`` to trigger a pick (and an idle steal)."""
 
+    def needs_tick(self, core: "Core") -> bool:
+        """Does the *idle* ``core`` still need its periodic tick?
+
+        The NO_HZ contract: returning False promises that
+        :meth:`idle_tick` on ``core`` is a no-op *and will stay one*
+        until the next runqueue-composition change anywhere on the
+        machine (enqueue, migrate, renice, affinity change) — the
+        engine re-checks this hook at every such change and restarts
+        the tick, phase-aligned, the moment it returns True (or the
+        core gains a running thread).  A conservative superset (keep
+        ticking) is always safe; an over-eager False diverges from the
+        always-tick schedule.
+        """
+        return not core.is_idle
+
     def task_fork(self, parent: Optional["SimThread"],
                   child: "SimThread") -> None:
         """Initialize scheduler state for a new thread (``parent`` is

@@ -122,6 +122,11 @@ class ClassStackScheduler(SchedClass):
     def idle_tick(self, core: "Core") -> None:
         self.fair.idle_tick(core)
 
+    def needs_tick(self, core: "Core") -> bool:
+        # idle_tick delegates to fair only, but keep ticking while
+        # either class says so — a conservative superset is safe.
+        return self.rt.needs_tick(core) or self.fair.needs_tick(core)
+
     def task_fork(self, parent, child) -> None:
         self._class_of(child).task_fork(parent, child)
 

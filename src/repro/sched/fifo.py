@@ -129,6 +129,13 @@ class FifoScheduler(SchedClass):
                 core.need_resched = True
                 return
 
+    def needs_tick(self, core: "Core") -> bool:
+        # Mirrors idle_tick's poll exactly: tick while any other core
+        # has more than one queued thread.
+        return not core.is_idle or any(
+            other is not core and len(other.rq.queue) > 1
+            for other in self.machine.cores)
+
     def update_curr(self, core: "Core", thread: "SimThread",
                     delta_ns: int) -> None:
         core.rq.slice_used += delta_ns

@@ -72,6 +72,9 @@ class UleScheduler(SchedClass):
         #: woken thread's old CPU for timer wakeups); consumed by
         #: check_preempt_wakeup to decide local vs remote.
         self._wake_origin = None
+        #: number of tdqs at or above ``steal_thresh`` load — O(1)
+        #: backing for :meth:`needs_tick`'s steal-poll superset
+        self._nr_loaded = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -174,6 +177,8 @@ class UleScheduler(SchedClass):
         tdq: Tdq = core.rq
         tdq.add(thread)
         tdq.load += 1
+        if tdq.load == self.tunables.steal_thresh:
+            self._nr_loaded += 1
 
     def dequeue_task(self, core: "Core", thread: "SimThread",
                      flags: DequeueFlags) -> None:
@@ -182,6 +187,8 @@ class UleScheduler(SchedClass):
         if state.queued:
             tdq.rem(thread)
         tdq.load -= 1
+        if tdq.load == self.tunables.steal_thresh - 1:
+            self._nr_loaded -= 1
 
     # ------------------------------------------------------------------
     # picking (sched_choose)
@@ -250,6 +257,14 @@ class UleScheduler(SchedClass):
                     and other.rq.transferable(core.index) is not None:
                 core.need_resched = True
                 return
+
+    def needs_tick(self, core: "Core") -> bool:
+        # idle_tick only ever acts when some tdq carries at least
+        # ``steal_thresh`` load, so a machine with no loaded tdq can
+        # park every idle core's tick.  The O(1) counter is a
+        # conservative superset of idle_tick's condition (it ignores
+        # transferability), which the NO_HZ contract permits.
+        return not core.is_idle or self._nr_loaded > 0
 
     # ------------------------------------------------------------------
     # wakeup preemption (disabled, per the paper)

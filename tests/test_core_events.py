@@ -65,3 +65,100 @@ def test_empty_queue():
     assert q.pop() is None
     assert q.peek_time() is None
     assert not q
+
+
+# ------------------------------------------------------------ satellites:
+# O(1) live count, idempotent cancel, reusable events, compaction
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    a = q.post(1, lambda: None)
+    q.post(2, lambda: None)
+    a.cancel()
+    a.cancel()
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_cancel_after_pop_is_a_noop():
+    q = EventQueue()
+    a = q.post(1, lambda: None)
+    q.post(2, lambda: None)
+    popped = q.pop()
+    assert popped is a
+    a.cancel()  # already fired: must not decrement the live count
+    assert not a.cancelled
+    assert len(q) == 1
+    assert q.pop() is not None
+    assert q.pop() is None
+
+
+def test_len_is_constant_time_bookkeeping():
+    q = EventQueue()
+    events = [q.post(i, lambda: None) for i in range(100)]
+    assert len(q) == 100
+    for e in events[::2]:
+        e.cancel()
+    assert len(q) == 50
+    for _ in range(50):
+        assert q.pop() is not None
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_repost_keeps_fifo_order_with_fresh_posts():
+    q = EventQueue()
+    fired = []
+    tick = q.make_reusable(fired.append, "tick")
+    q.repost(tick, 5)
+    q.post(5, fired.append, "later")  # posted after: fires after
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == ["tick", "later"]
+
+
+def test_repost_cycle_reuses_one_event_object():
+    q = EventQueue()
+    fired = []
+    tick = q.make_reusable(fired.append, "t", label="tick")
+    q.repost(tick, 1)
+    for expected_time in (1, 2, 3):
+        e = q.pop()
+        assert e is tick
+        assert e.time == expected_time
+        e.callback(*e.args)
+        if expected_time < 3:
+            q.repost(tick, expected_time + 1)
+    assert fired == ["t", "t", "t"]
+    assert len(q) == 0
+
+
+def test_cancelled_reusable_event_can_be_reposted():
+    q = EventQueue()
+    fired = []
+    tick = q.make_reusable(fired.append, "x")
+    q.repost(tick, 1)
+    tick.cancel()
+    assert len(q) == 0
+    assert q.pop() is None  # heap drains the cancelled entry
+    q.repost(tick, 2)
+    e = q.pop()
+    assert e is tick and e.time == 2
+
+
+def test_heap_compaction_drops_dead_entries():
+    q = EventQueue()
+    live = [q.post(10_000 + i, lambda: None) for i in range(10)]
+    dead = [q.post(i, lambda: None) for i in range(500)]
+    for e in dead:
+        e.cancel()
+    # Far more cancelled than live entries: the heap must have been
+    # rebuilt rather than retaining all 500 dead events.
+    assert len(q) == 10
+    assert len(q._heap) < 100
+    assert q._dead_in_heap * 2 <= len(q._heap) or q._dead_in_heap <= 64
+    times = [q.pop().time for _ in range(10)]
+    assert times == sorted(times)
+    assert all(t >= 10_000 for t in times)
+    assert live[0].popped
