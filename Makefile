@@ -4,11 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline bench-full
+.PHONY: test lint sanitize-smoke verify bench bench-baseline bench-full
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## schedlint: determinism/contract static analysis over src/repro/
+## (exit 0 = clean, 1 = findings, 2 = usage/internal error; see
+## docs/static-analysis.md)
+lint:
+	$(PYTHON) -m repro.analysis.lint
+
+## runtime invariant sanitizer: bug-injection tests plus one fig5
+## smoke cell per scheduler under --sanitize
+sanitize-smoke:
+	$(PYTHON) -m pytest tests/test_sanitizer.py -q
+
+## the full PR gate: static analysis, tier-1 tests, sanitizer smoke,
+## and the simulator-performance regression check
+verify: lint test sanitize-smoke bench
 
 ## simulator-performance benchmarks in smoke mode + regression gate:
 ## fails when any profile's events/sec is >2x below the recorded

@@ -1,0 +1,130 @@
+"""schedlint: determinism & contract static analysis for the simulator.
+
+Run it over the tree::
+
+    python -m repro.analysis.lint            # lints src/repro/
+    python -m repro.analysis.lint PATH...    # lints specific trees
+    make lint                                # repo shortcut
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage or
+internal error.  ``--json FILE`` additionally writes the machine-
+readable report.  Suppress a finding in place with
+``# schedlint: ignore[rule] -- reason``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .contract import (CONTRACT_HOOKS, LINUX_TO_METHOD, REQUIRED_HOOKS,
+                       check_contracts, check_freebsd_api,
+                       check_sched_class, registered_sched_classes)
+from .findings import (Finding, is_suppressed, report_dict,
+                       suppressions_in, write_report)
+from .rules import (DEFAULT_ALLOWLIST, RULES, WALL_CLOCK_CALLS,
+                    iter_python_files, lint_paths, lint_source)
+
+__all__ = [
+    "CONTRACT_HOOKS", "DEFAULT_ALLOWLIST", "Finding",
+    "LINUX_TO_METHOD", "REQUIRED_HOOKS", "RULES", "WALL_CLOCK_CALLS",
+    "check_contracts", "check_freebsd_api", "check_sched_class",
+    "is_suppressed", "iter_python_files", "lint_paths", "lint_source",
+    "main", "registered_sched_classes", "report_dict",
+    "suppressions_in", "write_report",
+]
+
+#: contract rules are not per-line AST rules but appear in reports
+CONTRACT_RULES = {
+    "contract-missing-hook":
+        "a registered SchedClass subclass does not override a "
+        "required Table 1 hook",
+    "contract-signature":
+        "an overridden hook's parameters diverge from sched/base.py",
+    "contract-name":
+        "a registered SchedClass subclass does not set 'name'",
+    "freebsd-api-missing":
+        "a Table 1 FreeBSD entry point is missing from the adapter",
+    "freebsd-api-unmapped":
+        "an adapter sched_* method has no Table 1 row",
+    "freebsd-api-mapping":
+        "a FreeBSD entry point forwards to the wrong (or more than "
+        "one) Linux hook",
+}
+
+
+def _default_target() -> str:
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """schedlint CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="determinism/contract static analysis for the "
+                    "scheduler simulator")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or trees to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write a machine-readable report")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids")
+    parser.add_argument("--no-contract", action="store_true",
+                        help="skip SchedClass/FreeBSD-API contract "
+                             "checks (pure AST lint only)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, doc in sorted({**RULES, **CONTRACT_RULES}.items()):
+            print(f"{rule:<22} {doc}")
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules
+                   if r not in RULES and r not in CONTRACT_RULES]
+        if unknown:
+            print(f"schedlint: unknown rule(s): "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or [_default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"schedlint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        ast_rules = None if rules is None else \
+            [r for r in rules if r in RULES]
+        findings = lint_paths(paths, rules=ast_rules)
+        if not args.no_contract:
+            contract = check_contracts() + check_freebsd_api()
+            if rules is not None:
+                contract = [f for f in contract if f.rule in rules]
+            findings = sorted(findings + contract)
+    except Exception as exc:  # noqa: BLE001 - report, exit 2
+        print(f"schedlint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.format())
+    if args.json:
+        enabled = rules if rules is not None else \
+            sorted({**RULES, **CONTRACT_RULES})
+        write_report(args.json,
+                     report_dict(findings, paths, enabled))
+    if findings:
+        print(f"schedlint: {len(findings)} finding(s) in "
+              f"{len(paths)} path(s)", file=sys.stderr)
+        return 1
+    print(f"schedlint: clean "
+          f"({len(iter_python_files(paths))} files checked)")
+    return 0

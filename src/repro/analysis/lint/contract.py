@@ -1,0 +1,239 @@
+"""Contract checks: Table 1 hooks and the FreeBSD API mapping.
+
+Two families of findings, both anchored to real source locations:
+
+``contract-*``
+    Every registered :class:`~repro.sched.base.SchedClass` subclass
+    must override the required Table 1 hooks, every overridden hook
+    must keep the base signature (names and kinds of parameters; a
+    subclass may append extra defaulted parameters), and ``name`` must
+    be overridden from the base's ``"base"``.
+
+``freebsd-api-*``
+    ``sched/freebsd_api.py`` is the executable Table 1; each FreeBSD
+    entry point must exist on :class:`FreeBSDSchedAdapter` and forward
+    to exactly one Linux hook — the one its table row names.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+from typing import Dict, List, Optional, Tuple, Type
+
+from .findings import Finding
+
+#: hooks a scheduler MUST override (the abstract Table 1 core)
+REQUIRED_HOOKS: Tuple[str, ...] = (
+    "init_core", "enqueue_task", "dequeue_task", "pick_next",
+    "select_task_rq", "runnable_threads",
+)
+
+#: every hook whose signature is contract-checked when overridden
+CONTRACT_HOOKS: Tuple[str, ...] = REQUIRED_HOOKS + (
+    "start", "yield_task", "check_preempt_wakeup", "task_tick",
+    "idle_tick", "needs_tick", "task_fork", "task_dead", "task_waking",
+    "task_nice_changed", "update_curr", "nr_runnable",
+    "total_runnable",
+)
+
+#: Linux name in Table 1 -> the SchedClass method implementing it
+LINUX_TO_METHOD: Dict[str, str] = {
+    "enqueue_task": "enqueue_task",
+    "dequeue_task": "dequeue_task",
+    "yield_task": "yield_task",
+    "pick_next_task": "pick_next",
+    "put_prev_task": "update_curr",
+    "select_task_rq": "select_task_rq",
+}
+
+
+def _location(cls: type, hook: Optional[str] = None) -> Tuple[str, int]:
+    """Best-effort (path, line) for a class or one of its methods."""
+    target = getattr(cls, hook) if hook else cls
+    try:
+        path = inspect.getsourcefile(target) or "<unknown>"
+        _, line = inspect.getsourcelines(target)
+    except (OSError, TypeError):
+        path, line = "<unknown>", 0
+    return path, line
+
+
+def _param_shape(func) -> List[Tuple[str, object]]:
+    """(name, kind) per parameter, ignoring annotations/defaults."""
+    return [(p.name, p.kind)
+            for p in inspect.signature(func).parameters.values()]
+
+
+def check_sched_class(cls: type) -> List[Finding]:
+    """Contract-check one SchedClass subclass."""
+    from ...sched.base import SchedClass
+
+    findings: List[Finding] = []
+    cls_path, cls_line = _location(cls)
+
+    for hook in REQUIRED_HOOKS:
+        if getattr(cls, hook, None) is getattr(SchedClass, hook, None):
+            findings.append(Finding(
+                path=cls_path, line=cls_line, col=0,
+                rule="contract-missing-hook",
+                message=f"{cls.__name__} does not override required "
+                        f"Table 1 hook {hook}()"))
+
+    for hook in CONTRACT_HOOKS:
+        impl = getattr(cls, hook, None)
+        base = getattr(SchedClass, hook, None)
+        if impl is None or base is None or impl is base:
+            continue
+        base_shape = _param_shape(base)
+        impl_shape = _param_shape(impl)
+        # extra trailing defaulted params are a compatible extension
+        if impl_shape[:len(base_shape)] != base_shape:
+            path, line = _location(cls, hook)
+            findings.append(Finding(
+                path=path, line=line, col=0, rule="contract-signature",
+                message=f"{cls.__name__}.{hook} signature "
+                        f"({', '.join(n for n, _ in impl_shape)}) "
+                        f"does not match sched/base.py "
+                        f"({', '.join(n for n, _ in base_shape)})"))
+
+    if getattr(cls, "name", SchedClass.name) == SchedClass.name:
+        findings.append(Finding(
+            path=cls_path, line=cls_line, col=0, rule="contract-name",
+            message=f"{cls.__name__} does not override the 'name' "
+                    f"class attribute"))
+    return findings
+
+
+def registered_sched_classes() -> List[type]:
+    """All concrete SchedClass subclasses defined inside ``repro.*``.
+
+    Triggers builtin-scheduler registration first so the walk sees
+    everything a user can select; test-defined fixture classes (module
+    not under ``repro.``) are excluded so contract checks on the repo
+    are not polluted by deliberately broken test subjects.
+    """
+    from ...sched.base import SchedClass
+    from ...sched.registry import available_schedulers
+
+    available_schedulers()  # force registration of the builtins
+
+    seen: List[type] = []
+
+    def walk(base: Type) -> None:
+        for sub in base.__subclasses__():
+            walk(sub)
+            if sub.__module__.startswith("repro.") \
+                    and not inspect.isabstract(sub):
+                seen.append(sub)
+
+    walk(SchedClass)
+    return sorted(set(seen),
+                  key=lambda c: (c.__module__, c.__qualname__))
+
+
+def check_contracts() -> List[Finding]:
+    """Contract-check every registered scheduler class."""
+    findings: List[Finding] = []
+    for cls in registered_sched_classes():
+        findings.extend(check_sched_class(cls))
+    return sorted(findings)
+
+
+def _freebsd_api_path() -> str:
+    from ... import sched
+    return os.path.join(os.path.dirname(sched.__file__),
+                        "freebsd_api.py")
+
+
+def _sched_calls_in(func: ast.FunctionDef) -> List[Tuple[str, int]]:
+    """(hook, line) for each ``self._sched.<hook>(...)`` call."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "_sched"
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"):
+            out.append((target.attr, node.lineno))
+    return out
+
+
+def check_freebsd_api(source: Optional[str] = None,
+                      path: Optional[str] = None) -> List[Finding]:
+    """Check the adapter in ``freebsd_api.py`` against Table 1."""
+    from ...sched.freebsd_api import TABLE1_MAPPINGS
+
+    if path is None:
+        path = _freebsd_api_path()
+    if source is None:
+        with open(path, "r") as fh:
+            source = fh.read()
+
+    findings: List[Finding] = []
+    tree = ast.parse(source, filename=path)
+    adapter: Optional[ast.ClassDef] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) \
+                and node.name == "FreeBSDSchedAdapter":
+            adapter = node
+            break
+    if adapter is None:
+        return [Finding(path=path, line=1, col=0,
+                        rule="freebsd-api-missing",
+                        message="class FreeBSDSchedAdapter not found")]
+
+    methods = {n.name: n for n in adapter.body
+               if isinstance(n, ast.FunctionDef)}
+
+    #: freebsd entry point -> Linux hook method its row requires
+    expected: Dict[str, str] = {}
+    for mapping in TABLE1_MAPPINGS:
+        hook = LINUX_TO_METHOD.get(mapping.linux)
+        if hook is None:
+            findings.append(Finding(
+                path=path, line=adapter.lineno, col=0,
+                rule="freebsd-api-mapping",
+                message=f"Table 1 row '{mapping.linux}' names an "
+                        f"unknown SchedClass hook"))
+            continue
+        for freebsd_name in mapping.freebsd.split("/"):
+            expected[freebsd_name.strip()] = hook
+
+    for freebsd_name, hook in sorted(expected.items()):
+        method = methods.get(freebsd_name)
+        if method is None:
+            findings.append(Finding(
+                path=path, line=adapter.lineno, col=0,
+                rule="freebsd-api-missing",
+                message=f"Table 1 entry point {freebsd_name}() is not "
+                        f"implemented on FreeBSDSchedAdapter"))
+            continue
+        hooks_called = sorted({h for h, _ in _sched_calls_in(method)})
+        if len(hooks_called) != 1:
+            called = ", ".join(hooks_called) or "none"
+            findings.append(Finding(
+                path=path, line=method.lineno, col=0,
+                rule="freebsd-api-mapping",
+                message=f"{freebsd_name}() must forward to exactly "
+                        f"one Linux hook (calls: {called})"))
+        elif hooks_called[0] != hook:
+            findings.append(Finding(
+                path=path, line=method.lineno, col=0,
+                rule="freebsd-api-mapping",
+                message=f"{freebsd_name}() forwards to "
+                        f"{hooks_called[0]}() but Table 1 maps it to "
+                        f"{hook}()"))
+
+    for name, method in sorted(methods.items()):
+        if name.startswith("sched_") and name not in expected:
+            findings.append(Finding(
+                path=path, line=method.lineno, col=0,
+                rule="freebsd-api-unmapped",
+                message=f"{name}() is not a Table 1 entry point; add "
+                        f"it to TABLE1_MAPPINGS or rename it"))
+    return sorted(findings)

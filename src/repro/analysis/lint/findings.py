@@ -1,0 +1,103 @@
+"""Findings, suppression comments, and report rendering for schedlint.
+
+A :class:`Finding` pins one rule violation to a file/line/column.  The
+suppression syntax is a per-line comment::
+
+    t0 = time.time()  # schedlint: ignore[wall-clock] -- reason
+
+``ignore[rule1,rule2]`` suppresses the listed rules on that line,
+``ignore`` (no brackets) suppresses every rule.  A marker placed on a
+comment-only line also covers the *next* line, for statements too long
+to carry the comment themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, Iterable, Optional
+
+#: matches the suppression marker anywhere in a source line
+SUPPRESS_RE = re.compile(
+    r"#\s*schedlint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation (or contract breach) at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.rule}: {self.message}"
+
+
+def suppressions_in(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number -> suppressed rules (``None`` = all rules).
+
+    A marker on a comment-only line is copied onto the following line
+    as well, so long statements can be suppressed from the line above.
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+
+    def merge(lineno: int, rules: Optional[FrozenSet[str]]) -> None:
+        if rules is None or out.get(lineno, frozenset()) is None:
+            out[lineno] = None
+        else:
+            out[lineno] = out.get(lineno, frozenset()) | rules
+
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            rules: Optional[FrozenSet[str]] = None
+        else:
+            rules = frozenset(
+                r.strip() for r in listed.split(",") if r.strip())
+        merge(lineno, rules)
+        if text.lstrip().startswith("#"):
+            merge(lineno + 1, rules)
+    return out
+
+
+def is_suppressed(finding: Finding,
+                  suppressions: Dict[int, Optional[FrozenSet[str]]]) -> bool:
+    """True when ``finding``'s line carries a matching marker."""
+    rules = suppressions.get(finding.line, frozenset())
+    if finding.line in suppressions and rules is None:
+        return True
+    return finding.rule in (rules or frozenset())
+
+
+def report_dict(findings: Iterable[Finding], paths: Iterable[str],
+                rules: Iterable[str]) -> dict:
+    """The machine-readable JSON report structure."""
+    items = sorted(findings)
+    counts: Dict[str, int] = {}
+    for finding in items:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "tool": "schedlint",
+        "version": 1,
+        "paths": sorted(paths),
+        "rules": sorted(rules),
+        "findings": [asdict(f) for f in items],
+        "counts": dict(sorted(counts.items())),
+        "clean": not items,
+    }
+
+
+def write_report(path: str, report: dict) -> None:
+    """Write the JSON report to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

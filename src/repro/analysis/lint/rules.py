@@ -1,0 +1,331 @@
+"""The schedlint determinism rules (stdlib ``ast`` only).
+
+Every rule guards the simulator's central fidelity claim: a run is a
+pure function of (workload, scheduler, seed).  Wall-clock reads,
+process-global RNG state, ``id()``-keyed ordering and bare-``set``
+iteration all leak host nondeterminism into the schedule; float
+arithmetic on the integer-nanosecond clock trades exactness for
+rounding that differs across platforms.
+
+Rules
+-----
+``wall-clock``
+    Call to ``time.time()`` / ``time.monotonic()`` /
+    ``datetime.datetime.now()`` and friends.  Simulation code must use
+    ``engine.now`` (virtual time).
+``unseeded-random``
+    Call into the process-global ``random`` module.  Use
+    ``repro.core.rng.RandomSource`` streams (or an explicit
+    ``random.Random(seed)`` instance, which is allowed).
+``id-ordering``
+    ``id()`` used as a sort/min/max key or as a set/dict-comprehension
+    element: CPython ``id``s are allocation addresses and vary run to
+    run, so any ordering or dedup built on them is nondeterministic.
+``set-iteration``
+    Iterating directly over a ``set`` literal / comprehension /
+    ``set(...)`` call: set iteration order depends on insertion and
+    hash randomization for str keys.  Sort first, or use a list/dict.
+``float-ns-clock``
+    Division involving an integer-nanosecond quantity (name matching
+    ``*_ns``/``*nsec``/``now``), or ``float()`` applied to one.  Clock
+    arithmetic must stay integral; convert to seconds only at the
+    presentation layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding, is_suppressed, suppressions_in
+
+#: rule id -> one-line description (the ``--list-rules`` catalog)
+RULES: Dict[str, str] = {
+    "wall-clock":
+        "wall-clock read (time.time/monotonic/perf_counter, "
+        "datetime.now) in simulation code; use engine.now",
+    "unseeded-random":
+        "process-global random.* call; use repro.core.rng streams "
+        "or an explicit random.Random(seed)",
+    "id-ordering":
+        "id() used as an ordering key or set/dict element; ids are "
+        "allocation addresses and vary run to run",
+    "set-iteration":
+        "iteration over a bare set; order depends on hash "
+        "randomization — sort first or use a list/dict",
+    "float-ns-clock":
+        "float arithmetic on the integer-ns clock; keep clock math "
+        "integral, convert to seconds only for presentation",
+}
+
+#: wall-clock entry points, fully qualified
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: paths (posix-suffix matched) where a rule is expected and allowed
+DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+    # clock.py IS the presentation-layer ns->seconds converter
+    "float-ns-clock": ("repro/core/clock.py",),
+    # rng.py wraps random.Random behind seeded named streams
+    "unseeded-random": ("repro/core/rng.py",),
+}
+
+_CLOCKISH_RE = re.compile(r"(^|_)(ns|nsec)$", re.IGNORECASE)
+_CLOCKISH_NAMES = frozenset({"now", "time_ns"})
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    """Trailing identifier of a Name/Attribute, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_clockish(node: ast.AST) -> bool:
+    """Heuristic: does this expression denote an integer-ns time?"""
+    name = _identifier(node)
+    if name is None:
+        return False
+    return bool(_CLOCKISH_RE.search(name)) or name in _CLOCKISH_NAMES
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor emitting findings for all enabled rules."""
+
+    def __init__(self, path: str, rules: Sequence[str]):
+        self.path = path
+        self.rules = frozenset(rules)
+        self.findings: List[Finding] = []
+        #: local name -> fully qualified module/attr it refers to
+        self.imports: Dict[str, str] = {}
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.rules:
+            return
+        self.findings.append(Finding(
+            path=self.path, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), rule=rule,
+            message=message))
+
+    def _qualified(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain through the import table.
+
+        Only resolves when the base name was imported — attribute
+        access on local objects (``self.time`` etc.) never matches.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # -- import table --------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            qualified = alias.asname and alias.name or \
+                alias.name.split(".")[0]
+            self.imports[local] = qualified
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.imports[local] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- wall-clock / unseeded-random ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_float_cast(node)
+        qualified = self._qualified(node.func)
+        if qualified is not None:
+            if qualified in WALL_CLOCK_CALLS:
+                self._emit(node, "wall-clock",
+                           f"call to {qualified}(); simulation code "
+                           f"must use engine.now")
+            elif (qualified.startswith("random.")
+                    and qualified != "random.Random"):
+                self._emit(node, "unseeded-random",
+                           f"call to {qualified}() uses process-global "
+                           f"RNG state; use repro.core.rng streams")
+        # id() as an explicit key= argument to sorted/min/max
+        func_name = node.func.id if isinstance(node.func, ast.Name) \
+            else None
+        if func_name in ("sorted", "min", "max"):
+            for kw in node.keywords:
+                if kw.arg == "key" and self._is_id_key(kw.value):
+                    self._emit(kw.value, "id-ordering",
+                               f"id() used as {func_name}() key; ids "
+                               f"vary run to run — key on a stable "
+                               f"field (e.g. .tid)")
+        # set(...)/frozenset(...) handled at iteration sites
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_id_key(node: ast.AST) -> bool:
+        """``key=id`` or ``key=lambda t: id(t)`` (possibly in a tuple)."""
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        if isinstance(node, ast.Lambda):
+            return _contains_id_call(node.body)
+        return False
+
+    # -- id-ordering in set/dict construction --------------------------
+
+    def visit_Set(self, node: ast.Set) -> None:
+        for elt in node.elts:
+            if _contains_id_call(elt):
+                self._emit(elt, "id-ordering",
+                           "id() as a set element; dedup by a stable "
+                           "field (e.g. .tid) instead")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        if _contains_id_call(node.elt):
+            self._emit(node.elt, "id-ordering",
+                       "id() as a set-comprehension element; dedup by "
+                       "a stable field (e.g. .tid) instead")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if _contains_id_call(node.key):
+            self._emit(node.key, "id-ordering",
+                       "id() as a dict-comprehension key; key on a "
+                       "stable field (e.g. .tid) instead")
+        self.generic_visit(node)
+
+    # -- set-iteration -------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self._emit(iter_node, "set-iteration",
+                       "iterating over a set literal/comprehension; "
+                       "order is hash-dependent — sort first")
+        elif (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in ("set", "frozenset")):
+            self._emit(iter_node, "set-iteration",
+                       f"iterating over {iter_node.func.id}(...); "
+                       f"order is hash-dependent — sort first")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- float-ns-clock ------------------------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            for side in (node.left, node.right):
+                if _is_clockish(side):
+                    self._emit(node, "float-ns-clock",
+                               f"true division on "
+                               f"'{_identifier(side)}'; use // (or "
+                               f"convert at the presentation layer)")
+                    break
+        self.generic_visit(node)
+
+    def _check_float_cast(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name) and node.func.id == "float"
+                and node.args and _is_clockish(node.args[0])):
+            self._emit(node, "float-ns-clock",
+                       f"float() applied to "
+                       f"'{_identifier(node.args[0])}'; keep clock "
+                       f"values integral")
+
+
+def _contains_id_call(node: ast.AST) -> bool:
+    """Does any sub-expression call the builtin ``id``?"""
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"):
+            return True
+    return False
+
+
+def _allowlisted(path: str, rule: str,
+                 allowlist: Dict[str, Tuple[str, ...]]) -> bool:
+    posix = path.replace(os.sep, "/")
+    return any(posix.endswith(suffix)
+               for suffix in allowlist.get(rule, ()))
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[str]] = None,
+                allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+                ) -> List[Finding]:
+    """Lint one source string; returns surviving findings, sorted."""
+    if rules is None:
+        rules = tuple(RULES)
+    if allowlist is None:
+        allowlist = DEFAULT_ALLOWLIST
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 0,
+                        col=exc.offset or 0, rule="parse-error",
+                        message=f"cannot parse: {exc.msg}")]
+    visitor = _RuleVisitor(path, rules)
+    visitor.visit(tree)
+    suppressions = suppressions_in(source)
+    return sorted(
+        f for f in visitor.findings
+        if not is_suppressed(f, suppressions)
+        and not _allowlisted(path, f.rule, allowlist))
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if d != "__pycache__"]
+                out.extend(os.path.join(dirpath, name)
+                           for name in sorted(filenames)
+                           if name.endswith(".py"))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[str]] = None,
+               allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+               ) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r") as fh:
+            source = fh.read()
+        findings.extend(lint_source(source, path=filename, rules=rules,
+                                    allowlist=allowlist))
+    return sorted(findings)

@@ -402,6 +402,7 @@ class CfsScheduler(SchedClass):
             if delta <= 0:
                 load += avg.util_avg * avg.weight
             else:
+                # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
                 d = exp(-_LN2 * delta / HALF_LIFE_NS)
                 load += (avg.util_avg * d + (1.0 - d)) * avg.weight
         self._load_cache[cpu] = load
@@ -433,6 +434,7 @@ class CfsScheduler(SchedClass):
                 if delta <= 0:
                     load += avg.util_avg * avg.weight
                 else:
+                    # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
                     d = exp(-_LN2 * delta / HALF_LIFE_NS)
                     load += (avg.util_avg * d + (1.0 - d)) * avg.weight
             cache[cpu] = load

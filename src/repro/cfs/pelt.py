@@ -29,7 +29,9 @@ def decay_factor(delta_ns: int) -> float:
     """Fraction of an old average that survives ``delta_ns``."""
     if delta_ns <= 0:
         return 1.0
-    return math.exp(-_LN2 * delta_ns / HALF_LIFE_NS)
+    # continuous-form PELT: the decay exponent is a dimensionless
+    # ratio, not clock arithmetic
+    return math.exp(-_LN2 * delta_ns / HALF_LIFE_NS)  # schedlint: ignore[float-ns-clock]
 
 
 class LoadAvg:

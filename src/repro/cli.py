@@ -45,9 +45,10 @@ def _cmd_experiment(args) -> int:
 
 
 def _run_one(name: str, sched: str, cpus: int, seed: int,
-             noise: bool) -> tuple:
+             noise: bool, sanitize: bool = False) -> tuple:
     engine = make_engine(sched, ncpus=cpus, seed=seed,
-                         ctx_switch_cost_ns=usec(15))
+                         ctx_switch_cost_ns=usec(15),
+                         sanitize=True if sanitize else None)
     if noise:
         from .workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)
@@ -58,7 +59,8 @@ def _run_one(name: str, sched: str, cpus: int, seed: int,
 
 def _cmd_run(args) -> int:
     engine, workload, reason = _run_one(args.name, args.sched,
-                                        args.cpus, args.seed, args.noise)
+                                        args.cpus, args.seed, args.noise,
+                                        sanitize=args.sanitize)
     perf = workload.performance(engine)
     print(f"{args.name} on {args.sched} ({args.cpus} cpus): "
           f"performance={perf:.4f} ops/s, simulated "
@@ -74,7 +76,8 @@ def _cmd_compare(args) -> int:
     perfs = {}
     for sched in ("cfs", "ule"):
         engine, workload, _ = _run_one(args.name, sched, args.cpus,
-                                       args.seed, args.noise)
+                                       args.seed, args.noise,
+                                       sanitize=args.sanitize)
         perfs[sched] = workload.performance(engine)
         print(f"  {sched}: {perfs[sched]:.4f} ops/s")
     diff = percent_diff(perfs["ule"], perfs["cfs"])
@@ -100,12 +103,12 @@ def _cmd_report(args) -> int:
         # back in submission order, so the report is byte-identical to
         # a serial run (minus the per-experiment timing lines).
         from .experiments.parallel import run_experiments
-        t0 = time.time()
+        t0 = time.time()  # schedlint: ignore[wall-clock] -- wall-clock progress reporting
         print(f"running {len(names)} experiments with "
               f"--jobs {args.jobs} ...", flush=True)
         results = run_experiments(names, quick=not args.full,
                                   seed=args.seed, jobs=args.jobs)
-        elapsed = time.time() - t0
+        elapsed = time.time() - t0  # schedlint: ignore[wall-clock] -- wall-clock progress reporting
         print(f"completed in {elapsed:.1f}s wall", flush=True)
         for name, result in zip(names, results):
             header = (f"\n\n{'=' * 72}\n== {name}: {result.claim}\n"
@@ -114,11 +117,11 @@ def _cmd_report(args) -> int:
             buf.write(result.text)
         names = []
     for name in names:
-        t0 = time.time()
+        t0 = time.time()  # schedlint: ignore[wall-clock] -- wall-clock progress reporting
         print(f"running {name} ...", flush=True)
         result = run_experiment(name, quick=not args.full,
                                 seed=args.seed)
-        elapsed = time.time() - t0
+        elapsed = time.time() - t0  # schedlint: ignore[wall-clock] -- wall-clock progress reporting
         header = (f"\n\n{'=' * 72}\n== {name}: {result.claim}\n"
                   f"== (completed in {elapsed:.1f}s wall)\n{'=' * 72}\n")
         buf.write(header)
@@ -180,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--noise", action="store_true",
                        help="add per-CPU kernel-thread noise")
+        p.add_argument("--sanitize", action="store_true",
+                       help="validate scheduler invariants after "
+                            "every event (slow; raises "
+                            "SanitizerError on violation)")
         p.set_defaults(func=func)
     return parser
 

@@ -32,6 +32,7 @@ The engine deliberately mirrors the structure the paper's port targets:
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, Iterable, Optional
 
 from . import actions as act
@@ -52,6 +53,12 @@ RUN_FOREVER = math.inf
 #: flip this (or pass ``tickless=False``) to force the always-tick
 #: engine, e.g. when bisecting a determinism report.
 TICKLESS_DEFAULT = True
+
+
+def _sanitize_from_env() -> bool:
+    """``REPRO_SANITIZE`` truthiness (unset/0/false/no/off = off)."""
+    value = os.environ.get("REPRO_SANITIZE", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
 class Tracer:
@@ -81,7 +88,8 @@ class Engine:
     def __init__(self, topology: Topology, scheduler_factory,
                  seed: int = 0, corun_slowdown: float = 1.0,
                  ctx_switch_cost_ns: int = 0,
-                 tickless: Optional[bool] = None):
+                 tickless: Optional[bool] = None,
+                 sanitize: Optional[bool] = None):
         self.now = 0
         self.events = EventQueue()
         #: events executed by :meth:`run` (for events/sec reporting)
@@ -106,6 +114,15 @@ class Engine:
         for core in self.machine.cores:
             core.rq = self.scheduler.init_core(core)
         self._ticks_started = False
+
+        #: post-event invariant checker; None (the default) costs one
+        #: local None test per event in :meth:`run`
+        self.sanitizer = None
+        if _sanitize_from_env() if sanitize is None else sanitize:
+            # imported lazily: repro.analysis.__init__ imports modules
+            # that import this engine module
+            from ..analysis.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self)
 
     # ------------------------------------------------------------------
     # thread creation
@@ -638,6 +655,7 @@ class Engine:
         self._stopped = False
         self._stop_reason = None
         events_since_check = 0
+        sanitizer = self.sanitizer
         while True:
             if self._stopped:
                 return self._stop_reason or "stopped"
@@ -666,6 +684,8 @@ class Engine:
             self.now = event.time
             self.events_processed += 1
             event.callback(*event.args)
+            if sanitizer is not None:
+                sanitizer.after_event(event)
             if stop_when is not None:
                 events_since_check += 1
                 if events_since_check >= check_interval:

@@ -34,3 +34,31 @@ class ExperimentError(SimulationError):
 
 class DeadlockError(SimulationError):
     """The event queue drained while threads were still blocked."""
+
+
+class SanitizerError(SimulationError):
+    """A runtime invariant check failed (``REPRO_SANITIZE=1`` mode).
+
+    Carries the failed invariant, the simulated time/core/event at
+    which it tripped, and the last few trace records so the violation
+    can be localized without re-running under a debugger.
+    """
+
+    def __init__(self, invariant: str, message: str, *,
+                 time_ns: int = 0, cpu=None, event: str = "",
+                 trace=()):
+        self.invariant = invariant
+        self.time_ns = time_ns
+        self.cpu = cpu
+        self.event = event
+        self.trace = tuple(trace)
+        where = f"t={time_ns}ns"
+        if cpu is not None:
+            where += f" cpu{cpu}"
+        if event:
+            where += f" after {event}"
+        lines = [f"[{invariant}] {message} ({where})"]
+        if self.trace:
+            lines.append("recent trace:")
+            lines.extend(f"  {entry}" for entry in self.trace)
+        super().__init__("\n".join(lines))

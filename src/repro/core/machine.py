@@ -79,7 +79,8 @@ class Core:
     def utilization(self) -> float:
         """Fraction of accounted time this core was busy."""
         total = self.busy_ns + self.idle_ns
-        return self.busy_ns / total if total else 0.0
+        # reporting-only ratio; never feeds back into the schedule
+        return self.busy_ns / total if total else 0.0  # schedlint: ignore[float-ns-clock]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self.current.name if self.current else "idle"

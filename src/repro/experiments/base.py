@@ -47,13 +47,15 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
                 corun_slowdown: float = 1.0,
                 ctx_switch_cost_ns: int = 0,
                 tickless: Optional[bool] = None,
+                sanitize: Optional[bool] = None,
                 **sched_options) -> Engine:
     """Engine factory used by all experiment drivers.
 
     ``ncpus=32`` builds the paper's Opteron topology (4 NUMA nodes of
     8 cores); ``ncpus=1`` the per-core-scheduling setup of §5.
     ``tickless`` overrides the engine-wide NO_HZ default (the
-    determinism tests run both settings and compare).
+    determinism tests run both settings and compare); ``sanitize``
+    overrides the ``REPRO_SANITIZE`` environment default.
     """
     if ncpus == 1:
         topo = single_core()
@@ -65,7 +67,7 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
     return Engine(topo, scheduler_factory(sched, **sched_options),
                   seed=seed, corun_slowdown=corun_slowdown,
                   ctx_switch_cost_ns=ctx_switch_cost_ns,
-                  tickless=tickless)
+                  tickless=tickless, sanitize=sanitize)
 
 
 def run_workload(engine: Engine, workload, timeout_ns: int,

@@ -36,10 +36,16 @@ QUICK_APPS = ["Gzip", "C-Ray", "scimark2-(1)", "scimark2-(2)",
 
 
 def run_app(name: str, sched: str, ncpus: int = 1, seed: int = 1,
-            with_noise: bool = False) -> dict:
-    """Run one registered app under one scheduler; returns metrics."""
+            with_noise: bool = False, sanitize: bool = None) -> dict:
+    """Run one registered app under one scheduler; returns metrics.
+
+    ``sanitize=True`` runs the cell under the post-event invariant
+    sanitizer (used by the smoke tests to prove the shipped
+    schedulers are invariant-clean end to end).
+    """
     engine = make_engine(sched, ncpus=ncpus, seed=seed,
-                         ctx_switch_cost_ns=CTX_SWITCH_COST_NS)
+                         ctx_switch_cost_ns=CTX_SWITCH_COST_NS,
+                         sanitize=sanitize)
     if with_noise:
         from ..workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)

@@ -74,7 +74,8 @@ def _measure(sched: str, seed: int):
     for lst in waits.values():
         lst.clear()
     engine.run(until=sec(12))
-    hog_share = hog.total_runtime / engine.now
+    # reporting-only ratio computed after the run; never feeds back
+    hog_share = hog.total_runtime / engine.now  # schedlint: ignore[float-ns-clock]
     return waits, hog_share
 
 

@@ -143,9 +143,9 @@ class ClassStackScheduler(SchedClass):
 
     def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:
         out = list(self.rt.runnable_threads(core))
-        seen = {id(t) for t in out}
+        seen = {t.tid for t in out}
         for t in self.fair.runnable_threads(core):
-            if id(t) not in seen:
+            if t.tid not in seen:
                 out.append(t)
         return out
 

@@ -132,7 +132,7 @@ class TraceLog:
                 "cat": "wakeup",
                 "ph": "i",                    # instant event
                 "s": "t",
-                "ts": rec.time_ns / 1000.0,
+                "ts": rec.time_ns / 1000.0,  # schedlint: ignore[float-ns-clock]
                 "pid": 0,
                 "tid": rec.cpu,
             })
@@ -142,7 +142,7 @@ class TraceLog:
                 "cat": "migration",
                 "ph": "i",
                 "s": "p",
-                "ts": rec.time_ns / 1000.0,
+                "ts": rec.time_ns / 1000.0,  # schedlint: ignore[float-ns-clock]
                 "pid": 0,
                 "tid": rec.dst,
             })

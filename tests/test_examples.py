@@ -5,6 +5,7 @@ same entry points the scripts use; the fast ones run as subprocesses
 exactly as a user would.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,9 +16,13 @@ EXAMPLES = Path(__file__).parent.parent / "examples"
 
 
 def run_example(name, *args, timeout=240):
+    # pin the env: a REPRO_SANITIZE=1 suite run would otherwise slow
+    # the long demos past their timeout (invariant coverage for the
+    # schedulers lives in tests/test_sanitizer.py)
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_SANITIZE"}
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=env)
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
 

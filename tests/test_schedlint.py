@@ -1,0 +1,446 @@
+"""schedlint: the determinism/contract static-analysis pass.
+
+Per-rule fixture snippets (positive, suppressed, allowlisted), the
+suppression/allowlist machinery, the SchedClass contract checker
+against a deliberately incomplete subclass, the FreeBSD API mapping
+checker, the CLI exit codes, and the cleanliness of the shipped tree.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (RULES, check_freebsd_api,
+                                 check_sched_class, lint_paths,
+                                 lint_source, main)
+from repro.analysis.lint.contract import registered_sched_classes
+from repro.sched.base import SchedClass
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint(snippet, path="repro/somewhere/code.py", **kwargs):
+    return lint_source(textwrap.dedent(snippet), path=path, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# rule fixtures: positive / suppressed / allowlisted
+# ----------------------------------------------------------------------
+
+#: per-rule (violating snippet, allowlist path that excuses it)
+FIXTURES = {
+    "wall-clock": """
+        import time
+        def f():
+            return time.time()
+        """,
+    "unseeded-random": """
+        import random
+        def f():
+            return random.randint(0, 10)
+        """,
+    "id-ordering": """
+        def f(threads):
+            return sorted(threads, key=id)
+        """,
+    "set-iteration": """
+        def f():
+            for x in {1, 2, 3}:
+                print(x)
+        """,
+    "float-ns-clock": """
+        def f(delta_ns):
+            return delta_ns / 1000
+        """,
+}
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_positive(rule):
+    findings = lint(FIXTURES[rule])
+    assert rules_of(findings) == [rule]
+    finding = findings[0]
+    assert finding.line > 0
+    assert rule in finding.format()
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_suppressed_inline(rule):
+    snippet = textwrap.dedent(FIXTURES[rule])
+    lines = snippet.splitlines()
+    # find the violating line from an unsuppressed run, mark it
+    target = lint_source(snippet)[0].line
+    lines[target - 1] += f"  # schedlint: ignore[{rule}] -- test"
+    assert lint_source("\n".join(lines)) == []
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_allowlisted(rule):
+    snippet = textwrap.dedent(FIXTURES[rule])
+    allow = {rule: ("repro/somewhere/code.py",)}
+    assert lint_source(snippet, path="repro/somewhere/code.py",
+                       allowlist=allow) == []
+    # a different file is still flagged
+    assert lint_source(snippet, path="repro/elsewhere/code.py",
+                       allowlist=allow) != []
+
+
+def test_every_rule_has_a_fixture():
+    assert sorted(FIXTURES) == sorted(RULES)
+
+
+# ----------------------------------------------------------------------
+# individual rule details
+# ----------------------------------------------------------------------
+
+def test_wall_clock_variants_flagged():
+    findings = lint("""
+        import time
+        from datetime import datetime
+        def f():
+            a = time.monotonic()
+            b = time.perf_counter_ns()
+            c = datetime.now()
+            return a, b, c
+        """)
+    assert rules_of(findings) == ["wall-clock"]
+    assert len(findings) == 3
+
+
+def test_wall_clock_local_attribute_not_flagged():
+    # attribute access on local objects must not resolve via the
+    # import table ("self.time" is not the time module)
+    assert lint("""
+        def f(self):
+            return self.time()
+        """) == []
+
+
+def test_engine_now_not_flagged():
+    assert lint("""
+        def f(engine):
+            return engine.now
+        """) == []
+
+
+def test_random_random_instance_allowed():
+    findings = lint("""
+        import random
+        def f(seed):
+            rng = random.Random(seed)
+            return rng.random() + random.random()
+        """)
+    # the module-level call is flagged, the seeded instance is not
+    assert len(findings) == 1
+    assert findings[0].rule == "unseeded-random"
+
+
+def test_id_ordering_lambda_key_and_set_comp():
+    findings = lint("""
+        def f(threads):
+            seen = {id(t) for t in threads}
+            worst = max(threads, key=lambda t: id(t))
+            return seen, worst
+        """)
+    assert rules_of(findings) == ["id-ordering"]
+    assert len(findings) == 2
+
+
+def test_stable_key_not_flagged():
+    assert lint("""
+        def f(threads):
+            seen = {t.tid for t in threads}
+            return sorted(threads, key=lambda t: t.tid)
+        """) == []
+
+
+def test_set_iteration_call_and_comprehension():
+    findings = lint("""
+        def f(xs):
+            out = [x for x in set(xs)]
+            for y in {x + 1 for x in xs}:
+                out.append(y)
+            return out
+        """)
+    assert rules_of(findings) == ["set-iteration"]
+    assert len(findings) == 2
+
+
+def test_sorted_set_not_flagged():
+    assert lint("""
+        def f(xs):
+            for x in sorted(set(xs)):
+                print(x)
+        """) == []
+
+
+def test_float_ns_floor_division_not_flagged():
+    assert lint("""
+        def f(delta_ns):
+            return delta_ns // 1000
+        """) == []
+
+
+def test_float_cast_of_clock_flagged():
+    findings = lint("""
+        def f(now):
+            return float(now)
+        """)
+    assert rules_of(findings) == ["float-ns-clock"]
+
+
+def test_comment_line_marker_covers_next_line():
+    assert lint("""
+        import time
+        def f():
+            # schedlint: ignore[wall-clock] -- reason
+            return time.time()
+        """) == []
+
+
+def test_suppression_wrong_rule_does_not_hide():
+    findings = lint("""
+        import time
+        def f():
+            return time.time()  # schedlint: ignore[set-iteration]
+        """)
+    assert rules_of(findings) == ["wall-clock"]
+
+
+def test_bare_ignore_suppresses_all_rules():
+    assert lint("""
+        import time
+        def f():
+            return time.time()  # schedlint: ignore
+        """) == []
+
+
+def test_parse_error_reported_as_finding():
+    findings = lint("def f(:\n")
+    assert rules_of(findings) == ["parse-error"]
+
+
+# ----------------------------------------------------------------------
+# contract checker
+# ----------------------------------------------------------------------
+
+class IncompleteScheduler(SchedClass):
+    """Deliberately broken: missing hooks, wrong signature, no name."""
+
+    # note: no `name` override
+    def init_core(self, core):
+        return []
+
+    def enqueue_task(self, core, thread):  # missing `flags`
+        pass
+
+    def pick_next(self, core):
+        return None
+
+    # dequeue_task / select_task_rq / runnable_threads not overridden
+
+
+class CompleteScheduler(SchedClass):
+    """Minimal but contract-clean scheduler."""
+
+    name = "test-complete"
+
+    def init_core(self, core):
+        return []
+
+    def enqueue_task(self, core, thread, flags):
+        core.rq.append(thread)
+
+    def dequeue_task(self, core, thread, flags):
+        core.rq.remove(thread)
+
+    def pick_next(self, core):
+        return core.rq[0] if core.rq else None
+
+    def select_task_rq(self, thread, flags, waker=None):
+        return 0
+
+    def runnable_threads(self, core):
+        return list(core.rq)
+
+
+def test_incomplete_scheduler_flagged():
+    findings = check_sched_class(IncompleteScheduler)
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule, []).append(f)
+    # three abstract hooks not overridden
+    missing = " ".join(f.message for f in by_rule["contract-missing-hook"])
+    for hook in ("dequeue_task", "select_task_rq", "runnable_threads"):
+        assert hook in missing
+    # enqueue_task dropped the flags parameter
+    assert any("enqueue_task" in f.message
+               for f in by_rule["contract-signature"])
+    assert "contract-name" in by_rule
+
+
+def test_complete_scheduler_clean():
+    assert check_sched_class(CompleteScheduler) == []
+
+
+def test_extra_defaulted_params_are_compatible():
+    class Extended(CompleteScheduler):
+        name = "test-extended"
+
+        def enqueue_task(self, core, thread, flags, boost=False):
+            pass
+
+    assert check_sched_class(Extended) == []
+
+
+def test_registered_classes_exclude_test_fixtures():
+    classes = registered_sched_classes()
+    assert classes, "builtin schedulers must be registered"
+    assert all(c.__module__.startswith("repro.") for c in classes)
+    assert IncompleteScheduler not in classes
+
+
+def test_registered_builtin_schedulers_are_contract_clean():
+    for cls in registered_sched_classes():
+        assert check_sched_class(cls) == [], cls
+
+
+# ----------------------------------------------------------------------
+# FreeBSD API mapping checker
+# ----------------------------------------------------------------------
+
+def test_shipped_freebsd_api_clean():
+    assert check_freebsd_api() == []
+
+
+def test_freebsd_api_wrong_hook_detected():
+    source = textwrap.dedent("""
+        class FreeBSDSchedAdapter:
+            def __init__(self, sched):
+                self._sched = sched
+
+            def sched_add(self, core, thread):
+                self._sched.enqueue_task(core, thread, 0)
+
+            def sched_wakeup(self, core, thread):
+                self._sched.enqueue_task(core, thread, 1)
+
+            def sched_rem(self, core, thread):
+                self._sched.enqueue_task(core, thread, 0)  # wrong hook
+
+            def sched_relinquish(self, core):
+                self._sched.yield_task(core)
+
+            def sched_choose(self, core):
+                return self._sched.pick_next(core)
+
+            def sched_switch(self, core, thread, delta_ns=0):
+                self._sched.update_curr(core, thread, delta_ns)
+
+            def sched_pickcpu(self, thread, waking=True, waker=None):
+                return self._sched.select_task_rq(thread, 0, waker)
+        """)
+    findings = check_freebsd_api(source=source, path="fixture.py")
+    assert any(f.rule == "freebsd-api-mapping"
+               and "sched_rem" in f.message for f in findings)
+
+
+def test_freebsd_api_missing_and_unmapped_detected():
+    source = textwrap.dedent("""
+        class FreeBSDSchedAdapter:
+            def __init__(self, sched):
+                self._sched = sched
+
+            def sched_preempt(self, core):
+                self._sched.pick_next(core)
+        """)
+    findings = check_freebsd_api(source=source, path="fixture.py")
+    rules = rules_of(findings)
+    assert "freebsd-api-missing" in rules
+    assert "freebsd-api-unmapped" in rules
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, JSON report, repo cleanliness
+# ----------------------------------------------------------------------
+
+def test_repo_tree_is_clean():
+    """The shipped src/repro tree must lint clean (exit code 0)."""
+    assert main([os.path.join(SRC_ROOT, "repro")]) == 0
+
+
+def test_fixture_tree_with_all_rules_fails(tmp_path, capsys):
+    """A tree with one violation of each rule exits nonzero and
+    reports every rule."""
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    for rule, snippet in FIXTURES.items():
+        name = rule.replace("-", "_") + ".py"
+        (tree / name).write_text(textwrap.dedent(snippet))
+    code = main(["--no-contract", str(tree)])
+    assert code == 1
+    out = capsys.readouterr().out
+    for rule in FIXTURES:
+        assert rule in out
+
+
+def test_json_report(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "bad.py").write_text("import time\nt = time.time()\n")
+    report_file = tmp_path / "report.json"
+    code = main(["--no-contract", "--json", str(report_file),
+                 str(tree)])
+    assert code == 1
+    report = json.loads(report_file.read_text())
+    assert report["tool"] == "schedlint"
+    assert report["clean"] is False
+    assert report["counts"] == {"wall-clock": 1}
+    (entry,) = report["findings"]
+    assert entry["rule"] == "wall-clock"
+    assert entry["line"] == 2
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["--rules", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_module_entry_point():
+    """`python -m repro.analysis.lint` works and exits 0 on the repo."""
+    env = dict(os.environ, PYTHONPATH=SRC_ROOT)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "pkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n")
+    (sub / "bad.py").write_text("import time\nt = time.time()\n")
+    findings = lint_paths([str(pkg)])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("bad.py")
