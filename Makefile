@@ -4,11 +4,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint sanitize-smoke verify bench bench-baseline bench-full
+# minimum line-coverage percentage for `make coverage` (the recorded
+# tier-1 state; CI fails below it)
+COVER_MIN ?= 80
 
-## tier-1 test suite (the gate every PR must keep green)
+.PHONY: test test-all lint sanitize-smoke fuzz-smoke golden \
+	golden-check coverage verify verify-fast bench bench-baseline \
+	bench-full
+
+## tier-1 test suite (the gate every PR must keep green); pyproject
+## addopts exclude @pytest.mark.slow tests — see `make test-all`
 test:
 	$(PYTHON) -m pytest -x -q
+
+## the full suite including the slow example/fig-sweep tests
+test-all:
+	$(PYTHON) -m pytest -q -m "slow or not slow"
 
 ## schedlint: determinism/contract static analysis over src/repro/
 ## (exit 0 = clean, 1 = findings, 2 = usage/internal error; see
@@ -21,9 +32,45 @@ lint:
 sanitize-smoke:
 	$(PYTHON) -m pytest tests/test_sanitizer.py -q
 
-## the full PR gate: static analysis, tier-1 tests, sanitizer smoke,
-## and the simulator-performance regression check
-verify: lint test sanitize-smoke bench
+## bounded fuzz budget: 25 seeded scenarios through the differential
+## oracles under every scheduler, with Engine(sanitize=True)
+## (see docs/testing.md)
+fuzz-smoke:
+	$(PYTHON) -m repro.testing fuzz --seeds 25 --smoke
+
+## re-record the golden-trace digests after an intentional
+## behavioural change (mirrors bench-baseline for performance)
+golden:
+	$(PYTHON) -m repro.testing golden record
+
+## compare fresh experiment-cell digests against tests/golden/
+golden-check:
+	$(PYTHON) -m repro.testing golden check
+
+## tier-1 line coverage with a regression floor; skips cleanly when
+## coverage.py is not installed (it is not vendored)
+coverage:
+	@$(PYTHON) -c "import coverage" 2>/dev/null || \
+		{ echo "coverage.py not installed; skipping coverage gate"; \
+		  exit 0; } && \
+	$(PYTHON) -m coverage run --source=src/repro -m pytest -q && \
+	$(PYTHON) -m coverage report --fail-under=$(COVER_MIN)
+
+## the full PR gate.  Stages keep going on failure so every problem is
+## reported in one run, and bench runs LAST deliberately: a perf
+## regression must still be visible when lint or a test already
+## failed.  The exit status aggregates all stages.
+verify:
+	@fail=0; \
+	for stage in lint test sanitize-smoke fuzz-smoke bench; do \
+		echo "== make $$stage =="; \
+		$(MAKE) --no-print-directory $$stage || fail=1; \
+	done; \
+	if [ $$fail -ne 0 ]; then echo "verify: FAILED (see above)"; fi; \
+	exit $$fail
+
+## inner-loop gate: static analysis + tier-1 tests, fail fast
+verify-fast: lint test
 
 ## simulator-performance benchmarks in smoke mode + regression gate:
 ## fails when any profile's events/sec is >2x below the recorded

@@ -367,6 +367,34 @@ class CfsScheduler(SchedClass):
     # load queries & introspection
     # ------------------------------------------------------------------
 
+    def weight_of(self, thread: "SimThread") -> int:
+        """The thread's load weight (derived from its nice value)."""
+        return self.state_of(thread).se.weight
+
+    def vruntime_of(self, thread: "SimThread") -> int:
+        """The thread's current virtual runtime, in weighted ns.
+
+        Only comparable between threads queued on the same
+        :class:`CfsRq` — cross-runqueue vruntimes live on different
+        virtual clocks.
+        """
+        return self.state_of(thread).se.vruntime
+
+    def cfs_rqs(self, core: "Core"):
+        """Iterate every :class:`CfsRq` in ``core``'s cgroup hierarchy
+        (root first).  Differential-oracle hook: fairness bounds such
+        as the vruntime lag bound are per-runqueue properties."""
+        stack = [self.cpurq(core).root]
+        while stack:
+            rq = stack.pop()
+            yield rq
+            entities = [se for _, se in rq.tree.items()]
+            if rq.curr is not None:
+                entities.append(rq.curr)
+            for se in entities:
+                if not se.is_task and se.my_rq is not None:
+                    stack.append(se.my_rq)
+
     def thread_load(self, thread: "SimThread") -> float:
         """The thread's current PELT load contribution."""
         return self.state_of(thread).se.avg.peek(self.engine.now, True)

@@ -69,6 +69,9 @@ def _cmd_run(args) -> int:
           f"migrations={engine.metrics.counter('engine.migrations'):.0f} "
           f"preemptions="
           f"{engine.metrics.counter('engine.preemptions'):.0f}")
+    if args.digest:
+        from .tracing.digest import schedule_digest
+        print(f"  digest={schedule_digest(engine)}")
     return 0
 
 
@@ -187,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="validate scheduler invariants after "
                             "every event (slow; raises "
                             "SanitizerError on violation)")
+        if cmd == "run":
+            p.add_argument("--digest", action="store_true",
+                           help="print the canonical schedule digest "
+                                "(see docs/testing.md)")
         p.set_defaults(func=func)
     return parser
 

@@ -696,6 +696,43 @@ class Engine:
                 return "all-exited"
 
     # ------------------------------------------------------------------
+    # canonical schedule state (digest hook)
+    # ------------------------------------------------------------------
+
+    def canonical_state(self) -> dict:
+        """A canonical, scheduler-independent summary of the schedule.
+
+        This is the engine's digest hook: everything in the returned
+        dict is a pure function of (workload, scheduler, seed) — thread
+        identity is the per-engine spawn index, never the process-global
+        tid, and event counts (which legitimately differ between
+        tickless and always-tick runs of the same schedule) are
+        excluded.  :func:`repro.tracing.digest.schedule_digest` hashes
+        it into the compact digests stored under ``tests/golden/``.
+        """
+        for core in self.machine.cores:
+            self._update_curr(core)
+        return {
+            "now": self.now,
+            "threads": [
+                (index, t.name, t.state.value, t.total_runtime,
+                 t.total_sleeptime, t.total_waittime, t.nr_switches,
+                 t.nr_migrations, t.nr_preemptions, t.created_at,
+                 t.exited_at)
+                for index, t in enumerate(self.threads)
+            ],
+            "cores": [
+                (c.index, c.busy_ns, c.idle_ns, c.nr_switches)
+                for c in self.machine.cores
+            ],
+            "counters": {
+                name: self.metrics.counter(name)
+                for name in ("engine.switches", "engine.migrations",
+                             "engine.preemptions", "engine.exits")
+            },
+        }
+
+    # ------------------------------------------------------------------
     # convenience queries
     # ------------------------------------------------------------------
 

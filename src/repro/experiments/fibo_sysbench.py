@@ -47,6 +47,12 @@ class ScenarioOutcome:
     sysbench: SysbenchWorkload
 
     @property
+    def digest(self) -> str:
+        """Canonical schedule digest (golden-trace regression hook)."""
+        from ..tracing.digest import schedule_digest
+        return schedule_digest(self.engine)
+
+    @property
     def fibo_runtime_s(self) -> float:
         return to_sec(self.fibo.thread.total_runtime)
 

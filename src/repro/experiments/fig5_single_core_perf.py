@@ -53,12 +53,16 @@ def run_app(name: str, sched: str, ncpus: int = 1, seed: int = 1,
     reason = run_workload(engine, workload, TIMEOUT_NS)
     if not workload.done(engine) and reason == "deadline":
         raise RuntimeError(f"{name} on {sched} hit the deadline")
+    from ..tracing.digest import schedule_digest
     out = {
         "perf": workload.performance(engine),
         "switches": engine.metrics.counter("engine.switches"),
         "preemptions": engine.metrics.counter("engine.preemptions"),
         "overhead_ns": engine.metrics.counter("sched.overhead_ns"),
         "elapsed_ns": engine.now,
+        # canonical schedule digest: pins the cell's exact schedule in
+        # the golden-trace store (tests/golden/, `make golden`)
+        "digest": schedule_digest(engine),
     }
     if name == "Apache":
         out["ab_preemptions"] = workload.ab_preemptions(engine)

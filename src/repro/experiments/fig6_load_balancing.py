@@ -74,8 +74,10 @@ def _run_cell(cell):
     migrations = engine.metrics.counter("engine.migrations")
     invocations = engine.metrics.counter("ule.balance_invocations")
     steals = engine.metrics.counter("ule.idle_steals")
+    from ..tracing.digest import schedule_digest
     row = dict(sched=sched,
                threads=nthreads,
+               digest=schedule_digest(engine),
                time_to_balance_s=(round(to_sec(ttb), 2)
                                   if ttb is not None else None),
                time_to_rough_balance_s=(round(to_sec(ttb4), 2)

@@ -1,0 +1,45 @@
+"""Differential & metamorphic testing subsystem.
+
+Four parts (see docs/testing.md):
+
+* :mod:`repro.testing.fuzzer` — deterministic seeded workload
+  generator with greedy shrinking;
+* :mod:`repro.testing.oracles` — differential oracles run under every
+  shipped scheduler with ``Engine(sanitize=True)``;
+* :mod:`repro.testing.metamorphic` — scenario transforms with
+  documented equivalence relations;
+* :mod:`repro.testing.golden` — golden-trace digest store under
+  ``tests/golden/``.
+
+CLI: ``python -m repro.testing fuzz --seeds 25 --smoke`` and
+``python -m repro.testing golden record|check``.
+"""
+
+from .campaign import SeedResult, fuzz_campaign, run_seed
+from .fuzzer import (FuzzThread, Scenario, behavior_from_plan,
+                     build_engine, generate_scenario, run_scenario,
+                     shrink)
+from .golden import GOLDEN_FILE
+from .golden import check as golden_check
+from .golden import record as golden_record
+from .metamorphic import (check_core_renumbering, check_nice_permutation,
+                          check_tickless_equivalence, check_time_scaling,
+                          contention_scenario, llc_preserving_permutations,
+                          transform_permute_nice, transform_renumber_cores,
+                          transform_scale_time)
+from .oracles import (DEFAULT_SCHEDULERS, OracleFailure, check_scenario,
+                      run_with_oracles, scenario_fails)
+
+__all__ = [
+    "FuzzThread", "Scenario", "behavior_from_plan", "build_engine",
+    "generate_scenario", "run_scenario", "shrink",
+    "DEFAULT_SCHEDULERS", "OracleFailure", "check_scenario",
+    "run_with_oracles", "scenario_fails",
+    "check_core_renumbering", "check_nice_permutation",
+    "check_tickless_equivalence", "check_time_scaling",
+    "contention_scenario", "llc_preserving_permutations",
+    "transform_permute_nice", "transform_renumber_cores",
+    "transform_scale_time",
+    "SeedResult", "fuzz_campaign", "run_seed",
+    "GOLDEN_FILE", "golden_check", "golden_record",
+]

@@ -1,0 +1,105 @@
+"""CLI for the testing subsystem.
+
+::
+
+    python -m repro.testing fuzz --seeds 25 --smoke
+    python -m repro.testing fuzz --seed-range 100:200 --jobs 0
+    python -m repro.testing golden record
+    python -m repro.testing golden check
+
+Exit status: 0 = all green, 1 = an oracle failed / digests diverged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaign import fuzz_campaign
+from .golden import GOLDEN_FILE, check, record
+from .oracles import DEFAULT_SCHEDULERS
+
+
+def _parse_seed_range(text: str) -> range:
+    lo, _, hi = text.partition(":")
+    return range(int(lo), int(hi))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="workload fuzzer, differential oracles, and the "
+                    "golden-trace store")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run fuzz scenarios through the differential "
+                     "oracles under every scheduler")
+    group = fuzz.add_mutually_exclusive_group()
+    group.add_argument("--seeds", type=int, default=25,
+                       help="number of seeds, starting at 0 "
+                            "(default: 25)")
+    group.add_argument("--seed-range", type=_parse_seed_range,
+                       metavar="LO:HI",
+                       help="explicit half-open seed range")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="smaller scenarios, no metamorphic pass "
+                           "(the bounded CI budget)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimising them")
+    fuzz.add_argument("--jobs", type=int, default=None,
+                      help="fan seeds out to N worker processes "
+                           "(0 = all cores); results are identical "
+                           "to a serial run")
+    fuzz.add_argument("--schedulers",
+                      default=",".join(DEFAULT_SCHEDULERS),
+                      help="comma-separated scheduler list "
+                           f"(default: {','.join(DEFAULT_SCHEDULERS)})")
+
+    golden = sub.add_parser(
+        "golden", help="golden-trace digest store (tests/golden/)")
+    golden.add_argument("action", choices=("record", "check"))
+    golden.add_argument("--jobs", type=int, default=None,
+                        help="compute cells in N worker processes")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "fuzz":
+        seeds = (args.seed_range if args.seed_range is not None
+                 else range(args.seeds))
+        scheds = tuple(s.strip() for s in args.schedulers.split(",")
+                       if s.strip())
+        results = fuzz_campaign(seeds, smoke=args.smoke,
+                                do_shrink=not args.no_shrink,
+                                scheds=scheds, jobs=args.jobs)
+        failures = [r for r in results if not r.ok]
+        print(f"fuzz: {len(results)} seeds under "
+              f"{'/'.join(scheds)}: "
+              f"{len(results) - len(failures)} ok, "
+              f"{len(failures)} failing")
+        for r in failures:
+            print(f"\nseed {r.seed}: [{r.oracle}] under {r.sched}")
+            print(r.error)
+            if r.shrunk:
+                print("minimal reproducer:")
+                print(r.shrunk)
+        return 1 if failures else 0
+
+    if args.action == "record":
+        digests = record(jobs=args.jobs)
+        print(f"golden: recorded {len(digests)} cell digests to "
+              f"{GOLDEN_FILE}")
+        return 0
+    problems = check(jobs=args.jobs)
+    if problems:
+        print("golden: digests diverged from the recorded store "
+              "(re-record with 'make golden' if intended):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print("golden: all cell digests match the recorded store")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

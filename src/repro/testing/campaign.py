@@ -1,0 +1,71 @@
+"""Fuzz campaigns: drive many seeds through the differential oracles,
+optionally in parallel, and shrink the first failure to a minimal
+reproducer.
+
+A campaign is a list of independent (seed, options) cells, so it fans
+out through :func:`repro.experiments.parallel.cell_map` exactly like
+the figure sweeps do — results come back in seed order and are
+identical serial or parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments.parallel import cell_map
+from .fuzzer import Scenario, generate_scenario, shrink
+from .metamorphic import (check_nice_permutation, check_tickless_equivalence,
+                          check_time_scaling, contention_scenario)
+from .oracles import (DEFAULT_SCHEDULERS, OracleFailure, check_scenario,
+                      scenario_fails)
+
+
+@dataclass(frozen=True)
+class SeedResult:
+    """Outcome of one fuzz seed (plain data, picklable)."""
+
+    seed: int
+    ok: bool
+    oracle: str | None = None
+    sched: str | None = None
+    error: str | None = None
+    #: the minimal failing scenario (description), when shrinking ran
+    shrunk: str | None = None
+
+
+def run_seed(cell) -> SeedResult:
+    """One campaign cell: generate, check, shrink on failure.
+    Module-level so ``cell_map`` can pickle it."""
+    seed, smoke, do_shrink, scheds = cell
+    scenario = generate_scenario(seed, smoke=smoke)
+    try:
+        check_scenario(scenario, scheds)
+        if not smoke:
+            # metamorphic relations ride along on the same scenario,
+            # rotating the scheduler they sample by seed
+            sched = scheds[seed % len(scheds)]
+            check_tickless_equivalence(scenario, sched)
+            check_time_scaling(scenario, sched)
+        return SeedResult(seed=seed, ok=True)
+    except OracleFailure as exc:
+        shrunk = None
+        if do_shrink:
+            minimal = shrink(scenario,
+                             lambda s: scenario_fails(s, scheds))
+            shrunk = minimal.describe()
+        return SeedResult(seed=seed, ok=False, oracle=exc.oracle,
+                          sched=exc.sched, error=str(exc),
+                          shrunk=shrunk)
+
+
+def fuzz_campaign(seeds, *, smoke: bool = False, do_shrink: bool = True,
+                  scheds=DEFAULT_SCHEDULERS,
+                  jobs: int | None = None) -> list[SeedResult]:
+    """Run every seed through the oracles; returns results in seed
+    order (independent of ``jobs``)."""
+    cells = [(seed, smoke, do_shrink, tuple(scheds)) for seed in seeds]
+    return cell_map(run_seed, cells, jobs=jobs)
+
+
+__all__ = ["SeedResult", "run_seed", "fuzz_campaign",
+           "check_nice_permutation", "contention_scenario", "Scenario"]

@@ -1,0 +1,223 @@
+"""Metamorphic transforms with documented equivalence relations.
+
+Each transform maps a scenario to a related scenario plus a relation
+the two schedules must satisfy.  The relations are chosen to be
+*provable from the engine's contracts*, not hopeful approximations:
+
+* **tickless on/off** — the NO_HZ fast path is bit-identical to
+  always-tick (PR 1's contract), so the canonical schedule digests are
+  **equal**;
+* **uniform time scaling** by an integer ``k`` — every run/sleep
+  duration and spawn time multiplied by ``k``.  A completing scenario
+  still completes, and each thread's total runtime and sleeptime scale
+  **exactly** by ``k`` (the engine accounts requested work exactly;
+  see the ``requested-work`` oracle);
+* **core renumbering / LLC-group permutation** — CPU indices permuted
+  by an LLC-structure-preserving permutation, affinities rewritten
+  through it.  Per-thread outcomes are unchanged, and for *fully
+  pinned* scenarios (every thread on a singleton CPU) the per-core
+  busy-time vector is **exactly permuted** — pinning removes all
+  placement freedom, so the schedule follows the threads to their
+  renamed cores.  For unpinned threads only the weaker relation holds
+  (placement tie-breaks prefer low indices, which is not
+  permutation-equivariant), and that is what we assert;
+* **nice-vector permutation** — nice values rotated among threads
+  that are otherwise interchangeable (same plan, spawn time, affinity
+  and app label).  Under contention the mapping *nice value → total
+  runtime* is preserved as a multiset up to one timeslice per thread:
+  the schedules are isomorphic under relabelling the interchangeable
+  threads, except where equal-vruntime/equal-priority ties are broken
+  by thread id, which the relabelling flips — hence the one-slice
+  tolerance rather than exact equality.
+
+Violations raise :class:`~repro.testing.oracles.OracleFailure` so the
+fuzzer treats metamorphic breaks exactly like differential breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.clock import msec
+from ..tracing.digest import schedule_digest
+from .fuzzer import FuzzThread, Scenario, run_scenario
+from .oracles import OracleFailure
+
+#: tolerance for the nice-permutation relation: one CFS latency period
+#: (the largest timeslice any shipped scheduler grants)
+NICE_PERM_TOLERANCE_NS = msec(48)
+
+
+# ----------------------------------------------------------------------
+# transforms (scenario -> scenario)
+# ----------------------------------------------------------------------
+
+def transform_scale_time(scenario: Scenario, k: int) -> Scenario:
+    """Multiply every duration and spawn time by integer ``k``."""
+    threads = tuple(
+        replace(t, spawn_at_ms=t.spawn_at_ms * k,
+                plan=tuple((kind, ms * k) for kind, ms in t.plan))
+        for t in scenario.threads)
+    return replace(scenario, threads=threads,
+                   until_ms=scenario.until_ms * k)
+
+
+def transform_renumber_cores(scenario: Scenario,
+                             perm: tuple[int, ...]) -> Scenario:
+    """Rewrite every affinity set through ``perm`` (``perm[c]`` is the
+    new index of old core ``c``)."""
+    if sorted(perm) != list(range(scenario.ncpus)):
+        raise ValueError(f"not a permutation of 0..{scenario.ncpus - 1}: "
+                         f"{perm}")
+    threads = tuple(
+        replace(t, affinity=(tuple(sorted(perm[c] for c in t.affinity))
+                             if t.affinity is not None else None))
+        for t in scenario.threads)
+    return replace(scenario, threads=threads)
+
+
+def llc_preserving_permutations(scenario: Scenario) -> list[tuple[int, ...]]:
+    """Non-identity permutations that map LLC groups onto LLC groups:
+    a within-group swap of the first two cores sharing an LLC, and a
+    swap of the first two whole LLC groups (when they exist)."""
+    n = scenario.ncpus
+    per_llc = scenario.cpus_per_llc or n
+    perms = []
+    if per_llc >= 2:
+        p = list(range(n))
+        p[0], p[1] = p[1], p[0]
+        perms.append(tuple(p))
+    if n // per_llc >= 2:
+        p = list(range(n))
+        for i in range(per_llc):  # swap group 0 with group 1
+            p[i], p[per_llc + i] = p[per_llc + i], p[i]
+        perms.append(tuple(p))
+    return perms
+
+
+def transform_permute_nice(scenario: Scenario) -> Scenario:
+    """Rotate nice values among interchangeable threads (identical
+    plan, spawn time, affinity and app).  Identity when no group has
+    two members."""
+    groups: dict[tuple, list[int]] = {}
+    for i, t in enumerate(scenario.threads):
+        groups.setdefault((t.plan, t.spawn_at_ms, t.affinity, t.app),
+                          []).append(i)
+    threads = list(scenario.threads)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        nices = [threads[i].nice for i in members]
+        rotated = nices[1:] + nices[:1]
+        for i, nice in zip(members, rotated):
+            threads[i] = replace(threads[i], nice=nice)
+    return replace(scenario, threads=tuple(threads))
+
+
+# ----------------------------------------------------------------------
+# relation checks (raise OracleFailure)
+# ----------------------------------------------------------------------
+
+def check_tickless_equivalence(scenario: Scenario, sched: str) -> None:
+    """NO_HZ on vs off: canonical digests must be equal."""
+    on, _, _ = run_scenario(scenario, sched, tickless=True)
+    off, _, _ = run_scenario(scenario, sched, tickless=False)
+    da, db = schedule_digest(on), schedule_digest(off)
+    if da != db:
+        raise OracleFailure("metamorphic-tickless", sched,
+                            f"digest {da} (tickless) != {db} (ticks)",
+                            scenario)
+
+
+def check_time_scaling(scenario: Scenario, sched: str,
+                       k: int = 3) -> None:
+    """Runtime and sleeptime must scale exactly by ``k``."""
+    _, base, r0 = run_scenario(scenario, sched)
+    _, scaled, r1 = run_scenario(transform_scale_time(scenario, k),
+                                 sched)
+    if r0 != "all-exited" or r1 != "all-exited":
+        raise OracleFailure("metamorphic-scale", sched,
+                            f"completion broken by x{k} scaling: "
+                            f"{r0} vs {r1}", scenario)
+    for b, s in zip(base, scaled):
+        if (s.total_runtime != k * b.total_runtime
+                or s.total_sleeptime != k * b.total_sleeptime):
+            raise OracleFailure(
+                "metamorphic-scale", sched,
+                f"{b.name}: x{k} scaling gave runtime "
+                f"{b.total_runtime} -> {s.total_runtime}, sleeptime "
+                f"{b.total_sleeptime} -> {s.total_sleeptime}", scenario)
+
+
+def check_core_renumbering(scenario: Scenario, sched: str,
+                           perm: tuple[int, ...]) -> None:
+    """Per-thread outcomes unchanged; for fully pinned scenarios the
+    per-core busy vector is exactly permuted."""
+    base_engine, base, r0 = run_scenario(scenario, sched)
+    renumbered = transform_renumber_cores(scenario, perm)
+    perm_engine, permuted, r1 = run_scenario(renumbered, sched)
+    if r0 != r1:
+        raise OracleFailure("metamorphic-renumber", sched,
+                            f"completion broken by renumbering: "
+                            f"{r0} vs {r1}", scenario)
+    for b, p in zip(base, permuted):
+        if (b.total_runtime, b.total_sleeptime) != \
+                (p.total_runtime, p.total_sleeptime):
+            raise OracleFailure(
+                "metamorphic-renumber", sched,
+                f"{b.name}: outcome changed under core renumbering: "
+                f"({b.total_runtime}, {b.total_sleeptime}) vs "
+                f"({p.total_runtime}, {p.total_sleeptime})", scenario)
+    fully_pinned = all(t.affinity is not None and len(t.affinity) == 1
+                       for t in scenario.threads)
+    if fully_pinned:
+        for core in base_engine.machine.cores:
+            core.account_to_now()
+        for core in perm_engine.machine.cores:
+            core.account_to_now()
+        base_busy = [c.busy_ns for c in base_engine.machine.cores]
+        perm_busy = [c.busy_ns for c in perm_engine.machine.cores]
+        expected = [0] * len(base_busy)
+        for c, busy in enumerate(base_busy):
+            expected[perm[c]] = busy
+        if perm_busy != expected:
+            raise OracleFailure(
+                "metamorphic-renumber", sched,
+                f"pinned scenario: busy vector {perm_busy} != "
+                f"permuted baseline {expected}", scenario)
+
+
+def check_nice_permutation(scenario: Scenario, sched: str,
+                           deadline_ms: int = 2000) -> None:
+    """Under contention, the nice -> runtime mapping is preserved (as
+    a multiset) up to one timeslice per thread."""
+    permuted = transform_permute_nice(scenario)
+    if permuted == scenario:
+        return  # no interchangeable threads: identity transform
+
+    def nice_runtimes(s: Scenario) -> list[tuple[int, int]]:
+        _, threads, _ = run_scenario(
+            replace(s, until_ms=deadline_ms), sched)
+        return sorted((t.nice, t.total_runtime) for t in threads)
+
+    base = nice_runtimes(scenario)
+    after = nice_runtimes(permuted)
+    for (n0, r0), (n1, r1) in zip(base, after):
+        if n0 != n1 or abs(r0 - r1) > NICE_PERM_TOLERANCE_NS:
+            raise OracleFailure(
+                "metamorphic-nice", sched,
+                f"nice->runtime mapping moved: {base} vs {after}",
+                scenario)
+
+
+def contention_scenario(seed: int, nices: tuple[int, ...],
+                        work_ms: int = 4000) -> Scenario:
+    """A scenario built for the nice-permutation relation: identical
+    always-running threads on one core, differing only in nice, run to
+    a deadline shorter than the total requested work."""
+    threads = tuple(
+        FuzzThread(name=f"n{i}", nice=nice,
+                   plan=(("run", work_ms),))
+        for i, nice in enumerate(nices))
+    return Scenario(seed=seed, ncpus=1, threads=threads,
+                    until_ms=work_ms // 2)

@@ -1,0 +1,281 @@
+"""Differential oracles: scheduler-independent invariants plus
+per-scheduler fairness bounds, checked on the *same* scenario under
+every shipped scheduler.
+
+The oracle catalogue (see docs/testing.md):
+
+Scheduler-independent (any correct scheduler must satisfy these):
+
+* ``completion`` — a finite scenario reaches ``all-exited`` before its
+  generous deadline;
+* ``requested-work`` — each thread's ``total_runtime`` equals exactly
+  the run time its plan requested, and ``total_sleeptime`` the sleep
+  time (the engine's accounting is exact, so these are equalities, not
+  bounds);
+* ``work-conservation`` — total core busy time equals total executed
+  thread runtime;
+* ``no-lost-threads`` — at arbitrary checkpoints, every runnable
+  thread is on exactly one runqueue and blocked/exited threads are on
+  none; at the end, no thread is left behind, none was duplicated;
+* ``cross-scheduler`` — the per-thread (runtime, sleeptime) outcome
+  vector is identical across fifo/cfs/ule/linux (it is pinned to the
+  plan, so divergence means one scheduler lost or invented work).
+
+Scheduler-specific fairness bounds:
+
+* ``cfs-lag-bound`` — within any single CfsRq, no queued entity's
+  vruntime lags ``min_vruntime`` by more than the sleeper wake credit,
+  nor leads it by more than one scheduling period (weight-scaled) plus
+  tick slack;
+* ``ule-classification`` — every thread's cached interactivity
+  classification and priority equal a fresh recomputation from its
+  sleep/run history, and the penalty stays in its documented range.
+
+Every run is executed under ``Engine(sanitize=True)``, so the runtime
+sanitizer (PR 2) and these oracles cross-check each other: a sanitizer
+trip inside an oracle run is reported as an oracle failure.
+"""
+
+from __future__ import annotations
+
+from ..cfs.core import CfsScheduler
+from ..cfs.weights import calc_delta_fair
+from ..core.clock import msec
+from ..core.errors import SanitizerError
+from ..ule.core import UleScheduler, UleThreadState
+from .fuzzer import Scenario, build_engine
+
+#: the shipped schedulers every scenario is differentially run under;
+#: "linux" is the rt+fair class stack and must agree with plain cfs
+#: on all scheduler-independent invariants
+DEFAULT_SCHEDULERS = ("fifo", "cfs", "ule", "linux")
+
+#: mid-run observation points, as fractions of the busiest thread plan
+CHECKPOINTS = 6
+
+
+class OracleFailure(AssertionError):
+    """A differential or metamorphic oracle was violated."""
+
+    def __init__(self, oracle: str, sched: str, message: str,
+                 scenario: Scenario | None = None):
+        self.oracle = oracle
+        self.sched = sched
+        self.scenario = scenario
+        detail = f"[{oracle}] under {sched}: {message}"
+        if scenario is not None:
+            detail += f"\n{scenario.describe()}"
+        super().__init__(detail)
+
+
+def _fair_of(engine):
+    """The CFS instance of ``engine``'s scheduler, if any (handles the
+    "linux" class stack the same way the sanitizer does)."""
+    sched = engine.scheduler
+    if isinstance(sched, CfsScheduler):
+        return sched
+    fair = getattr(sched, "fair", None)
+    return fair if isinstance(fair, CfsScheduler) else None
+
+
+def _ule_of(engine):
+    sched = engine.scheduler
+    return sched if isinstance(sched, UleScheduler) else None
+
+
+# ----------------------------------------------------------------------
+# mid-run probes
+# ----------------------------------------------------------------------
+
+def check_membership(engine, threads, sched: str,
+                     scenario: Scenario | None = None) -> None:
+    """No lost or duplicated threads at this instant."""
+    seen = {}
+    for core in engine.machine.cores:
+        for t in engine.scheduler.runnable_threads(core):
+            if t.tid in seen:
+                raise OracleFailure(
+                    "no-lost-threads", sched,
+                    f"{t.name} on two runqueues "
+                    f"(cpu{seen[t.tid]} and cpu{core.index})", scenario)
+            seen[t.tid] = core.index
+    for t in threads:
+        if t.is_runnable and t.tid not in seen:
+            raise OracleFailure("no-lost-threads", sched,
+                                f"runnable {t.name} on no runqueue",
+                                scenario)
+        if not t.is_runnable and t.tid in seen:
+            raise OracleFailure("no-lost-threads", sched,
+                                f"non-runnable {t.name} still queued "
+                                f"on cpu{seen[t.tid]}", scenario)
+
+
+def cfs_lag_bound(fair: CfsScheduler, rq, se) -> tuple[int, int]:
+    """(max lag behind, max lead ahead of) ``min_vruntime`` allowed
+    for ``se`` on ``rq``, in vruntime units.
+
+    Behind: ``place_entity`` grants a waking sleeper at most
+    ``sched_latency_ns`` of credit below ``min_vruntime`` (wall-ns,
+    subtracted from vruntime directly), and ``min_vruntime`` may then
+    advance while the sleeper waits — but never past the leftmost
+    queued entity, so the lag cannot exceed the credit.
+
+    Ahead: between preemption checks an entity runs at most one
+    scheduling period slice plus tick-resolution overshoot, all scaled
+    by ``1024/weight`` — low-weight (high nice) entities legitimately
+    lead by large vruntime amounts.
+    """
+    tun = fair.tunables
+    behind = tun.sched_latency_ns
+    slice_ns = tun.sched_period(max(1, rq.nr_running))
+    lead = calc_delta_fair(slice_ns + 4 * fair.tick_ns, se.weight) \
+        + tun.sched_latency_ns
+    return behind, lead
+
+
+def check_cfs_fairness(engine, sched: str,
+                       scenario: Scenario | None = None) -> None:
+    """Per-runqueue vruntime lag bound (see :func:`cfs_lag_bound`)."""
+    fair = _fair_of(engine)
+    if fair is None:
+        return
+    for core in engine.machine.cores:
+        for rq in fair.cfs_rqs(core):
+            for se in rq.queued_entities():
+                lag = se.vruntime - rq.min_vruntime
+                behind, lead = cfs_lag_bound(fair, rq, se)
+                if lag < -behind or lag > lead:
+                    raise OracleFailure(
+                        "cfs-lag-bound", sched,
+                        f"cpu{core.index} {se}: vruntime lag {lag} "
+                        f"outside [-{behind}, {lead}] "
+                        f"(min_vruntime={rq.min_vruntime}, "
+                        f"nr_running={rq.nr_running})", scenario)
+
+
+def check_ule_classification(engine, sched: str,
+                             scenario: Scenario | None = None) -> None:
+    """Cached interactivity classification == fresh recomputation."""
+    ule = _ule_of(engine)
+    if ule is None:
+        return
+    tun = ule.tunables
+    for t in engine.threads:
+        if t.has_exited or not isinstance(t.policy, UleThreadState):
+            continue
+        state = ule.state_of(t)
+        penalty = state.hist.penalty()
+        if not 0 <= penalty <= tun.interact_max:
+            raise OracleFailure(
+                "ule-classification", sched,
+                f"{t.name}: penalty {penalty} outside "
+                f"[0, {tun.interact_max}]", scenario)
+        if state.interactive != ule.is_interactive(t):
+            raise OracleFailure(
+                "ule-classification", sched,
+                f"{t.name}: cached interactive={state.interactive} "
+                f"but score {ule.interactivity_score(t)} vs threshold "
+                f"{tun.interact_thresh} says "
+                f"{ule.is_interactive(t)}", scenario)
+
+
+# ----------------------------------------------------------------------
+# whole-scenario oracle run
+# ----------------------------------------------------------------------
+
+def run_with_oracles(scenario: Scenario, sched: str, *,
+                     tickless: bool | None = None,
+                     corrupt=None) -> dict:
+    """Run ``scenario`` under ``sched`` with mid-run probes and final
+    invariant checks; returns the per-thread outcome summary used for
+    the cross-scheduler comparison.  Raises :class:`OracleFailure`.
+
+    ``corrupt`` is the mutation-self-check hook: an ``(at_ns, fn)``
+    pair posting ``fn(engine)`` as an event at ``at_ns``, used by the
+    test suite to inject scheduler-state bugs and prove the oracles
+    (and the sanitizer they run under) actually catch them.
+    """
+    try:
+        engine, threads = build_engine(scenario, sched, sanitize=True,
+                                       tickless=tickless)
+        if corrupt is not None:
+            at_ns, fn = corrupt
+            engine.events.post(at_ns, fn, engine, label="corrupt")
+        horizon = max((t.spawn_at_ms + sum(ms for _, ms in t.plan)
+                       for t in scenario.threads), default=1)
+        step = max(1, horizon // CHECKPOINTS)
+        for k in range(1, CHECKPOINTS + 1):
+            engine.run(until=msec(k * step))
+            check_membership(engine, threads, sched, scenario)
+            check_cfs_fairness(engine, sched, scenario)
+            check_ule_classification(engine, sched, scenario)
+        reason = engine.run(until=msec(scenario.until_ms))
+    except SanitizerError as exc:
+        raise OracleFailure("sanitizer", sched, str(exc),
+                            scenario) from exc
+
+    if reason != "all-exited":
+        stuck = [t.name for t in threads if not t.has_exited]
+        raise OracleFailure("completion", sched,
+                            f"run ended '{reason}' with live threads "
+                            f"{stuck}", scenario)
+    if len(engine.threads) != len(scenario.threads):
+        raise OracleFailure(
+            "no-lost-threads", sched,
+            f"{len(scenario.threads)} threads spawned but engine "
+            f"tracks {len(engine.threads)}", scenario)
+    for ft, t in zip(scenario.threads, threads):
+        if t.total_runtime != ft.requested_run_ns():
+            raise OracleFailure(
+                "requested-work", sched,
+                f"{t.name}: ran {t.total_runtime} ns, plan requested "
+                f"{ft.requested_run_ns()} ns", scenario)
+        if t.total_sleeptime != ft.requested_sleep_ns():
+            raise OracleFailure(
+                "requested-work", sched,
+                f"{t.name}: slept {t.total_sleeptime} ns, plan "
+                f"requested {ft.requested_sleep_ns()} ns", scenario)
+    for core in engine.machine.cores:
+        core.account_to_now()
+    busy = sum(c.busy_ns for c in engine.machine.cores)
+    executed = sum(t.total_runtime for t in threads)
+    if busy != executed:
+        raise OracleFailure(
+            "work-conservation", sched,
+            f"cores busy {busy} ns != threads executed {executed} ns",
+            scenario)
+    return {
+        t.name: (t.total_runtime, t.total_sleeptime)
+        for t in threads
+    }
+
+
+def check_scenario(scenario: Scenario,
+                   scheds=DEFAULT_SCHEDULERS) -> None:
+    """The full differential oracle: run ``scenario`` under every
+    scheduler in ``scheds`` and require identical per-thread outcome
+    vectors.  Raises :class:`OracleFailure` on any violation."""
+    outcomes = {}
+    for sched in scheds:
+        outcomes[sched] = run_with_oracles(scenario, sched)
+    baseline_sched = scheds[0]
+    baseline = outcomes[baseline_sched]
+    for sched in scheds[1:]:
+        if outcomes[sched] != baseline:
+            diff = {name: (baseline[name], outcomes[sched][name])
+                    for name in baseline
+                    if outcomes[sched].get(name) != baseline[name]}
+            raise OracleFailure(
+                "cross-scheduler", sched,
+                f"per-thread outcomes diverge from {baseline_sched}: "
+                f"{diff}", scenario)
+
+
+def scenario_fails(scenario: Scenario,
+                   scheds=DEFAULT_SCHEDULERS) -> bool:
+    """Failure predicate for the shrinker."""
+    try:
+        check_scenario(scenario, scheds)
+    except OracleFailure:
+        return True
+    return False

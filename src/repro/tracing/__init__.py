@@ -1,6 +1,7 @@
 """Observation tooling: periodic samplers, series export, and derived
 timeline views."""
 
+from .digest import canonical_json, schedule_digest, state_digest
 from .export import ascii_chart, downsample, series_to_csv
 from .samplers import (PeriodicSampler, sample_cumulative_runtime,
                        sample_threads_per_core, sample_thread_runtime,
@@ -25,4 +26,7 @@ __all__ = [
     "SwitchRecord",
     "WakeRecord",
     "MigrationRecord",
+    "canonical_json",
+    "schedule_digest",
+    "state_digest",
 ]

@@ -1,0 +1,39 @@
+"""Compact canonical schedule digests.
+
+A digest is a short hex string that is a pure function of the schedule
+an engine produced: same (workload, scheduler, seed) => same digest, on
+any host, in any worker process, with tickless on or off.  It hashes
+:meth:`repro.core.engine.Engine.canonical_state`, which deliberately
+excludes process-global identifiers (raw tids) and bookkeeping that may
+differ between equivalent runs (events processed, tick stops).
+
+The golden-trace regression store (``tests/golden/digests.json``,
+managed by ``python -m repro.testing golden`` / ``make golden``) pins
+one digest per experiment cell; differential and metamorphic tests use
+:func:`schedule_digest` to compare whole schedules in O(1) space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+DIGEST_LEN = 16  # hex chars; 64 bits of sha256 is plenty for regression
+
+
+def canonical_json(state: dict) -> str:
+    """Serialise a canonical-state dict reproducibly (sorted keys, no
+    whitespace, no float formatting surprises — the state is all ints
+    and strings by construction)."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def schedule_digest(engine) -> str:
+    """Digest of the schedule *engine* has produced so far."""
+    return state_digest(engine.canonical_state())
+
+
+def state_digest(state: dict) -> str:
+    """Digest of an already-extracted canonical state."""
+    blob = canonical_json(state).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:DIGEST_LEN]

@@ -114,6 +114,19 @@ class UleScheduler(SchedClass):
         """The thread's ULE state (``thread.policy``)."""
         return thread.policy
 
+    def interactivity_score(self, thread: "SimThread") -> int:
+        """The classifier input: sleep/run penalty plus nice.
+
+        Differential-oracle hook — the cached classification on the
+        thread state must agree with this recomputed score at every
+        observation point.
+        """
+        return self.state_of(thread).hist.score(thread.nice)
+
+    def is_interactive(self, thread: "SimThread") -> bool:
+        """Recompute the interactivity classification from history."""
+        return self.state_of(thread).hist.is_interactive(thread.nice)
+
     def task_fork(self, parent: Optional["SimThread"],
                   child: "SimThread") -> None:
         if parent is not None and isinstance(parent.policy, UleThreadState):

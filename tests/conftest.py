@@ -1,0 +1,52 @@
+"""Shared test helpers: the scheduler list, engine builders, and the
+bug-injection utilities.
+
+Single sources of truth that used to be copied across test modules:
+
+* ``SCHEDULERS`` — every shipped general-purpose scheduler (``rt``
+  needs rt_priority-tagged threads, so generic workloads cannot drive
+  it); re-exported from :data:`repro.testing.oracles.DEFAULT_SCHEDULERS`
+  so the test suite and the fuzz oracles always agree;
+* ``behavior_from_plan`` — plan-step lists to behaviour generators,
+  promoted into :mod:`repro.testing.fuzzer` and re-exported here;
+* ``build_engine`` / ``churn`` / ``inject`` — the sanitizer suite's
+  fixtures, shared with the mutation self-checks in
+  ``test_differential.py``.
+"""
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import usec
+from repro.core.topology import single_core, smp
+from repro.sched import scheduler_factory
+from repro.testing.fuzzer import behavior_from_plan  # noqa: F401
+from repro.testing.oracles import DEFAULT_SCHEDULERS
+
+#: every shipped general-purpose scheduler; "linux" is the rt+fair
+#: class stack and must satisfy the same invariants as plain cfs
+SCHEDULERS = list(DEFAULT_SCHEDULERS)
+
+
+def build_engine(sched="fifo", ncpus=1, *, seed=0, sanitize=None,
+                 **kw) -> Engine:
+    """An engine on a flat SMP topology (single core for ncpus=1)."""
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched), seed=seed,
+                  sanitize=sanitize, **kw)
+
+
+def churn(engine, count=4):
+    """Spawn wake/sleep churners so runqueues stay populated."""
+    def behavior(ctx):
+        while True:
+            yield Run(usec(200))
+            yield Sleep(usec(100))
+    threads = []
+    for i in range(count):
+        spec = ThreadSpec(f"churn{i}", behavior)
+        threads.append(engine.spawn(spec, at=usec(10 * i)))
+    return threads
+
+
+def inject(engine, at, mutate):
+    """Post a corruption callback as a normal simulation event."""
+    engine.events.post(at, mutate)

@@ -20,21 +20,7 @@ from repro.core import Engine, Run, Sleep, ThreadSpec
 from repro.core.clock import msec, sec
 from repro.core.topology import smp
 from repro.sched import scheduler_factory
-
-# "linux" is the rt+fair class stack; with no rt-tagged threads it
-# must satisfy the same invariants as plain CFS
-SCHEDULERS = ["fifo", "cfs", "ule", "linux"]
-
-
-def behavior_from_plan(plan):
-    """Build a behaviour from a list of ('run'|'sleep', ms) steps."""
-    def behavior(ctx):
-        for kind, duration_ms in plan:
-            if kind == "run":
-                yield Run(msec(duration_ms))
-            else:
-                yield Sleep(msec(duration_ms))
-    return behavior
+from tests.conftest import SCHEDULERS, behavior_from_plan
 
 
 plan_strategy = st.lists(

@@ -63,6 +63,7 @@ def test_load_balancer_race():
     assert "balancer invocations" in out
 
 
+@pytest.mark.slow
 def test_multi_app_consolidation():
     out = run_example("multi_app_consolidation.py")
     assert "webapp" in out

@@ -1,0 +1,73 @@
+"""Golden-trace regression store: the recorded digests are complete,
+reproducible, stable across serial/parallel fan-out, and actually
+sensitive to schedule changes.
+
+Re-record after an intentional behavioural change with `make golden`.
+"""
+
+import json
+
+from repro.testing import generate_scenario, run_scenario
+from repro.testing.golden import (FIG5_APPS, GOLDEN_FILE,
+                                  GOLDEN_SCHEDULERS, cell_names,
+                                  check, compute_all, load)
+from repro.tracing.digest import schedule_digest, state_digest
+
+
+def test_store_is_recorded_and_complete():
+    assert GOLDEN_FILE.exists(), "run 'make golden' to create the store"
+    recorded = load()
+    assert sorted(recorded) == sorted(cell_names())
+    for sched in GOLDEN_SCHEDULERS:
+        assert f"fig1/{sched}" in recorded
+        assert f"fig6/{sched}" in recorded
+        for app in FIG5_APPS:
+            assert f"fig5/{app}/{sched}" in recorded
+    # digests are compact fixed-width hex
+    assert all(len(d) == 16 and int(d, 16) >= 0
+               for d in recorded.values())
+
+
+def test_store_file_is_canonical_json():
+    text = GOLDEN_FILE.read_text()
+    assert text == json.dumps(load(), indent=2, sort_keys=True) + "\n"
+
+
+def test_all_golden_digests_match():
+    """The tier-1 gate: every recorded cell reproduces bit-identically."""
+    assert check() == []
+
+
+def test_fig5_cells_stable_serial_vs_parallel():
+    names = [f"fig5/{app}/{sched}" for app in FIG5_APPS
+             for sched in GOLDEN_SCHEDULERS]
+    serial = compute_all(jobs=None, names=names)
+    fanned = compute_all(jobs=2, names=names)
+    assert serial == fanned
+
+
+def test_digest_ignores_process_global_thread_ids():
+    """Thread tids are a process-global counter; running the same
+    scenario twice in one process must still digest identically."""
+    scenario = generate_scenario(4)
+    a, _, _ = run_scenario(scenario, "cfs")
+    b, _, _ = run_scenario(scenario, "cfs")
+    assert schedule_digest(a) == schedule_digest(b)
+
+
+def test_digest_is_sensitive_to_the_schedule():
+    scenario = generate_scenario(4)
+    base, _, _ = run_scenario(scenario, "cfs")
+    other, _, _ = run_scenario(generate_scenario(6), "cfs")
+    assert schedule_digest(base) != schedule_digest(other)
+    # and to single-field changes in the canonical state
+    state = base.canonical_state()
+    reference = state_digest(state)
+    state["now"] += 1
+    assert state_digest(state) != reference
+
+
+def test_experiment_entry_points_emit_digests():
+    from repro.experiments.fig5_single_core_perf import run_app
+    out = run_app("MG", "cfs", seed=1)
+    assert out["digest"] == load()["fig5/MG/cfs"]

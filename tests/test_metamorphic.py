@@ -1,0 +1,118 @@
+"""Metamorphic transforms: each documented equivalence/dominance
+relation holds on fuzz scenarios under every shipped scheduler.
+
+The relations themselves are documented in
+:mod:`repro.testing.metamorphic`; these tests sample them over fuzz
+seeds (exact digest equality for tickless, exact scaling for time,
+exact busy-vector permutation for pinned renumbering, one-timeslice
+tolerance for nice permutation).
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.testing import (check_core_renumbering, check_nice_permutation,
+                           check_tickless_equivalence, check_time_scaling,
+                           contention_scenario, generate_scenario,
+                           llc_preserving_permutations,
+                           transform_permute_nice, transform_renumber_cores,
+                           transform_scale_time)
+from tests.conftest import SCHEDULERS
+
+SEEDS = (0, 1, 2)
+
+
+# ----------------------------------------------------------------------
+# transform plumbing
+# ----------------------------------------------------------------------
+
+def test_scale_transform_scales_everything():
+    scenario = generate_scenario(5)
+    scaled = transform_scale_time(scenario, 4)
+    for base, big in zip(scenario.threads, scaled.threads):
+        assert big.spawn_at_ms == 4 * base.spawn_at_ms
+        assert big.requested_run_ns() == 4 * base.requested_run_ns()
+        assert big.requested_sleep_ns() == 4 * base.requested_sleep_ns()
+    assert scaled.until_ms == 4 * scenario.until_ms
+
+
+def test_renumber_requires_a_permutation():
+    scenario = generate_scenario(0)
+    bad = tuple(range(scenario.ncpus - 1)) + (0,)
+    with pytest.raises(ValueError):
+        transform_renumber_cores(scenario, bad)
+
+
+def test_nice_permutation_preserves_nice_multiset():
+    scenario = contention_scenario(3, (-10, 0, 5, 19))
+    permuted = transform_permute_nice(scenario)
+    assert sorted(t.nice for t in permuted.threads) == \
+        sorted(t.nice for t in scenario.threads)
+    assert permuted != scenario  # four interchangeable threads rotate
+
+
+# ----------------------------------------------------------------------
+# relations
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tickless_on_off_digest_equal(sched, seed):
+    check_tickless_equivalence(generate_scenario(seed), sched)
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_time_scaling_exact(sched, seed):
+    check_time_scaling(generate_scenario(seed), sched, k=3)
+
+
+def _pinned_variant(seed: int):
+    """A fuzz scenario with every thread pinned to one CPU (the exact
+    busy-vector-permutation relation needs zero placement freedom)."""
+    scenario = generate_scenario(seed)
+    if scenario.ncpus < 2:
+        return None
+    rng = random.Random(f"pin:{seed}")
+    threads = tuple(
+        replace(t, affinity=(rng.randrange(scenario.ncpus),))
+        for t in scenario.threads)
+    return replace(scenario, threads=threads)
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_core_renumbering_on_pinned_scenarios(sched):
+    checked = 0
+    for seed in range(8):
+        scenario = _pinned_variant(seed)
+        if scenario is None:
+            continue
+        for perm in llc_preserving_permutations(scenario):
+            check_core_renumbering(scenario, sched, perm)
+            checked += 1
+        if checked >= 3:
+            break
+    assert checked >= 2, "too few renumbering cases exercised"
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_core_renumbering_unpinned_outcomes(sched):
+    """The weaker relation for free placement: per-thread outcomes
+    unchanged under an LLC-preserving renumbering."""
+    for seed in range(8):
+        scenario = generate_scenario(seed)
+        if scenario.ncpus < 2:
+            continue
+        perms = llc_preserving_permutations(scenario)
+        if perms:
+            check_core_renumbering(scenario, sched, perms[0])
+            return
+    pytest.skip("no multi-core scenario in the sampled seeds")
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_nice_permutation_under_contention(sched):
+    check_nice_permutation(contention_scenario(1, (-10, 0, 0, 5, 19)),
+                           sched)

@@ -9,41 +9,22 @@ smoke tests run one fig5 cell per shipped scheduler under
 
 import pytest
 
-from repro.core import Engine, Run, Sleep, ThreadSpec, run_forever
+from repro.core import Engine
 from repro.core.clock import msec, sec, usec
 from repro.core.engine import _sanitize_from_env
 from repro.core.errors import SanitizerError, SimulationError
-from repro.core.topology import single_core, smp
+from repro.core.topology import smp
 from repro.experiments.base import make_engine as make_exp_engine
 from repro.experiments.fig5_single_core_perf import run_app
 from repro.sched import scheduler_factory
-
-#: schedulers exercised by the end-to-end smoke cells ("rt" requires
-#: rt_priority-tagged threads, so generic workloads cannot drive it)
-SMOKE_SCHEDULERS = ("cfs", "ule", "fifo", "linux")
+from tests.conftest import SCHEDULERS as SMOKE_SCHEDULERS
+from tests.conftest import build_engine, churn, inject
 
 
 def make_engine(sched="fifo", ncpus=2, **kw):
-    topo = single_core() if ncpus == 1 else smp(ncpus)
-    return Engine(topo, scheduler_factory(sched), sanitize=True, **kw)
-
-
-def churn(engine, count=4, spread=None):
-    """Spawn wake/sleep churners so queues stay populated."""
-    def behavior(ctx):
-        while True:
-            yield Run(usec(200))
-            yield Sleep(usec(100))
-    threads = []
-    for i in range(count):
-        spec = ThreadSpec(f"churn{i}", behavior)
-        threads.append(engine.spawn(spec, at=usec(10 * i)))
-    return threads
-
-
-def inject(engine, at, mutate):
-    """Post a corruption callback as a normal simulation event."""
-    engine.events.post(at, mutate)
+    """Sanitized engine, two cores by default (shared helpers live in
+    tests/conftest.py)."""
+    return build_engine(sched, ncpus, sanitize=True, **kw)
 
 
 # ----------------------------------------------------------------------

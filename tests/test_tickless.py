@@ -15,8 +15,7 @@ from repro.core.clock import msec, sec, usec
 from repro.core.topology import smp
 from repro.experiments.registry import run_experiment
 from repro.sched import scheduler_factory
-
-SCHEDULERS = ("cfs", "ule", "linux", "fifo")
+from tests.conftest import SCHEDULERS
 
 
 def _churn_engine(sched: str, tickless: bool, seed: int = 3) -> Engine:
@@ -147,6 +146,7 @@ def test_ule_loaded_counter_tracks_steal_threshold():
     assert sched.needs_tick(engine.machine.cores[1])
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ("fig5", "fig6"))
 def test_experiment_rows_identical_tickless_vs_always(name, monkeypatch):
     import repro.core.engine as engine_mod

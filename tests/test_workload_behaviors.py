@@ -3,10 +3,8 @@ paper's arguments depend on."""
 
 import pytest
 
-from repro.core import Engine
 from repro.core.clock import msec, sec, usec
-from repro.core.topology import single_core, smp
-from repro.sched import scheduler_factory
+from tests.conftest import build_engine
 from repro.workloads import (ApacheWorkload, CrayWorkload,
                              KernelNoiseWorkload, SysbenchWorkload)
 from repro.workloads.nas import dc, ep, mg
@@ -15,8 +13,8 @@ from repro.workloads.registry import FIGURE5_APPS
 
 
 def make_engine(ncpus=1, sched="fifo", **kw):
-    topo = single_core() if ncpus == 1 else smp(ncpus)
-    return Engine(topo, scheduler_factory(sched), seed=17, **kw)
+    """Seed-17 engine (shared builder lives in tests/conftest.py)."""
+    return build_engine(sched, ncpus, seed=17, **kw)
 
 
 # ------------------------------------------------------------- sysbench
