@@ -8,9 +8,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # tier-1 state; CI fails below it)
 COVER_MIN ?= 80
 
-.PHONY: test test-all lint sanitize-smoke fuzz-smoke golden \
-	golden-check coverage verify verify-fast bench bench-baseline \
-	bench-full
+.PHONY: test test-all lint sanitize-smoke fuzz-smoke chaos-smoke \
+	golden golden-check coverage verify verify-fast bench \
+	bench-baseline bench-full
 
 ## tier-1 test suite (the gate every PR must keep green); pyproject
 ## addopts exclude @pytest.mark.slow tests — see `make test-all`
@@ -38,6 +38,12 @@ sanitize-smoke:
 fuzz-smoke:
 	$(PYTHON) -m repro.testing fuzz --seeds 25 --smoke
 
+## fault-injection smoke: one fig5 cell per scheduler under the
+## canned chaos plan plus a 4-CPU hotplug drain/rebalance cell, all
+## with the runtime sanitizer on (see docs/fault-injection.md)
+chaos-smoke:
+	$(PYTHON) -m repro.faults smoke
+
 ## re-record the golden-trace digests after an intentional
 ## behavioural change (mirrors bench-baseline for performance)
 golden:
@@ -62,7 +68,8 @@ coverage:
 ## failed.  The exit status aggregates all stages.
 verify:
 	@fail=0; \
-	for stage in lint test sanitize-smoke fuzz-smoke bench; do \
+	for stage in lint test sanitize-smoke fuzz-smoke chaos-smoke \
+			bench; do \
 		echo "== make $$stage =="; \
 		$(MAKE) --no-print-directory $$stage || fail=1; \
 	done; \

@@ -34,10 +34,10 @@ def main() -> int:
     if not os.path.exists(BASELINE):
         print(f"check_bench: no baseline recorded; copying current "
               f"results to {BASELINE}")
+        from repro.core.artifacts import atomic_write_text
         with open(CURRENT) as fh:
             data = fh.read()
-        with open(BASELINE, "w") as fh:
-            fh.write(data)
+        atomic_write_text(BASELINE, data)
         return 0
     with open(CURRENT) as fh:
         current = json.load(fh)

@@ -45,10 +45,8 @@ def _flush_results():
     yield
     if not RESULTS:
         return
-    with open(_JSON_PATH, "w") as fh:
-        json.dump({"smoke": SMOKE, "profiles": RESULTS}, fh,
-                  indent=2, sort_keys=True)
-        fh.write("\n")
+    from repro.core.artifacts import atomic_write_json
+    atomic_write_json(_JSON_PATH, {"smoke": SMOKE, "profiles": RESULTS})
 
 
 def _events_per_second(benchmark, build, simulated_ns, profile):

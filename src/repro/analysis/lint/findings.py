@@ -97,7 +97,7 @@ def report_dict(findings: Iterable[Finding], paths: Iterable[str],
 
 
 def write_report(path: str, report: dict) -> None:
-    """Write the JSON report to ``path``."""
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Write the JSON report to ``path`` (atomically: a crash or
+    ctrl-C mid-write never leaves a torn report)."""
+    from ...core.artifacts import atomic_write_json
+    atomic_write_json(path, report, sort_keys=False)

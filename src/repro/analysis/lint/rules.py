@@ -74,8 +74,11 @@ WALL_CLOCK_CALLS = frozenset({
 DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
     # clock.py IS the presentation-layer ns->seconds converter
     "float-ns-clock": ("repro/core/clock.py",),
-    # rng.py wraps random.Random behind seeded named streams
-    "unseeded-random": ("repro/core/rng.py",),
+    # rng.py wraps random.Random behind seeded named streams;
+    # faults/plan.py derives fault plans from an explicit
+    # random.Random(f"repro.faults.plan:{seed}") stream — the fault
+    # RNG is seeded and private, never the process-global state
+    "unseeded-random": ("repro/core/rng.py", "repro/faults/plan.py"),
 }
 
 _CLOCKISH_RE = re.compile(r"(^|_)(ns|nsec)$", re.IGNORECASE)

@@ -69,6 +69,7 @@ class Sanitizer:
         tracer.on_migrate.append(self._trace_migrate)
         tracer.on_exit.append(self._trace_exit)
         tracer.on_preempt.append(self._trace_preempt)
+        tracer.on_fault.append(self._trace_fault)
 
     def _record(self, text: str) -> None:
         self.trace.append(f"t={self.engine.now}ns {text}")
@@ -91,6 +92,9 @@ class Sanitizer:
     def _trace_preempt(self, core, preempted, by) -> None:
         self._record(f"cpu{core.index} preempt {preempted.name} "
                      f"by {by.name}")
+
+    def _trace_fault(self, kind, detail) -> None:
+        self._record(f"fault {kind} {detail}")
 
     # ------------------------------------------------------------------
     # failure reporting
@@ -135,6 +139,7 @@ class Sanitizer:
         self.checks_run += 1
         self._thread_queue_invariants()
         self._tickless_invariants()
+        self._offline_invariants()
         if self._check_cfs is not None:
             self._check_cfs()
         if self._check_ule is not None:
@@ -237,6 +242,40 @@ class Sanitizer:
                            f"cpu{core.index} is parked with {nr} "
                            f"runnable thread(s) and no resched "
                            f"pending", cpu=core.index)
+
+    # ------------------------------------------------------------------
+    # hotplug (fault-injection) contract
+    # ------------------------------------------------------------------
+
+    def _offline_invariants(self) -> None:
+        """No thread may ever be left on a dead core: an offlined core
+        runs nothing, queues nothing, and is never tick-parked (its
+        tick is cancelled outright, not NO_HZ-stopped).  Work
+        conservation therefore holds modulo the declared faults — the
+        drained threads are queued (and counted) on online cores."""
+        engine = self.engine
+        sched = engine.scheduler
+        for core in engine.machine.cores:
+            if core.online:
+                continue
+            if core.current is not None:
+                self._fail("offline-running",
+                           f"cpu{core.index} is offline but runs "
+                           f"{core.current.name}", cpu=core.index)
+            nr = sched.nr_runnable(core)
+            if nr:
+                self._fail("offline-runnable",
+                           f"cpu{core.index} is offline with {nr} "
+                           f"runnable thread(s) left on its runqueue",
+                           cpu=core.index)
+            if core.tick_stopped:
+                self._fail("offline-tick-parked",
+                           f"cpu{core.index} is offline but counted "
+                           f"as NO_HZ-parked", cpu=core.index)
+            if core.resched_event is not None:
+                self._fail("offline-resched",
+                           f"cpu{core.index} is offline with a "
+                           f"pending resched IPI", cpu=core.index)
 
     # ------------------------------------------------------------------
     # CFS invariants

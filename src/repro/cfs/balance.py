@@ -126,6 +126,8 @@ def can_migrate_task(sched: "CfsScheduler", thread: "SimThread",
         return False
     if not thread.allows_cpu(dst_cpu):
         return False
+    if not sched.machine.cores[dst_cpu].online:
+        return False
     hot = (sched.engine.now - thread.last_ran) < sched.tunables.cache_hot_ns
     if hot and domain is not None \
             and domain.nr_balance_failed <= sched.tunables.cache_nice_tries:

@@ -122,6 +122,10 @@ class CfsScheduler(SchedClass):
         self.engine.events.repost(
             self._lb_events[core.index],
             self.engine.now + self.tunables.balance_interval_ns)
+        if not core.online:
+            # Offlined by fault injection: keep the chain ticking (the
+            # core may come back) but pull no work onto a dead CPU.
+            return
         if core.tick_stopped and core.is_idle:
             # The core's scheduler tick is parked (NO_HZ idle) but its
             # balance pass still arrives on schedule — the model of

@@ -53,12 +53,23 @@ def wake_wide(sched: "CfsScheduler", waker: "SimThread",
 def select_task_rq_fair(sched: "CfsScheduler", thread: "SimThread",
                         is_fork: bool,
                         waker: Optional["SimThread"]) -> int:
-    """Choose a CPU for a forked or waking thread."""
+    """Choose a CPU for a forked or waking thread.
+
+    Offline (hotplugged-away) CPUs are excluded from the candidate
+    set, like the kernel masking with ``cpu_active_mask``; a mask with
+    no online CPU falls back to the whole online machine (the engine's
+    ``_constrain_cpu`` breaks affinity the same way).
+    """
+    cores = sched.machine.cores
     allowed = [c for c in range(len(sched.machine))
-               if thread.allows_cpu(c)]
+               if thread.allows_cpu(c) and cores[c].online]
+    if not allowed:
+        allowed = sched.machine.online_cpus()
     if len(allowed) == 1:
         return allowed[0]
     prev_cpu = thread.cpu if thread.cpu is not None else allowed[0]
+    if not cores[prev_cpu].online:
+        prev_cpu = allowed[0]
 
     if is_fork:
         # Forks take the slow path: the idlest CPU machine-wide

@@ -45,10 +45,16 @@ def _cmd_experiment(args) -> int:
 
 
 def _run_one(name: str, sched: str, cpus: int, seed: int,
-             noise: bool, sanitize: bool = False) -> tuple:
+             noise: bool, sanitize: bool = False,
+             faults_path: str | None = None) -> tuple:
+    faults = None
+    if faults_path is not None:
+        from .faults import FaultPlan
+        faults = FaultPlan.load(faults_path)
     engine = make_engine(sched, ncpus=cpus, seed=seed,
                          ctx_switch_cost_ns=usec(15),
-                         sanitize=True if sanitize else None)
+                         sanitize=True if sanitize else None,
+                         faults=faults)
     if noise:
         from .workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)
@@ -60,7 +66,8 @@ def _run_one(name: str, sched: str, cpus: int, seed: int,
 def _cmd_run(args) -> int:
     engine, workload, reason = _run_one(args.name, args.sched,
                                         args.cpus, args.seed, args.noise,
-                                        sanitize=args.sanitize)
+                                        sanitize=args.sanitize,
+                                        faults_path=args.faults)
     perf = workload.performance(engine)
     print(f"{args.name} on {args.sched} ({args.cpus} cpus): "
           f"performance={perf:.4f} ops/s, simulated "
@@ -69,6 +76,11 @@ def _cmd_run(args) -> int:
           f"migrations={engine.metrics.counter('engine.migrations'):.0f} "
           f"preemptions="
           f"{engine.metrics.counter('engine.preemptions'):.0f}")
+    if engine.faults is not None:
+        counts = " ".join(f"{k}={v}" for k, v
+                          in sorted(engine.faults.counts.items()) if v)
+        print(f"  faults: {len(engine.faults.applied)} applied"
+              + (f" ({counts})" if counts else ""))
     if args.digest:
         from .tracing.digest import schedule_digest
         print(f"  digest={schedule_digest(engine)}")
@@ -131,8 +143,8 @@ def _cmd_report(args) -> int:
         buf.write(result.text)
     text = buf.getvalue()
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(text)
+        from .core.artifacts import atomic_write_text
+        atomic_write_text(args.output, text)
         print(f"report written to {args.output}")
     else:
         print(text)
@@ -194,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--digest", action="store_true",
                            help="print the canonical schedule digest "
                                 "(see docs/testing.md)")
+            p.add_argument("--faults", default=None, metavar="PLAN",
+                           help="inject a fault plan (JSON; see "
+                                "docs/fault-injection.md) — hotplug, "
+                                "tick jitter, IPI loss, stalls")
         p.set_defaults(func=func)
     return parser
 

@@ -75,6 +75,7 @@ class Tracer:
         self.on_migrate: list[Callable] = []     # (thread, src, dst)
         self.on_exit: list[Callable] = []        # (thread,)
         self.on_preempt: list[Callable] = []     # (core, preempted, by)
+        self.on_fault: list[Callable] = []       # (kind, detail)
 
     @staticmethod
     def _fire(hooks: list, *args) -> None:
@@ -89,7 +90,8 @@ class Engine:
                  seed: int = 0, corun_slowdown: float = 1.0,
                  ctx_switch_cost_ns: int = 0,
                  tickless: Optional[bool] = None,
-                 sanitize: Optional[bool] = None):
+                 sanitize: Optional[bool] = None,
+                 faults=None):
         self.now = 0
         self.events = EventQueue()
         #: events executed by :meth:`run` (for events/sec reporting)
@@ -114,6 +116,17 @@ class Engine:
         for core in self.machine.cores:
             core.rq = self.scheduler.init_core(core)
         self._ticks_started = False
+
+        #: fault injector (:mod:`repro.faults`), or None.  An *empty*
+        #: ``FaultPlan`` leaves this None so the engine posts no extra
+        #: events and takes no extra branches — the event stream (and
+        #: therefore the schedule digest) is byte-identical to a
+        #: no-faults run.  See docs/fault-injection.md.
+        self.faults = None
+        if faults is not None and not faults.is_empty():
+            # imported lazily: repro.faults imports this engine module
+            from ..faults.injector import FaultInjector
+            self.faults = FaultInjector(self, faults)
 
         #: post-event invariant checker; None (the default) costs one
         #: local None test per event in :meth:`run`
@@ -185,13 +198,21 @@ class Engine:
         Tracer._fire(self.tracer.on_wake, thread, cpu, waker)
 
     def _constrain_cpu(self, thread: SimThread, cpu: int) -> int:
-        """Clamp a placement decision to the thread's affinity mask."""
-        if thread.allows_cpu(cpu):
+        """Clamp a placement decision to the thread's affinity mask and
+        to online CPUs.  A mask whose every CPU is offline falls back to
+        any online core (the kernel's ``select_fallback_rq`` breaks
+        affinity the same way)."""
+        cores = self.machine.cores
+        if thread.allows_cpu(cpu) and cores[cpu].online:
             return cpu
-        allowed = sorted(thread.affinity)
+        mask = thread.affinity if thread.affinity is not None \
+            else range(len(cores))
+        allowed = [c for c in sorted(mask) if cores[c].online]
+        if not allowed:
+            allowed = self.machine.online_cpus()
         # Prefer an idle allowed CPU, else the first allowed one.
         for candidate in allowed:
-            if self.machine.cores[candidate].is_idle:
+            if cores[candidate].is_idle:
                 return candidate
         return allowed[0]
 
@@ -239,6 +260,9 @@ class Engine:
         if not thread.allows_cpu(dst_cpu):
             raise ThreadStateError(
                 f"{thread} affinity forbids cpu {dst_cpu}")
+        if not self.machine.cores[dst_cpu].online:
+            raise ThreadStateError(
+                f"cannot migrate {thread} to offline cpu {dst_cpu}")
         src_cpu = thread.rq_cpu
         if src_cpu == dst_cpu:
             return
@@ -312,20 +336,186 @@ class Engine:
                     self.request_resched(dst_core)
 
     # ------------------------------------------------------------------
+    # fault-injection primitives (hotplug, stalls)
+    # ------------------------------------------------------------------
+
+    def offline_core(self, cpu: int) -> bool:
+        """Take a core offline (the "hotplug" fault): stop its tick,
+        drop its pending IPI, and drain every thread — the running one
+        and the queued ones — onto online cores through the scheduler's
+        own placement path (``select_task_rq``/``sched_pickcpu``).
+
+        Returns False (no-op) when the core is already offline; raises
+        when it is the last online core — something must keep running.
+        """
+        core = self.machine.cores[cpu]
+        if not core.online:
+            return False
+        if all(not c.online for c in self.machine.cores if c is not core):
+            raise SimulationError(
+                f"cannot offline cpu {cpu}: it is the last online core")
+        core.online = False
+        # Drop the pending resched IPI.  The reusable backing event may
+        # still sit (cancelled) in the heap, so it must never be
+        # reposted while queued — forget it and let request_resched
+        # allocate a fresh one after the core comes back.
+        if core.resched_event is not None:
+            core.resched_event.cancel()
+            core.resched_event = None
+            core._resched_reuse = None
+        # Stop the tick.  A parked (NO_HZ) tick is off-heap already and
+        # only needs the stopped-counter unwound; a live one is
+        # cancelled in place.  Either way the event object is dead —
+        # online_core() allocates a fresh reusable tick.
+        if core.tick_stopped:
+            core.tick_stopped = False
+            self._nr_stopped_ticks -= 1
+        elif core.tick_event is not None:
+            core.tick_event.cancel()
+        core.tick_event = None
+        # Force the running thread off, like the kernel's migration
+        # thread during cpu_down().
+        curr = core.current
+        if curr is not None:
+            self._cancel_completion(core)
+            self._update_curr(core)
+            self.scheduler.dequeue_task(core, curr, DequeueFlags.MIGRATE)
+            curr.state = ThreadState.RUNNABLE
+            curr.wait_start = self.now
+            curr.nr_migrations += 1
+            core.current = None
+            dst = self._hotplug_target(curr)
+            curr.rq_cpu = dst
+            dst_core = self.machine.cores[dst]
+            self.scheduler.enqueue_task(dst_core, curr,
+                                        EnqueueFlags.MIGRATE)
+            self.metrics.incr("engine.migrations")
+            Tracer._fire(self.tracer.on_switch, core, curr, None)
+            Tracer._fire(self.tracer.on_migrate, curr, cpu, dst)
+            if dst_core.is_idle or dst_core.need_resched:
+                self.request_resched(dst_core)
+        core.need_resched = False
+        # Drain the queued threads.
+        for thread in list(self.scheduler.runnable_threads(core)):
+            self.migrate_thread(thread, self._hotplug_target(thread))
+        if self._nr_stopped_ticks:
+            self._kick_stopped_ticks()
+        core.account_to_now()
+        self.metrics.incr("engine.hotplug_offlines")
+        Tracer._fire(self.tracer.on_fault, "core-offline", cpu)
+        return True
+
+    def online_core(self, cpu: int) -> bool:
+        """Bring an offlined core back.  The tick is re-armed
+        phase-aligned to the core's original stagger and a resched pass
+        is requested so the scheduler's idle paths (CFS newidle
+        balance, ULE idle steal) pull work over immediately.
+
+        Returns False (no-op) when the core is already online.
+        """
+        core = self.machine.cores[cpu]
+        if core.online:
+            return False
+        core.online = True
+        core.account_to_now()
+        if self._ticks_started:
+            period = self.scheduler.tick_ns
+            core.tick_event = self.events.make_reusable(
+                self._tick, core, label=f"tick:cpu{core.index}")
+            behind = self.now - core.tick_origin
+            if behind < 0:
+                next_tick = core.tick_origin
+            else:
+                rem = behind % period
+                next_tick = self.now if rem == 0 \
+                    else self.now + period - rem
+            core.tick_stopped = False
+            self.events.repost(core.tick_event, next_tick)
+        self.request_resched(core)
+        self.metrics.incr("engine.hotplug_onlines")
+        Tracer._fire(self.tracer.on_fault, "core-online", cpu)
+        return True
+
+    def _hotplug_target(self, thread: SimThread) -> int:
+        """Pick an online destination for a thread drained off a dead
+        core, reusing the scheduler's own wakeup placement.  An affinity
+        mask with no online CPU left is broken (cleared), exactly like
+        ``select_fallback_rq`` under cpuset pressure."""
+        if thread.affinity is not None and not any(
+                self.machine.cores[c].online for c in thread.affinity):
+            thread.affinity = None
+            Tracer._fire(self.tracer.on_fault, "affinity-broken",
+                         thread.name)
+        cpu = self.scheduler.select_task_rq(thread, SelectFlags.WAKEUP,
+                                            waker=None)
+        return self._constrain_cpu(thread, cpu)
+
+    def stall_thread(self, thread: SimThread, duration_ns: int) -> bool:
+        """Transiently take a RUNNING/RUNNABLE thread off the scheduler
+        (a "stall": the analogue of a page-fault storm or an SMI).  The
+        thread rejoins through the normal wakeup path after
+        ``duration_ns``.  Stall time is tracked separately from sleep
+        time so workload accounting (and the requested-work oracle)
+        still balances.  Returns False (no-op) for threads that are
+        blocked, new, or exited."""
+        if duration_ns <= 0 or thread.state not in (
+                ThreadState.RUNNING, ThreadState.RUNNABLE):
+            return False
+        if thread.state is ThreadState.RUNNING:
+            core = self.machine.cores[thread.cpu]
+            self._cancel_completion(core)
+            self._update_curr(core)
+            self.scheduler.dequeue_task(core, thread, DequeueFlags.SLEEP)
+            thread.state = ThreadState.BLOCKED
+            thread.rq_cpu = None
+            core.current = None
+            core.need_resched = True
+            Tracer._fire(self.tracer.on_switch, core, thread, None)
+            self.request_resched(core)
+        else:
+            core = self.machine.cores[thread.rq_cpu]
+            self.scheduler.dequeue_task(core, thread, DequeueFlags.SLEEP)
+            thread.state = ThreadState.BLOCKED
+            thread.rq_cpu = None
+        # sleep_start stays None: the wakeup path must not book the
+        # stall as voluntary sleep time.
+        thread.sleep_event = self.events.post(
+            self.now + duration_ns, self._on_stall_end, thread,
+            duration_ns, label=f"unstall:{thread.name}")
+        self.metrics.incr("engine.stalls")
+        Tracer._fire(self.tracer.on_fault, "thread-stall", thread.name)
+        return True
+
+    def _on_stall_end(self, thread: SimThread, duration_ns: int) -> None:
+        thread.sleep_event = None
+        thread.total_stalltime += duration_ns
+        self.wake_thread(thread, waker=None)
+
+    # ------------------------------------------------------------------
     # reschedule machinery
     # ------------------------------------------------------------------
 
     def request_resched(self, core: Core) -> None:
         """Ask for a scheduling pass on ``core`` at the current instant
-        (coalesced; the analogue of a resched IPI)."""
+        (coalesced; the analogue of a resched IPI).
+
+        Fault injection may delay the IPI (or "drop" it, which models
+        redelivery after a timeout); an offline core takes no IPIs at
+        all — the hotplug drain already moved its work elsewhere.
+        """
+        if not core.online:
+            return
         if core.resched_event is not None:
             return
+        at = self.now
+        if self.faults is not None:
+            at += self.faults.ipi_delay(core)
         reuse = core._resched_reuse
         if reuse is None:
             reuse = core._resched_reuse = self.events.make_reusable(
                 self._resched_event, core,
                 label=f"resched:cpu{core.index}")
-        core.resched_event = self.events.repost(reuse, self.now)
+        core.resched_event = self.events.repost(reuse, at)
 
     def _resched_event(self, core: Core) -> None:
         core.resched_event = None
@@ -337,6 +527,8 @@ class Engine:
         Iterative (never recursive) so long chains of immediately
         blocking threads cannot overflow the stack.
         """
+        if not core.online:
+            return
         while True:
             self._cancel_completion(core)
             self._update_curr(core)
@@ -487,8 +679,11 @@ class Engine:
                 if action.duration == 0:
                     continue
                 self.block_current(core, ThreadState.SLEEPING)
+                wake_at = self.now + action.duration
+                if self.faults is not None:
+                    wake_at = self.faults.timer_time(wake_at)
                 thread.sleep_event = self.events.post(
-                    self.now + action.duration, self._on_sleep_timer,
+                    wake_at, self._on_sleep_timer,
                     thread, label=f"wake:{thread.name}")
                 return False
             if isinstance(action, act.Yield):
@@ -572,6 +767,10 @@ class Engine:
             self.events.repost(core.tick_event, core.tick_origin)
 
     def _tick(self, core: Core) -> None:
+        if not core.online:
+            # Raced with a same-instant offline; the hotplug path
+            # cancelled the tick, so this only fires for stale events.
+            return
         if core.current is None and self.tickless \
                 and not self.scheduler.needs_tick(core):
             # NO_HZ: the core is idle and the scheduler has no periodic
@@ -583,8 +782,10 @@ class Engine:
             self._nr_stopped_ticks += 1
             self.metrics.incr("engine.tick_stops")
             return
-        self.events.repost(core.tick_event,
-                           self.now + self.scheduler.tick_ns)
+        next_tick = self.now + self.scheduler.tick_ns
+        if self.faults is not None:
+            next_tick = self.faults.tick_time(core, next_tick)
+        self.events.repost(core.tick_event, next_tick)
         if core.current is not None:
             self._update_curr(core)
             self.scheduler.task_tick(core)
@@ -652,6 +853,8 @@ class Engine:
         """
         self.scheduler.start()
         self.start_ticks()
+        if self.faults is not None:
+            self.faults.start()
         self._stopped = False
         self._stop_reason = None
         events_since_check = 0
@@ -712,7 +915,7 @@ class Engine:
         """
         for core in self.machine.cores:
             self._update_curr(core)
-        return {
+        state = {
             "now": self.now,
             "threads": [
                 (index, t.name, t.state.value, t.total_runtime,
@@ -731,6 +934,11 @@ class Engine:
                              "engine.preemptions", "engine.exits")
             },
         }
+        if self.faults is not None:
+            # Only present under a non-empty fault plan, so no-fault
+            # digests (golden traces) are unaffected.
+            state["faults"] = self.faults.canonical()
+        return state
 
     # ------------------------------------------------------------------
     # convenience queries

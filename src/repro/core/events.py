@@ -42,21 +42,26 @@ class Event:
         self.label = label
         self._queue = queue
 
-    def cancel(self) -> None:
+    def cancel(self) -> bool:
         """Logically remove the event; it will be skipped when popped.
 
-        Idempotent: cancelling twice, or cancelling an event that has
-        already fired, is a harmless no-op and never double-decrements
-        the queue's live count.
+        Returns ``True`` when the event was live and is now cancelled.
+        Cancelling twice, cancelling an event that has already fired,
+        or cancelling a :meth:`EventQueue.make_reusable` event that was
+        never scheduled is a documented no-op returning ``False`` — it
+        never double-decrements the queue's live count.  Fault
+        injection relies on this: dropping a resched IPI cancels the
+        pending event without caring whether it already fired.
         """
         if self.cancelled or self.popped:
-            return
+            return False
         self.cancelled = True
         queue = self._queue
         if queue is not None:
             queue._live -= 1
             queue._dead_in_heap += 1
             queue._maybe_compact()
+        return True
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)

@@ -49,6 +49,10 @@ class Core:
         self.tick_origin = 0
         #: True while the periodic tick is parked (NO_HZ idle)
         self.tick_stopped = False
+        #: False while the core is offlined by fault injection
+        #: ("hotplug"); offline cores run nothing, take no ticks, and
+        #: are skipped by every placement and balancing path
+        self.online = True
 
         # accounting
         self.busy_ns = 0
@@ -108,6 +112,11 @@ class Machine:
     def idle_cores(self) -> list[Core]:
         """Cores with no running thread."""
         return [c for c in self.cores if c.is_idle]
+
+    def online_cpus(self) -> list[int]:
+        """Indices of cores not currently offlined by fault injection
+        (ascending, so iteration order is deterministic)."""
+        return [c.index for c in self.cores if c.online]
 
     def busiest_by(self, key) -> Core:
         """The core maximizing ``key(core)`` (ties: lowest index)."""

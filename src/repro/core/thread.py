@@ -116,6 +116,7 @@ class SimThread:
         self.total_runtime = 0          # ns actually executed
         self.total_sleeptime = 0        # ns spent sleeping/blocked
         self.total_waittime = 0         # ns runnable but waiting for CPU
+        self.total_stalltime = 0        # ns lost to injected stalls
         self.nr_switches = 0            # times scheduled onto a CPU
         self.nr_migrations = 0          # cross-CPU moves
         self.nr_preemptions = 0         # involuntary context switches

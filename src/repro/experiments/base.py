@@ -48,6 +48,7 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
                 ctx_switch_cost_ns: int = 0,
                 tickless: Optional[bool] = None,
                 sanitize: Optional[bool] = None,
+                faults=None,
                 **sched_options) -> Engine:
     """Engine factory used by all experiment drivers.
 
@@ -55,7 +56,9 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
     8 cores); ``ncpus=1`` the per-core-scheduling setup of §5.
     ``tickless`` overrides the engine-wide NO_HZ default (the
     determinism tests run both settings and compare); ``sanitize``
-    overrides the ``REPRO_SANITIZE`` environment default.
+    overrides the ``REPRO_SANITIZE`` environment default; ``faults``
+    injects a :class:`~repro.faults.plan.FaultPlan` (empty plans are
+    digest-identical to no plan; see docs/fault-injection.md).
     """
     if ncpus == 1:
         topo = single_core()
@@ -67,7 +70,7 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
     return Engine(topo, scheduler_factory(sched, **sched_options),
                   seed=seed, corun_slowdown=corun_slowdown,
                   ctx_switch_cost_ns=ctx_switch_cost_ns,
-                  tickless=tickless, sanitize=sanitize)
+                  tickless=tickless, sanitize=sanitize, faults=faults)
 
 
 def run_workload(engine: Engine, workload, timeout_ns: int,

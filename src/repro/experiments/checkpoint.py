@@ -1,0 +1,118 @@
+"""Crash-safe campaign checkpoints (the ``--resume`` manifest).
+
+A long ``--jobs`` campaign can die halfway — OOM killer, ctrl-C,
+machine reboot.  Without a manifest the only options are "start over"
+or "hand-edit the cell list"; with one, re-invoking with ``--resume``
+replays the finished cells from disk and re-executes only the rest.
+
+Design constraints:
+
+* **Crash safety**: the manifest is rewritten via
+  :func:`~repro.core.artifacts.atomic_write_json` after *every*
+  completed cell, so a kill at any instant leaves either the previous
+  or the next manifest on disk — never a torn file.
+* **Determinism**: cells are keyed by their canonical JSON encoding
+  (sorted keys, tuples and lists identical), so a resumed campaign
+  looks up exactly the cells the interrupted one stored.  Results are
+  stored as plain JSON values; a resumed run's report is
+  byte-identical to an uninterrupted one because rendering happens
+  after the map, from the same values.
+* **Only successes are stored.**  A failed cell is *not* recorded, so
+  resuming retries it — a crash-then-resume can never launder a
+  failure into a permanent ``FAILED`` row.
+
+The manifest format is versioned; a mismatched or unparsable manifest
+is ignored (treated as empty) rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from ..core.artifacts import atomic_write_json
+
+FORMAT = "repro-campaign-checkpoint-v1"
+
+
+class _Miss:
+    """Sentinel distinguishing "no entry" from a stored ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISS>"
+
+
+def cell_key(cell: Any) -> str:
+    """Canonical string key for a cell: its JSON encoding with sorted
+    keys.  Tuples encode as lists, so ``("mg", 1)`` and ``["mg", 1]``
+    key identically — cell identity is by value, not Python type."""
+    return json.dumps(cell, sort_keys=True, separators=(",", ":"))
+
+
+class CampaignCheckpoint:
+    """Cell-result manifest backing ``cell_map(checkpoint=...)``.
+
+    ``get(cell)`` returns the stored result or :data:`MISS`;
+    ``put(cell, result)`` records a success and flushes the manifest
+    atomically.  ``meta`` is an arbitrary JSON dict describing the
+    campaign (experiment list, seed, quick/full) — ``load()`` with a
+    different ``meta`` discards the stored cells, so a stale manifest
+    can never contaminate a differently-parameterised campaign.
+    """
+
+    MISS = _Miss()
+
+    def __init__(self, path, meta: Optional[dict] = None):
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._entries: dict[str, Any] = {}
+
+    def load(self, resume: bool = True) -> int:
+        """Read the manifest from disk; returns the number of usable
+        entries.  ``resume=False`` (a fresh campaign) clears any stale
+        manifest instead.  A missing, corrupt, differently-versioned
+        or differently-parameterised manifest counts as empty."""
+        if not resume:
+            self.clear()
+            return 0
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(raw, dict) or raw.get("format") != FORMAT:
+            return 0
+        if raw.get("meta") != self.meta:
+            return 0
+        entries = raw.get("cells")
+        if not isinstance(entries, dict):
+            return 0
+        self._entries = entries
+        return len(entries)
+
+    def clear(self) -> None:
+        """Drop all entries and delete the manifest file."""
+        self._entries = {}
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def get(self, cell: Any) -> Any:
+        """The stored result for ``cell``, or :data:`MISS`."""
+        return self._entries.get(cell_key(cell), self.MISS)
+
+    def put(self, cell: Any, result: Any) -> None:
+        """Record a finished cell and flush the manifest atomically."""
+        self._entries[cell_key(cell)] = result
+        self._flush()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _flush(self) -> None:
+        atomic_write_json(self.path, {
+            "format": FORMAT,
+            "meta": self.meta,
+            "cells": self._entries,
+        })

@@ -36,16 +36,19 @@ QUICK_APPS = ["Gzip", "C-Ray", "scimark2-(1)", "scimark2-(2)",
 
 
 def run_app(name: str, sched: str, ncpus: int = 1, seed: int = 1,
-            with_noise: bool = False, sanitize: bool = None) -> dict:
+            with_noise: bool = False, sanitize: bool = None,
+            faults=None) -> dict:
     """Run one registered app under one scheduler; returns metrics.
 
     ``sanitize=True`` runs the cell under the post-event invariant
     sanitizer (used by the smoke tests to prove the shipped
-    schedulers are invariant-clean end to end).
+    schedulers are invariant-clean end to end); ``faults`` injects a
+    :class:`~repro.faults.plan.FaultPlan` (the chaos smoke runs one
+    cell per scheduler under the canned plan).
     """
     engine = make_engine(sched, ncpus=ncpus, seed=seed,
                          ctx_switch_cost_ns=CTX_SWITCH_COST_NS,
-                         sanitize=sanitize)
+                         sanitize=sanitize, faults=faults)
     if with_noise:
         from ..workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)

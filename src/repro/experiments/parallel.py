@@ -1,4 +1,4 @@
-"""Parallel experiment fan-out.
+"""Parallel experiment fan-out, hardened for long campaigns.
 
 The paper's figures come from sweeping many independent *cells* — one
 ``(driver, scheduler, seed)`` simulation each.  Cells share nothing
@@ -8,8 +8,8 @@ own seed), so they parallelize perfectly across worker processes.
 Determinism is preserved by construction:
 
 * the cell list is built in a stable order before any work starts;
-* ``multiprocessing.Pool.map`` returns results *in submission order*
-  regardless of completion order;
+* results come back *in submission order* regardless of completion
+  order;
 * each cell's seed is part of the cell itself, never derived from
   worker identity or timing.
 
@@ -20,12 +20,32 @@ identical for the serial (``jobs=None``) and parallel paths, so
 
 Cell functions must be module-level (picklable); cell inputs and
 outputs must be plain data — engines stay inside the worker.
+
+Robustness (opt-in keywords; with none of them set :func:`cell_map`
+is exactly the historical plain map and exceptions propagate
+unwrapped):
+
+* ``timeout_s`` bounds each cell's wall clock; a cell that exceeds it
+  is abandoned (the pool — including the stuck worker — is torn down
+  after the sweep) and recorded as a timeout failure;
+* ``retries``/``backoff_s``/``reseed`` re-run failed cells with
+  exponential backoff, optionally transforming the cell first (e.g.
+  bumping its seed — the campaign's reseeding policy);
+* ``mark_failures`` degrades gracefully: exhausted cells come back as
+  :class:`FailedCell` markers in-place instead of aborting the sweep,
+  so a report renders ``FAILED(reason)`` rows for them;
+* ``checkpoint`` (a
+  :class:`~repro.experiments.checkpoint.CampaignCheckpoint`) records
+  each finished cell's result atomically as it completes and
+  short-circuits cells already finished by an interrupted earlier run
+  — the ``--resume`` machinery.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 
@@ -40,25 +60,173 @@ def _call(payload):
     return fn(cell)
 
 
+class FailedCell:
+    """Marker returned (under ``mark_failures=True``) in place of a
+    result for a cell that exhausted its retries.
+
+    ``reason`` is ``"timeout"`` or ``"error"``; ``error`` carries the
+    exception summary for error failures; ``attempts`` counts the
+    runs consumed.  Renders as ``FAILED(reason)`` in reports.
+    """
+
+    __slots__ = ("cell", "reason", "error", "attempts")
+
+    def __init__(self, cell, reason: str, error: str = "",
+                 attempts: int = 1):
+        self.cell = cell
+        self.reason = reason
+        self.error = error
+        self.attempts = attempts
+
+    def render(self) -> str:
+        """The report marker, e.g. ``FAILED(timeout)``."""
+        detail = f": {self.error}" if self.error else ""
+        return f"FAILED({self.reason}{detail})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FailedCell {self.cell!r} {self.render()}>"
+
+
+class CellError(RuntimeError):
+    """Raised when a cell exhausts its retries and ``mark_failures``
+    is off; the :class:`FailedCell` is at ``.failure``."""
+
+    def __init__(self, failure: FailedCell):
+        self.failure = failure
+        super().__init__(f"cell {failure.cell!r} {failure.render()} "
+                         f"after {failure.attempts} attempt(s)")
+
+
+def _run_attempt(fn, items, jobs, timeout_s, on_success=None):
+    """Run ``items`` (a list of ``(index, cell)``) once.
+
+    Returns ``(successes, failures)``: index-keyed result and
+    ``(reason, error)`` dicts.  ``on_success(index, result)`` fires as
+    each result is collected — NOT at the end of the attempt — so a
+    checkpoint records finished cells even when the process is killed
+    mid-attempt.  Uses a pool whenever ``timeout_s`` is set (a hung
+    cell cannot be interrupted in-process) or ``jobs`` asks for
+    parallelism; the pool is torn down afterwards, which also kills
+    any worker stuck past its timeout.
+    """
+    successes: dict[int, Any] = {}
+    failures: dict[int, tuple] = {}
+
+    def collect(index, result):
+        successes[index] = result
+        if on_success is not None:
+            on_success(index, result)
+
+    if timeout_s is None and (jobs is None or jobs <= 1):
+        for index, cell in items:
+            try:
+                result = fn(cell)
+            except Exception as exc:
+                failures[index] = ("error",
+                                   f"{type(exc).__name__}: {exc}")
+            else:
+                collect(index, result)
+        return successes, failures
+    nproc = max(1, min(jobs or 1, len(items)))
+    with multiprocessing.Pool(processes=nproc) as pool:
+        handles = [(index, pool.apply_async(_call, ((fn, cell),)))
+                   for index, cell in items]
+        for index, handle in handles:
+            try:
+                result = handle.get(timeout_s)
+            except multiprocessing.TimeoutError:
+                failures[index] = ("timeout", "")
+            except Exception as exc:
+                failures[index] = ("error",
+                                   f"{type(exc).__name__}: {exc}")
+            else:
+                collect(index, result)
+    return successes, failures
+
+
 def cell_map(fn: Callable[[Any], Any], cells: Iterable[Any],
-             jobs: Optional[int] = None) -> list:
+             jobs: Optional[int] = None, *,
+             timeout_s: Optional[float] = None,
+             retries: int = 0,
+             backoff_s: float = 0.5,
+             reseed: Optional[Callable[[Any, int], Any]] = None,
+             mark_failures: bool = False,
+             checkpoint=None) -> list:
     """Apply ``fn`` to every cell, fanning out to ``jobs`` worker
     processes; results come back in cell order.
 
     ``jobs=None`` or ``1`` runs serially in-process (no pool, no
     pickling — the default path, and the reference the parallel path
-    must match row-for-row).  ``jobs=0`` means all cores.  ``fn`` must
-    be a module-level function and cells/results plain picklable data.
+    must match row-for-row).  ``jobs=0`` means all cores.  ``fn``
+    must be a module-level function and cells/results plain picklable
+    data.
+
+    The keyword-only robustness options are documented in the module
+    docstring.  ``reseed(cell, attempt)`` returns the cell to use for
+    retry ``attempt`` (1-based); results and checkpoint entries are
+    always keyed by the *original* cell.
     """
     cells = list(cells)
     if jobs == 0:
         jobs = default_jobs()
-    if jobs is None or jobs <= 1 or len(cells) <= 1:
-        return [fn(cell) for cell in cells]
-    nproc = min(jobs, len(cells))
-    with multiprocessing.Pool(processes=nproc) as pool:
-        return pool.map(_call, [(fn, cell) for cell in cells],
-                        chunksize=1)
+    if (timeout_s is None and retries == 0
+            and not mark_failures and checkpoint is None):
+        # The historical plain path, byte-for-byte.
+        if jobs is None or jobs <= 1 or len(cells) <= 1:
+            return [fn(cell) for cell in cells]
+        nproc = min(jobs, len(cells))
+        with multiprocessing.Pool(processes=nproc) as pool:
+            return pool.map(_call, [(fn, cell) for cell in cells],
+                            chunksize=1)
+
+    results: dict[int, Any] = {}
+    if checkpoint is not None:
+        pending = []
+        for index, cell in enumerate(cells):
+            hit = checkpoint.get(cell)
+            if hit is not checkpoint.MISS:
+                results[index] = hit
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(cells)))
+
+    live = {index: cells[index] for index in pending}
+    attempts_used = {index: 0 for index in pending}
+    fail_info: dict[int, tuple] = {}
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt:
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** (attempt - 1)))
+            if reseed is not None:
+                for index in pending:
+                    live[index] = reseed(live[index], attempt)
+        on_success = None
+        if checkpoint is not None:
+            def on_success(index, result):
+                # Flushed per cell, atomically: a SIGKILL between two
+                # cells loses at most the in-flight cell.
+                checkpoint.put(cells[index], result)
+        successes, fail_info = _run_attempt(
+            fn, [(index, live[index]) for index in pending],
+            jobs, timeout_s, on_success)
+        for index, result in successes.items():
+            results[index] = result
+            attempts_used[index] += 1
+        for index in fail_info:
+            attempts_used[index] += 1
+        pending = sorted(fail_info)
+
+    for index in pending:
+        reason, error = fail_info[index]
+        failure = FailedCell(cells[index], reason, error,
+                             attempts_used[index])
+        if not mark_failures:
+            raise CellError(failure)
+        results[index] = failure
+    return [results[index] for index in range(len(cells))]
 
 
 def _run_experiment_cell(cell):

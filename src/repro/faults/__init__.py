@@ -1,0 +1,18 @@
+"""Deterministic fault injection (chaos) for the simulator.
+
+``FaultPlan`` (:mod:`repro.faults.plan`) declares *what* goes wrong
+and when; ``FaultInjector`` (:mod:`repro.faults.injector`) wires a
+plan into an engine via ``Engine(faults=plan)``.  The chaos smoke
+gate lives in ``python -m repro.faults smoke``.  See
+docs/fault-injection.md for the taxonomy and determinism contract.
+"""
+
+from .plan import (ClockCoarsen, CoreOffline, CoreOnline, FaultPlan,
+                   IpiDelay, IpiDrop, ThreadStall, TickJitter,
+                   random_plan)
+
+__all__ = [
+    "FaultPlan", "CoreOffline", "CoreOnline", "TickJitter",
+    "IpiDelay", "IpiDrop", "ThreadStall", "ClockCoarsen",
+    "random_plan",
+]

@@ -1,0 +1,91 @@
+"""Chaos smoke gate: ``python -m repro.faults smoke``.
+
+Two checks, both under ``Engine(sanitize=True)`` so every scheduler
+invariant is validated after every event:
+
+1. one fig5 cell per scheduler under the canned fault plan
+   (``plans/chaos-smoke.json``: tick jitter + IPI drop/redelivery +
+   clock coarsening + a thread stall), asserting the workload still
+   completes;
+2. a 4-CPU hotplug cell per scheduler — spinners spread over the
+   machine while two cores go offline and come back — asserting the
+   drain/rebalance paths leave no runnable thread on a dead core (the
+   sanitizer raises if they do) and that the restored cores pick work
+   back up.
+
+Wired into ``make chaos-smoke`` (part of ``make verify``) and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .plan import CoreOffline, CoreOnline, FaultPlan
+
+CANNED_PLAN = Path(__file__).parent / "plans" / "chaos-smoke.json"
+
+
+def _fig5_cell(sched: str) -> None:
+    from ..experiments.fig5_single_core_perf import run_app
+    plan = FaultPlan.load(CANNED_PLAN)
+    out = run_app("MG", sched, seed=1, sanitize=True, faults=plan)
+    print(f"  fig5 MG/{sched}: perf={out['perf']:.3f} ops/s "
+          f"digest={out['digest']} (chaos, sanitized)")
+
+
+def _hotplug_cell(sched: str) -> None:
+    from ..core.clock import msec, sec
+    from ..experiments.base import make_engine
+    from ..workloads.spinner import SpinnerWorkload
+
+    plan = FaultPlan(seed=7, faults=(
+        CoreOffline(at_ns=msec(200), cpu=2),
+        CoreOffline(at_ns=msec(300), cpu=1),
+        CoreOnline(at_ns=msec(600), cpu=2),
+        CoreOnline(at_ns=msec(700), cpu=1),
+    ))
+    engine = make_engine(sched, ncpus=4, seed=1, sanitize=True,
+                         faults=plan)
+    SpinnerWorkload(count=8, pin_cpu=None).launch(engine, at=0)
+    engine.run(until=sec(1))
+    offlines = engine.metrics.counter("engine.hotplug_offlines")
+    onlines = engine.metrics.counter("engine.hotplug_onlines")
+    if offlines != 2 or onlines != 2:
+        raise SystemExit(f"hotplug counts off: {offlines}/{onlines}")
+    for core in engine.machine.cores:
+        if not core.online:
+            raise SystemExit(f"cpu {core.index} still offline")
+        if engine.nr_runnable_on(core.index) == 0:
+            raise SystemExit(
+                f"cpu {core.index} got no work back after online "
+                f"({sched})")
+    print(f"  hotplug 4cpu/{sched}: 2 offline + 2 online, "
+          f"drained and rebalanced (sanitized)")
+
+
+def _cmd_smoke(args) -> int:
+    for sched in ("cfs", "ule"):
+        _fig5_cell(sched)
+        _hotplug_cell(sched)
+    print("chaos smoke: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="fault-injection utilities (see "
+                    "docs/fault-injection.md)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("smoke",
+                       help="chaos smoke gate: fig5 + hotplug cells "
+                            "per scheduler under --sanitize")
+    p.set_defaults(func=_cmd_smoke)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""The fault injector: wires a :class:`~repro.faults.plan.FaultPlan`
+into a running engine.
+
+The injector is only constructed for *non-empty* plans
+(``Engine.__init__`` keeps ``engine.faults = None`` otherwise), so the
+no-fault hot path pays a single ``None`` test per hook site and posts
+no extra events — which is what makes the empty plan digest-identical
+to a no-faults run (every posted event consumes a queue sequence
+number, so even an inert event would perturb same-instant FIFO
+ordering).
+
+Determinism contract: all stochastic draws (tick jitter, IPI delay,
+drop coin flips) come from one private
+:class:`~repro.core.rng.RandomStream` seeded by ``(plan.seed,
+"faults")``, consumed in event order.  The same (plan, workload,
+scheduler, seed) tuple therefore replays the same faults, byte for
+byte — chaos runs shrink and bisect exactly like healthy ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.rng import RandomStream
+from .plan import (ClockCoarsen, CoreOffline, CoreOnline, FaultPlan,
+                   IpiDelay, IpiDrop, ThreadStall, TickJitter)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.machine import Core
+
+
+class FaultInjector:
+    """Applies a plan to an engine: posts the scheduled faults and
+    answers the engine's per-event hook queries."""
+
+    def __init__(self, engine: "Engine", plan: FaultPlan):
+        plan.validate(ncpus=len(engine.machine))
+        self.engine = engine
+        self.plan = plan
+        self._rng = RandomStream(plan.seed, "faults")
+        self._started = False
+        #: (time_ns, kind, detail) for every discrete fault applied;
+        #: folded into the schedule digest via ``canonical()``
+        self.applied: list = []
+        #: per-kind counts of the continuous faults (jitter/IPI/timer),
+        #: which would bloat ``applied`` if recorded individually
+        self.counts = {"tick-jitter": 0, "ipi-delay": 0,
+                       "ipi-drop": 0, "clock-coarsen": 0}
+        self._jitter = [f for f in plan.faults
+                        if isinstance(f, TickJitter)]
+        self._ipi_delay = [f for f in plan.faults
+                           if isinstance(f, IpiDelay)]
+        self._ipi_drop = [f for f in plan.faults
+                          if isinstance(f, IpiDrop)]
+        self._coarsen = [f for f in plan.faults
+                         if isinstance(f, ClockCoarsen)]
+        engine.tracer.on_fault.append(self._record)
+
+    def _record(self, kind: str, detail) -> None:
+        self.applied.append((self.engine.now, kind, detail))
+
+    # ------------------------------------------------------------------
+    # scheduled faults
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Post the time-scheduled faults (hotplug, stalls).  Called
+        once from :meth:`Engine.run`; re-entry (checkpointed oracle
+        runs call ``run`` repeatedly) is a no-op."""
+        if self._started:
+            return
+        self._started = True
+        engine = self.engine
+        for fault in self.plan.faults:
+            at = max(engine.now, getattr(fault, "at_ns", -1))
+            if isinstance(fault, CoreOffline):
+                engine.events.post(at, self._do_offline, fault.cpu,
+                                   label=f"fault:offline:cpu{fault.cpu}")
+            elif isinstance(fault, CoreOnline):
+                engine.events.post(at, self._do_online, fault.cpu,
+                                   label=f"fault:online:cpu{fault.cpu}")
+            elif isinstance(fault, ThreadStall):
+                engine.events.post(at, self._do_stall, fault,
+                                   label=f"fault:stall:{fault.thread}")
+
+    def _do_offline(self, cpu: int) -> None:
+        self.engine.offline_core(cpu)
+
+    def _do_online(self, cpu: int) -> None:
+        self.engine.online_core(cpu)
+
+    def _do_stall(self, fault: ThreadStall) -> None:
+        engine = self.engine
+        thread = next((t for t in engine.threads
+                       if t.name == fault.thread), None)
+        if thread is None or not engine.stall_thread(
+                thread, fault.duration_ns):
+            from ..core.engine import Tracer
+            Tracer._fire(engine.tracer.on_fault, "stall-skipped",
+                         fault.thread)
+
+    # ------------------------------------------------------------------
+    # per-event hook queries (engine hot paths)
+    # ------------------------------------------------------------------
+
+    def tick_time(self, core: "Core", t: int) -> int:
+        """Jittered re-arm time for a periodic tick scheduled at
+        ``t`` on ``core`` (first matching window wins)."""
+        for fault in self._jitter:
+            if fault.matches(core.index, t):
+                jitter = self._rng.randint(0, fault.max_jitter_ns)
+                if jitter:
+                    self.counts["tick-jitter"] += 1
+                    return t + jitter
+                return t
+        return t
+
+    def timer_time(self, t: int) -> int:
+        """Sleep-timer expiry ``t`` rounded up to the active coarse
+        clock granularity (first matching window wins)."""
+        for fault in self._coarsen:
+            if fault.start_ns <= t < fault.end_ns:
+                rem = t % fault.granularity_ns
+                if rem:
+                    self.counts["clock-coarsen"] += 1
+                    return t + fault.granularity_ns - rem
+                return t
+        return t
+
+    def ipi_delay(self, core: "Core") -> int:
+        """Extra latency for a resched IPI requested now on ``core``:
+        redelivery delay when dropped, else a bounded uniform delay."""
+        now = self.engine.now
+        for fault in self._ipi_drop:
+            if fault.matches(core.index, now) \
+                    and self._rng.uniform(0.0, 1.0) < fault.prob:
+                self.counts["ipi-drop"] += 1
+                return fault.redeliver_ns
+        for fault in self._ipi_delay:
+            if fault.matches(core.index, now):
+                delay = self._rng.randint(0, fault.max_delay_ns)
+                if delay:
+                    self.counts["ipi-delay"] += 1
+                return delay
+        return 0
+
+    # ------------------------------------------------------------------
+    # digest integration
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Fault history for :meth:`Engine.canonical_state`: the
+        discrete faults applied (with times), continuous-fault counts,
+        and per-thread stall totals.  Everything is a pure function of
+        (plan, workload, scheduler, seed)."""
+        return {
+            "applied": [list(entry) for entry in self.applied],
+            "counts": dict(sorted(self.counts.items())),
+            "stall_ns": [
+                [index, t.total_stalltime]
+                for index, t in enumerate(self.engine.threads)
+                if t.total_stalltime
+            ],
+        }

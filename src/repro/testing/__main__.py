@@ -45,6 +45,10 @@ def main(argv=None) -> int:
     fuzz.add_argument("--smoke", action="store_true",
                       help="smaller scenarios, no metamorphic pass "
                            "(the bounded CI budget)")
+    fuzz.add_argument("--chaos", action="store_true",
+                      help="pair every scenario with a deterministic "
+                           "random fault plan (hotplug, jitter, IPI "
+                           "loss, stalls; see docs/fault-injection.md)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report failures without minimising them")
     fuzz.add_argument("--jobs", type=int, default=None,
@@ -71,10 +75,12 @@ def main(argv=None) -> int:
                        if s.strip())
         results = fuzz_campaign(seeds, smoke=args.smoke,
                                 do_shrink=not args.no_shrink,
-                                scheds=scheds, jobs=args.jobs)
+                                scheds=scheds, chaos=args.chaos,
+                                jobs=args.jobs)
         failures = [r for r in results if not r.ok]
         print(f"fuzz: {len(results)} seeds under "
-              f"{'/'.join(scheds)}: "
+              f"{'/'.join(scheds)}"
+              f"{' (chaos)' if args.chaos else ''}: "
               f"{len(results) - len(failures)} ok, "
               f"{len(failures)} failing")
         for r in failures:

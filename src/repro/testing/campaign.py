@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.clock import msec
 from ..experiments.parallel import cell_map
+from ..faults import random_plan
 from .fuzzer import Scenario, generate_scenario, shrink
 from .metamorphic import (check_nice_permutation, check_tickless_equivalence,
                           check_time_scaling, contention_scenario)
@@ -33,16 +35,33 @@ class SeedResult:
     shrunk: str | None = None
 
 
+def chaos_plan(scenario: Scenario):
+    """The fault plan the chaos mode pairs with ``scenario`` — a pure
+    function of the scenario, so a shrunk reproducer regenerates a
+    matching plan (hotplug bounded by the shrunk machine, stalls
+    targeting surviving thread names).  CPU 0 is always protected, so
+    at least one core stays online."""
+    horizon_ms = max((t.spawn_at_ms + sum(ms for _, ms in t.plan)
+                      for t in scenario.threads), default=1)
+    return random_plan(scenario.seed, scenario.ncpus,
+                       msec(2 * horizon_ms),
+                       thread_names=[t.name for t in scenario.threads])
+
+
 def run_seed(cell) -> SeedResult:
     """One campaign cell: generate, check, shrink on failure.
     Module-level so ``cell_map`` can pickle it."""
-    seed, smoke, do_shrink, scheds = cell
+    seed, smoke, do_shrink, scheds, chaos = cell
     scenario = generate_scenario(seed, smoke=smoke)
+    faults = chaos_plan(scenario) if chaos else None
     try:
-        check_scenario(scenario, scheds)
-        if not smoke:
+        check_scenario(scenario, scheds, faults=faults)
+        if not smoke and not chaos:
             # metamorphic relations ride along on the same scenario,
-            # rotating the scheduler they sample by seed
+            # rotating the scheduler they sample by seed.  Chaos mode
+            # skips them: the fault RNG is consumed in event order, so
+            # a tickless run legitimately draws different jitter than
+            # an always-tick run and the equivalence does not hold.
             sched = scheds[seed % len(scheds)]
             check_tickless_equivalence(scenario, sched)
             check_time_scaling(scenario, sched)
@@ -50,8 +69,14 @@ def run_seed(cell) -> SeedResult:
     except OracleFailure as exc:
         shrunk = None
         if do_shrink:
-            minimal = shrink(scenario,
-                             lambda s: scenario_fails(s, scheds))
+            if chaos:
+                def still_fails(s):
+                    return scenario_fails(s, scheds,
+                                          faults=chaos_plan(s))
+            else:
+                def still_fails(s):
+                    return scenario_fails(s, scheds)
+            minimal = shrink(scenario, still_fails)
             shrunk = minimal.describe()
         return SeedResult(seed=seed, ok=False, oracle=exc.oracle,
                           sched=exc.sched, error=str(exc),
@@ -59,11 +84,13 @@ def run_seed(cell) -> SeedResult:
 
 
 def fuzz_campaign(seeds, *, smoke: bool = False, do_shrink: bool = True,
-                  scheds=DEFAULT_SCHEDULERS,
+                  scheds=DEFAULT_SCHEDULERS, chaos: bool = False,
                   jobs: int | None = None) -> list[SeedResult]:
     """Run every seed through the oracles; returns results in seed
-    order (independent of ``jobs``)."""
-    cells = [(seed, smoke, do_shrink, tuple(scheds)) for seed in seeds]
+    order (independent of ``jobs``).  ``chaos=True`` pairs each
+    scenario with its deterministic random fault plan."""
+    cells = [(seed, smoke, do_shrink, tuple(scheds), chaos)
+             for seed in seeds]
     return cell_map(run_seed, cells, jobs=jobs)
 
 

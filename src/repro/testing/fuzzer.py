@@ -103,13 +103,16 @@ def behavior_from_plan(plan):
 
 def build_engine(scenario: Scenario, sched: str, *,
                  sanitize: bool | None = True,
-                 tickless: bool | None = None) -> tuple[Engine, list]:
+                 tickless: bool | None = None,
+                 faults=None) -> tuple[Engine, list]:
     """Instantiate ``scenario`` under ``sched``; returns (engine,
     threads in scenario order).  Threads are spawned via the engine's
-    delayed-spawn path so spawn order is part of the scenario."""
+    delayed-spawn path so spawn order is part of the scenario.
+    ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` — the
+    chaos mode of the fuzz campaign."""
     topo = smp(scenario.ncpus, cpus_per_llc=scenario.cpus_per_llc)
     engine = Engine(topo, scheduler_factory(sched), seed=scenario.seed,
-                    sanitize=sanitize, tickless=tickless)
+                    sanitize=sanitize, tickless=tickless, faults=faults)
     threads = []
     for ft in scenario.threads:
         spec = ThreadSpec(
@@ -123,11 +126,12 @@ def build_engine(scenario: Scenario, sched: str, *,
 
 def run_scenario(scenario: Scenario, sched: str, *,
                  sanitize: bool | None = True,
-                 tickless: bool | None = None) -> tuple[Engine, list, str]:
+                 tickless: bool | None = None,
+                 faults=None) -> tuple[Engine, list, str]:
     """Build and run ``scenario`` to its deadline; returns
     (engine, threads, stop reason)."""
     engine, threads = build_engine(scenario, sched, sanitize=sanitize,
-                                   tickless=tickless)
+                                   tickless=tickless, faults=faults)
     reason = engine.run(until=msec(scenario.until_ms))
     return engine, threads, reason
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..core.artifacts import atomic_write_json
 from ..core.clock import sec
 from ..experiments import parallel
 from ..tracing.digest import schedule_digest
@@ -95,9 +96,7 @@ def record(jobs: int | None = None,
            path: Path = GOLDEN_FILE) -> dict[str, str]:
     """Re-record every golden digest (``make golden``)."""
     digests = compute_all(jobs=jobs)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(digests, indent=2, sort_keys=True)
-                    + "\n")
+    atomic_write_json(path, digests)
     return digests
 
 

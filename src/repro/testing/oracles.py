@@ -185,7 +185,7 @@ def check_ule_classification(engine, sched: str,
 
 def run_with_oracles(scenario: Scenario, sched: str, *,
                      tickless: bool | None = None,
-                     corrupt=None) -> dict:
+                     corrupt=None, faults=None) -> dict:
     """Run ``scenario`` under ``sched`` with mid-run probes and final
     invariant checks; returns the per-thread outcome summary used for
     the cross-scheduler comparison.  Raises :class:`OracleFailure`.
@@ -194,10 +194,19 @@ def run_with_oracles(scenario: Scenario, sched: str, *,
     pair posting ``fn(engine)`` as an event at ``at_ns``, used by the
     test suite to inject scheduler-state bugs and prove the oracles
     (and the sanitizer they run under) actually catch them.
+
+    ``faults`` runs the scenario under a
+    :class:`~repro.faults.plan.FaultPlan` (the chaos mode).  All
+    oracles still hold, with one documented relaxation: clock
+    coarsening rounds each sleep's wakeup *up* to the granularity, so
+    ``total_sleeptime`` is checked against the bound
+    ``[requested, requested + nsleeps * granularity]`` instead of
+    exact equality.  Thread stalls and hotplug change *when* work
+    runs, never *how much* — runtime stays an exact equality.
     """
     try:
         engine, threads = build_engine(scenario, sched, sanitize=True,
-                                       tickless=tickless)
+                                       tickless=tickless, faults=faults)
         if corrupt is not None:
             at_ns, fn = corrupt
             engine.events.post(at_ns, fn, engine, label="corrupt")
@@ -224,17 +233,26 @@ def run_with_oracles(scenario: Scenario, sched: str, *,
             "no-lost-threads", sched,
             f"{len(scenario.threads)} threads spawned but engine "
             f"tracks {len(engine.threads)}", scenario)
+    # Clock coarsening rounds each sleep wakeup up to the granularity;
+    # with no coarsening fault the slack is 0 and the bound collapses
+    # back to the exact equality.
+    granularity = faults.sleep_granularity_ns() if faults is not None \
+        else 0
     for ft, t in zip(scenario.threads, threads):
         if t.total_runtime != ft.requested_run_ns():
             raise OracleFailure(
                 "requested-work", sched,
                 f"{t.name}: ran {t.total_runtime} ns, plan requested "
                 f"{ft.requested_run_ns()} ns", scenario)
-        if t.total_sleeptime != ft.requested_sleep_ns():
+        nsleeps = sum(1 for kind, _ in ft.plan if kind == "sleep")
+        slack = nsleeps * granularity
+        want_sleep = ft.requested_sleep_ns()
+        if not want_sleep <= t.total_sleeptime <= want_sleep + slack:
             raise OracleFailure(
                 "requested-work", sched,
                 f"{t.name}: slept {t.total_sleeptime} ns, plan "
-                f"requested {ft.requested_sleep_ns()} ns", scenario)
+                f"requested {want_sleep} ns "
+                f"(+{slack} ns coarsening slack)", scenario)
     for core in engine.machine.cores:
         core.account_to_now()
     busy = sum(c.busy_ns for c in engine.machine.cores)
@@ -251,13 +269,24 @@ def run_with_oracles(scenario: Scenario, sched: str, *,
 
 
 def check_scenario(scenario: Scenario,
-                   scheds=DEFAULT_SCHEDULERS) -> None:
+                   scheds=DEFAULT_SCHEDULERS, faults=None) -> None:
     """The full differential oracle: run ``scenario`` under every
     scheduler in ``scheds`` and require identical per-thread outcome
-    vectors.  Raises :class:`OracleFailure` on any violation."""
+    vectors.  Raises :class:`OracleFailure` on any violation.
+
+    Under a fault plan the comparison drops to runtime-only: clock
+    coarsening rounds wakeups relative to when each scheduler ran the
+    sleep, so sleeptimes legitimately differ across schedulers (each
+    stays within its own per-run bound); runtime must still agree
+    exactly.
+    """
     outcomes = {}
     for sched in scheds:
-        outcomes[sched] = run_with_oracles(scenario, sched)
+        outcome = run_with_oracles(scenario, sched, faults=faults)
+        if faults is not None:
+            outcome = {name: (runtime,)
+                       for name, (runtime, _) in outcome.items()}
+        outcomes[sched] = outcome
     baseline_sched = scheds[0]
     baseline = outcomes[baseline_sched]
     for sched in scheds[1:]:
@@ -272,10 +301,10 @@ def check_scenario(scenario: Scenario,
 
 
 def scenario_fails(scenario: Scenario,
-                   scheds=DEFAULT_SCHEDULERS) -> bool:
+                   scheds=DEFAULT_SCHEDULERS, faults=None) -> bool:
     """Failure predicate for the shrinker."""
     try:
-        check_scenario(scenario, scheds)
+        check_scenario(scenario, scheds, faults=faults)
     except OracleFailure:
         return True
     return False

@@ -154,6 +154,6 @@ class TraceLog:
                            "displayTimeUnit": "ms"})
 
     def write_chrome_trace(self, path: str) -> None:
-        """Write the Chrome-trace JSON to ``path``."""
-        with open(path, "w") as fh:
-            fh.write(self.to_chrome_trace())
+        """Write the Chrome-trace JSON to ``path`` atomically."""
+        from ..core.artifacts import atomic_write_text
+        atomic_write_text(path, self.to_chrome_trace())

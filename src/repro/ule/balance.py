@@ -27,19 +27,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def periodic_balance(sched: "UleScheduler") -> int:
     """One invocation of core 0's balancer; returns threads moved."""
     tun = sched.tunables
-    ncpus = len(sched.machine)
+    # Offline (hotplugged-away) cores are invisible to the balancer:
+    # they hold no threads (the drain moved everything off) and must
+    # never be picked as a receiver.
+    cpus = sched.machine.online_cpus()
     used: set[int] = set()
     moved = 0
     while True:
         donor = None
         receiver = None
-        for cpu in range(ncpus):
+        for cpu in cpus:
             if cpu in used:
                 continue
             load = sched.tdq_of(cpu).load
             if donor is None or load > sched.tdq_of(donor).load:
                 donor = cpu
-        for cpu in range(ncpus):
+        for cpu in cpus:
             if cpu in used or cpu == donor:
                 continue
             load = sched.tdq_of(cpu).load

@@ -28,10 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 def sched_pickcpu(sched: "UleScheduler", thread: "SimThread",
                   waker: Optional["SimThread"]) -> int:
-    """Choose the CPU for a new or waking thread (see module doc)."""
+    """Choose the CPU for a new or waking thread (see module doc).
+
+    Offline (hotplugged-away) CPUs are excluded throughout — FreeBSD
+    masks the scan with the online CPU set; a mask with no online CPU
+    falls back to the whole online machine (the engine breaks affinity
+    on the drain path the same way).
+    """
     tun = sched.tunables
     ncpus = len(sched.machine)
-    allowed = [c for c in range(ncpus) if thread.allows_cpu(c)]
+    cores = sched.machine.cores
+    allowed = [c for c in range(ncpus)
+               if thread.allows_cpu(c) and cores[c].online]
+    if not allowed:
+        allowed = sched.machine.online_cpus()
     if len(allowed) == 1:
         return allowed[0]
     if tun.pickcpu_simple:

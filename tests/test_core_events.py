@@ -162,3 +162,35 @@ def test_heap_compaction_drops_dead_entries():
     assert times == sorted(times)
     assert all(t >= 10_000 for t in times)
     assert live[0].popped
+
+
+# ------------------------------------------------------------ satellites:
+# cancel() return value contract (double-cancel regression)
+
+
+def test_cancel_returns_true_once_then_false():
+    q = EventQueue()
+    a = q.post(1, lambda: None)
+    assert a.cancel() is True
+    assert a.cancel() is False  # second cancel: documented no-op
+    assert a.cancel() is False
+    assert len(q) == 0
+
+
+def test_cancel_after_fire_returns_false():
+    q = EventQueue()
+    a = q.post(1, lambda: None)
+    assert q.pop() is a
+    assert a.cancel() is False  # already fired: no-op
+    assert not a.cancelled
+
+
+def test_cancel_never_scheduled_reusable_returns_false():
+    q = EventQueue()
+    tick = q.make_reusable(lambda: None)
+    assert tick.cancel() is False  # never in the heap: no-op
+    assert len(q) == 0
+    # ... but once reposted it is live and cancellable again.
+    q.repost(tick, 3)
+    assert tick.cancel() is True
+    assert tick.cancel() is False

@@ -1,0 +1,213 @@
+"""Failure paths of the hardened parallel runner: raising cells,
+timeouts, retries with reseeding, FAILED markers, and the
+checkpoint/resume contract (resumed rows byte-identical to an
+uninterrupted run)."""
+
+import time
+
+import pytest
+
+from repro.experiments.checkpoint import CampaignCheckpoint, cell_key
+from repro.experiments.parallel import CellError, FailedCell, cell_map
+
+
+def _double(cell):
+    return cell * 2
+
+
+def _boom_on_negative(cell):
+    if cell < 0:
+        raise ValueError(f"bad cell {cell}")
+    return cell * 2
+
+
+def _sleep_forever(cell):
+    if cell == "stuck":
+        time.sleep(60)
+    return cell
+
+
+def _always_boom(cell):
+    raise RuntimeError("must not be called")
+
+
+# ---------------------------------------------------------------- failures
+
+
+def test_raising_cell_propagates_unwrapped_on_plain_path():
+    # No robustness options: the historical behavior, exception and all.
+    with pytest.raises(ValueError):
+        cell_map(_boom_on_negative, [1, -2, 3])
+
+
+def test_raising_cell_raises_cell_error_when_not_marking():
+    with pytest.raises(CellError) as exc_info:
+        cell_map(_boom_on_negative, [1, -2, 3], retries=1, backoff_s=0)
+    failure = exc_info.value.failure
+    assert failure.cell == -2
+    assert failure.reason == "error"
+    assert "ValueError" in failure.error
+    assert failure.attempts == 2
+
+
+def test_mark_failures_yields_failed_cell_in_place():
+    results = cell_map(_boom_on_negative, [1, -2, 3],
+                       mark_failures=True)
+    assert results[0] == 2 and results[2] == 6
+    failure = results[1]
+    assert isinstance(failure, FailedCell)
+    assert failure.cell == -2
+    assert failure.render().startswith("FAILED(error")
+
+
+def test_retry_with_reseed_recovers():
+    calls = []
+
+    def reseed(cell, attempt):
+        calls.append((cell, attempt))
+        return -cell  # flip the failing cell positive
+
+    results = cell_map(_boom_on_negative, [1, -2, 3], retries=1,
+                       backoff_s=0, reseed=reseed, mark_failures=True)
+    # Keyed by the ORIGINAL cell, computed from the reseeded one.
+    assert results == [2, 4, 6]
+    assert calls == [(-2, 1)]
+
+
+def test_timeout_cell_is_marked_and_pool_recovers():
+    results = cell_map(_sleep_forever, ["a", "stuck", "b"], jobs=2,
+                       timeout_s=1.0, mark_failures=True)
+    assert results[0] == "a" and results[2] == "b"
+    assert isinstance(results[1], FailedCell)
+    assert results[1].reason == "timeout"
+    assert results[1].render() == "FAILED(timeout)"
+
+
+# -------------------------------------------------------------- checkpoint
+
+
+def test_checkpoint_records_only_successes(tmp_path):
+    ck = CampaignCheckpoint(tmp_path / "ck.json", meta={"k": 1})
+    results = cell_map(_boom_on_negative, [1, -2, 3],
+                       mark_failures=True, checkpoint=ck)
+    assert isinstance(results[1], FailedCell)
+    assert ck.get(1) == 2 and ck.get(3) == 6
+    assert ck.get(-2) is ck.MISS  # failures are never checkpointed
+    # The manifest survives a "process restart".
+    fresh = CampaignCheckpoint(tmp_path / "ck.json", meta={"k": 1})
+    assert fresh.load(resume=True) == 2
+    assert fresh.get(3) == 6
+
+
+def test_resume_short_circuits_finished_cells(tmp_path):
+    path = tmp_path / "ck.json"
+    ck = CampaignCheckpoint(path, meta={})
+    cell_map(_double, [1, 2, 3], checkpoint=ck)
+    # A "restarted" run: _always_boom would explode if any cell were
+    # re-executed, so every row must come from the manifest.
+    resumed = CampaignCheckpoint(path, meta={})
+    assert resumed.load(resume=True) == 3
+    results = cell_map(_always_boom, [1, 2, 3], checkpoint=resumed)
+    assert results == [2, 4, 6]
+
+
+def test_resume_after_partial_run_matches_uninterrupted(tmp_path):
+    cells = [1, 2, 3, 4]
+    uninterrupted = cell_map(_double, cells)
+
+    # Simulate a campaign killed after two cells: only their results
+    # made it into the manifest.
+    path = tmp_path / "ck.json"
+    partial = CampaignCheckpoint(path, meta={"run": 1})
+    cell_map(_double, cells[:2], checkpoint=partial)
+
+    resumed_ck = CampaignCheckpoint(path, meta={"run": 1})
+    assert resumed_ck.load(resume=True) == 2
+    executed = []
+
+    def counting(cell):
+        executed.append(cell)
+        return _double(cell)
+
+    resumed = cell_map(counting, cells, checkpoint=resumed_ck)
+    assert resumed == uninterrupted  # rows identical, in order
+    assert executed == [3, 4]  # only the unfinished cells re-ran
+
+
+def test_no_resume_clears_a_stale_manifest(tmp_path):
+    path = tmp_path / "ck.json"
+    ck = CampaignCheckpoint(path, meta={})
+    ck.put(1, 999)
+    assert path.exists()
+    fresh = CampaignCheckpoint(path, meta={})
+    assert fresh.load(resume=False) == 0
+    assert not path.exists()
+    assert fresh.get(1) is fresh.MISS
+
+
+def test_mismatched_meta_discards_the_manifest(tmp_path):
+    path = tmp_path / "ck.json"
+    ck = CampaignCheckpoint(path, meta={"seed": 1})
+    ck.put("cell", "result")
+    other = CampaignCheckpoint(path, meta={"seed": 2})
+    assert other.load(resume=True) == 0
+    assert other.get("cell") is other.MISS
+
+
+def test_corrupt_manifest_is_treated_as_empty(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text("{ not json !")
+    ck = CampaignCheckpoint(path, meta={})
+    assert ck.load(resume=True) == 0
+
+
+def test_cell_key_is_canonical_json():
+    assert cell_key({"b": 1, "a": 2}) == cell_key({"a": 2, "b": 1})
+    assert cell_key((1, "x")) == cell_key([1, "x"])
+    assert cell_key(1) != cell_key("1")
+
+
+# ------------------------------------------------------- campaign wiring
+
+
+def test_campaign_resume_report_is_byte_identical(tmp_path):
+    """The acceptance criterion, at campaign level: a killed-then-
+    resumed campaign renders the same report as an uninterrupted one,
+    re-executing only unfinished cells."""
+    from repro.experiments.campaign import (build_cells, render_report,
+                                            run_campaign,
+                                            run_campaign_cell)
+
+    names = ["table1", "table2"]
+    ck_path = tmp_path / "campaign.json"
+    meta = {"experiments": names, "quick": True, "seed": 1}
+
+    # The uninterrupted reference.
+    cells, results = run_campaign(names, quick=True, seed=1)
+    reference = render_report(cells, results)
+
+    # "Kill" a campaign after its first cell: manifest holds table1.
+    partial = CampaignCheckpoint(ck_path, meta=meta)
+    first = build_cells(names, True, 1)[0]
+    partial.put(first, run_campaign_cell(first))
+
+    # Resume: table1 must come from the manifest, not re-run.
+    import repro.experiments.campaign as campaign_mod
+    real_cell = campaign_mod.run_campaign_cell
+    executed = []
+
+    def tracking(cell):
+        executed.append(cell["experiment"])
+        return real_cell(cell)
+
+    campaign_mod.run_campaign_cell = tracking
+    try:
+        cells2, results2 = run_campaign(
+            names, quick=True, seed=1, checkpoint_path=ck_path,
+            resume=True)
+    finally:
+        campaign_mod.run_campaign_cell = real_cell
+    assert executed == ["table2"]
+    assert render_report(cells2, results2) == reference
+    # Fully successful campaign removes its manifest.
+    assert not ck_path.exists()
