@@ -10,7 +10,7 @@ COVER_MIN ?= 80
 
 .PHONY: test test-all lint sanitize-smoke fuzz-smoke chaos-smoke \
 	golden golden-check coverage verify verify-fast bench \
-	bench-baseline bench-full
+	bench-baseline bench-full bench-smoke
 
 ## tier-1 test suite (the gate every PR must keep green); pyproject
 ## addopts exclude @pytest.mark.slow tests — see `make test-all`
@@ -50,8 +50,11 @@ golden:
 	$(PYTHON) -m repro.testing golden record
 
 ## compare fresh experiment-cell digests against tests/golden/
+## (cell-cached: a repeat against unchanged sources replays stored
+## digests — the cache key includes a fingerprint of src/repro, so
+## any code change recomputes; see docs/performance.md)
 golden-check:
-	$(PYTHON) -m repro.testing golden check
+	REPRO_CELL_CACHE=1 $(PYTHON) -m repro.testing golden check
 
 ## tier-1 line coverage with a regression floor; skips cleanly when
 ## coverage.py is not installed (it is not vendored)
@@ -69,7 +72,7 @@ coverage:
 verify:
 	@fail=0; \
 	for stage in lint test sanitize-smoke fuzz-smoke chaos-smoke \
-			bench; do \
+			bench-smoke bench; do \
 		echo "== make $$stage =="; \
 		$(MAKE) --no-print-directory $$stage || fail=1; \
 	done; \
@@ -97,3 +100,8 @@ bench-baseline:
 ## full-size benchmark profiles (slower, prints throughput)
 bench-full:
 	$(PYTHON) -m pytest benchmarks/test_simulator_performance.py -q
+
+## fast heap-vs-wheel gate: fixed scenarios under both event queues,
+## asserts digest equality + a minimum events/sec floor (CI stage)
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py

@@ -1,0 +1,108 @@
+"""Bench-smoke gate: heap/wheel digest equality + a throughput floor.
+
+A fast (<~30 s) CI stage that runs a small fixed scenario set under
+**both** event-queue implementations and asserts:
+
+1. **Digest equality** — every scenario's canonical schedule digest is
+   identical under ``REPRO_EVENTQ=heap`` and ``=wheel``.  This is the
+   always-on differential guard for the timing wheel: the seeded fuzz
+   suite (``tests/test_eventq_differential.py``) explores breadth,
+   this gate pins the paper-shaped scenarios on every push.
+2. **A minimum events/sec floor** — deliberately ~20x below the
+   observed throughput, so hardware variance never trips it but an
+   accidental algorithmic regression (an O(n) scan in the event
+   queue, a quadratic balance pass) fails fast without waiting for
+   the full ``make bench`` + baseline comparison.
+
+Exit status: 0 = all green, 1 = digest mismatch or floor violation.
+Run via ``make bench-smoke`` (part of ``make verify`` and CI).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+#: deliberately ~20x below observed smoke throughput (~100k ev/s on
+#: developer hardware, ~50k in CI): only catastrophic regressions trip
+MIN_EVENTS_PER_SEC = 5_000
+
+QUEUE_KINDS = ("heap", "wheel")
+
+
+def _tick_cell(kind: str):
+    """16 spinners on 8 cores under the 1 ms CFS tick, 500 ms."""
+    from repro.core import Engine, ThreadSpec, run_forever
+    from repro.core.clock import msec
+    from repro.core.topology import smp
+    from repro.sched import scheduler_factory
+
+    engine = Engine(smp(8), scheduler_factory("cfs"), seed=1,
+                    event_queue=kind)
+    for i in range(16):
+        engine.spawn(ThreadSpec(f"s{i}",
+                                lambda ctx: iter([run_forever()]),
+                                app="app"))
+    engine.run(until=msec(500))
+    return engine
+
+
+def _fig6_cell(sched: str, kind: str):
+    """The paper's pin/release load-balancing scenario, truncated."""
+    from repro.core.clock import sec
+    from repro.experiments.fig6_load_balancing import run_release
+
+    os.environ["REPRO_EVENTQ"] = kind
+    try:
+        engine, _, _ = run_release(sched, 32, seed=1,
+                                   timeout_ns=sec(1))
+    finally:
+        os.environ.pop("REPRO_EVENTQ", None)
+    return engine
+
+
+SCENARIOS = (
+    ("tick_8x16", lambda kind: _tick_cell(kind)),
+    ("fig6/cfs", lambda kind: _fig6_cell("cfs", kind)),
+    ("fig6/ule", lambda kind: _fig6_cell("ule", kind)),
+)
+
+
+def main() -> int:
+    from repro.tracing.digest import schedule_digest
+
+    failures = []
+    for name, build in SCENARIOS:
+        digests = {}
+        best_eps = 0.0
+        for kind in QUEUE_KINDS:
+            t0 = time.perf_counter()
+            engine = build(kind)
+            wall = time.perf_counter() - t0
+            digests[kind] = schedule_digest(engine)
+            eps = engine.events_processed / wall if wall else 0.0
+            best_eps = max(best_eps, eps)
+            print(f"  {name:<12} {kind:<6} digest={digests[kind]} "
+                  f"{eps:>10,.0f} ev/s")
+        if digests["heap"] != digests["wheel"]:
+            failures.append(f"{name}: digest mismatch "
+                            f"heap={digests['heap']} "
+                            f"wheel={digests['wheel']}")
+        # best-of-both: the floor gates the algorithm, not the noise
+        if best_eps < MIN_EVENTS_PER_SEC:
+            failures.append(f"{name}: {best_eps:,.0f} ev/s below the "
+                            f"{MIN_EVENTS_PER_SEC:,} floor")
+    if failures:
+        print("\nbench-smoke: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench-smoke: {len(SCENARIOS)} scenarios digest-identical "
+          f"under heap and wheel, all above "
+          f"{MIN_EVENTS_PER_SEC:,} ev/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

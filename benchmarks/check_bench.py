@@ -1,11 +1,21 @@
-"""Compare BENCH_simulator.json against the recorded baseline.
+"""Compare BENCH_simulator.json against the recorded baseline and
+record the performance trajectory.
 
 Run by ``make bench`` after the simulator-performance benchmarks:
 exits non-zero when any profile's events/sec regressed more than
 ``MAX_REGRESSION``x against ``BENCH_baseline.json``.  Baselines are
 machine-dependent; the 2x threshold leaves headroom for hardware
 variance while still catching algorithmic regressions (an accidental
-O(n) in the event queue shows up as 5-50x).
+O(n) in the event queue shows up as 5-50x).  Throughput swings up to
+~1.4x between runs on shared/virtualized hardware are normal — treat
+trajectory deltas below that as noise and only ratios beyond the
+tolerance as signal.
+
+Every run also appends one entry — git sha, smoke flag, events/sec
+per profile family — to ``BENCH_trajectory.json``, so the perf story
+across PRs is recorded data, not commit-message claims (see
+docs/performance.md for how to read it).  Re-running on the same sha
+replaces that sha's entry instead of duplicating it.
 
 To re-record the baseline after an intentional change::
 
@@ -16,14 +26,57 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 CURRENT = os.path.join(HERE, "BENCH_simulator.json")
 BASELINE = os.path.join(HERE, "BENCH_baseline.json")
+TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
 
 #: fail when events/sec drops below baseline / MAX_REGRESSION
 MAX_REGRESSION = 2.0
+
+
+def _git_sha() -> str:
+    """Short sha of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True,
+                              cwd=HERE, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def append_trajectory(current: dict) -> dict:
+    """Append this run's per-profile events/sec to the trajectory
+    file, keyed by (sha, smoke); re-runs on the same sha replace
+    their previous entry.  Returns the appended entry."""
+    from repro.core.artifacts import atomic_write_json
+    entry = {
+        "sha": _git_sha(),
+        "smoke": bool(current.get("smoke")),
+        "events_per_sec": {
+            profile: result["events_per_sec"]
+            for profile, result in sorted(current["profiles"].items())
+        },
+    }
+    try:
+        with open(TRAJECTORY) as fh:
+            trajectory = json.load(fh)
+    except (OSError, ValueError):
+        trajectory = []
+    if not isinstance(trajectory, list):
+        trajectory = []
+    trajectory = [e for e in trajectory
+                  if not (e.get("sha") == entry["sha"]
+                          and e.get("smoke") == entry["smoke"])]
+    trajectory.append(entry)
+    atomic_write_json(TRAJECTORY, trajectory)
+    return entry
 
 
 def main() -> int:
@@ -31,6 +84,11 @@ def main() -> int:
         print(f"check_bench: {CURRENT} missing - run the benchmarks "
               f"first (make bench)", file=sys.stderr)
         return 2
+    with open(CURRENT) as fh:
+        current = json.load(fh)
+    entry = append_trajectory(current)
+    print(f"check_bench: trajectory entry recorded for "
+          f"sha {entry['sha']} (smoke={entry['smoke']})")
     if not os.path.exists(BASELINE):
         print(f"check_bench: no baseline recorded; copying current "
               f"results to {BASELINE}")
@@ -39,8 +97,6 @@ def main() -> int:
             data = fh.read()
         atomic_write_text(BASELINE, data)
         return 0
-    with open(CURRENT) as fh:
-        current = json.load(fh)
     with open(BASELINE) as fh:
         baseline = json.load(fh)
     if current.get("smoke") != baseline.get("smoke"):

@@ -1,18 +1,22 @@
 """Bench: the simulator's own performance.
 
 Not a paper figure — it tracks the engine's event throughput so
-regressions in the simulation kernel are visible.  Four profiles:
+regressions in the simulation kernel are visible.  Six profiles:
 
 * compute-bound (few events, long run actions),
 * wakeup-heavy (channels, the hackbench shape),
 * tick-dominated (spinners under the 1 ms CFS tick),
-* idle-heavy (a mostly idle machine; the NO_HZ tickless showcase).
+* idle-heavy (a mostly idle machine; the NO_HZ tickless showcase),
+* fig6_cfs / fig6_ule (the paper's 32-spinner pin/release
+  load-balancing scenario — the balance-path hot loop the PR 5 perf
+  work targets).
 
 Each run writes ``benchmarks/BENCH_simulator.json`` (events/sec and
-switches per profile) so the perf trajectory is tracked across PRs;
-``benchmarks/check_bench.py`` compares it against the recorded
-baseline.  ``REPRO_BENCH_SMOKE=1`` shrinks the simulated durations
-~10x for CI (``make bench``).
+switches per profile); ``benchmarks/check_bench.py`` compares it
+against the recorded baseline and appends a per-sha entry to
+``benchmarks/BENCH_trajectory.json`` (see docs/performance.md).
+``REPRO_BENCH_SMOKE=1`` shrinks the simulated durations ~10x for CI
+(``make bench``).
 """
 
 import json
@@ -49,13 +53,8 @@ def _flush_results():
     atomic_write_json(_JSON_PATH, {"smoke": SMOKE, "profiles": RESULTS})
 
 
-def _events_per_second(benchmark, build, simulated_ns, profile):
-    def run():
-        engine = build()
-        engine.run(until=simulated_ns)
-        return engine
-
-    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+def _record_result(benchmark, engine, profile, simulated_ns):
+    """Fill ``RESULTS[profile]`` from a finished engine + benchmark."""
     switches = engine.metrics.counter("engine.switches")
     wall = benchmark.stats.stats.mean
     events = engine.events_processed
@@ -72,6 +71,16 @@ def _events_per_second(benchmark, build, simulated_ns, profile):
           f"{events} events ({events / wall:,.0f}/s), "
           f"{switches:.0f} switches")
     return engine
+
+
+def _events_per_second(benchmark, build, simulated_ns, profile):
+    def run():
+        engine = build()
+        engine.run(until=simulated_ns)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    return _record_result(benchmark, engine, profile, simulated_ns)
 
 
 def test_perf_compute_bound(benchmark):
@@ -130,6 +139,34 @@ def test_perf_tick_dominated(benchmark):
     engine = _events_per_second(benchmark, build, simulated,
                                 "tick_dominated")
     assert engine.now == simulated
+
+
+def _fig6_profile(benchmark, sched):
+    """The paper's fig6 pin/release load-balancing scenario: 32
+    spinners on the 32-core Opteron topology — the steal-scan /
+    ``loads_for`` hot path."""
+    from repro.experiments.fig6_load_balancing import run_release
+
+    timeout_ns = _scaled(sec(4))
+
+    def run():
+        engine, _, _ = run_release(sched, 32, seed=1,
+                                   timeout_ns=timeout_ns)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    return _record_result(benchmark, engine, f"fig6_{sched}",
+                          engine.now)
+
+
+def test_perf_fig6_cfs(benchmark):
+    engine = _fig6_profile(benchmark, "cfs")
+    assert engine.metrics.counter("engine.switches") > 0
+
+
+def test_perf_fig6_ule(benchmark):
+    engine = _fig6_profile(benchmark, "ule")
+    assert engine.metrics.counter("engine.switches") > 0
 
 
 def test_perf_idle_heavy(benchmark):

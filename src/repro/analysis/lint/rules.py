@@ -30,6 +30,16 @@ Rules
     ``*_ns``/``*nsec``/``now``), or ``float()`` applied to one.  Clock
     arithmetic must stay integral; convert to seconds only at the
     presentation layer.
+``missing-slots``
+    A class defined in a hot-path package (``repro/core``,
+    ``repro/cfs``, ``repro/ule``, ``repro/sync``) without a
+    ``__slots__`` declaration: every instance then carries a
+    ``__dict__`` the engine loop allocates and hashes through
+    millions of times per simulated second.  Exception/enum/Protocol
+    subclasses and ``@dataclass``-decorated classes are exempt; a
+    deliberately dict-backed class takes the usual
+    ``# schedlint: ignore[missing-slots] -- reason`` marker or an
+    allowlist entry.
 """
 
 from __future__ import annotations
@@ -58,7 +68,25 @@ RULES: Dict[str, str] = {
     "float-ns-clock":
         "float arithmetic on the integer-ns clock; keep clock math "
         "integral, convert to seconds only for presentation",
+    "missing-slots":
+        "hot-path class without __slots__; per-instance dicts cost "
+        "the engine loop allocation and lookup time",
 }
+
+#: packages whose classes live on the engine's per-event hot path —
+#: the only places the missing-slots rule applies
+HOT_PATH_DIRS: Tuple[str, ...] = (
+    "repro/core/", "repro/cfs/", "repro/ule/", "repro/sync/",
+)
+
+#: base-class names that make __slots__ pointless or harmful:
+#: exceptions carry traceback state, enums are class-level singletons,
+#: Protocol/ABC are never instantiated on the hot path
+_SLOTS_EXEMPT_BASES = frozenset({
+    "Exception", "BaseException", "Warning", "Enum", "IntEnum",
+    "Flag", "IntFlag", "StrEnum", "Protocol", "NamedTuple", "ABC",
+    "TypedDict",
+})
 
 #: wall-clock entry points, fully qualified
 WALL_CLOCK_CALLS = frozenset({
@@ -156,6 +184,23 @@ class _RuleVisitor(ast.NodeVisitor):
                 local = alias.asname or alias.name
                 self.imports[local] = f"{node.module}.{alias.name}"
         self.generic_visit(node)
+
+    # -- missing-slots -------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._on_hot_path() and not _has_slots(node) \
+                and not _slots_exempt(node):
+            self._emit(node, "missing-slots",
+                       f"class {node.name} has no __slots__; "
+                       f"hot-path instances should not carry a "
+                       f"__dict__ (add __slots__, or suppress with "
+                       f"a reason if dict-backed on purpose)")
+        self.generic_visit(node)
+
+    def _on_hot_path(self) -> bool:
+        posix = self.path.replace(os.sep, "/")
+        return any(f"/{d}" in posix or posix.startswith(d)
+                   for d in HOT_PATH_DIRS)
 
     # -- wall-clock / unseeded-random ----------------------------------
 
@@ -260,6 +305,37 @@ class _RuleVisitor(ast.NodeVisitor):
                        f"float() applied to "
                        f"'{_identifier(node.args[0])}'; keep clock "
                        f"values integral")
+
+
+def _has_slots(node: ast.ClassDef) -> bool:
+    """Does the class body assign ``__slots__``?"""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _slots_exempt(node: ast.ClassDef) -> bool:
+    """Exception / enum / Protocol / NamedTuple subclasses and
+    ``@dataclass`` classes are out of the rule's scope."""
+    for base in node.bases:
+        name = _identifier(base)
+        if name is None:
+            continue
+        if name in _SLOTS_EXEMPT_BASES or name.endswith("Error") \
+                or name.endswith("Exception") or name.endswith("Warning"):
+            return True
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if _identifier(target) == "dataclass":
+            return True
+    return False
 
 
 def _contains_id_call(node: ast.AST) -> bool:

@@ -56,6 +56,10 @@ class Sanitizer:
         # scheduler-specific checkers resolved once, up front
         self._check_cfs = None
         self._check_ule = None
+        #: last observed min_vruntime per rq (rqs are slotted, so the
+        #: monotonicity watermark lives here, keyed by id; rqs live for
+        #: the whole run so ids are stable)
+        self._min_vrun_seen: dict = {}
         self._resolve_scheduler()
 
     # ------------------------------------------------------------------
@@ -343,12 +347,12 @@ class Sanitizer:
             self._fail("cfs-h-nr-running",
                        f"cpu{cpu} rq h_nr_running={rq.h_nr_running} "
                        f"but children sum to {h_nr}", cpu=cpu)
-        prev_min = getattr(rq, "_san_min_vrun", None)
+        prev_min = self._min_vrun_seen.get(id(rq))
         if prev_min is not None and rq.min_vruntime < prev_min:
             self._fail("cfs-min-vruntime",
                        f"cpu{cpu} rq min_vruntime moved backwards: "
                        f"{prev_min} -> {rq.min_vruntime}", cpu=cpu)
-        rq._san_min_vrun = rq.min_vruntime
+        self._min_vrun_seen[id(rq)] = rq.min_vruntime
         for se in entities:
             if se.weight <= 0:
                 self._fail("pelt-weight",

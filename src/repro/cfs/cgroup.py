@@ -29,6 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class TaskGroup:
     """A cgroup: a named set of threads with a CPU share."""
 
+    __slots__ = ("name", "parent", "shares", "children", "cfs_rqs",
+                 "entities")
+
     def __init__(self, name: str, ncpus: int, tunables: "CfsTunables",
                  parent: Optional["TaskGroup"] = None,
                  shares: int = NICE_0_LOAD):

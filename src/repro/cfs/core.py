@@ -29,7 +29,8 @@ from .cgroup import TaskGroup
 from .domains import SchedDomain, build_domains
 from .entity import SchedEntity
 from .params import CfsTunables
-from .pelt import HALF_LIFE_NS, _LN2
+from .pelt import (HALF_LIFE_NS, _DECAY_CACHE, _DECAY_CACHE_MAX, _LN2,
+                   _SATURATED)
 from .runqueue import CfsRq
 from .weights import calc_delta_fair, nice_to_weight
 
@@ -66,6 +67,7 @@ class CfsCpuRq:
         self.curr_chain: list[CfsRq] = []
 
 
+# schedlint: ignore[missing-slots] -- one instance per engine; fault injection patches methods and attributes
 class CfsScheduler(SchedClass):
     """Linux CFS (4.9-era behaviour, the paper's baseline)."""
 
@@ -88,8 +90,20 @@ class CfsScheduler(SchedClass):
         #: until the cpu's runnable set (or timeline order) changes;
         #: lets :meth:`cpu_load` skip the hierarchy walk entirely
         self._avgs_cache: dict[int, list] = {}
+        #: cpu -> (load, min_last_update): a cpu whose every runnable
+        #: average sits at the saturated fixed point has a
+        #: time-invariant load (each term is ``u * weight``); the sum
+        #: stays bit-identical until the runnable set changes (popped
+        #: alongside ``_avgs_cache``) or the stalest average leaves the
+        #: d >= 0.5 window
+        self._sat_loads: dict[int, tuple] = {}
         #: reusable per-core balance-tick events
         self._lb_events: dict[int, object] = {}
+        #: core index -> resolved :class:`CfsCpuRq`; ``core.rq`` is
+        #: assigned once at engine init and never rebound, so the
+        #: isinstance dispatch in :meth:`cpurq` can be done exactly
+        #: once per core
+        self._cpurqs: dict[int, CfsCpuRq] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -101,9 +115,17 @@ class CfsScheduler(SchedClass):
 
     def cpurq(self, core: "Core") -> CfsCpuRq:
         """This class's per-CPU state — ``core.rq`` when CFS runs
-        standalone, ``core.rq.fair`` under a class stack."""
+        standalone, ``core.rq.fair`` under a class stack.  Memoized per
+        core (``core.rq`` is never rebound after engine init)."""
+        cached = self._cpurqs.get(core.index)
+        if cached is not None:
+            return cached
         rq = core.rq
-        return rq if isinstance(rq, CfsCpuRq) else rq.fair
+        if rq is None:
+            raise SchedulerError(f"cpu{core.index} has no runqueue yet")
+        resolved = rq if isinstance(rq, CfsCpuRq) else rq.fair
+        self._cpurqs[core.index] = resolved
+        return resolved
 
     def start(self) -> None:
         if self._started:
@@ -188,6 +210,7 @@ class CfsScheduler(SchedClass):
         if se.cfs_rq is not None and se.on_rq:
             se.cfs_rq.reweight_entity(se, new_weight)
             self._avgs_cache.pop(se.cfs_rq.cpu, None)
+            self._sat_loads.pop(se.cfs_rq.cpu, None)
         else:
             se.weight = new_weight
             se.avg.weight = new_weight
@@ -231,6 +254,7 @@ class CfsScheduler(SchedClass):
             group.update_group_weight(cpu)
         self._load_cache.pop(cpu, None)
         self._avgs_cache.pop(cpu, None)
+        self._sat_loads.pop(cpu, None)
 
     def dequeue_task(self, core: "Core", thread: "SimThread",
                      flags: DequeueFlags) -> None:
@@ -253,6 +277,7 @@ class CfsScheduler(SchedClass):
             group.update_group_weight(cpu)
         self._load_cache.pop(cpu, None)
         self._avgs_cache.pop(cpu, None)
+        self._sat_loads.pop(cpu, None)
 
     # ------------------------------------------------------------------
     # picking
@@ -263,6 +288,7 @@ class CfsScheduler(SchedClass):
         # set_next/put_prev move entities between curr and the tree,
         # which reorders queued_entities() traversal.
         self._avgs_cache.pop(core.index, None)
+        self._sat_loads.pop(core.index, None)
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -291,6 +317,7 @@ class CfsScheduler(SchedClass):
         picking (used when another scheduling class takes over)."""
         cpurq = self.cpurq(core)
         self._avgs_cache.pop(core.index, None)
+        self._sat_loads.pop(core.index, None)
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -313,22 +340,24 @@ class CfsScheduler(SchedClass):
         self.state_of(thread).se.avg.update(self.engine.now, True)
 
     def task_tick(self, core: "Core") -> None:
+        min_gran = self.tunables.min_granularity_ns
         for rq in reversed(self.cpurq(core).curr_chain):
             se = rq.curr
-            if se is not None:
-                self._check_preempt_tick(core, rq, se)
-
-    def _check_preempt_tick(self, core: "Core", rq: CfsRq,
-                            se: SchedEntity) -> None:
-        ideal = rq.sched_slice(se)
-        if se.slice_exec > ideal:
-            core.need_resched = True
-            return
-        if se.slice_exec < self.tunables.min_granularity_ns:
-            return
-        first = rq.pick_first()
-        if first is not None and se.vruntime - first.vruntime > ideal:
-            core.need_resched = True
+            if se is None:
+                continue
+            # _check_preempt_tick inlined: this runs per level on
+            # every 1 ms tick.
+            ideal = rq.sched_slice(se)
+            slice_exec = se.slice_exec
+            if slice_exec > ideal:
+                core.need_resched = True
+                continue
+            if slice_exec < min_gran:
+                continue
+            first = rq.pick_first()
+            if first is not None and \
+                    se.vruntime - first.vruntime > ideal:
+                core.need_resched = True
 
     def needs_tick(self, core: "Core") -> bool:
         # An idle CFS core has no tick work: PELT decays lazily (the
@@ -421,6 +450,15 @@ class CfsScheduler(SchedClass):
         cached = self._load_cache.get(cpu)
         if cached is not None:
             return cached
+        sat = self._sat_loads.get(cpu)
+        if sat is not None and now - sat[1] < HALF_LIFE_NS:
+            # Every average on this cpu sat at the saturated fixed
+            # point when the sum was stored, and the stalest of them is
+            # still within a half-life: each per-avg term is the
+            # time-invariant ``u * weight`` (see pelt._SATURATED), so
+            # the stored sum is bit-identical to recomputing it now.
+            self._load_cache[cpu] = sat[0]
+            return sat[0]
         avgs = self._avgs_cache.get(cpu)
         if avgs is None:
             core = self.machine.cores[cpu]
@@ -429,15 +467,35 @@ class CfsScheduler(SchedClass):
             self._avgs_cache[cpu] = avgs
         load = 0.0
         exp = math.exp
+        decay_cache = _DECAY_CACHE
+        saturated = True
+        min_lu = now
         for avg in avgs:
-            delta = now - avg.last_update
-            if delta <= 0:
-                load += avg.util_avg * avg.weight
+            lu = avg.last_update
+            delta = now - lu
+            u = avg.util_avg
+            if u >= _SATURATED and delta < HALF_LIFE_NS:
+                # saturated fixed point, d >= 0.5: the decayed value
+                # is u itself, bit-for-bit (see pelt._SATURATED)
+                load += u * avg.weight
+                if lu < min_lu:
+                    min_lu = lu
+            elif delta <= 0:
+                load += u * avg.weight
+                saturated = False
             else:
-                # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
-                d = exp(-_LN2 * delta / HALF_LIFE_NS)
-                load += (avg.util_avg * d + (1.0 - d)) * avg.weight
+                d = decay_cache.get(delta)
+                if d is None:
+                    # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
+                    d = exp(-_LN2 * delta / HALF_LIFE_NS)
+                    if len(decay_cache) >= _DECAY_CACHE_MAX:
+                        decay_cache.clear()
+                    decay_cache[delta] = d
+                load += (u * d + (1.0 - d)) * avg.weight
+                saturated = False
         self._load_cache[cpu] = load
+        if saturated:
+            self._sat_loads[cpu] = (load, min_lu)
         return load
 
     def loads_for(self, cpus: Iterable[int]) -> dict[int, float]:
@@ -450,10 +508,19 @@ class CfsScheduler(SchedClass):
             self._load_cache = {}
         cache = self._load_cache
         avgs_cache = self._avgs_cache
+        sat_loads = self._sat_loads
         cores = self.machine.cores
         exp = math.exp
+        decay_cache = _DECAY_CACHE
+        half_life = HALF_LIFE_NS
         for cpu in cpus:
             if cpu in cache:
+                continue
+            sat = sat_loads.get(cpu)
+            if sat is not None and now - sat[1] < half_life:
+                # time-invariant saturated sum, still valid
+                # (see cpu_load)
+                cache[cpu] = sat[0]
                 continue
             avgs = avgs_cache.get(cpu)
             if avgs is None:
@@ -461,15 +528,34 @@ class CfsScheduler(SchedClass):
                         for t in self.runnable_threads(cores[cpu])]
                 avgs_cache[cpu] = avgs
             load = 0.0
+            saturated = True
+            min_lu = now
             for avg in avgs:
-                delta = now - avg.last_update
-                if delta <= 0:
-                    load += avg.util_avg * avg.weight
+                lu = avg.last_update
+                delta = now - lu
+                u = avg.util_avg
+                if u >= _SATURATED and delta < half_life:
+                    # saturated fixed point, d >= 0.5: bit-identical
+                    # shortcut (see pelt._SATURATED)
+                    load += u * avg.weight
+                    if lu < min_lu:
+                        min_lu = lu
+                elif delta <= 0:
+                    load += u * avg.weight
+                    saturated = False
                 else:
-                    # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
-                    d = exp(-_LN2 * delta / HALF_LIFE_NS)
-                    load += (avg.util_avg * d + (1.0 - d)) * avg.weight
+                    d = decay_cache.get(delta)
+                    if d is None:
+                        # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
+                        d = exp(-_LN2 * delta / HALF_LIFE_NS)
+                        if len(decay_cache) >= _DECAY_CACHE_MAX:
+                            decay_cache.clear()
+                        decay_cache[delta] = d
+                    load += (u * d + (1.0 - d)) * avg.weight
+                    saturated = False
             cache[cpu] = load
+            if saturated:
+                sat_loads[cpu] = (load, min_lu)
         return cache
 
     def runnable_threads(self, core: "Core") -> Iterable["SimThread"]:

@@ -24,14 +24,39 @@ HALF_LIFE_NS = 32_000_000
 
 _LN2 = math.log(2.0)
 
+#: memo for :func:`decay_factor`.  Event times live on a discrete
+#: grid (tick periods, slice lengths, balance intervals), so the same
+#: integer deltas recur constantly on the balancing hot path; caching
+#: the transcendental is a pure win and **bit-identical** — the same
+#: expression on the same integer input yields the same float.
+#: Bounded (cleared when full) so pathological delta streams cannot
+#: grow it without limit.
+_DECAY_CACHE: dict[int, float] = {}
+_DECAY_CACHE_MAX = 8192
+
+#: one ulp below 1.0 — the floating-point **fixed point** a saturated
+#: average settles on.  ``u' = fl(fl(u*d) + (1.0 - d))`` maps both
+#: ``1.0`` and ``1.0 - 2**-53`` to themselves for every decay factor
+#: ``d`` in [0.5, 1] (``1.0 - d`` is exact by Sterbenz; ``u*d`` rounds
+#: down by exactly one ulp of ``d``), so once an always-runnable
+#: entity's average reaches this value the transcendental's result is
+#: known in advance and can be skipped **bit-identically**.
+_SATURATED = 1.0 - 2.0 ** -53
+
 
 def decay_factor(delta_ns: int) -> float:
     """Fraction of an old average that survives ``delta_ns``."""
     if delta_ns <= 0:
         return 1.0
-    # continuous-form PELT: the decay exponent is a dimensionless
-    # ratio, not clock arithmetic
-    return math.exp(-_LN2 * delta_ns / HALF_LIFE_NS)  # schedlint: ignore[float-ns-clock]
+    d = _DECAY_CACHE.get(delta_ns)
+    if d is None:
+        # continuous-form PELT: the decay exponent is a dimensionless
+        # ratio, not clock arithmetic
+        d = math.exp(-_LN2 * delta_ns / HALF_LIFE_NS)  # schedlint: ignore[float-ns-clock]
+        if len(_DECAY_CACHE) >= _DECAY_CACHE_MAX:
+            _DECAY_CACHE.clear()
+        _DECAY_CACHE[delta_ns] = d
+    return d
 
 
 class LoadAvg:
@@ -54,6 +79,13 @@ class LoadAvg:
         delta = now - self.last_update
         if delta <= 0:
             return
+        if running and self.util_avg >= _SATURATED and \
+                delta < HALF_LIFE_NS:
+            # Saturated fixed point with d >= 0.5: the update would
+            # reproduce util_avg bit-for-bit (see _SATURATED), so only
+            # the clock needs touching.
+            self.last_update = now
+            return
         d = decay_factor(delta)
         target = 1.0 if running else 0.0
         self.util_avg = self.util_avg * d + target * (1.0 - d)
@@ -69,6 +101,10 @@ class LoadAvg:
         without mutating state."""
         delta = now - self.last_update
         if delta <= 0:
+            return self.load_avg
+        if running and self.util_avg >= _SATURATED and \
+                delta < HALF_LIFE_NS:
+            # same bit-identical saturation shortcut as update()
             return self.load_avg
         d = decay_factor(delta)
         target = 1.0 if running else 0.0

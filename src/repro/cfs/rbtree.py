@@ -35,6 +35,8 @@ class _Node:
 class RBTree:
     """Red-black tree with a cached leftmost node."""
 
+    __slots__ = ("root", "_leftmost", "_nodes")
+
     def __init__(self):
         self.root: Optional[_Node] = None
         self._leftmost: Optional[_Node] = None

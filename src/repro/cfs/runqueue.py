@@ -32,6 +32,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class CfsRq:
     """One CFS timeline: the runqueue of one task group on one CPU."""
 
+    #: global structure generation, bumped by every enqueue / dequeue /
+    #: reweight on *any* rq.  :meth:`sched_slice` results only depend
+    #: on queue membership, weights and the (constant) tunables, so a
+    #: memoized slice is valid exactly while the generation stands.
+    #: Global rather than per-chain so invalidation needs no hierarchy
+    #: walk; the cost is only spurious misses after unrelated churn.
+    _gen = 0
+
+    # ``_gen`` is a class attribute and must stay out of __slots__.
+    __slots__ = ("cpu", "tunables", "group", "owner_entity", "tree",
+                 "curr", "skip", "min_vruntime", "nr_running",
+                 "load_weight", "h_nr_running", "_slice_memo")
+
     def __init__(self, cpu: int, tunables: "CfsTunables",
                  group: Optional["TaskGroup"] = None,
                  owner_entity: Optional[SchedEntity] = None):
@@ -51,6 +64,8 @@ class CfsRq:
         self.load_weight = 0
         #: tasks queued in this rq and every descendant rq
         self.h_nr_running = 0
+        #: id(se) -> (generation, slice_ns) memo for sched_slice
+        self._slice_memo: dict = {}
 
     # ------------------------------------------------------------------
     # entity queue/dequeue
@@ -60,6 +75,7 @@ class CfsRq:
         """Add an entity to this timeline (curr stays out of the tree)."""
         if se.on_rq:
             raise SchedulerError(f"{se} already queued")
+        CfsRq._gen += 1
         se.cfs_rq = self
         se.on_rq = True
         self.nr_running += 1
@@ -71,6 +87,7 @@ class CfsRq:
         """Remove an entity (handles the running entity too)."""
         if not se.on_rq:
             raise SchedulerError(f"{se} not queued")
+        CfsRq._gen += 1
         if se is self.curr:
             self.curr = None
         else:
@@ -84,6 +101,7 @@ class CfsRq:
 
     def reweight_entity(self, se: SchedEntity, new_weight: int) -> None:
         """Change a queued entity's weight (group share updates)."""
+        CfsRq._gen += 1
         if se.on_rq:
             self.load_weight += new_weight - se.weight
         if se.on_rq and se is not self.curr:
@@ -100,9 +118,11 @@ class CfsRq:
 
     def pick_first(self) -> Optional[SchedEntity]:
         """Leftmost entity, honouring the yield-skip hint."""
-        first = self.tree.min_value()
-        if first is None:
+        # tree.min_value() inlined (cached-leftmost read; tick path)
+        node = self.tree._leftmost
+        if node is None:
             return None
+        first = node.value
         if first is self.skip:
             second = self.tree.second_value()
             if second is not None:
@@ -140,20 +160,31 @@ class CfsRq:
             return
         se.sum_exec += delta_ns
         se.slice_exec += delta_ns
-        se.vruntime += calc_delta_fair(delta_ns, se.weight)
+        weight = se.weight
+        # nice-0 fast path inlined (calc_delta_fair would return
+        # delta_ns unchanged)
+        se.vruntime += delta_ns if weight == 1024 \
+            else calc_delta_fair(delta_ns, weight)
         self.update_min_vruntime()
 
     def update_min_vruntime(self) -> None:
         """Advance ``min_vruntime`` monotonically toward the smallest
-        live vruntime (curr or leftmost)."""
-        candidates = []
-        if self.curr is not None and self.curr.on_rq:
-            candidates.append(self.curr.vruntime)
-        leftmost = self.tree.min_value()
-        if leftmost is not None:
-            candidates.append(leftmost.vruntime)
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+        live vruntime (curr or leftmost).  Allocation-free: this runs
+        once per ``update_curr`` on the hottest accounting path."""
+        curr = self.curr
+        # tree.min_value() inlined (cached-leftmost read; hottest path)
+        node = self.tree._leftmost
+        leftmost = node.value if node is not None else None
+        if curr is not None and curr.on_rq:
+            vruntime = curr.vruntime
+            if leftmost is not None and leftmost.vruntime < vruntime:
+                vruntime = leftmost.vruntime
+        elif leftmost is not None:
+            vruntime = leftmost.vruntime
+        else:
+            return
+        if vruntime > self.min_vruntime:
+            self.min_vruntime = vruntime
 
     # ------------------------------------------------------------------
     # placement
@@ -182,7 +213,18 @@ class CfsRq:
 
     def sched_slice(self, se: SchedEntity) -> int:
         """The wall-clock slice ``se`` should get per period, walking up
-        the group hierarchy like the kernel's ``sched_slice``."""
+        the group hierarchy like the kernel's ``sched_slice``.
+
+        Memoized per (entity, structure generation): the tick path
+        recomputes the same slice every millisecond while the queue is
+        unchanged.  An ``id(se)`` key cannot alias a dead entity — an
+        entity only dies after a dequeue, which bumps the generation.
+        """
+        gen = CfsRq._gen
+        memo = self._slice_memo
+        hit = memo.get(id(se))
+        if hit is not None and hit[0] == gen:
+            return hit[1]
         nr = self.nr_running + (0 if se.on_rq else 1)
         slice_ns = self.tunables.sched_period(nr)
         rq: Optional[CfsRq] = self
@@ -193,6 +235,9 @@ class CfsRq:
                 slice_ns = slice_ns * cursor.weight // load
             cursor = rq.owner_entity
             rq = cursor.cfs_rq if cursor is not None else None
+        if len(memo) > 256:
+            memo.clear()
+        memo[id(se)] = (gen, slice_ns)
         return slice_ns
 
     def sched_vslice(self, se: SchedEntity) -> int:

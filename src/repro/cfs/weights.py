@@ -27,11 +27,24 @@ _PRIO_TO_WEIGHT = (
 )
 
 
+#: memoized nice -> weight mapping (dict lookup beats the range check
+#: plus offset indexing on the fork/renice path)
+_NICE_TO_WEIGHT = {nice: _PRIO_TO_WEIGHT[nice + 20]
+                   for nice in range(-20, 20)}
+
+#: memoized weight -> 1/weight, normalised to NICE_0_LOAD (the
+#: kernel's ``sched_prio_to_wmult`` idea).  For float consumers only —
+#: integer vruntime scaling must keep using the exact floor division
+#: in :func:`calc_delta_fair`.
+INV_WEIGHT = {w: NICE_0_LOAD / w for w in _PRIO_TO_WEIGHT}
+
+
 def nice_to_weight(nice: int) -> int:
     """Load weight for a nice level in [-20, 19]."""
-    if not -20 <= nice <= 19:
-        raise ValueError(f"nice out of range: {nice}")
-    return _PRIO_TO_WEIGHT[nice + 20]
+    try:
+        return _NICE_TO_WEIGHT[nice]
+    except KeyError:
+        raise ValueError(f"nice out of range: {nice}") from None
 
 
 def calc_delta_fair(delta_ns: int, weight: int) -> int:

@@ -46,7 +46,8 @@ def _cmd_experiment(args) -> int:
 
 def _run_one(name: str, sched: str, cpus: int, seed: int,
              noise: bool, sanitize: bool = False,
-             faults_path: str | None = None) -> tuple:
+             faults_path: str | None = None,
+             profile: bool = False) -> tuple:
     faults = None
     if faults_path is not None:
         from .faults import FaultPlan
@@ -54,7 +55,8 @@ def _run_one(name: str, sched: str, cpus: int, seed: int,
     engine = make_engine(sched, ncpus=cpus, seed=seed,
                          ctx_switch_cost_ns=usec(15),
                          sanitize=True if sanitize else None,
-                         faults=faults)
+                         faults=faults,
+                         profile=True if profile else None)
     if noise:
         from .workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)
@@ -67,7 +69,8 @@ def _cmd_run(args) -> int:
     engine, workload, reason = _run_one(args.name, args.sched,
                                         args.cpus, args.seed, args.noise,
                                         sanitize=args.sanitize,
-                                        faults_path=args.faults)
+                                        faults_path=args.faults,
+                                        profile=args.profile)
     perf = workload.performance(engine)
     print(f"{args.name} on {args.sched} ({args.cpus} cpus): "
           f"performance={perf:.4f} ops/s, simulated "
@@ -84,6 +87,9 @@ def _cmd_run(args) -> int:
     if args.digest:
         from .tracing.digest import schedule_digest
         print(f"  digest={schedule_digest(engine)}")
+    if args.profile and engine.profiler is not None:
+        print("\nper-subsystem profile (see docs/performance.md):")
+        print(engine.profiler.report())
     return 0
 
 
@@ -210,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="inject a fault plan (JSON; see "
                                 "docs/fault-injection.md) — hotplug, "
                                 "tick jitter, IPI loss, stalls")
+            p.add_argument("--profile", action="store_true",
+                           help="report per-subsystem event counts "
+                                "and callback self-time after the "
+                                "run (see docs/performance.md)")
         p.set_defaults(func=func)
     return parser
 

@@ -40,9 +40,12 @@ from .errors import DeadlockError, SimulationError, ThreadStateError
 from .events import EventQueue
 from .machine import Core, Machine
 from .metrics import MetricRegistry
+from .profile import EventProfiler, global_profiler, profile_from_env, \
+    timestamp
 from .rng import RandomSource
 from .schedflags import DequeueFlags, EnqueueFlags, SelectFlags
 from .thread import SimThread, ThreadState
+from .timerwheel import TimingWheelQueue
 from .topology import Topology
 
 #: ``run_remaining`` value meaning "spin forever".
@@ -61,6 +64,32 @@ def _sanitize_from_env() -> bool:
     return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
+def _eventq_from_env() -> str:
+    """``REPRO_EVENTQ``: ``wheel`` (default) or ``heap``."""
+    value = os.environ.get("REPRO_EVENTQ", "").strip().lower()
+    if value in ("", "wheel"):
+        return "wheel"
+    if value == "heap":
+        return "heap"
+    raise ValueError(f"REPRO_EVENTQ must be 'heap' or 'wheel', "
+                     f"got {value!r}")
+
+
+def make_event_queue(kind: Optional[str] = None):
+    """Build an event queue: ``"wheel"`` (the default), ``"heap"``
+    (the reference binary heap, for differential testing), or ``None``
+    to consult ``REPRO_EVENTQ``.  Both implementations pop in
+    identical ``(time, seq)`` order, so the choice never changes a
+    schedule — see docs/performance.md."""
+    if kind is None:
+        kind = _eventq_from_env()
+    if kind == "wheel":
+        return TimingWheelQueue()
+    if kind == "heap":
+        return EventQueue()
+    raise ValueError(f"unknown event queue kind: {kind!r}")
+
+
 class Tracer:
     """Dispatch point for observation hooks.
 
@@ -68,6 +97,9 @@ class Tracer:
     corresponding lifecycle points.  All hooks are optional and add no
     cost when absent.
     """
+
+    __slots__ = ("on_switch", "on_wake", "on_migrate", "on_exit",
+                 "on_preempt", "on_fault")
 
     def __init__(self):
         self.on_switch: list[Callable] = []      # (core, prev, next)
@@ -83,6 +115,7 @@ class Tracer:
             hook(*args)
 
 
+# schedlint: ignore[missing-slots] -- one instance per run; fault hooks and tests monkeypatch attributes
 class Engine:
     """A single simulation run."""
 
@@ -91,9 +124,17 @@ class Engine:
                  ctx_switch_cost_ns: int = 0,
                  tickless: Optional[bool] = None,
                  sanitize: Optional[bool] = None,
-                 faults=None):
+                 faults=None,
+                 event_queue=None,
+                 profile: Optional[bool] = None):
         self.now = 0
-        self.events = EventQueue()
+        #: the event queue: "heap"/"wheel"/a ready queue object; the
+        #: default consults REPRO_EVENTQ and falls back to the timing
+        #: wheel.  Either kind produces the identical schedule.
+        if event_queue is None or isinstance(event_queue, str):
+            self.events = make_event_queue(event_queue)
+        else:
+            self.events = event_queue
         #: events executed by :meth:`run` (for events/sec reporting)
         self.events_processed = 0
         #: park the periodic tick on quiescent idle cores (NO_HZ)
@@ -136,6 +177,15 @@ class Engine:
             # that import this engine module
             from ..analysis.sanitizer import Sanitizer
             self.sanitizer = Sanitizer(self)
+
+        #: per-subsystem event profiler (``--profile`` /
+        #: ``REPRO_PROFILE``); None (the default) costs one local None
+        #: test per event in :meth:`run`.  Env-enabled profiling
+        #: aggregates into the process-wide profiler so a serial
+        #: campaign can report across all its cells.
+        self.profiler: Optional[EventProfiler] = None
+        if profile_from_env() if profile is None else profile:
+            self.profiler = global_profiler()
 
     # ------------------------------------------------------------------
     # thread creation
@@ -195,7 +245,9 @@ class Engine:
                                             waker=waker)
         cpu = self._constrain_cpu(thread, cpu)
         self._enqueue(thread, cpu, EnqueueFlags.WAKEUP)
-        Tracer._fire(self.tracer.on_wake, thread, cpu, waker)
+        hooks = self.tracer.on_wake
+        if hooks:
+            Tracer._fire(hooks, thread, cpu, waker)
 
     def _constrain_cpu(self, thread: SimThread, cpu: int) -> int:
         """Clamp a placement decision to the thread's affinity mask and
@@ -247,7 +299,9 @@ class Engine:
         thread.rq_cpu = None
         core.current = None
         core.need_resched = True
-        Tracer._fire(self.tracer.on_switch, core, thread, None)
+        hooks = self.tracer.on_switch
+        if hooks:
+            Tracer._fire(hooks, core, thread, None)
 
     def migrate_thread(self, thread: SimThread, dst_cpu: int) -> None:
         """Move a RUNNABLE (not RUNNING) thread to another runqueue.
@@ -275,7 +329,9 @@ class Engine:
         if self._nr_stopped_ticks:
             self._kick_stopped_ticks()
         self.metrics.incr("engine.migrations")
-        Tracer._fire(self.tracer.on_migrate, thread, src_cpu, dst_cpu)
+        hooks = self.tracer.on_migrate
+        if hooks:
+            Tracer._fire(hooks, thread, src_cpu, dst_cpu)
         if dst.is_idle:
             self.request_resched(dst)
 
@@ -557,7 +613,9 @@ class Engine:
             prev.wait_start = self.now
             prev.nr_preemptions += 1
             self.metrics.incr("engine.preemptions")
-            Tracer._fire(self.tracer.on_preempt, core, prev, nxt)
+            hooks = self.tracer.on_preempt
+            if hooks:
+                Tracer._fire(hooks, core, prev, nxt)
         core.current = nxt
         core.nr_switches += 1
         self.metrics.incr("engine.switches")
@@ -585,7 +643,9 @@ class Engine:
             if nxt.run_remaining not in (None, RUN_FOREVER):
                 nxt.run_remaining += self.ctx_switch_cost_ns
             core.sched_overhead_ns += self.ctx_switch_cost_ns
-        Tracer._fire(self.tracer.on_switch, core, prev, nxt)
+        hooks = self.tracer.on_switch
+        if hooks:
+            Tracer._fire(hooks, core, prev, nxt)
 
     def _speed_of(self, core: Core) -> float:
         if self.machine.corun_slowdown == 1.0 or core.current is None:
@@ -601,18 +661,20 @@ class Engine:
         if thread is None:
             core.account_to_now()
             return
-        start = getattr(core, "_curr_account_start", self.now)
-        delta = self.now - start
-        core._curr_account_start = self.now
+        now = self.now
+        delta = now - core._curr_account_start
+        core._curr_account_start = now
         if delta <= 0:
             return
         core.account_to_now()
         thread.total_runtime += delta
-        thread.last_ran = self.now
-        if thread.run_remaining is not None \
-                and thread.run_remaining is not RUN_FOREVER:
-            progress = int(delta * getattr(core, "_curr_speed", 1.0))
-            thread.run_remaining = max(0, thread.run_remaining - progress)
+        thread.last_ran = now
+        remaining = thread.run_remaining
+        if remaining is not None and remaining is not RUN_FOREVER:
+            speed = core._curr_speed
+            progress = delta if speed == 1.0 else int(delta * speed)
+            remaining -= progress
+            thread.run_remaining = remaining if remaining > 0 else 0
         self.scheduler.update_curr(core, thread, delta)
 
     # -- run-completion timer -------------------------------------------
@@ -621,8 +683,9 @@ class Engine:
         thread = core.current
         if thread is None or thread.run_remaining in (None, RUN_FOREVER):
             return
-        speed = getattr(core, "_curr_speed", 1.0)
-        wall = math.ceil(thread.run_remaining / speed)
+        speed = core._curr_speed
+        wall = thread.run_remaining if speed == 1.0 \
+            else math.ceil(thread.run_remaining / speed)
         core.completion_event = self.events.post(
             self.now + wall, self._on_run_complete, core, thread,
             label=f"runend:{thread.name}")
@@ -724,8 +787,11 @@ class Engine:
         core.need_resched = True
         self.live_threads -= 1
         self.metrics.incr("engine.exits")
-        Tracer._fire(self.tracer.on_switch, core, thread, None)
-        Tracer._fire(self.tracer.on_exit, thread)
+        tracer = self.tracer
+        if tracer.on_switch:
+            Tracer._fire(tracer.on_switch, core, thread, None)
+        if tracer.on_exit:
+            Tracer._fire(tracer.on_exit, thread)
 
     # ------------------------------------------------------------------
     # scheduler services
@@ -858,45 +924,60 @@ class Engine:
         self._stopped = False
         self._stop_reason = None
         events_since_check = 0
+        # Hot-loop specialization: the queue's bound methods and the
+        # optional per-event observers are hoisted to locals, and the
+        # event counter is accumulated locally and flushed once (the
+        # finally block keeps events/sec reporting exact on every exit
+        # path, including exceptions from callbacks).
         sanitizer = self.sanitizer
-        while True:
-            if self._stopped:
-                return self._stop_reason or "stopped"
-            next_time = self.events.peek_time()
-            if next_time is None:
-                if until is not None:
-                    # Tickless idle can drain the queue entirely (the
-                    # always-tick engine would spin no-op ticks up to
-                    # the deadline, with threads possibly still blocked
-                    # past it); jump straight there.
-                    self.now = until
-                    for core in self.machine.cores:
-                        self._update_curr(core)
-                    return "deadline"
-                if self.live_threads > 0 and any(
-                        t.is_blocked for t in self.threads):
-                    raise DeadlockError(
-                        f"{self.live_threads} live threads but no events")
-                return "drained"
-            if until is not None and next_time > until:
-                self.now = until
-                for core in self.machine.cores:
-                    self._update_curr(core)
-                return "deadline"
-            event = self.events.pop()
-            self.now = event.time
-            self.events_processed += 1
-            event.callback(*event.args)
-            if sanitizer is not None:
-                sanitizer.after_event(event)
-            if stop_when is not None:
-                events_since_check += 1
-                if events_since_check >= check_interval:
-                    events_since_check = 0
-                    if stop_when(self):
-                        return "condition"
-            if self.live_threads == 0:
-                return "all-exited"
+        profiler = self.profiler
+        events = self.events
+        pop_before = events.pop_before
+        processed = 0
+        try:
+            while True:
+                if self._stopped:
+                    return self._stop_reason or "stopped"
+                event = pop_before(until)
+                if event is None:
+                    # Queue exhausted, or the next live event lies
+                    # beyond the deadline.
+                    if until is not None:
+                        # Tickless idle can drain the queue entirely
+                        # (the always-tick engine would spin no-op
+                        # ticks up to the deadline, with threads
+                        # possibly still blocked past it); jump
+                        # straight there.
+                        self.now = until
+                        for core in self.machine.cores:
+                            self._update_curr(core)
+                        return "deadline"
+                    if self.live_threads > 0 and any(
+                            t.is_blocked for t in self.threads):
+                        raise DeadlockError(
+                            f"{self.live_threads} live threads "
+                            f"but no events")
+                    return "drained"
+                self.now = event.time
+                processed += 1
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    t0 = timestamp()
+                    event.callback(*event.args)
+                    profiler.record(event.label, timestamp() - t0)
+                if sanitizer is not None:
+                    sanitizer.after_event(event)
+                if stop_when is not None:
+                    events_since_check += 1
+                    if events_since_check >= check_interval:
+                        events_since_check = 0
+                        if stop_when(self):
+                            return "condition"
+                if self.live_threads == 0:
+                    return "all-exited"
+        finally:
+            self.events_processed += processed
 
     # ------------------------------------------------------------------
     # canonical schedule state (digest hook)

@@ -1,16 +1,40 @@
 """The discrete-event queue.
 
-A binary-heap event queue with stable FIFO ordering for events posted
-at the same instant, O(1) logical cancellation, an O(1) live-event
-count, and lazy compaction: cancelled events stay in the heap and are
-skipped on pop, but once they outnumber the live ones the heap is
-rebuilt so pathological cancel-heavy workloads (run-completion timers
-racing preemptions) do not keep dead entries around forever.
+Two interchangeable implementations share the :class:`Event` type and
+the queue API (``post`` / ``repost`` / ``make_reusable`` / ``cancel`` /
+``pop`` / ``peek_time`` / ``len``):
 
-Hot-path events that recur forever with a fixed callback — the
-per-core scheduler tick, the resched IPI — can be *reused* through
-:meth:`EventQueue.repost` instead of allocating a fresh ``Event`` (and
-formatting a fresh label) every period.
+* :class:`EventQueue` — a binary heap.  Simple, obviously correct, and
+  the *reference implementation* for differential testing.
+* :class:`~repro.core.timerwheel.TimingWheelQueue` — a hierarchical
+  timing wheel (Linux ``timer_wheel`` style) with O(1) posting into
+  near-future slots, an overflow heap for far-future events, and
+  cascading on advance.  The engine's default; see
+  ``docs/performance.md``.
+
+Both pop events in exactly ``(time, seq)`` order, so every schedule —
+and therefore every digest in ``tests/golden/`` — is identical under
+either queue (``tests/test_eventq_differential.py`` enforces this).
+
+Shared design points:
+
+* **Tuple entries.**  Internally both queues store ``(time, seq,
+  event)`` tuples, so heap sift comparisons happen on C-level tuples
+  instead of calling ``Event.__lt__`` — a large constant-factor win on
+  the hottest path in the simulator.
+* **Lazy cancellation.**  ``cancel()`` marks the event dead in O(1);
+  dead entries are skipped on pop and reclaimed by compaction once
+  they outnumber the live ones.  Accounting is *subtractive*:
+  compaction decrements the dead counter by the number of entries it
+  actually removed, never resets it to zero, so a dead entry that
+  currently sits in a different region (e.g. moved by a timing-wheel
+  cascade) cannot be double-counted as reclaimed.  Compaction also
+  filters container lists **in place** (``list[:] = ...``) so hoisted
+  aliases held across a cascade or pop loop can never go stale.
+* **Reusable events.**  Recurring fixed-callback events — the per-core
+  scheduler tick, the resched IPI — go through
+  :meth:`EventQueue.repost` instead of allocating a fresh ``Event``
+  (and formatting a fresh label) every period.
 """
 
 from __future__ import annotations
@@ -22,16 +46,16 @@ from typing import Any, Callable, Optional
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so simultaneous events fire in
-    posting order, which keeps runs deterministic.
+    Events fire in ``(time, seq)`` order, so simultaneous events fire
+    in posting order, which keeps runs deterministic.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled",
-                 "popped", "label", "_queue")
+                 "popped", "label", "_queue", "_region")
 
     def __init__(self, time: int, seq: int,
                  callback: Callable[..., Any], args: tuple, label: str = "",
-                 queue: Optional["EventQueue"] = None):
+                 queue=None):
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -41,6 +65,10 @@ class Event:
         self.popped = False
         self.label = label
         self._queue = queue
+        #: which region of the owning queue currently holds the entry
+        #: (only the timing wheel distinguishes regions; the heap
+        #: ignores it).  See ``timerwheel._REGION_*``.
+        self._region = 0
 
     def cancel(self) -> bool:
         """Logically remove the event; it will be skipped when popped.
@@ -58,9 +86,7 @@ class Event:
         self.cancelled = True
         queue = self._queue
         if queue is not None:
-            queue._live -= 1
-            queue._dead_in_heap += 1
-            queue._maybe_compact()
+            queue._note_cancel(self)
         return True
 
     def __lt__(self, other: "Event") -> bool:
@@ -72,10 +98,13 @@ class Event:
 
 
 class EventQueue:
-    """Binary heap of :class:`Event` objects."""
+    """Binary heap of ``(time, seq, event)`` entries — the reference
+    event-queue implementation."""
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead_in_heap")
 
     def __init__(self):
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq = 0
         #: number of posted, not-yet-popped, not-cancelled events
         self._live = 0
@@ -89,7 +118,7 @@ class EventQueue:
         self._seq += 1
         event = Event(time, self._seq, callback, args, label, queue=self)
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, self._seq, event))
         return event
 
     def repost(self, event: Event, time: int) -> Event:
@@ -108,7 +137,7 @@ class EventQueue:
         event.popped = False
         event._queue = self
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, self._seq, event))
         return event
 
     def make_reusable(self, callback: Callable[..., Any], *args,
@@ -121,8 +150,9 @@ class EventQueue:
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` when
         the queue is exhausted."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 event.popped = True
                 self._live -= 1
@@ -132,23 +162,71 @@ class EventQueue:
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if not entry[2].cancelled:
+                return entry[0]
+            heapq.heappop(heap)
             self._dead_in_heap -= 1
-        return self._heap[0].time if self._heap else None
+        return None
+
+    def pop_before(self, limit: Optional[int]) -> Optional[Event]:
+        """Fused peek + pop for the engine's run loop: remove and
+        return the earliest live event unless its time exceeds
+        ``limit`` (``None`` = no limit), in which case it stays queued
+        and ``None`` is returned.  One heap traversal instead of the
+        peek_time()/pop() pair."""
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                self._dead_in_heap -= 1
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            heappop(heap)
+            event.popped = True
+            self._live -= 1
+            return event
+        return None
+
+    def _note_cancel(self, event: Event) -> None:
+        """Account for a just-cancelled in-queue event (called from
+        :meth:`Event.cancel` exactly once per live event)."""
+        self._live -= 1
+        self._dead_in_heap += 1
+        self._maybe_compact()
 
     def _maybe_compact(self) -> None:
         """Rebuild the heap once cancelled entries outnumber live ones
-        (and the heap is big enough for the O(n) rebuild to pay off)."""
-        if self._dead_in_heap <= 64 or \
-                self._dead_in_heap * 2 <= len(self._heap):
+        (and the heap is big enough for the O(n) rebuild to pay off).
+
+        Filters in place and subtracts the number of entries actually
+        removed (see the module docstring) so the accounting stays
+        correct no matter where compaction is triggered from.
+        """
+        heap = self._heap
+        if self._dead_in_heap <= 64 or self._dead_in_heap * 2 <= len(heap):
             return
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
-        self._dead_in_heap = 0
+        before = len(heap)
+        heap[:] = [e for e in heap if not e[2].cancelled]
+        heapq.heapify(heap)
+        self._dead_in_heap -= before - len(heap)
+
+    def _check_accounting(self) -> None:
+        """Debug/test helper: verify counters against the actual heap
+        contents; raises ``AssertionError`` on drift."""
+        dead = sum(1 for e in self._heap if e[2].cancelled)
+        live = len(self._heap) - dead
+        assert self._live == live, (self._live, live)
+        assert self._dead_in_heap == dead, (self._dead_in_heap, dead)
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0

@@ -27,6 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Core:
     """Per-CPU execution state."""
 
+    __slots__ = ("engine", "index", "current", "rq", "need_resched",
+                 "completion_event", "resched_event", "_resched_reuse",
+                 "tick_event", "tick_origin", "tick_stopped", "online",
+                 "busy_ns", "idle_ns", "nr_switches",
+                 "sched_overhead_ns", "_last_account",
+                 "curr_started_at", "_curr_account_start",
+                 "_curr_speed")
+
     def __init__(self, engine: "Engine", index: int):
         self.engine = engine
         self.index = index
@@ -62,6 +70,12 @@ class Core:
         self._last_account = engine.now
         #: time the current thread was put on the CPU
         self.curr_started_at = engine.now
+        #: accounting point for :meth:`Engine._update_curr`; refreshed
+        #: at every switch, so the init value only covers the idle
+        #: stretch before the core first runs anything
+        self._curr_account_start = engine.now
+        #: co-run speed factor of the current thread (1.0 = full speed)
+        self._curr_speed = 1.0
 
     @property
     def is_idle(self) -> bool:
@@ -93,6 +107,8 @@ class Core:
 
 class Machine:
     """A simulated multiprocessor."""
+
+    __slots__ = ("topology", "corun_slowdown", "cores")
 
     def __init__(self, engine: "Engine", topology: Topology,
                  corun_slowdown: float = 1.0):

@@ -16,6 +16,8 @@ from typing import Iterable, Optional
 class LatencyRecorder:
     """Accumulates duration samples and reports summary statistics."""
 
+    __slots__ = ("name", "samples")
+
     def __init__(self, name: str):
         self.name = name
         self.samples: list[int] = []
@@ -73,6 +75,8 @@ class LatencyRecorder:
 class TimeSeries:
     """A series of ``(time_ns, value)`` observations."""
 
+    __slots__ = ("name", "times", "values")
+
     def __init__(self, name: str):
         self.name = name
         self.times: list[int] = []
@@ -107,6 +111,8 @@ class TimeSeries:
 
 class MetricRegistry:
     """Namespace of counters, latency recorders, and time series."""
+
+    __slots__ = ("counters", "_latencies", "_series")
 
     def __init__(self):
         self.counters: dict[str, float] = defaultdict(float)

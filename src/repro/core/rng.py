@@ -19,6 +19,8 @@ class RandomStream:
     are stable across runs and uncorrelated with each other.
     """
 
+    __slots__ = ("name", "_rng")
+
     def __init__(self, root_seed: int, name: str):
         self.name = name
         digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
@@ -66,6 +68,8 @@ class RandomSource:
     A single :class:`RandomSource` is owned by the simulation engine;
     every component asks it for a stream under a stable name.
     """
+
+    __slots__ = ("root_seed", "_streams")
 
     def __init__(self, root_seed: int = 0):
         self.root_seed = root_seed

@@ -55,6 +55,8 @@ class ThreadCtx:
     and a private random stream, without exposing engine internals.
     """
 
+    __slots__ = ("_engine", "thread")
+
     def __init__(self, engine: "Engine", thread: "SimThread"):
         self._engine = engine
         self.thread = thread
@@ -81,6 +83,15 @@ class ThreadCtx:
 
 class SimThread:
     """A simulated kernel-visible thread."""
+
+    __slots__ = ("tid", "spec", "name", "app", "nice", "affinity",
+                 "parent", "state", "cpu", "rq_cpu", "ctx",
+                 "_generator", "_behavior", "total_runtime",
+                 "total_sleeptime", "total_waittime", "total_stalltime",
+                 "nr_switches", "nr_migrations", "nr_preemptions",
+                 "created_at", "exited_at", "sleep_start", "wait_start",
+                 "last_ran", "run_remaining", "_wake_value",
+                 "sleep_event", "policy", "tags")
 
     _COUNTER = 0
 

@@ -1,0 +1,368 @@
+"""Hierarchical timing-wheel event queue (the engine's default).
+
+The simulator's event population is bimodal: a dense cloud of
+near-future events (ticks one period out, resched IPIs at the current
+instant, run-completion timers a slice away) and a sparse tail of
+far-future ones (second-scale sleeps).  A binary heap pays O(log n)
+sift costs on every post and pop regardless; a timing wheel — the
+structure Linux uses for its timer subsystem — makes the dense
+near-future case O(1):
+
+* time is divided into **slots** of ``2**SLOT_SHIFT`` ns; the wheel
+  keeps ``NUM_SLOTS`` buckets covering the horizon
+  ``[cursor, cursor + NUM_SLOTS)`` slots.  Posting into the horizon is
+  a single ``list.append`` — no comparisons at all;
+* events beyond the horizon go to an **overflow heap** and *cascade*
+  into the wheel as the cursor advances toward them;
+* the slot currently being drained is kept as a small **pending
+  heap**, which restores exact ``(time, seq)`` order among the events
+  of one slot and absorbs same-instant posts made *during* the drain
+  (a resched IPI posted at ``now`` must fire before the next tick).
+
+Pop order is exactly the heap queue's ``(time, seq)`` order, so every
+schedule — and every golden digest — is identical under either
+implementation; ``tests/test_eventq_differential.py`` fuzzes this
+equivalence and :mod:`repro.benchmarks`' bench-smoke gate re-asserts
+it in CI.
+
+Cancellation is lazy in all three regions.  Each event records which
+region holds it (``Event._region``) so the dead counters stay exact:
+``_dead_in_heap`` counts dead entries in the overflow heap (the name
+matches :class:`~repro.core.events.EventQueue` deliberately) and
+``_dead_in_wheel`` counts dead entries in the slots and the pending
+heap.  A cascade *drops* dead overflow entries instead of moving them.
+Compaction follows the shared rules from :mod:`repro.core.events`:
+filter in place, subtract what was actually removed — never reset a
+counter to zero, because a compaction triggered between two cascade
+steps would then erase dead entries it never looked at.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Callable, Optional
+
+from .events import Event
+
+#: log2 of the slot width in nanoseconds: 2**20 ns = 1.049 ms per
+#: slot.  Scheduler periods (CFS 1 ms tick, ULE ~7.87 ms stathz) and
+#: run slices land well inside the horizon below.
+SLOT_SHIFT = 20
+
+#: number of wheel buckets; the horizon is NUM_SLOTS slots ≈ 268 ms.
+NUM_SLOTS = 256
+
+_SLOT_MASK = NUM_SLOTS - 1
+
+#: ``Event._region`` values (0 = not queued, shared with events.py)
+_REGION_NONE = 0
+_REGION_WHEEL = 1      # a slot bucket or the pending heap
+_REGION_OVERFLOW = 2   # the far-future overflow heap
+
+
+class TimingWheelQueue:
+    """Drop-in :class:`~repro.core.events.EventQueue` replacement
+    backed by a hierarchical timing wheel."""
+
+    __slots__ = ("_slots", "_wheel_count", "_pending", "_overflow",
+                 "_cursor", "_seq", "_live", "_dead_in_heap",
+                 "_dead_in_wheel")
+
+    def __init__(self):
+        self._slots: list[list] = [[] for _ in range(NUM_SLOTS)]
+        #: entries (live + dead) currently in slot buckets
+        self._wheel_count = 0
+        #: min-heap for the slot being drained (plus same-instant posts)
+        self._pending: list[tuple] = []
+        #: min-heap of entries at or beyond the horizon
+        self._overflow: list[tuple] = []
+        #: absolute index of the slot being drained
+        self._cursor = 0
+        self._seq = 0
+        #: number of posted, not-yet-popped, not-cancelled events
+        self._live = 0
+        #: cancelled entries still in the overflow heap
+        self._dead_in_heap = 0
+        #: cancelled entries still in slot buckets or the pending heap
+        self._dead_in_wheel = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def post(self, time: int, callback: Callable, *args,
+             label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at ``time``; returns a handle
+        whose ``cancel()`` unschedules it."""
+        seq = self._seq = self._seq + 1
+        event = Event(time, seq, callback, args, label, queue=self)
+        # _schedule inlined: post/repost are the engine's hottest
+        # allocation sites.
+        self._live += 1
+        offset = (time >> SLOT_SHIFT) - self._cursor
+        if 0 < offset < NUM_SLOTS:
+            event._region = _REGION_WHEEL
+            self._slots[(time >> SLOT_SHIFT) & _SLOT_MASK].append(
+                (time, seq, event))
+            self._wheel_count += 1
+        elif offset <= 0:
+            event._region = _REGION_WHEEL
+            heappush(self._pending, (time, seq, event))
+        else:
+            event._region = _REGION_OVERFLOW
+            heappush(self._overflow, (time, seq, event))
+        return event
+
+    def repost(self, event: Event, time: int) -> Event:
+        """Re-arm a recurring event (same contract as
+        :meth:`EventQueue.repost`: the event must not currently be
+        queued)."""
+        seq = self._seq = self._seq + 1
+        event.time = time
+        event.seq = seq
+        event.cancelled = False
+        event.popped = False
+        event._queue = self
+        # _schedule inlined (see post)
+        self._live += 1
+        offset = (time >> SLOT_SHIFT) - self._cursor
+        if 0 < offset < NUM_SLOTS:
+            event._region = _REGION_WHEEL
+            self._slots[(time >> SLOT_SHIFT) & _SLOT_MASK].append(
+                (time, seq, event))
+            self._wheel_count += 1
+        elif offset <= 0:
+            event._region = _REGION_WHEEL
+            heappush(self._pending, (time, seq, event))
+        else:
+            event._region = _REGION_OVERFLOW
+            heappush(self._overflow, (time, seq, event))
+        return event
+
+    def make_reusable(self, callback: Callable, *args,
+                      label: str = "") -> Event:
+        """Create an unscheduled event for later :meth:`repost` calls."""
+        event = Event(0, 0, callback, args, label, queue=self)
+        event.popped = True  # not queued yet
+        return event
+
+    def _schedule(self, time: int, seq: int, event: Event) -> None:
+        """Route an entry to pending / slot bucket / overflow."""
+        self._live += 1
+        slot = time >> SLOT_SHIFT
+        offset = slot - self._cursor
+        if offset <= 0:
+            # Current (or, defensively, past) slot: joins the drain
+            # heap so it still fires in exact (time, seq) order.
+            event._region = _REGION_WHEEL
+            heappush(self._pending, (time, seq, event))
+        elif offset < NUM_SLOTS:
+            event._region = _REGION_WHEEL
+            self._slots[slot & _SLOT_MASK].append((time, seq, event))
+            self._wheel_count += 1
+        else:
+            event._region = _REGION_OVERFLOW
+            heappush(self._overflow, (time, seq, event))
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when
+        the queue is exhausted."""
+        pending = self._pending
+        while True:
+            while pending:
+                event = heappop(pending)[2]
+                if not event.cancelled:
+                    event.popped = True
+                    event._region = _REGION_NONE
+                    self._live -= 1
+                    return event
+                self._dead_in_wheel -= 1
+            if not self._advance():
+                return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live event without removing it."""
+        pending = self._pending
+        while True:
+            while pending:
+                entry = pending[0]
+                if not entry[2].cancelled:
+                    return entry[0]
+                heappop(pending)
+                self._dead_in_wheel -= 1
+            if not self._advance():
+                return None
+
+    def pop_before(self, limit: Optional[int]) -> Optional[Event]:
+        """Fused peek + pop (same contract as
+        :meth:`EventQueue.pop_before`): one drain pass instead of the
+        peek_time()/pop() pair."""
+        pending = self._pending
+        while True:
+            while pending:
+                entry = pending[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(pending)
+                    self._dead_in_wheel -= 1
+                    continue
+                if limit is not None and entry[0] > limit:
+                    return None
+                heappop(pending)
+                event.popped = True
+                event._region = _REGION_NONE
+                self._live -= 1
+                return event
+            if not self._advance():
+                return None
+
+    def _advance(self) -> bool:
+        """Advance the cursor to the next populated slot, cascading
+        overflow entries that come inside the horizon; refills
+        ``_pending`` and returns True when it holds entries.  Called
+        only with ``_pending`` empty.
+
+        Never rebinds ``self._pending`` / ``self._overflow`` — callers
+        hold hoisted aliases across this call.
+        """
+        if self._live == 0:
+            # Only dead entries can remain; reclaim them all at once.
+            if self._wheel_count or self._overflow or self._pending:
+                self._purge_dead()
+            return False
+        slots = self._slots
+        pending = self._pending
+        overflow = self._overflow
+        cursor = self._cursor
+        wheel_count = self._wheel_count
+        while True:
+            if wheel_count:
+                cursor += 1
+            elif overflow:
+                # Wheel empty: jump straight to the first overflow slot
+                # instead of stepping through the gap.
+                cursor = overflow[0][0] >> SLOT_SHIFT
+            else:
+                self._cursor = cursor
+                self._wheel_count = wheel_count
+                return bool(pending)
+            # Cascade: pull overflow entries now inside the horizon.
+            if overflow:
+                horizon = (cursor + NUM_SLOTS) << SLOT_SHIFT
+                while overflow and overflow[0][0] < horizon:
+                    entry = heappop(overflow)
+                    event = entry[2]
+                    if event.cancelled:
+                        # Dead entries are dropped, not moved.
+                        self._dead_in_heap -= 1
+                        continue
+                    event._region = _REGION_WHEEL
+                    slot = entry[0] >> SLOT_SHIFT
+                    if slot <= cursor:
+                        heappush(pending, entry)
+                    else:
+                        slots[slot & _SLOT_MASK].append(entry)
+                        wheel_count += 1
+            bucket = slots[cursor & _SLOT_MASK]
+            if bucket:
+                wheel_count -= len(bucket)
+                pending.extend(bucket)
+                heapify(pending)
+                bucket.clear()
+            if pending:
+                self._cursor = cursor
+                self._wheel_count = wheel_count
+                return True
+
+    def _purge_dead(self) -> None:
+        """Drop every (necessarily dead) remaining entry."""
+        for bucket in self._slots:
+            bucket.clear()
+        self._pending.clear()
+        self._overflow.clear()
+        self._wheel_count = 0
+        self._dead_in_heap = 0
+        self._dead_in_wheel = 0
+
+    # ------------------------------------------------------------------
+    # cancellation + compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self, event: Event) -> None:
+        """Account for a just-cancelled in-queue event (called from
+        :meth:`Event.cancel` exactly once per live event)."""
+        self._live -= 1
+        if event._region == _REGION_OVERFLOW:
+            self._dead_in_heap += 1
+            self._maybe_compact_overflow()
+        else:
+            self._dead_in_wheel += 1
+            self._maybe_compact_wheel()
+
+    def _maybe_compact_overflow(self) -> None:
+        """Rebuild the overflow heap once dead entries outnumber live
+        ones there; subtractive accounting, in-place filtering (see
+        module docstring)."""
+        overflow = self._overflow
+        if self._dead_in_heap <= 64 or \
+                self._dead_in_heap * 2 <= len(overflow):
+            return
+        before = len(overflow)
+        overflow[:] = [e for e in overflow if not e[2].cancelled]
+        heapify(overflow)
+        self._dead_in_heap -= before - len(overflow)
+
+    def _maybe_compact_wheel(self) -> None:
+        """Filter dead entries out of the slot buckets and the pending
+        heap once they dominate.  ``_wheel_count`` is adjusted by the
+        number of bucket entries actually removed — a cascade may have
+        moved dead entries between regions since they were counted."""
+        total = self._wheel_count + len(self._pending)
+        if self._dead_in_wheel <= 64 or self._dead_in_wheel * 2 <= total:
+            return
+        removed = 0
+        for bucket in self._slots:
+            if not bucket:
+                continue
+            before = len(bucket)
+            bucket[:] = [e for e in bucket if not e[2].cancelled]
+            removed += before - len(bucket)
+        self._wheel_count -= removed
+        pending = self._pending
+        before = len(pending)
+        pending[:] = [e for e in pending if not e[2].cancelled]
+        heapify(pending)
+        removed += before - len(pending)
+        self._dead_in_wheel -= removed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def _check_accounting(self) -> None:
+        """Debug/test helper: verify counters against the actual
+        contents of all three regions; raises ``AssertionError`` on
+        drift."""
+        wheel_entries = [e for bucket in self._slots for e in bucket]
+        assert self._wheel_count == len(wheel_entries), \
+            (self._wheel_count, len(wheel_entries))
+        wheel_entries += self._pending
+        dead_wheel = sum(1 for e in wheel_entries if e[2].cancelled)
+        dead_over = sum(1 for e in self._overflow if e[2].cancelled)
+        live = (len(wheel_entries) + len(self._overflow)
+                - dead_wheel - dead_over)
+        assert self._live == live, (self._live, live)
+        assert self._dead_in_wheel == dead_wheel, \
+            (self._dead_in_wheel, dead_wheel)
+        assert self._dead_in_heap == dead_over, \
+            (self._dead_in_heap, dead_over)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

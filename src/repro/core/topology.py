@@ -32,6 +32,7 @@ class TopologyLevel:
         return TopologyLevel(name, tuple(frozenset(g) for g in groups))
 
 
+# schedlint: ignore[missing-slots] -- one instance per engine, built once at setup; not on the event hot path
 class Topology:
     """A validated multi-level CPU topology."""
 

@@ -16,10 +16,13 @@ docs/fault-injection.md for the determinism contract).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..core.artifacts import atomic_write_text
 from .campaign import render_report, run_campaign
+from .cellcache import DEFAULT_DIR as DEFAULT_CACHE_DIR
+from .cellcache import CellCache
 from .parallel import FailedCell
 from .registry import experiment_names
 
@@ -34,11 +37,35 @@ def _cmd_run(args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)} "
               f"(known: {known})", file=sys.stderr)
         return 2
+    jobs = args.jobs
+    if args.profile:
+        # Profiling aggregates the process-wide profiler across every
+        # cell, which requires running serially in-process, and a
+        # cache-served cell executes nothing to measure.
+        os.environ["REPRO_PROFILE"] = "1"
+        if jobs not in (None, 1):
+            print("--profile forces serial execution (--jobs ignored)",
+                  file=sys.stderr)
+        jobs = None
+    cache = None
+    if not args.no_cache and not args.profile:
+        cache = CellCache(args.cache_dir)
     cells, results = run_campaign(
-        names, quick=not args.full, seed=args.seed, jobs=args.jobs,
+        names, quick=not args.full, seed=args.seed, jobs=jobs,
         timeout_s=args.timeout, retries=args.retries,
         backoff_s=args.backoff, reseed=args.reseed,
-        checkpoint_path=args.checkpoint, resume=args.resume)
+        checkpoint_path=args.checkpoint, resume=args.resume,
+        cache=cache)
+    if cache is not None:
+        # stderr: the stdout report must stay byte-identical whether
+        # cells were computed or cache-served
+        print(f"cell cache: {cache.hits} hit(s), "
+              f"{cache.misses} executed", file=sys.stderr)
+    if args.profile:
+        from ..core.profile import global_profiler
+        print("per-subsystem profile (all cells; see "
+              "docs/performance.md):", file=sys.stderr)
+        print(global_profiler().report(), file=sys.stderr)
     report = render_report(cells, results)
     if args.output:
         atomic_write_text(args.output, report)
@@ -84,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay finished cells from the checkpoint; "
                         "without this flag a stale manifest is "
                         "cleared and the campaign starts fresh")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed cell cache and "
+                        "recompute every cell (e.g. for timing runs)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   metavar="DIR",
+                   help="cell-cache directory (default: "
+                        f"{DEFAULT_CACHE_DIR}); entries invalidate "
+                        "automatically when src/repro changes")
+    p.add_argument("--profile", action="store_true",
+                   help="run serially and report per-subsystem event "
+                        "counts and self-time aggregated over every "
+                        "cell (disables the cell cache; see "
+                        "docs/performance.md)")
     p.add_argument("--output", "-o", default=None,
                    help="write the report to a file (atomically) "
                         "instead of stdout")

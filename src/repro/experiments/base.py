@@ -49,6 +49,7 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
                 tickless: Optional[bool] = None,
                 sanitize: Optional[bool] = None,
                 faults=None,
+                profile=None,
                 **sched_options) -> Engine:
     """Engine factory used by all experiment drivers.
 
@@ -58,7 +59,9 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
     determinism tests run both settings and compare); ``sanitize``
     overrides the ``REPRO_SANITIZE`` environment default; ``faults``
     injects a :class:`~repro.faults.plan.FaultPlan` (empty plans are
-    digest-identical to no plan; see docs/fault-injection.md).
+    digest-identical to no plan; see docs/fault-injection.md);
+    ``profile`` overrides the ``REPRO_PROFILE`` environment default
+    (see docs/performance.md).
     """
     if ncpus == 1:
         topo = single_core()
@@ -70,7 +73,8 @@ def make_engine(sched: str, ncpus: int = 1, seed: int = 1,
     return Engine(topo, scheduler_factory(sched, **sched_options),
                   seed=seed, corun_slowdown=corun_slowdown,
                   ctx_switch_cost_ns=ctx_switch_cost_ns,
-                  tickless=tickless, sanitize=sanitize, faults=faults)
+                  tickless=tickless, sanitize=sanitize, faults=faults,
+                  profile=profile)
 
 
 def run_workload(engine: Engine, workload, timeout_ns: int,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .cellcache import CellCache
 from .checkpoint import CampaignCheckpoint
 from .parallel import FailedCell, cell_map
 from .registry import run_experiment
@@ -79,7 +80,9 @@ def run_campaign(names: Sequence[str], quick: bool = True,
                  timeout_s: Optional[float] = None, retries: int = 0,
                  backoff_s: float = 0.5, reseed: bool = False,
                  checkpoint_path=None,
-                 resume: bool = False) -> tuple[list, list]:
+                 resume: bool = False,
+                 cache: Optional[CellCache] = None
+                 ) -> tuple[list, list]:
     """Run a campaign; returns ``(cells, results)`` where each result
     is a summary dict or a :class:`FailedCell` marker.
 
@@ -88,6 +91,13 @@ def run_campaign(names: Sequence[str], quick: bool = True,
     manifest (matching experiment list/quick/seed) instead of
     re-running its cells, and a fully successful campaign removes the
     manifest.
+
+    ``cache`` is the content-addressed cell cache
+    (:mod:`~repro.experiments.cellcache`): unlike the checkpoint it
+    survives successful campaigns and is shared across campaigns with
+    overlapping cells, so a warm rerun executes zero cells.  Reseeded
+    retries are deliberately *not* cached under the original cell —
+    the cache stores only what the cell's own parameters produced.
     """
     cells = build_cells(names, quick, seed)
     checkpoint = None
@@ -101,7 +111,8 @@ def run_campaign(names: Sequence[str], quick: bool = True,
                        timeout_s=timeout_s, retries=retries,
                        backoff_s=backoff_s,
                        reseed=reseed_cell if reseed else None,
-                       mark_failures=True, checkpoint=checkpoint)
+                       mark_failures=True, checkpoint=checkpoint,
+                       cache=None if reseed else cache)
     if checkpoint is not None and \
             not any(isinstance(r, FailedCell) for r in results):
         checkpoint.clear()

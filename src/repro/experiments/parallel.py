@@ -38,7 +38,11 @@ unwrapped):
   :class:`~repro.experiments.checkpoint.CampaignCheckpoint`) records
   each finished cell's result atomically as it completes and
   short-circuits cells already finished by an interrupted earlier run
-  — the ``--resume`` machinery.
+  — the ``--resume`` machinery;
+* ``cache`` (a :class:`~repro.experiments.cellcache.CellCache`)
+  memoizes finished cells *across* campaigns, content-addressed by
+  (cell, code fingerprint) — a warm rerun of an unchanged campaign
+  executes zero cells (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -151,7 +155,8 @@ def cell_map(fn: Callable[[Any], Any], cells: Iterable[Any],
              backoff_s: float = 0.5,
              reseed: Optional[Callable[[Any, int], Any]] = None,
              mark_failures: bool = False,
-             checkpoint=None) -> list:
+             checkpoint=None,
+             cache=None) -> list:
     """Apply ``fn`` to every cell, fanning out to ``jobs`` worker
     processes; results come back in cell order.
 
@@ -165,12 +170,19 @@ def cell_map(fn: Callable[[Any], Any], cells: Iterable[Any],
     docstring.  ``reseed(cell, attempt)`` returns the cell to use for
     retry ``attempt`` (1-based); results and checkpoint entries are
     always keyed by the *original* cell.
+
+    ``cache`` (a :class:`~repro.experiments.cellcache.CellCache`)
+    memoizes finished cells content-addressed by (cell, code
+    fingerprint): hits short-circuit exactly like checkpoint replays
+    (checkpoint wins when both hold the cell), and every computed
+    result is stored.  Since results are plain JSON either way, a
+    cache-served sweep is byte-identical to a computed one.
     """
     cells = list(cells)
     if jobs == 0:
         jobs = default_jobs()
-    if (timeout_s is None and retries == 0
-            and not mark_failures and checkpoint is None):
+    if (timeout_s is None and retries == 0 and not mark_failures
+            and checkpoint is None and cache is None):
         # The historical plain path, byte-for-byte.
         if jobs is None or jobs <= 1 or len(cells) <= 1:
             return [fn(cell) for cell in cells]
@@ -180,14 +192,25 @@ def cell_map(fn: Callable[[Any], Any], cells: Iterable[Any],
                             chunksize=1)
 
     results: dict[int, Any] = {}
-    if checkpoint is not None:
+    if checkpoint is not None or cache is not None:
         pending = []
         for index, cell in enumerate(cells):
-            hit = checkpoint.get(cell)
-            if hit is not checkpoint.MISS:
-                results[index] = hit
-            else:
-                pending.append(index)
+            if checkpoint is not None:
+                hit = checkpoint.get(cell)
+                if hit is not checkpoint.MISS:
+                    results[index] = hit
+                    continue
+            if cache is not None:
+                hit = cache.get(cell)
+                if hit is not cache.MISS:
+                    results[index] = hit
+                    # replayed-from-cache cells still reach the
+                    # checkpoint so an interrupted campaign's manifest
+                    # stays complete
+                    if checkpoint is not None:
+                        checkpoint.put(cell, hit)
+                    continue
+            pending.append(index)
     else:
         pending = list(range(len(cells)))
 
@@ -204,11 +227,14 @@ def cell_map(fn: Callable[[Any], Any], cells: Iterable[Any],
                 for index in pending:
                     live[index] = reseed(live[index], attempt)
         on_success = None
-        if checkpoint is not None:
+        if checkpoint is not None or cache is not None:
             def on_success(index, result):
                 # Flushed per cell, atomically: a SIGKILL between two
                 # cells loses at most the in-flight cell.
-                checkpoint.put(cells[index], result)
+                if checkpoint is not None:
+                    checkpoint.put(cells[index], result)
+                if cache is not None:
+                    cache.put(cells[index], result)
         successes, fail_info = _run_attempt(
             fn, [(index, live[index]) for index in pending],
             jobs, timeout_s, on_success)

@@ -29,6 +29,9 @@ class AdaptiveMutex(Mutex):
     fall back to the sleeping FIFO queue of :class:`Mutex`.
     """
 
+    __slots__ = ("spin_ns", "spin_rounds", "spin_acquires",
+                 "slept_acquires")
+
     def __init__(self, engine: "Engine", spin_ns: int = usec(20),
                  spin_rounds: int = 4, name: str = "adaptive"):
         super().__init__(engine, name=name)

@@ -30,6 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Barrier:
     """N-party reusable barrier with broadcast release."""
 
+    __slots__ = ("engine", "name", "parties", "spin_ns", "waiters",
+                 "arrived", "generation")
+
     def __init__(self, engine: "Engine", parties: int,
                  name: str = "barrier", spin_ns: int = 0):
         if parties < 1:
@@ -120,6 +123,9 @@ class CascadingBarrier:
     thread *i+1* (the wake happens in thread *i*'s context when it is
     next scheduled, which is the point of the c-ray experiment).
     """
+
+    __slots__ = ("engine", "name", "parties", "arrived", "released",
+                 "_sleepers", "_release_index", "wake_times")
 
     def __init__(self, engine: "Engine", parties: int,
                  name: str = "cascade"):

@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Channel:
     """Unbounded FIFO of messages with blocking ``get``."""
 
+    __slots__ = ("engine", "name", "queue", "getters", "puts", "gets")
+
     def __init__(self, engine: "Engine", name: str = "chan"):
         self.engine = engine
         self.name = name

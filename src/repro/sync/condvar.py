@@ -24,6 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class CondVar:
     """A condition variable bound to callers' mutexes at wait time."""
 
+    __slots__ = ("engine", "name", "waiters", "_mutex_of")
+
     def __init__(self, engine: "Engine", name: str = "cond"):
         self.engine = engine
         self.name = name

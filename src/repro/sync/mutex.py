@@ -24,6 +24,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Mutex:
     """A blocking mutual-exclusion lock with FIFO handoff."""
 
+    __slots__ = ("engine", "name", "owner", "waiters", "acquisitions",
+                 "contentions")
+
     def __init__(self, engine: "Engine", name: str = "mutex"):
         self.engine = engine
         self.name = name

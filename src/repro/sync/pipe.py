@@ -22,6 +22,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Pipe:
     """A bounded message pipe with blocking read/write."""
 
+    __slots__ = ("engine", "name", "capacity", "buffer", "readers",
+                 "writers", "_pending_writes", "messages_written",
+                 "messages_read")
+
     def __init__(self, engine: "Engine", capacity: int = 16,
                  name: str = "pipe"):
         if capacity < 1:

@@ -28,6 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RWLock:
     """A reader-writer lock with writer preference."""
 
+    __slots__ = ("engine", "name", "readers", "writer", "_waiters",
+                 "_waitq", "read_acquisitions", "write_acquisitions")
+
     def __init__(self, engine: "Engine", name: str = "rwlock"):
         self.engine = engine
         self.name = name

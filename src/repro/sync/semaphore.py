@@ -15,6 +15,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Semaphore:
     """A counting semaphore with FIFO wakeups."""
 
+    __slots__ = ("engine", "name", "value", "waiters")
+
     def __init__(self, engine: "Engine", value: int = 0,
                  name: str = "sem"):
         if value < 0:
@@ -73,6 +75,8 @@ class OneShotEvent:
     """A latch: waiters block until the first ``set``; afterwards waits
     complete immediately.  Used to build wake-up chains (the cascading
     barrier of c-ray wakes thread *i+1* from thread *i*)."""
+
+    __slots__ = ("engine", "name", "is_set", "waiters")
 
     def __init__(self, engine: "Engine", name: str = "event"):
         self.engine = engine

@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class WaitQueue:
     """An ordered queue of blocked threads."""
 
+    __slots__ = ("engine", "name", "_waiters")
+
     def __init__(self, engine: "Engine", name: str = "waitq"):
         self.engine = engine
         self.name = name

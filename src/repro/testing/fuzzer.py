@@ -104,15 +104,19 @@ def behavior_from_plan(plan):
 def build_engine(scenario: Scenario, sched: str, *,
                  sanitize: bool | None = True,
                  tickless: bool | None = None,
-                 faults=None) -> tuple[Engine, list]:
+                 faults=None,
+                 event_queue=None) -> tuple[Engine, list]:
     """Instantiate ``scenario`` under ``sched``; returns (engine,
     threads in scenario order).  Threads are spawned via the engine's
     delayed-spawn path so spawn order is part of the scenario.
     ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` — the
-    chaos mode of the fuzz campaign."""
+    chaos mode of the fuzz campaign; ``event_queue`` selects the
+    event-queue implementation (``"heap"``/``"wheel"``) for the
+    heap-vs-wheel differential tests."""
     topo = smp(scenario.ncpus, cpus_per_llc=scenario.cpus_per_llc)
     engine = Engine(topo, scheduler_factory(sched), seed=scenario.seed,
-                    sanitize=sanitize, tickless=tickless, faults=faults)
+                    sanitize=sanitize, tickless=tickless, faults=faults,
+                    event_queue=event_queue)
     threads = []
     for ft in scenario.threads:
         spec = ThreadSpec(
@@ -127,11 +131,13 @@ def build_engine(scenario: Scenario, sched: str, *,
 def run_scenario(scenario: Scenario, sched: str, *,
                  sanitize: bool | None = True,
                  tickless: bool | None = None,
-                 faults=None) -> tuple[Engine, list, str]:
+                 faults=None,
+                 event_queue=None) -> tuple[Engine, list, str]:
     """Build and run ``scenario`` to its deadline; returns
     (engine, threads, stop reason)."""
     engine, threads = build_engine(scenario, sched, sanitize=sanitize,
-                                   tickless=tickless, faults=faults)
+                                   tickless=tickless, faults=faults,
+                                   event_queue=event_queue)
     reason = engine.run(until=msec(scenario.until_ms))
     return engine, threads, reason
 

@@ -81,8 +81,20 @@ def cell_names() -> list[str]:
 
 def compute_all(jobs: int | None = None,
                 names: list[str] | None = None) -> dict[str, str]:
+    """Digests for every golden cell.
+
+    Honours ``REPRO_CELL_CACHE`` (see
+    :mod:`repro.experiments.cellcache`): with the cache enabled a
+    repeated ``make golden-check`` against unchanged sources replays
+    the stored digests instead of re-simulating — safe because the
+    cache key includes the code fingerprint, so any source change
+    forces a real recompute.  Unset (the in-test default), every cell
+    is computed fresh.
+    """
     names = cell_names() if names is None else names
-    digests = parallel.cell_map(compute_cell, names, jobs=jobs)
+    from ..experiments.cellcache import cache_from_env
+    digests = parallel.cell_map(compute_cell, names, jobs=jobs,
+                                cache=cache_from_env())
     return dict(zip(names, digests))
 
 

@@ -56,6 +56,7 @@ class UleThreadState:
         self.ticks_used = 0
 
 
+# schedlint: ignore[missing-slots] -- one instance per engine; fault injection patches methods and attributes
 class UleScheduler(SchedClass):
     """FreeBSD ULE (11.1-era behaviour, the paper's port)."""
 

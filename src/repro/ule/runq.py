@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RunQueue:
     """Priority-indexed FIFOs with an occupancy bitmap."""
 
+    __slots__ = ("nqueues", "_queues", "_bitmap", "_count")
+
     def __init__(self, nqueues: int = 64):
         self.nqueues = nqueues
         self._queues: list[deque] = [deque() for _ in range(nqueues)]
@@ -91,6 +93,21 @@ class RunQueue:
             bitmap &= bitmap - 1
             yield from self._queues[pri]
 
+    def first_allowed(self, cpu: int) -> Optional["SimThread"]:
+        """First queued thread whose affinity permits ``cpu``, in
+        :meth:`threads` order — the balancer's steal scan, without the
+        generator machinery (it runs on every idle poll)."""
+        bitmap = self._bitmap
+        queues = self._queues
+        while bitmap:
+            pri = (bitmap & -bitmap).bit_length() - 1
+            bitmap &= bitmap - 1
+            for thread in queues[pri]:
+                affinity = thread.affinity
+                if affinity is None or cpu in affinity:
+                    return thread
+        return None
+
     def check_invariants(self) -> None:
         """Validate bitmap/count consistency (used by tests)."""
         count = 0
@@ -115,6 +132,9 @@ class CalendarRunQueue:
     batch threads by minimizing the difference of runtime", while the
     interactive queue can still starve the whole batch class.)
     """
+
+    __slots__ = ("nbuckets", "_buckets", "_count", "insert_idx",
+                 "remove_idx", "_bucket_of")
 
     def __init__(self, nbuckets: int = 64):
         self.nbuckets = nbuckets
@@ -208,6 +228,28 @@ class CalendarRunQueue:
         for _ in range(self.nbuckets):
             yield from self._buckets[idx]
             idx = (idx + 1) % self.nbuckets
+
+    def first_allowed(self, cpu: int) -> Optional["SimThread"]:
+        """First queued thread whose affinity permits ``cpu``, in
+        :meth:`threads` order (see ``RunQueue.first_allowed``); stops
+        once every queued thread has been seen instead of walking all
+        the empty buckets."""
+        remaining = self._count
+        if remaining == 0:
+            return None
+        idx = self.remove_idx
+        buckets = self._buckets
+        nbuckets = self.nbuckets
+        while remaining > 0:
+            bucket = buckets[idx]
+            if bucket:
+                for thread in bucket:
+                    affinity = thread.affinity
+                    if affinity is None or cpu in affinity:
+                        return thread
+                remaining -= len(bucket)
+            idx = (idx + 1) % nbuckets
+        return None
 
     def check_invariants(self) -> None:
         """Validate bucket/count bookkeeping (used by tests)."""

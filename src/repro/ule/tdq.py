@@ -27,6 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Tdq:
     """Per-CPU ULE state."""
 
+    __slots__ = ("cpu", "tunables", "realtime", "timeshare", "load",
+                 "core")
+
     def __init__(self, cpu: int, tunables: "UleTunables"):
         self.cpu = cpu
         self.tunables = tunables
@@ -107,11 +110,13 @@ class Tdq:
 
     def transferable(self, dst_cpu: int) -> Optional["SimThread"]:
         """The first queued thread the balancer may move to
-        ``dst_cpu`` (never the running thread — the port's rule)."""
-        for thread in self.queued_threads():
-            if thread.allows_cpu(dst_cpu):
-                return thread
-        return None
+        ``dst_cpu`` (never the running thread — the port's rule).
+        Same order as :meth:`queued_threads`, via the runqueues'
+        generator-free scans (this is the idle-poll hot path)."""
+        thread = self.realtime.first_allowed(dst_cpu)
+        if thread is None:
+            thread = self.timeshare.first_allowed(dst_cpu)
+        return thread
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Tdq cpu{self.cpu} load={self.load} "

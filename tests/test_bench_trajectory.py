@@ -1,0 +1,78 @@
+"""The bench trajectory recorder (benchmarks/check_bench.py):
+entry shape, same-sha replacement, and corrupt-file recovery."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_CHECK_BENCH = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks", "check_bench.py")
+
+
+@pytest.fixture
+def check_bench(tmp_path, monkeypatch):
+    """The check_bench module with its trajectory file redirected to a
+    temp dir and the git sha pinned."""
+    spec = importlib.util.spec_from_file_location("check_bench",
+                                                  _CHECK_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "TRAJECTORY",
+                        str(tmp_path / "BENCH_trajectory.json"))
+    monkeypatch.setattr(module, "_git_sha", lambda: "abc1234")
+    return module
+
+
+def _current(eps, smoke=True):
+    return {"smoke": smoke,
+            "profiles": {name: {"events_per_sec": value}
+                         for name, value in eps.items()}}
+
+
+def test_entry_shape(check_bench):
+    entry = check_bench.append_trajectory(
+        _current({"tick_4x8": 100_000.0, "fig6_cfs": 50_000.0}))
+    assert entry == {
+        "sha": "abc1234",
+        "smoke": True,
+        "events_per_sec": {"fig6_cfs": 50_000.0,
+                           "tick_4x8": 100_000.0},
+    }
+    with open(check_bench.TRAJECTORY) as fh:
+        assert json.load(fh) == [entry]
+
+
+def test_same_sha_replaced_not_duplicated(check_bench):
+    check_bench.append_trajectory(_current({"a": 1.0}))
+    check_bench.append_trajectory(_current({"a": 2.0}))
+    with open(check_bench.TRAJECTORY) as fh:
+        trajectory = json.load(fh)
+    assert len(trajectory) == 1
+    assert trajectory[0]["events_per_sec"] == {"a": 2.0}
+
+
+def test_smoke_and_full_entries_coexist(check_bench):
+    check_bench.append_trajectory(_current({"a": 1.0}, smoke=True))
+    check_bench.append_trajectory(_current({"a": 2.0}, smoke=False))
+    with open(check_bench.TRAJECTORY) as fh:
+        assert len(json.load(fh)) == 2
+
+
+def test_corrupt_trajectory_recovered(check_bench):
+    with open(check_bench.TRAJECTORY, "w") as fh:
+        fh.write("{not json")
+    check_bench.append_trajectory(_current({"a": 1.0}))
+    with open(check_bench.TRAJECTORY) as fh:
+        assert len(json.load(fh)) == 1
+
+
+def test_git_sha_fallback(check_bench, monkeypatch):
+    """Outside a git checkout the sha is the literal ``unknown``."""
+    spec = importlib.util.spec_from_file_location("check_bench_sha",
+                                                  _CHECK_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "HERE", "/nonexistent-dir")
+    assert module._git_sha() == "unknown"

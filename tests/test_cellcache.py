@@ -1,0 +1,129 @@
+"""The content-addressed cell cache: keying, hit/miss accounting,
+fingerprint invalidation + GC, torn-entry tolerance, env-var
+construction, and the interplay with cell_map / checkpoints."""
+
+import json
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.cellcache import (CellCache, cache_from_env,
+                                         cache_key, code_fingerprint)
+
+CELL = {"experiment": "table1", "quick": True, "seed": 1}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CellCache(tmp_path / "cache", fingerprint="fp-a")
+
+
+# ----------------------------------------------------------------------
+# keying
+# ----------------------------------------------------------------------
+
+def test_key_ignores_dict_ordering():
+    a = {"x": 1, "y": 2}
+    b = {"y": 2, "x": 1}
+    assert cache_key(a, "fp") == cache_key(b, "fp")
+
+
+def test_key_depends_on_cell_and_fingerprint():
+    assert cache_key({"x": 1}, "fp") != cache_key({"x": 2}, "fp")
+    assert cache_key({"x": 1}, "fp") != cache_key({"x": 1}, "fp2")
+
+
+def test_code_fingerprint_is_memoized():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# ----------------------------------------------------------------------
+# get / put
+# ----------------------------------------------------------------------
+
+def test_miss_then_hit(cache):
+    assert cache.get(CELL) is CellCache.MISS
+    cache.put(CELL, {"metric": 42})
+    assert cache.get(CELL) == {"metric": 42}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_cached_none_is_not_a_miss(cache):
+    cache.put(CELL, None)
+    assert cache.get(CELL) is None
+    assert cache.hits == 1
+
+
+def test_torn_entry_counts_as_miss(cache):
+    cache.put(CELL, {"metric": 42})
+    cache.path_for(CELL).write_text('{"format": "repro-cell-')
+    assert cache.get(CELL) is CellCache.MISS
+
+
+def test_wrong_fingerprint_entry_is_a_miss(tmp_path):
+    old = CellCache(tmp_path / "cache", fingerprint="fp-old")
+    old.put(CELL, {"metric": 42})
+    new = CellCache(tmp_path / "cache", fingerprint="fp-new")
+    assert new.get(CELL) is CellCache.MISS
+
+
+def test_put_gcs_stale_generations(tmp_path):
+    old = CellCache(tmp_path / "cache", fingerprint="fp-old")
+    old.put(CELL, {"metric": 1})
+    new = CellCache(tmp_path / "cache", fingerprint="fp-new")
+    new.put(CELL, {"metric": 2})
+    entries = [json.loads(p.read_text())
+               for p in (tmp_path / "cache").glob("*.json")]
+    assert [e["fingerprint"] for e in entries] == ["fp-new"]
+
+
+def test_clear_and_len(cache):
+    cache.put(CELL, 1)
+    cache.put({"other": True}, 2)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# env construction
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", ["", "0", "off", "no", "FALSE"])
+def test_cache_from_env_disabled(monkeypatch, value):
+    monkeypatch.setenv("REPRO_CELL_CACHE", value)
+    assert cache_from_env() is None
+
+
+def test_cache_from_env_default_dir(monkeypatch):
+    monkeypatch.setenv("REPRO_CELL_CACHE", "1")
+    assert cache_from_env().root.name == ".repro-cell-cache"
+
+
+def test_cache_from_env_explicit_dir(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path / "c"))
+    assert cache_from_env().root == tmp_path / "c"
+
+
+# ----------------------------------------------------------------------
+# cell_map integration
+# ----------------------------------------------------------------------
+
+def test_cell_map_uses_cache(tmp_path):
+    cache = CellCache(tmp_path / "cache", fingerprint="fp")
+    calls = []
+
+    def compute(cell):
+        calls.append(cell)
+        return cell * 10
+
+    cells = [1, 2, 3]
+    assert parallel.cell_map(compute, cells, jobs=None,
+                             cache=cache) == [10, 20, 30]
+    assert calls == cells
+    # warm rerun: nothing executes, results come from the cache
+    assert parallel.cell_map(compute, cells, jobs=None,
+                             cache=cache) == [10, 20, 30]
+    assert calls == cells
+    assert cache.hits == 3

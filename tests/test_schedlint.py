@@ -31,6 +31,22 @@ def lint(snippet, path="repro/somewhere/code.py", **kwargs):
     return lint_source(textwrap.dedent(snippet), path=path, **kwargs)
 
 
+#: path a fixture must pretend to live at for its rule to apply
+#: (missing-slots only fires on hot-path directories)
+FIXTURE_PATH = {"missing-slots": "repro/core/code.py"}
+
+#: a second path where the rule still applies (for allowlist tests)
+FIXTURE_OTHER_PATH = {"missing-slots": "repro/cfs/code.py"}
+
+
+def fixture_path(rule):
+    return FIXTURE_PATH.get(rule, "repro/somewhere/code.py")
+
+
+def fixture_other_path(rule):
+    return FIXTURE_OTHER_PATH.get(rule, "repro/elsewhere/code.py")
+
+
 # ----------------------------------------------------------------------
 # rule fixtures: positive / suppressed / allowlisted
 # ----------------------------------------------------------------------
@@ -60,12 +76,17 @@ FIXTURES = {
         def f(delta_ns):
             return delta_ns / 1000
         """,
+    "missing-slots": """
+        class HotThing:
+            def __init__(self):
+                self.x = 1
+        """,
 }
 
 
 @pytest.mark.parametrize("rule", sorted(FIXTURES))
 def test_rule_positive(rule):
-    findings = lint(FIXTURES[rule])
+    findings = lint(FIXTURES[rule], path=fixture_path(rule))
     assert rules_of(findings) == [rule]
     finding = findings[0]
     assert finding.line > 0
@@ -75,21 +96,22 @@ def test_rule_positive(rule):
 @pytest.mark.parametrize("rule", sorted(FIXTURES))
 def test_rule_suppressed_inline(rule):
     snippet = textwrap.dedent(FIXTURES[rule])
+    path = fixture_path(rule)
     lines = snippet.splitlines()
     # find the violating line from an unsuppressed run, mark it
-    target = lint_source(snippet)[0].line
+    target = lint_source(snippet, path=path)[0].line
     lines[target - 1] += f"  # schedlint: ignore[{rule}] -- test"
-    assert lint_source("\n".join(lines)) == []
+    assert lint_source("\n".join(lines), path=path) == []
 
 
 @pytest.mark.parametrize("rule", sorted(FIXTURES))
 def test_rule_allowlisted(rule):
     snippet = textwrap.dedent(FIXTURES[rule])
-    allow = {rule: ("repro/somewhere/code.py",)}
-    assert lint_source(snippet, path="repro/somewhere/code.py",
-                       allowlist=allow) == []
+    path = fixture_path(rule)
+    allow = {rule: (path,)}
+    assert lint_source(snippet, path=path, allowlist=allow) == []
     # a different file is still flagged
-    assert lint_source(snippet, path="repro/elsewhere/code.py",
+    assert lint_source(snippet, path=fixture_other_path(rule),
                        allowlist=allow) != []
 
 
@@ -195,6 +217,49 @@ def test_float_cast_of_clock_flagged():
             return float(now)
         """)
     assert rules_of(findings) == ["float-ns-clock"]
+
+
+def test_missing_slots_only_fires_on_hot_paths():
+    snippet = """
+        class Thing:
+            def __init__(self):
+                self.x = 1
+        """
+    assert lint(snippet, path="repro/workloads/code.py") == []
+    assert rules_of(lint(snippet, path="repro/ule/code.py")) == \
+        ["missing-slots"]
+
+
+def test_missing_slots_satisfied_by_slots():
+    assert lint("""
+        class Thing:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = 1
+        """, path="repro/core/code.py") == []
+
+
+def test_missing_slots_exemptions():
+    # exception types, enums, and dataclasses are dict-backed on
+    # purpose and must not be flagged
+    assert lint("""
+        import enum
+        from dataclasses import dataclass
+
+        class BadThing(Exception):
+            pass
+
+        class WorseThing(TimelineError):
+            pass
+
+        class Mode(enum.Enum):
+            A = 1
+
+        @dataclass
+        class Record:
+            x: int = 0
+        """, path="repro/core/code.py") == []
 
 
 def test_comment_line_marker_covers_next_line():
@@ -384,7 +449,10 @@ def test_fixture_tree_with_all_rules_fails(tmp_path, capsys):
     tree.mkdir()
     for rule, snippet in FIXTURES.items():
         name = rule.replace("-", "_") + ".py"
-        (tree / name).write_text(textwrap.dedent(snippet))
+        # path-gated rules need their fixture under a matching subdir
+        subdir = tree / os.path.dirname(fixture_path(rule))
+        subdir.mkdir(parents=True, exist_ok=True)
+        (subdir / name).write_text(textwrap.dedent(snippet))
     code = main(["--no-contract", str(tree)])
     assert code == 1
     out = capsys.readouterr().out

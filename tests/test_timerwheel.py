@@ -1,0 +1,241 @@
+"""Timing-wheel event queue: shared contract + accounting regressions.
+
+The parametrized tests pin the *shared* EventQueue API contract on
+both implementations; the wheel-specific ones exercise what the heap
+does not have — slot/overflow routing, cascading, and the
+lazy-compaction accounting when compaction and cascade interleave
+(the satellite regression of PR 5: compaction must subtract what it
+actually removed, never reset counters, and must filter container
+lists in place because the pop loop holds hoisted aliases).
+"""
+
+import pytest
+
+from repro.core.events import EventQueue
+from repro.core.timerwheel import (NUM_SLOTS, SLOT_SHIFT,
+                                   TimingWheelQueue)
+
+QUEUES = (EventQueue, TimingWheelQueue)
+
+#: one wheel slot in ns, and a time safely beyond the horizon
+SLOT_NS = 1 << SLOT_SHIFT
+BEYOND_HORIZON = (NUM_SLOTS + 10) * SLOT_NS
+
+
+def drain(q):
+    """Pop everything; returns the fired (time, seq) list and checks
+    order + accounting along the way."""
+    order = []
+    while (e := q.pop()) is not None:
+        order.append((e.time, e.seq))
+        q._check_accounting()
+    assert order == sorted(order)
+    return order
+
+
+# ---------------------------------------------------------------- shared
+# contract, both implementations
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_time_order_and_fifo_ties(queue_cls):
+    q = queue_cls()
+    fired = []
+    q.post(3 * SLOT_NS, fired.append, "c")
+    q.post(SLOT_NS, fired.append, "a")
+    q.post(SLOT_NS, fired.append, "a2")  # tie: FIFO by seq
+    q.post(2 * SLOT_NS, fired.append, "b")
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == ["a", "a2", "b", "c"]
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_pop_before_limit_contract(queue_cls):
+    q = queue_cls()
+    q.post(10, lambda: None)
+    q.post(20, lambda: None)
+    assert q.pop_before(5) is None          # earliest beyond limit
+    assert len(q) == 2                      # ... and stays queued
+    assert q.pop_before(10).time == 10      # boundary is inclusive
+    assert q.pop_before(None).time == 20    # None = no limit
+    assert q.pop_before(None) is None       # drained
+    assert q.pop_before(100) is None
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_pop_before_skips_cancelled(queue_cls):
+    q = queue_cls()
+    dead = q.post(10, lambda: None)
+    q.post(20, lambda: None)
+    dead.cancel()
+    # The dead head must not satisfy a limit that only it meets.
+    assert q.pop_before(15) is None
+    assert q.pop_before(25).time == 20
+    q._check_accounting()
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_repost_and_len(queue_cls):
+    q = queue_cls()
+    fired = []
+    tick = q.make_reusable(fired.append, "t")
+    q.repost(tick, SLOT_NS)
+    q.post(SLOT_NS, fired.append, "later")
+    assert len(q) == 2 and bool(q)
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == ["t", "later"]
+    assert len(q) == 0 and not q
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_peek_time_matches_pop(queue_cls):
+    q = queue_cls()
+    q.post(7, lambda: None)
+    q.post(3, lambda: None)
+    assert q.peek_time() == 3
+    assert q.pop().time == 3
+    assert q.peek_time() == 7
+
+
+# ---------------------------------------------------------------- wheel
+# routing and cascade
+
+
+def test_overflow_events_cascade_in_order():
+    q = TimingWheelQueue()
+    times = [BEYOND_HORIZON + i * 7 * SLOT_NS for i in range(20)]
+    times += [i * SLOT_NS // 2 for i in range(20)]  # near-future mix
+    for t in times:
+        q.post(t, lambda: None)
+    assert len(q) == 40
+    order = drain(q)
+    assert [t for t, _ in order] == sorted(times)
+
+
+def test_same_instant_post_during_drain_fires_before_later_slots():
+    # A resched IPI posted at `now` from a callback must fire before
+    # the next slot's events: it joins the pending heap mid-drain.
+    q = TimingWheelQueue()
+    fired = []
+
+    def first():
+        fired.append("first")
+        q.post(SLOT_NS, lambda: fired.append("ipi"))
+
+    q.post(SLOT_NS, first)
+    q.post(2 * SLOT_NS, lambda: fired.append("tick"))
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == ["first", "ipi", "tick"]
+
+
+def test_empty_wheel_jumps_to_overflow():
+    q = TimingWheelQueue()
+    q.post(BEYOND_HORIZON * 3, lambda: None)
+    assert q.peek_time() == BEYOND_HORIZON * 3
+    assert q.pop().time == BEYOND_HORIZON * 3
+    assert q.pop() is None
+
+
+# ---------------------------------------------------------------- the
+# compaction/cascade accounting regressions
+
+
+def test_overflow_compaction_then_cascade_accounting():
+    """Cancel enough overflow entries to trigger overflow compaction,
+    then cascade the survivors: ``len()`` and both dead counters must
+    stay exact throughout (subtractive accounting)."""
+    q = TimingWheelQueue()
+    live = [q.post(BEYOND_HORIZON + i * SLOT_NS, lambda: None)
+            for i in range(10)]
+    dead = [q.post(BEYOND_HORIZON + (i + 20) * SLOT_NS, lambda: None)
+            for i in range(200)]
+    for e in dead:
+        e.cancel()
+        q._check_accounting()
+    assert len(q) == 10
+    # Compaction ran: the overflow heap cannot still hold all 200.
+    assert len(q._overflow) < 120
+    assert drain(q) == sorted((e.time, e.seq) for e in live)
+    assert len(q) == 0
+
+
+def test_cancel_after_cascade_counts_in_the_new_region():
+    """An overflow entry that cascaded into the wheel and is cancelled
+    *afterwards* must be charged to ``_dead_in_wheel``, not
+    ``_dead_in_heap`` — double-counting either way breaks ``len()``."""
+    q = TimingWheelQueue()
+    far = q.post(BEYOND_HORIZON, lambda: None)
+    q.post(BEYOND_HORIZON - SLOT_NS, lambda: None)
+    # Drain up to the earlier event: the cascade pulls `far` inside
+    # the horizon (into a slot bucket).
+    assert q.pop().time == BEYOND_HORIZON - SLOT_NS
+    assert far._region != 2  # no longer in the overflow region
+    far.cancel()
+    q._check_accounting()
+    assert len(q) == 0
+    assert q.pop() is None
+    q._check_accounting()
+
+
+def test_wheel_compaction_during_drain_keeps_hoisted_alias_valid():
+    """A callback that mass-cancels mid-drain triggers wheel
+    compaction while ``pop``'s hoisted ``pending`` alias is live: the
+    filter must happen in place, and later pops must still see every
+    surviving entry in order."""
+    q = TimingWheelQueue()
+    fired = []
+    victims = []
+
+    def massacre():
+        fired.append("massacre")
+        for e in victims:
+            e.cancel()
+
+    q.post(SLOT_NS, massacre)
+    # Same-slot victims sit in the pending heap during the drain.
+    victims.extend(q.post(SLOT_NS, fired.append, i)
+                   for i in range(100))
+    victims.extend(q.post(3 * SLOT_NS, fired.append, i)
+                   for i in range(100, 200))
+    survivor = q.post(5 * SLOT_NS, fired.append, "survivor")
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+        q._check_accounting()
+    assert fired == ["massacre", "survivor"]
+    assert survivor.popped
+    assert len(q) == 0
+
+
+def test_heap_compaction_is_subtractive_not_reset():
+    """EventQueue regression: two compaction-sized cancel waves with a
+    pop between them — resetting ``_dead_in_heap`` to zero in the
+    first compaction would let the second wave's dead entries leak."""
+    q = EventQueue()
+    keep = [q.post(100_000 + i, lambda: None) for i in range(5)]
+    wave1 = [q.post(i, lambda: None) for i in range(200)]
+    for e in wave1:
+        e.cancel()
+        q._check_accounting()
+    assert len(q) == 5
+    wave2 = [q.post(1000 + i, lambda: None) for i in range(200)]
+    for e in wave2:
+        e.cancel()
+        q._check_accounting()
+    assert len(q) == 5
+    assert drain(q) == sorted((e.time, e.seq) for e in keep)
+
+
+def test_purge_when_only_dead_entries_remain():
+    q = TimingWheelQueue()
+    entries = [q.post(i * SLOT_NS, lambda: None) for i in range(32)]
+    entries += [q.post(BEYOND_HORIZON + i, lambda: None)
+                for i in range(32)]
+    for e in entries:
+        e.cancel()
+    assert len(q) == 0
+    assert q.pop() is None          # triggers the purge
+    assert q._wheel_count == 0 and not q._overflow and not q._pending
+    q._check_accounting()
