@@ -83,23 +83,27 @@ verify:
 verify-fast: lint test
 
 ## simulator-performance benchmarks in smoke mode + regression gate:
-## fails when any profile's events/sec is >2x below the recorded
-## baseline (benchmarks/BENCH_baseline.json)
+## fails when any profile's events/sec is >1.5x below the recorded
+## baseline (benchmarks/BENCH_baseline.json).  REPRO_FAST=1: the
+## benchmarks measure the specialized run loop (the production
+## configuration for uninstrumented runs; digest-identical to the
+## instrumented loop — see docs/performance.md)
 bench:
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+	REPRO_BENCH_SMOKE=1 REPRO_FAST=1 $(PYTHON) -m pytest \
 		benchmarks/test_simulator_performance.py -q
 	$(PYTHON) benchmarks/check_bench.py
 
 ## re-record the smoke baseline after an intentional perf change
 bench-baseline:
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+	REPRO_BENCH_SMOKE=1 REPRO_FAST=1 $(PYTHON) -m pytest \
 		benchmarks/test_simulator_performance.py -q
 	cp benchmarks/BENCH_simulator.json benchmarks/BENCH_baseline.json
 	@echo "baseline re-recorded"
 
 ## full-size benchmark profiles (slower, prints throughput)
 bench-full:
-	$(PYTHON) -m pytest benchmarks/test_simulator_performance.py -q
+	REPRO_FAST=1 $(PYTHON) -m pytest \
+		benchmarks/test_simulator_performance.py -q
 
 ## fast heap-vs-wheel gate: fixed scenarios under both event queues,
 ## asserts digest equality + a minimum events/sec floor (CI stage)

@@ -8,14 +8,19 @@ A fast (<~30 s) CI stage that runs a small fixed scenario set under
    always-on differential guard for the timing wheel: the seeded fuzz
    suite (``tests/test_eventq_differential.py``) explores breadth,
    this gate pins the paper-shaped scenarios on every push.
-2. **A minimum events/sec floor** — deliberately ~20x below the
-   observed throughput, so hardware variance never trips it but an
-   accidental algorithmic regression (an O(n) scan in the event
-   queue, a quadratic balance pass) fails fast without waiting for
-   the full ``make bench`` + baseline comparison.
+2. **A per-profile events/sec floor** — each floor is deliberately
+   ~20x below that profile's observed throughput, so hardware
+   variance never trips it but an accidental algorithmic regression
+   (an O(n) scan in the event queue, a quadratic balance pass) fails
+   fast without waiting for the full ``make bench`` + baseline
+   comparison.  Per-profile floors matter because the profiles sit at
+   very different absolute rates: one shared floor low enough for the
+   slowest profile would leave the fastest with a ~100x blind spot.
 
 Exit status: 0 = all green, 1 = digest mismatch or floor violation.
-Run via ``make bench-smoke`` (part of ``make verify`` and CI).
+Run via ``make bench-smoke`` (part of ``make verify`` and CI; CI
+uploads ``BENCH_trajectory.json`` so the cross-PR perf story rides
+along with every run).
 """
 
 from __future__ import annotations
@@ -24,9 +29,14 @@ import os
 import sys
 import time
 
-#: deliberately ~20x below observed smoke throughput (~100k ev/s on
-#: developer hardware, ~50k in CI): only catastrophic regressions trip
-MIN_EVENTS_PER_SEC = 5_000
+#: per-profile events/sec floors, each ~20x below observed smoke
+#: throughput on developer hardware (~½ that in CI): only
+#: catastrophic regressions trip
+FLOORS = {
+    "tick_8x16": 5_000,
+    "fig6/cfs": 4_000,
+    "fig6/ule": 3_000,
+}
 
 QUEUE_KINDS = ("heap", "wheel")
 
@@ -90,17 +100,17 @@ def main() -> int:
                             f"heap={digests['heap']} "
                             f"wheel={digests['wheel']}")
         # best-of-both: the floor gates the algorithm, not the noise
-        if best_eps < MIN_EVENTS_PER_SEC:
+        floor = FLOORS[name]
+        if best_eps < floor:
             failures.append(f"{name}: {best_eps:,.0f} ev/s below the "
-                            f"{MIN_EVENTS_PER_SEC:,} floor")
+                            f"{floor:,} floor")
     if failures:
         print("\nbench-smoke: FAILED", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"bench-smoke: {len(SCENARIOS)} scenarios digest-identical "
-          f"under heap and wheel, all above "
-          f"{MIN_EVENTS_PER_SEC:,} ev/s")
+          f"under heap and wheel, all above their per-profile floors")
     return 0
 
 

@@ -40,6 +40,16 @@ Rules
     deliberately dict-backed class takes the usual
     ``# schedlint: ignore[missing-slots] -- reason`` marker or an
     allowlist entry.
+``hot-loop-attr``
+    A per-iteration ``self.<field>`` / ``engine.<field>`` load inside
+    a loop in a ``run``-named function, where the field is one the
+    engine binds once at construction (``events``, ``profiler``,
+    ``scheduler``, ...).  Attribute lookup costs a dict probe per
+    event; the run loops hoist these to locals before the loop, and
+    this rule keeps new loop code from regressing that.  Loads in a
+    ``for`` statement's iterable are evaluated once and exempt; a
+    deliberate re-read (e.g. a field rebound mid-loop) takes the
+    usual suppression marker.
 """
 
 from __future__ import annotations
@@ -71,6 +81,9 @@ RULES: Dict[str, str] = {
     "missing-slots":
         "hot-path class without __slots__; per-instance dicts cost "
         "the engine loop allocation and lookup time",
+    "hot-loop-attr":
+        "per-event lookup of a construction-bound engine field "
+        "inside a run() loop; hoist it to a local before the loop",
 }
 
 #: packages whose classes live on the engine's per-event hot path —
@@ -112,6 +125,26 @@ DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
 _CLOCKISH_RE = re.compile(r"(^|_)(ns|nsec)$", re.IGNORECASE)
 _CLOCKISH_NAMES = frozenset({"now", "time_ns"})
 
+#: engine fields bound once at construction and never rebound — a
+#: per-iteration ``self.X``/``engine.X`` read of one of these inside
+#: a run loop is a dict probe the loop pays per event for nothing.
+#: Mutable per-event state (``now``, ``live_threads``, ``_stopped``,
+#: ``events_processed``) is deliberately NOT here.
+_HOISTABLE_FIELDS = frozenset({
+    "events", "profiler", "sanitizer", "scheduler", "machine",
+    "tracer", "faults", "tunables", "topology",
+})
+
+#: receiver names the hot-loop-attr rule watches
+_HOISTABLE_BASES = frozenset({"self", "engine"})
+
+
+def _is_run_name(name: str) -> bool:
+    """Does ``name`` denote a run-loop function (``run``, ``run_*``,
+    ``_run*``)?"""
+    return name == "run" or name.startswith("run_") \
+        or name.startswith("_run")
+
 
 def _identifier(node: ast.AST) -> Optional[str]:
     """Trailing identifier of a Name/Attribute, else None."""
@@ -139,6 +172,10 @@ class _RuleVisitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         #: local name -> fully qualified module/attr it refers to
         self.imports: Dict[str, str] = {}
+        #: per-enclosing-function state for hot-loop-attr: is the
+        #: function run-named, and how many loops deep are we in it
+        self._run_func: List[bool] = []
+        self._loop_depth: List[int] = []
 
     # -- helpers -------------------------------------------------------
 
@@ -279,10 +316,51 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iter(node.iter)
-        self.generic_visit(node)
+        # the iterable is evaluated once, before the first iteration —
+        # visit it (and the target) outside the loop-depth window
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_loop_body(node.body + node.orelse)
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
         self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- hot-loop-attr -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._run_func.append(_is_run_name(node.name))
+        self._loop_depth.append(0)
+        self.generic_visit(node)
+        self._run_func.pop()
+        self._loop_depth.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_While(self, node: ast.While) -> None:
+        # the condition re-evaluates every iteration: include it
+        self._visit_loop_body([node.test] + node.body + node.orelse)
+
+    def _visit_loop_body(self, nodes: Sequence[ast.AST]) -> None:
+        if self._loop_depth:
+            self._loop_depth[-1] += 1
+        for child in nodes:
+            self.visit(child)
+        if self._loop_depth:
+            self._loop_depth[-1] -= 1
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (self._run_func and self._run_func[-1]
+                and self._loop_depth[-1] > 0
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _HOISTABLE_BASES
+                and node.attr in _HOISTABLE_FIELDS):
+            self._emit(node, "hot-loop-attr",
+                       f"{node.value.id}.{node.attr} read per "
+                       f"iteration inside a run() loop; the field is "
+                       f"bound once at construction — hoist it to a "
+                       f"local before the loop")
         self.generic_visit(node)
 
     # -- float-ns-clock ------------------------------------------------

@@ -17,6 +17,7 @@ Faithful to §2.1 of the paper:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import TYPE_CHECKING, Iterable, Optional
 
@@ -31,6 +32,7 @@ from .entity import SchedEntity
 from .params import CfsTunables
 from .pelt import (HALF_LIFE_NS, _DECAY_CACHE, _DECAY_CACHE_MAX, _LN2,
                    _SATURATED)
+from .peltbank import fold_loads, fold_loads_python
 from .runqueue import CfsRq
 from .weights import calc_delta_fair, nice_to_weight
 
@@ -77,7 +79,13 @@ class CfsScheduler(SchedClass):
     def __init__(self, engine: "Engine",
                  tunables: Optional[CfsTunables] = None, **overrides):
         super().__init__(engine)
-        self.tunables = tunables or CfsTunables(**overrides)
+        tun = tunables or CfsTunables(**overrides)
+        if tun.flat_timeline is None:
+            # Unset: follow the engine's fast mode (a copy, so a caller
+            # sharing one tunables object across engines is unaffected).
+            tun = dataclasses.replace(
+                tun, flat_timeline=bool(getattr(engine, "fast", False)))
+        self.tunables = tun
         ncpus = len(self.machine)
         self.root_group = TaskGroup("root", ncpus, self.tunables)
         self._app_groups: dict[str, TaskGroup] = {}
@@ -86,10 +94,13 @@ class CfsScheduler(SchedClass):
         #: times within one event instant
         self._load_cache: dict[int, float] = {}
         self._load_cache_time = -1
-        #: cpu -> task ``LoadAvg`` objects in traversal order, valid
-        #: until the cpu's runnable set (or timeline order) changes;
-        #: lets :meth:`cpu_load` skip the hierarchy walk entirely
-        self._avgs_cache: dict[int, list] = {}
+        #: cpu -> ``(avgs, weights)`` bank: the task ``LoadAvg``
+        #: objects in traversal order plus their weights, valid until
+        #: the cpu's runnable set (or timeline order, or a task
+        #: weight) changes; lets :meth:`cpu_load` skip the hierarchy
+        #: walk entirely and hand :func:`~repro.cfs.peltbank
+        #: .fold_loads` parallel arrays
+        self._avgs_cache: dict[int, tuple] = {}
         #: cpu -> (load, min_last_update): a cpu whose every runnable
         #: average sits at the saturated fixed point has a
         #: time-invariant load (each term is ``u * weight``); the sum
@@ -366,6 +377,84 @@ class CfsScheduler(SchedClass):
         # on parked cores as a nohz kick (see _balance_tick).
         return not core.is_idle
 
+    def make_tick_hook(self, core: "Core"):
+        """Fused CFS tick (see ``SchedClass.make_tick_hook``).
+
+        Inlines ``Engine._tick`` → ``Engine._update_curr`` →
+        :meth:`update_curr` → :meth:`task_tick` into one closure over
+        per-core state.  Every statement mirrors the generic chain
+        line-for-line (same order, same arithmetic), so the schedule
+        is bit-identical — the fusion only removes call/dispatch
+        overhead from the hottest periodic path.
+        """
+        from ..core.engine import RUN_FOREVER
+        engine = self.engine
+        events = engine.events
+        tick_ns = self.tick_ns
+        cpurq = self.cpurq(core)
+        min_gran = self.tunables.min_granularity_ns
+
+        def tick(_core: "Core") -> None:
+            if not core.online:
+                return
+            curr = core.current
+            now = engine.now
+            if curr is None:
+                if engine.tickless:
+                    # needs_tick() is False for every idle CFS core
+                    core.tick_stopped = True
+                    engine._nr_stopped_ticks += 1
+                    engine.metrics.incr("engine.tick_stops")
+                    return
+                events.repost(core.tick_event, now + tick_ns)
+                # CFS has no idle_tick work; keep the generic tick's
+                # post-idle_tick dispatch check.
+                if core.need_resched:
+                    engine._dispatch(core)
+                return
+            events.repost(core.tick_event, now + tick_ns)
+            # -- Engine._update_curr, inlined --
+            delta = now - core._curr_account_start
+            core._curr_account_start = now
+            if delta > 0:
+                core.account_to_now()
+                curr.total_runtime += delta
+                curr.last_ran = now
+                remaining = curr.run_remaining
+                if remaining is not None and remaining is not RUN_FOREVER:
+                    speed = core._curr_speed
+                    progress = delta if speed == 1.0 \
+                        else int(delta * speed)
+                    remaining -= progress
+                    curr.run_remaining = remaining if remaining > 0 else 0
+                # -- update_curr, inlined --
+                for rq in cpurq.curr_chain:
+                    rq.update_curr(delta)
+                curr.policy.se.avg.update(now, True)
+            # -- task_tick, inlined --
+            for rq in reversed(cpurq.curr_chain):
+                se = rq.curr
+                if se is None:
+                    continue
+                ideal = rq.sched_slice(se)
+                slice_exec = se.slice_exec
+                if slice_exec > ideal:
+                    core.need_resched = True
+                    continue
+                if slice_exec < min_gran:
+                    continue
+                first = rq.pick_first()
+                if first is not None and \
+                        se.vruntime - first.vruntime > ideal:
+                    core.need_resched = True
+            if core.need_resched:
+                engine._dispatch(core)
+            elif core.completion_event is not None:
+                engine._cancel_completion(core)
+                engine._arm_completion(core)
+
+        return tick
+
     def check_preempt_wakeup(self, core: "Core",
                              thread: "SimThread") -> None:
         curr = core.current
@@ -437,71 +526,40 @@ class CfsScheduler(SchedClass):
         event instant, invalidated on enqueue/dequeue).
 
         The balancing hot path: instead of re-walking the runqueue
-        hierarchy every pass, the per-task ``LoadAvg`` objects are
-        cached in traversal order (``_avgs_cache``, invalidated on any
-        runnable-set or timeline-order change) and ``LoadAvg.peek`` is
-        inlined.  The arithmetic is kept expression-for-expression
-        identical to ``peek`` so the result is bit-identical.
+        hierarchy every pass, the per-task banks (``_avgs_cache``,
+        invalidated on any runnable-set, timeline-order or weight
+        change) feed :func:`~repro.cfs.peltbank.fold_loads`, whose
+        arithmetic is expression-for-expression identical to
+        ``LoadAvg.peek`` so the result is bit-identical.
         """
-        now = self.engine.now
-        if self._load_cache_time != now:
-            self._load_cache_time = now
-            self._load_cache = {}
-        cached = self._load_cache.get(cpu)
-        if cached is not None:
-            return cached
-        sat = self._sat_loads.get(cpu)
-        if sat is not None and now - sat[1] < HALF_LIFE_NS:
-            # Every average on this cpu sat at the saturated fixed
-            # point when the sum was stored, and the stalest of them is
-            # still within a half-life: each per-avg term is the
-            # time-invariant ``u * weight`` (see pelt._SATURATED), so
-            # the stored sum is bit-identical to recomputing it now.
-            self._load_cache[cpu] = sat[0]
-            return sat[0]
-        avgs = self._avgs_cache.get(cpu)
-        if avgs is None:
-            core = self.machine.cores[cpu]
-            avgs = [t.policy.se.avg
-                    for t in self.runnable_threads(core)]
-            self._avgs_cache[cpu] = avgs
-        load = 0.0
-        exp = math.exp
-        decay_cache = _DECAY_CACHE
-        saturated = True
-        min_lu = now
-        for avg in avgs:
-            lu = avg.last_update
-            delta = now - lu
-            u = avg.util_avg
-            if u >= _SATURATED and delta < HALF_LIFE_NS:
-                # saturated fixed point, d >= 0.5: the decayed value
-                # is u itself, bit-for-bit (see pelt._SATURATED)
-                load += u * avg.weight
-                if lu < min_lu:
-                    min_lu = lu
-            elif delta <= 0:
-                load += u * avg.weight
-                saturated = False
-            else:
-                d = decay_cache.get(delta)
-                if d is None:
-                    # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
-                    d = exp(-_LN2 * delta / HALF_LIFE_NS)
-                    if len(decay_cache) >= _DECAY_CACHE_MAX:
-                        decay_cache.clear()
-                    decay_cache[delta] = d
-                load += (u * d + (1.0 - d)) * avg.weight
-                saturated = False
-        self._load_cache[cpu] = load
-        if saturated:
-            self._sat_loads[cpu] = (load, min_lu)
-        return load
+        return self.loads_for((cpu,))[cpu]
+
+    def _build_bank(self, cpu: int) -> tuple:
+        """Collect ``cpu``'s runnable-task ``LoadAvg`` bank (see
+        ``_avgs_cache``)."""
+        avgs = []
+        weights = []
+        core = self.machine.cores[cpu]
+        for t in self.runnable_threads(core):
+            avg = t.policy.se.avg
+            avgs.append(avg)
+            weights.append(avg.weight)
+        bank = (avgs, tuple(weights))
+        self._avgs_cache[cpu] = bank
+        return bank
 
     def loads_for(self, cpus: Iterable[int]) -> dict[int, float]:
         """Batch form of :meth:`cpu_load` for the balancer: validate
         the per-instant memo once, fill the missing entries in one
-        tight loop, and return the live memo dict for indexing."""
+        tight loop, and return the live memo dict for indexing.
+
+        With the pure-python kernel the bank fold from
+        :func:`~repro.cfs.peltbank.fold_loads_python` is inlined here —
+        one loop per balancing pass instead of one call per CPU; keep
+        the two bodies in sync (``tests/test_peltbank.py`` pins them
+        against each other).  A non-default kernel (the numpy probe)
+        is still dispatched per bank.
+        """
         now = self.engine.now
         if self._load_cache_time != now:
             self._load_cache_time = now
@@ -509,49 +567,71 @@ class CfsScheduler(SchedClass):
         cache = self._load_cache
         avgs_cache = self._avgs_cache
         sat_loads = self._sat_loads
-        cores = self.machine.cores
+        half_life = HALF_LIFE_NS
+        if fold_loads is not fold_loads_python:
+            fold = fold_loads
+            for cpu in cpus:
+                if cpu in cache:
+                    continue
+                sat = sat_loads.get(cpu)
+                if sat is not None and now - sat[1] < half_life:
+                    # time-invariant saturated sum, still valid
+                    cache[cpu] = sat[0]
+                    continue
+                bank = avgs_cache.get(cpu)
+                if bank is None:
+                    bank = self._build_bank(cpu)
+                load, saturated, min_lu = fold(bank[0], bank[1], now)
+                cache[cpu] = load
+                if saturated:
+                    sat_loads[cpu] = (load, min_lu)
+            return cache
         exp = math.exp
         decay_cache = _DECAY_CACHE
-        half_life = HALF_LIFE_NS
+        cache_get = decay_cache.get
+        sat_point = _SATURATED
+        build_bank = self._build_bank
         for cpu in cpus:
             if cpu in cache:
                 continue
             sat = sat_loads.get(cpu)
             if sat is not None and now - sat[1] < half_life:
-                # time-invariant saturated sum, still valid
-                # (see cpu_load)
+                # Every average on this cpu sat at the saturated fixed
+                # point when the sum was stored, and the stalest of
+                # them is still within a half-life: each per-avg term
+                # is the time-invariant ``u * weight`` (see
+                # pelt._SATURATED), so the stored sum is bit-identical
+                # to recomputing it now.
                 cache[cpu] = sat[0]
                 continue
-            avgs = avgs_cache.get(cpu)
-            if avgs is None:
-                avgs = [t.policy.se.avg
-                        for t in self.runnable_threads(cores[cpu])]
-                avgs_cache[cpu] = avgs
+            bank = avgs_cache.get(cpu)
+            if bank is None:
+                bank = build_bank(cpu)
             load = 0.0
             saturated = True
             min_lu = now
-            for avg in avgs:
+            for avg, weight in zip(bank[0], bank[1]):
                 lu = avg.last_update
                 delta = now - lu
                 u = avg.util_avg
-                if u >= _SATURATED and delta < half_life:
-                    # saturated fixed point, d >= 0.5: bit-identical
-                    # shortcut (see pelt._SATURATED)
-                    load += u * avg.weight
+                if u >= sat_point and delta < half_life:
+                    # saturated fixed point, d >= 0.5: the decayed
+                    # value is u itself, bit-for-bit
+                    load += u * weight
                     if lu < min_lu:
                         min_lu = lu
                 elif delta <= 0:
-                    load += u * avg.weight
+                    load += u * weight
                     saturated = False
                 else:
-                    d = decay_cache.get(delta)
+                    d = cache_get(delta)
                     if d is None:
                         # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
-                        d = exp(-_LN2 * delta / HALF_LIFE_NS)
+                        d = exp(-_LN2 * delta / half_life)
                         if len(decay_cache) >= _DECAY_CACHE_MAX:
                             decay_cache.clear()
                         decay_cache[delta] = d
-                    load += (u * d + (1.0 - d)) * avg.weight
+                    load += (u * d + (1.0 - d)) * weight
                     saturated = False
             cache[cpu] = load
             if saturated:

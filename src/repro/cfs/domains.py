@@ -50,12 +50,47 @@ class SchedDomain:
         raise ValueError(f"cpu {self.cpu} not in any group of {self.name}")
 
 
+#: blueprint memo: (id(topology), balancing tunables) -> (topology,
+#: {cpu: immutable constructor rows}).  Topologies are interned by
+#: :mod:`repro.core.topology`, so campaign cells sharing a machine
+#: shape hit the same entry and every engine after the first skips the
+#: level/partition walk entirely; each engine still gets *fresh*
+#: ``SchedDomain`` objects (last_balance / nr_balance_failed are
+#: per-run state).  The stored topology reference both pins the id
+#: against reuse and is identity-checked before trusting the entry.
+_BLUEPRINTS: dict = {}
+_BLUEPRINTS_MAX = 64
+
+
 def build_domains(cpu: int, topology: "Topology",
                   tunables: "CfsTunables") -> list[SchedDomain]:
     """Build the non-degenerate domain chain for one CPU, smallest
     first.  A domain's groups are the partition of its span by the next
     finer (non-degenerate) level; the finest partition is single CPUs.
+
+    Memoized per (topology, balancing tunables): the chain *shape* is
+    a pure function of those, so repeat engines (campaign cells, bench
+    rounds) only pay fresh-object construction.
     """
+    key = (id(topology), tunables.balance_interval_ns,
+           tunables.imbalance_pct_llc, tunables.imbalance_pct_numa)
+    entry = _BLUEPRINTS.get(key)
+    if entry is None or entry[0] is not topology:
+        if len(_BLUEPRINTS) >= _BLUEPRINTS_MAX:
+            _BLUEPRINTS.clear()
+        entry = _BLUEPRINTS[key] = (topology, {})
+    rows = entry[1].get(cpu)
+    if rows is None:
+        rows = entry[1][cpu] = tuple(
+            (d.cpu, d.name, d.span, d.groups, d.interval_ns,
+             d.imbalance_pct)
+            for d in _build_domains(cpu, topology, tunables))
+    return [SchedDomain(*row) for row in rows]
+
+
+def _build_domains(cpu: int, topology: "Topology",
+                   tunables: "CfsTunables") -> list[SchedDomain]:
+    """The uncached walk behind :func:`build_domains`."""
     domains: list[SchedDomain] = []
     child_partition: list[frozenset[int]] = [
         frozenset({c}) for c in range(topology.ncpus)]

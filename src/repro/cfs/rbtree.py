@@ -35,12 +35,16 @@ class _Node:
 class RBTree:
     """Red-black tree with a cached leftmost node."""
 
-    __slots__ = ("root", "_leftmost", "_nodes")
+    __slots__ = ("root", "_leftmost", "_nodes", "leftmost_value")
 
     def __init__(self):
         self.root: Optional[_Node] = None
         self._leftmost: Optional[_Node] = None
         self._nodes: dict[Any, _Node] = {}
+        #: value of the leftmost node (None when empty) — maintained,
+        #: not computed, so the tick/min_vruntime hot paths read one
+        #: attribute (the same seam FlatTimeline provides)
+        self.leftmost_value: Any = None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -81,6 +85,7 @@ class RBTree:
             parent.right = node
         if leftmost:
             self._leftmost = node
+            self.leftmost_value = value
         self._insert_fixup(node)
 
     def remove(self, key) -> Any:
@@ -89,7 +94,9 @@ class RBTree:
         node = self._nodes.pop(key)
         value = node.value
         if self._leftmost is node:
-            self._leftmost = self._successor(node)
+            succ = self._successor(node)
+            self._leftmost = succ
+            self.leftmost_value = succ.value if succ is not None else None
         self._delete(node)
         return value
 
@@ -320,6 +327,7 @@ class RBTree:
         """Assert the red-black and BST invariants; raises on violation."""
         if self.root is None:
             assert self._leftmost is None
+            assert self.leftmost_value is None
             return
         assert self.root.color is BLACK, "root must be black"
 
@@ -343,6 +351,8 @@ class RBTree:
         walk(self.root)
         assert self._leftmost is self._minimum(self.root), \
             "leftmost cache stale"
+        assert self.leftmost_value is self._leftmost.value, \
+            "leftmost value cache stale"
         keys = [k for k, _ in self.items()]
         assert keys == sorted(keys)
         assert len(keys) == len(self._nodes)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 from ..core.errors import SchedulerError
 from .entity import SchedEntity
 from .rbtree import RBTree
+from .timeline import FlatTimeline
 from .weights import calc_delta_fair
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,7 +55,10 @@ class CfsRq:
         self.group = group
         #: the group entity representing this rq one level up
         self.owner_entity = owner_entity
-        self.tree = RBTree()
+        #: the timeline backend: both expose the same ordered-map
+        #: surface and a maintained ``leftmost_value``, and produce
+        #: identical schedules (see cfs/timeline.py)
+        self.tree = FlatTimeline() if tunables.flat_timeline else RBTree()
         self.curr: Optional[SchedEntity] = None
         self.skip: Optional[SchedEntity] = None
         self.min_vruntime = 0
@@ -118,11 +122,10 @@ class CfsRq:
 
     def pick_first(self) -> Optional[SchedEntity]:
         """Leftmost entity, honouring the yield-skip hint."""
-        # tree.min_value() inlined (cached-leftmost read; tick path)
-        node = self.tree._leftmost
-        if node is None:
+        # maintained leftmost_value read (tick path; backend-agnostic)
+        first = self.tree.leftmost_value
+        if first is None:
             return None
-        first = node.value
         if first is self.skip:
             second = self.tree.second_value()
             if second is not None:
@@ -172,9 +175,8 @@ class CfsRq:
         live vruntime (curr or leftmost).  Allocation-free: this runs
         once per ``update_curr`` on the hottest accounting path."""
         curr = self.curr
-        # tree.min_value() inlined (cached-leftmost read; hottest path)
-        node = self.tree._leftmost
-        leftmost = node.value if node is not None else None
+        # maintained leftmost_value read (hottest path; backend-agnostic)
+        leftmost = self.tree.leftmost_value
         if curr is not None and curr.on_rq:
             vruntime = curr.vruntime
             if leftmost is not None and leftmost.vruntime < vruntime:

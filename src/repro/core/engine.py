@@ -51,6 +51,11 @@ from .topology import Topology
 #: ``run_remaining`` value meaning "spin forever".
 RUN_FOREVER = math.inf
 
+#: hoisted singleton flag members (enum attribute access and Flag
+#: arithmetic are surprisingly costly on the per-wakeup path)
+_ENQ_WAKEUP = EnqueueFlags.WAKEUP
+_ENQ_NEW = EnqueueFlags.NEW
+
 #: default for :class:`Engine`'s ``tickless`` parameter.  Tickless idle
 #: produces bit-identical schedules (see ``tests/test_tickless.py``);
 #: flip this (or pass ``tickless=False``) to force the always-tick
@@ -61,6 +66,12 @@ TICKLESS_DEFAULT = True
 def _sanitize_from_env() -> bool:
     """``REPRO_SANITIZE`` truthiness (unset/0/false/no/off = off)."""
     value = os.environ.get("REPRO_SANITIZE", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _fast_from_env() -> bool:
+    """``REPRO_FAST`` truthiness (unset/0/false/no/off = off)."""
+    value = os.environ.get("REPRO_FAST", "")
     return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
@@ -126,8 +137,16 @@ class Engine:
                  sanitize: Optional[bool] = None,
                  faults=None,
                  event_queue=None,
-                 profile: Optional[bool] = None):
+                 profile: Optional[bool] = None,
+                 fast: Optional[bool] = None):
         self.now = 0
+        #: fast mode (``fast=True`` / ``REPRO_FAST``): :meth:`run`
+        #: selects a specialized loop with no per-event observer
+        #: branches, and schedulers may pick flat-array runqueue
+        #: backends.  Digest-identical by construction; silently falls
+        #: back to the instrumented loop whenever tracing, sanitize,
+        #: faults or profiling are active (those need the hooks).
+        self.fast = _fast_from_env() if fast is None else bool(fast)
         #: the event queue: "heap"/"wheel"/a ready queue object; the
         #: default consults REPRO_EVENTQ and falls back to the timing
         #: wheel.  Either kind produces the identical schedule.
@@ -142,6 +161,8 @@ class Engine:
         self._nr_stopped_ticks = 0
         self.random = RandomSource(seed)
         self.metrics = MetricRegistry()
+        #: lazily bound ``engine.run_delay`` recorder (hot in _switch_to)
+        self._run_delay = None
         self.tracer = Tracer()
         self.machine = Machine(self, topology, corun_slowdown=corun_slowdown)
         self.threads: list[SimThread] = []
@@ -277,7 +298,10 @@ class Engine:
         self.scheduler.enqueue_task(core, thread, flags)
         if self._nr_stopped_ticks:
             self._kick_stopped_ticks()
-        if flags & (EnqueueFlags.WAKEUP | EnqueueFlags.NEW):
+        # identity test: callers pass exactly WAKEUP or NEW (singleton
+        # members), so this equals ``flags & (WAKEUP | NEW)`` without
+        # the per-call Flag arithmetic
+        if flags is _ENQ_WAKEUP or flags is _ENQ_NEW:
             self.scheduler.check_preempt_wakeup(core, thread)
         if core.is_idle or core.need_resched:
             self.request_resched(core)
@@ -411,6 +435,7 @@ class Engine:
             raise SimulationError(
                 f"cannot offline cpu {cpu}: it is the last online core")
         core.online = False
+        self.machine.nr_offline += 1
         # Drop the pending resched IPI.  The reusable backing event may
         # still sit (cancelled) in the heap, so it must never be
         # reposted while queued — forget it and let request_resched
@@ -473,11 +498,13 @@ class Engine:
         if core.online:
             return False
         core.online = True
+        self.machine.nr_offline -= 1
         core.account_to_now()
         if self._ticks_started:
             period = self.scheduler.tick_ns
             core.tick_event = self.events.make_reusable(
-                self._tick, core, label=f"tick:cpu{core.index}")
+                self._tick_callback(core), core,
+                label=f"tick:cpu{core.index}")
             behind = self.now - core.tick_origin
             if behind < 0:
                 next_tick = core.tick_origin
@@ -608,17 +635,18 @@ class Engine:
     def _switch_to(self, core: Core, prev: Optional[SimThread],
                    nxt: Optional[SimThread]) -> None:
         core.account_to_now()
+        counters = self.metrics.counters
         if prev is not None and prev.state is ThreadState.RUNNING:
             prev.state = ThreadState.RUNNABLE
             prev.wait_start = self.now
             prev.nr_preemptions += 1
-            self.metrics.incr("engine.preemptions")
+            counters["engine.preemptions"] += 1.0
             hooks = self.tracer.on_preempt
             if hooks:
                 Tracer._fire(hooks, core, prev, nxt)
         core.current = nxt
         core.nr_switches += 1
-        self.metrics.incr("engine.switches")
+        counters["engine.switches"] += 1.0
         if nxt is not None and core.tick_stopped:
             # A parked core gained a running thread: NO_HZ exit.
             self._restart_tick(core)
@@ -633,7 +661,11 @@ class Engine:
             if nxt.wait_start is not None:
                 wait = self.now - nxt.wait_start
                 nxt.total_waittime += wait
-                self.metrics.latency("engine.run_delay").record(wait)
+                recorder = self._run_delay
+                if recorder is None:
+                    recorder = self._run_delay = \
+                        self.metrics.latency("engine.run_delay")
+                recorder.samples.append(wait)
                 nxt.wait_start = None
         core.curr_started_at = self.now
         core._curr_account_start = self.now
@@ -738,6 +770,14 @@ class Engine:
                     thread.run_remaining = None
                     continue
                 return True
+            if isinstance(action, act.SyncAction):
+                # checked right after Run: sync ops dominate the
+                # wakeup-heavy (hackbench-shaped) workloads
+                result, value = action.apply(self, thread)
+                if result is act.BlockResult.COMPLETED:
+                    thread.set_wake_value(value)
+                    continue
+                return False
             if isinstance(action, act.Sleep):
                 if action.duration == 0:
                     continue
@@ -763,12 +803,6 @@ class Engine:
                 continue
             if isinstance(action, act.Exit):
                 self._exit_thread(core, thread)
-                return False
-            if isinstance(action, act.SyncAction):
-                result, value = action.apply(self, thread)
-                if result is act.BlockResult.COMPLETED:
-                    thread.set_wake_value(value)
-                    continue
                 return False
             raise SimulationError(f"unknown action {action!r}")
 
@@ -817,6 +851,18 @@ class Engine:
                 self._cancel_completion(core)
                 self._arm_completion(core)
 
+    def _tick_callback(self, core: Core):
+        """The callback backing ``core``'s tick event: the scheduler's
+        fused hook when one exists (and no fault injector can bend tick
+        times), else the generic :meth:`_tick`.  A fused hook inlines
+        the accounting + task_tick chain bit-identically — the event
+        stream, labels and schedule are unchanged."""
+        if self.faults is None:
+            hook = self.scheduler.make_tick_hook(core)
+            if hook is not None:
+                return hook
+        return self._tick
+
     def start_ticks(self) -> None:
         """Arm the per-core periodic tick at the scheduler's rate."""
         if self._ticks_started:
@@ -827,7 +873,8 @@ class Engine:
             # Stagger ticks across cores like real timer interrupts.
             offset = (core.index * period) // max(1, len(self.machine))
             core.tick_event = self.events.make_reusable(
-                self._tick, core, label=f"tick:cpu{core.index}")
+                self._tick_callback(core), core,
+                label=f"tick:cpu{core.index}")
             core.tick_origin = self.now + period + offset
             core.tick_stopped = False
             self.events.repost(core.tick_event, core.tick_origin)
@@ -923,14 +970,48 @@ class Engine:
             self.faults.start()
         self._stopped = False
         self._stop_reason = None
+        # Loop selection happens once, here — the fast loop carries no
+        # per-event observer branches at all, so it is only eligible
+        # when nothing needs those hooks.
+        if self.fast and self.sanitizer is None and self.profiler is None \
+                and self.faults is None and not self._tracing_active():
+            return self._run_fast(until, stop_when, check_interval)
+        return self._run_instrumented(until, stop_when, check_interval)
+
+    def _tracing_active(self) -> bool:
+        """Any tracer hook registered (disqualifies the fast loop)."""
+        tracer = self.tracer
+        return bool(tracer.on_switch or tracer.on_wake
+                    or tracer.on_migrate or tracer.on_exit
+                    or tracer.on_preempt or tracer.on_fault)
+
+    def _queue_exhausted(self, until: Optional[int]) -> str:
+        """Shared run-loop epilogue: the queue drained, or the next
+        live event lies beyond the deadline."""
+        if until is not None:
+            # Tickless idle can drain the queue entirely (the
+            # always-tick engine would spin no-op ticks up to the
+            # deadline, with threads possibly still blocked past it);
+            # jump straight there.
+            self.now = until
+            for core in self.machine.cores:
+                self._update_curr(core)
+            return "deadline"
+        if self.live_threads > 0 and any(
+                t.is_blocked for t in self.threads):
+            raise DeadlockError(
+                f"{self.live_threads} live threads but no events")
+        return "drained"
+
+    def _run_instrumented(self, until, stop_when, check_interval) -> str:
+        """The observable run loop: per-event profiler, sanitizer and
+        stop-condition hooks (each one local ``is None`` test when
+        off).  The event counter accumulates locally and flushes once
+        — the finally block keeps events/sec reporting exact on every
+        exit path, including exceptions from callbacks."""
         events_since_check = 0
-        # Hot-loop specialization: the queue's bound methods and the
-        # optional per-event observers are hoisted to locals, and the
-        # event counter is accumulated locally and flushed once (the
-        # finally block keeps events/sec reporting exact on every exit
-        # path, including exceptions from callbacks).
-        sanitizer = self.sanitizer
         profiler = self.profiler
+        sanitizer = self.sanitizer
         events = self.events
         pop_before = events.pop_before
         processed = 0
@@ -938,26 +1019,17 @@ class Engine:
             while True:
                 if self._stopped:
                     return self._stop_reason or "stopped"
-                event = pop_before(until)
+                if profiler is None:
+                    event = pop_before(until)
+                else:
+                    # queue-drain self-time (heap sift / wheel cascade)
+                    # gets its own ``eventq`` bucket: it belongs to no
+                    # event callback but is real per-event cost
+                    t0 = timestamp()
+                    event = pop_before(until)
+                    profiler.record("eventq", timestamp() - t0)
                 if event is None:
-                    # Queue exhausted, or the next live event lies
-                    # beyond the deadline.
-                    if until is not None:
-                        # Tickless idle can drain the queue entirely
-                        # (the always-tick engine would spin no-op
-                        # ticks up to the deadline, with threads
-                        # possibly still blocked past it); jump
-                        # straight there.
-                        self.now = until
-                        for core in self.machine.cores:
-                            self._update_curr(core)
-                        return "deadline"
-                    if self.live_threads > 0 and any(
-                            t.is_blocked for t in self.threads):
-                        raise DeadlockError(
-                            f"{self.live_threads} live threads "
-                            f"but no events")
-                    return "drained"
+                    return self._queue_exhausted(until)
                 self.now = event.time
                 processed += 1
                 if profiler is None:
@@ -968,6 +1040,35 @@ class Engine:
                     profiler.record(event.label, timestamp() - t0)
                 if sanitizer is not None:
                     sanitizer.after_event(event)
+                if stop_when is not None:
+                    events_since_check += 1
+                    if events_since_check >= check_interval:
+                        events_since_check = 0
+                        if stop_when(self):
+                            return "condition"
+                if self.live_threads == 0:
+                    return "all-exited"
+        finally:
+            self.events_processed += processed
+
+    def _run_fast(self, until, stop_when, check_interval) -> str:
+        """The specialized fast loop (``fast=True`` / ``REPRO_FAST``):
+        identical event order and schedule, but the profiler/sanitizer
+        observer branches are *gone*, not just false — :meth:`run`
+        only selects this loop when no observer is installed."""
+        events_since_check = 0
+        pop_before = self.events.pop_before
+        processed = 0
+        try:
+            while True:
+                if self._stopped:
+                    return self._stop_reason or "stopped"
+                event = pop_before(until)
+                if event is None:
+                    return self._queue_exhausted(until)
+                self.now = event.time
+                processed += 1
+                event.callback(*event.args)
                 if stop_when is not None:
                     events_since_check += 1
                     if events_since_check >= check_interval:

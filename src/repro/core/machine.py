@@ -108,7 +108,7 @@ class Core:
 class Machine:
     """A simulated multiprocessor."""
 
-    __slots__ = ("topology", "corun_slowdown", "cores")
+    __slots__ = ("topology", "corun_slowdown", "cores", "nr_offline")
 
     def __init__(self, engine: "Engine", topology: Topology,
                  corun_slowdown: float = 1.0):
@@ -117,6 +117,9 @@ class Machine:
         self.topology = topology
         self.corun_slowdown = corun_slowdown
         self.cores = [Core(engine, i) for i in range(topology.ncpus)]
+        #: offlined-core count, maintained by the engine's hotplug
+        #: paths; placement fast paths branch on ``nr_offline == 0``
+        self.nr_offline = 0
 
     def __len__(self) -> int:
         return len(self.cores)

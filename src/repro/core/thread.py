@@ -91,7 +91,7 @@ class SimThread:
                  "nr_switches", "nr_migrations", "nr_preemptions",
                  "created_at", "exited_at", "sleep_start", "wait_start",
                  "last_ran", "run_remaining", "_wake_value",
-                 "sleep_event", "policy", "tags")
+                 "sleep_event", "policy", "tags", "_send")
 
     _COUNTER = 0
 
@@ -121,6 +121,9 @@ class SimThread:
 
         self.ctx = ThreadCtx(engine, self)
         self._generator = None
+        #: the generator's bound ``send`` (None for plain iterators),
+        #: cached so next_action avoids a per-step hasattr probe
+        self._send = None
         self._behavior = spec.behavior
 
         # -- generic accounting (engine-maintained, scheduler-agnostic) --
@@ -163,6 +166,8 @@ class SimThread:
         if self._generator is not None:
             raise ThreadStateError(f"{self} behaviour already started")
         self._generator = self._behavior(self.ctx)
+        # plain iterators (e.g. iter([...])) cannot receive values
+        self._send = getattr(self._generator, "send", None)
 
     def next_action(self):
         """Advance the behaviour and return the next action.
@@ -175,9 +180,9 @@ class SimThread:
         if self._generator is None:
             self.start_behavior()
             return next(self._generator)
-        if hasattr(self._generator, "send"):
-            return self._generator.send(value)
-        # plain iterators (e.g. iter([...])) cannot receive values
+        send = self._send
+        if send is not None:
+            return send(value)
         return next(self._generator)
 
     def set_wake_value(self, value: Any) -> None:

@@ -50,6 +50,10 @@ class Topology:
                 for cpu in group:
                     mapping[cpu] = group
             self._group_of[level.name] = mapping
+        # Memoized per-cpu walks (levels are immutable after __init__,
+        # so the walks never change; ULE consults them per wakeup).
+        self._levels_above: dict[int, tuple] = {}
+        self._levels_above_sorted: dict[int, tuple] = {}
 
     def _validate(self) -> None:
         all_cpus = frozenset(range(self.ncpus))
@@ -126,12 +130,30 @@ class Topology:
         return b in self.llc_of(a)
 
     def levels_above(self, cpu: int):
-        """Yield ``(level_name, group)`` pairs from tightest to machine.
+        """``(level_name, group)`` pairs from tightest to machine.
 
-        This is the walk ULE performs when widening its steal search.
+        This is the walk ULE performs when widening its steal search;
+        it runs per wakeup and per idle poll, so the tuple is memoized.
         """
-        for level in self.levels:
-            yield level.name, self.group_of(level.name, cpu)
+        try:
+            return self._levels_above[cpu]
+        except KeyError:
+            walk = tuple((level.name, self.group_of(level.name, cpu))
+                         for level in self.levels)
+            self._levels_above[cpu] = walk
+            return walk
+
+    def levels_above_sorted(self, cpu: int):
+        """Like :meth:`levels_above` but with each group also given as
+        an ascending tuple — the deterministic scan order the steal and
+        placement paths need, without re-sorting per call."""
+        try:
+            return self._levels_above_sorted[cpu]
+        except KeyError:
+            walk = tuple((name, group, tuple(sorted(group)))
+                         for name, group in self.levels_above(cpu))
+            self._levels_above_sorted[cpu] = walk
+            return walk
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = ",".join(l.name for l in self.levels)
@@ -142,9 +164,20 @@ class Topology:
 # Builders for the machines used in the paper
 # ----------------------------------------------------------------------
 
+#: interned builder results: Topology objects are immutable after
+#: validation, so campaign cells with identical topology share one
+#: instance (and its memoized walks / derived per-topology caches)
+#: instead of re-validating per engine
+_INTERNED: dict = {}
+
+
 def single_core() -> Topology:
     """A single-CPU machine (Section 5's per-core experiments)."""
-    return Topology(1, [TopologyLevel.make("machine", [[0]])])
+    topo = _INTERNED.get("single")
+    if topo is None:
+        topo = Topology(1, [TopologyLevel.make("machine", [[0]])])
+        _INTERNED["single"] = topo
+    return topo
 
 
 def smp(ncpus: int, cpus_per_llc: Optional[int] = None,
@@ -152,8 +185,13 @@ def smp(ncpus: int, cpus_per_llc: Optional[int] = None,
     """A generic SMP machine.
 
     ``cpus_per_llc`` defaults to ``ncpus // numa_nodes`` (one cache per
-    node).  CPUs are numbered node-major.
+    node).  CPUs are numbered node-major.  Repeated calls with the same
+    shape return the same interned (immutable) instance.
     """
+    key = ("smp", ncpus, cpus_per_llc, numa_nodes)
+    topo = _INTERNED.get(key)
+    if topo is not None:
+        return topo
     if ncpus % numa_nodes:
         raise TopologyError("ncpus must divide evenly into numa_nodes")
     per_node = ncpus // numa_nodes
@@ -170,7 +208,9 @@ def smp(ncpus: int, cpus_per_llc: Optional[int] = None,
                  for i in range(0, ncpus, per_node)]
         levels.append(TopologyLevel.make("numa", nodes))
     levels.append(TopologyLevel.make("machine", [list(range(ncpus))]))
-    return Topology(ncpus, levels)
+    topo = Topology(ncpus, levels)
+    _INTERNED[key] = topo
+    return topo
 
 
 def opteron_6172() -> Topology:
@@ -182,9 +222,13 @@ def opteron_6172() -> Topology:
 def i7_3770() -> Topology:
     """The paper's desktop machine: 8 hardware threads, 4 SMT pairs,
     one shared LLC, one node."""
-    pairs = [[i, i + 1] for i in range(0, 8, 2)]
-    return Topology(8, [
-        TopologyLevel.make("smt", pairs),
-        TopologyLevel.make("llc", [list(range(8))]),
-        TopologyLevel.make("machine", [list(range(8))]),
-    ])
+    topo = _INTERNED.get("i7_3770")
+    if topo is None:
+        pairs = [[i, i + 1] for i in range(0, 8, 2)]
+        topo = Topology(8, [
+            TopologyLevel.make("smt", pairs),
+            TopologyLevel.make("llc", [list(range(8))]),
+            TopologyLevel.make("machine", [list(range(8))]),
+        ])
+        _INTERNED["i7_3770"] = topo
+    return topo

@@ -136,6 +136,20 @@ class SchedClass(abc.ABC):
                     delta_ns: int) -> None:
         """Charge ``delta_ns`` of execution to the running thread."""
 
+    def make_tick_hook(self, core: "Core"):
+        """Optionally return a fused per-core tick callback.
+
+        The engine installs the returned callable (signature
+        ``hook(core)``, like :meth:`Engine._tick`) as the core's tick
+        event callback when no fault injector is active.  A hook MUST
+        replicate the generic tick bit-identically — NO_HZ parking,
+        accounting, ``task_tick``/``idle_tick`` and the
+        dispatch-or-rearm epilogue — it exists purely to collapse the
+        engine→scheduler call chain on the hottest periodic path.
+        Returning None (the default) keeps the generic tick.
+        """
+        return None
+
     # -- introspection -----------------------------------------------------
 
     @abc.abstractmethod

@@ -69,22 +69,30 @@ def periodic_balance(sched: "UleScheduler") -> int:
 
 def idle_steal(sched: "UleScheduler", core: "Core") -> Optional["SimThread"]:
     """Steal one thread for an idle core, nearest victims first."""
+    if sched._nr_loaded == 0:
+        # No tdq anywhere carries ``steal_thresh`` load, so no scan can
+        # find a victim — same outcome as the walk below, O(1).
+        return None
     tun = sched.tunables
-    for _, group in sched.topology.levels_above(core.index):
+    steal_thresh = tun.steal_thresh
+    tdqs = sched.tdqs()
+    index = core.index
+    for _, _, cpus in sched.topology.levels_above_sorted(index):
         victim_cpu = None
         victim_load = 0
-        for cpu in sorted(group):
-            if cpu == core.index:
+        for cpu in cpus:
+            if cpu == index:
                 continue
-            tdq = sched.tdq_of(cpu)
-            if tdq.load >= tun.steal_thresh and tdq.load > victim_load:
-                if tdq.transferable(core.index) is not None:
-                    victim_cpu, victim_load = cpu, tdq.load
+            tdq = tdqs[cpu]
+            load = tdq.load
+            if load >= steal_thresh and load > victim_load:
+                if tdq.transferable(index) is not None:
+                    victim_cpu, victim_load = cpu, load
         if victim_cpu is None:
             continue
-        thread = sched.tdq_of(victim_cpu).transferable(core.index)
+        thread = tdqs[victim_cpu].transferable(index)
         if thread is not None:
-            sched.engine.migrate_thread(thread, core.index)
+            sched.engine.migrate_thread(thread, index)
             sched.engine.metrics.incr("ule.idle_steals")
             return thread
     return None

@@ -76,6 +76,12 @@ class UleScheduler(SchedClass):
         #: number of tdqs at or above ``steal_thresh`` load — O(1)
         #: backing for :meth:`needs_tick`'s steal-poll superset
         self._nr_loaded = 0
+        #: per-cpu tdq list (``core.rq`` is bound once at engine init
+        #: and never replaced); built lazily on first use
+        self._tdqs: Optional[list] = None
+        #: whether the timeshare queues are rotating calendars (so the
+        #: tick can advance them without a per-tick hasattr probe)
+        self._calendar = self.tunables.timeshare_calendar
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -88,7 +94,18 @@ class UleScheduler(SchedClass):
 
     def tdq_of(self, cpu: int) -> Tdq:
         """The per-CPU ULE state of ``cpu``."""
-        return self.machine.cores[cpu].rq
+        tdqs = self._tdqs
+        if tdqs is None:
+            tdqs = self.tdqs()
+        return tdqs[cpu]
+
+    def tdqs(self) -> list:
+        """All per-CPU tdqs, indexed by cpu (hot paths index this list
+        instead of chasing ``machine.cores[cpu].rq`` per lookup)."""
+        tdqs = self._tdqs
+        if tdqs is None:
+            tdqs = self._tdqs = [core.rq for core in self.machine.cores]
+        return tdqs
 
     def start(self) -> None:
         if self._started:
@@ -247,11 +264,10 @@ class UleScheduler(SchedClass):
         # tick (sched_clock), reclassifying it as its history evolves,
         # and rotates the timeshare calendar's insertion origin.
         self._update_priority(thread)
-        tdq_cal = core.rq.timeshare
-        if hasattr(tdq_cal, "advance"):
-            tdq_cal.advance()
-        state.ticks_used += 1
         tdq: Tdq = core.rq
+        if self._calendar:
+            tdq.timeshare.advance()
+        state.ticks_used += 1
         # sched_clock compares the used ticks against the *current*
         # load-adjusted slice, so the effective slice shrinks the
         # moment more threads become runnable.
@@ -265,10 +281,16 @@ class UleScheduler(SchedClass):
 
     def idle_tick(self, core: "Core") -> None:
         # The FreeBSD idle loop keeps polling for stealable work.
+        if self._nr_loaded == 0:
+            # No tdq reaches steal_thresh, so the scan below cannot
+            # match — same outcome, O(1).
+            return
+        steal_thresh = self.tunables.steal_thresh
+        index = core.index
         for other in self.machine.cores:
-            if other is not core \
-                    and other.rq.load >= self.tunables.steal_thresh \
-                    and other.rq.transferable(core.index) is not None:
+            rq = other.rq
+            if other is not core and rq.load >= steal_thresh \
+                    and rq.transferable(index) is not None:
                 core.need_resched = True
                 return
 
@@ -279,6 +301,80 @@ class UleScheduler(SchedClass):
         # conservative superset of idle_tick's condition (it ignores
         # transferability), which the NO_HZ contract permits.
         return not core.is_idle or self._nr_loaded > 0
+
+    def make_tick_hook(self, core: "Core"):
+        """Fused ULE stathz tick (see ``SchedClass.make_tick_hook``).
+
+        Inlines ``Engine._tick`` → ``Engine._update_curr`` →
+        :meth:`update_curr` → :meth:`task_tick` into one closure over
+        per-core state, statement-for-statement identical to the
+        generic chain so the schedule is bit-identical.
+        """
+        from ..core.engine import RUN_FOREVER
+        engine = self.engine
+        events = engine.events
+        tick_ns = self.tick_ns
+        tun = self.tunables
+        slice_for_load = tun.slice_for_load
+        calendar = self._calendar
+        tdq: Tdq = core.rq
+
+        def tick(_core: "Core") -> None:
+            if not core.online:
+                return
+            curr = core.current
+            now = engine.now
+            if curr is None:
+                if engine.tickless and self._nr_loaded == 0:
+                    # needs_tick(): an idle core only keeps ticking
+                    # while some tdq carries steal_thresh load
+                    core.tick_stopped = True
+                    engine._nr_stopped_ticks += 1
+                    engine.metrics.incr("engine.tick_stops")
+                    return
+                events.repost(core.tick_event, now + tick_ns)
+                self.idle_tick(core)
+                if core.need_resched:
+                    engine._dispatch(core)
+                return
+            events.repost(core.tick_event, now + tick_ns)
+            state = curr.policy
+            # -- Engine._update_curr, inlined --
+            delta = now - core._curr_account_start
+            core._curr_account_start = now
+            if delta > 0:
+                core.account_to_now()
+                curr.total_runtime += delta
+                curr.last_ran = now
+                remaining = curr.run_remaining
+                if remaining is not None and remaining is not RUN_FOREVER:
+                    speed = core._curr_speed
+                    progress = delta if speed == 1.0 \
+                        else int(delta * speed)
+                    remaining -= progress
+                    curr.run_remaining = remaining if remaining > 0 else 0
+                # -- update_curr, inlined --
+                state.hist.add_runtime(delta)
+            # -- task_tick, inlined (sched_clock) --
+            state.priority, state.interactive = compute_priority(
+                tun, state.hist, curr.nice)
+            if calendar:
+                tdq.timeshare.advance()
+            ticks_used = state.ticks_used + 1
+            state.ticks_used = ticks_used
+            if ticks_used >= slice_for_load(tdq.load):
+                if tdq.nr_queued() > 0:
+                    core.need_resched = True
+                else:
+                    # alone on the core: keep running, restart slice
+                    state.ticks_used = 0
+            if core.need_resched:
+                engine._dispatch(core)
+            elif core.completion_event is not None:
+                engine._cancel_completion(core)
+                engine._arm_completion(core)
+
+        return tick
 
     # ------------------------------------------------------------------
     # wakeup preemption (disabled, per the paper)

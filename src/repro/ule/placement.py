@@ -36,12 +36,20 @@ def sched_pickcpu(sched: "UleScheduler", thread: "SimThread",
     on the drain path the same way).
     """
     tun = sched.tunables
-    ncpus = len(sched.machine)
-    cores = sched.machine.cores
-    allowed = [c for c in range(ncpus)
-               if thread.allows_cpu(c) and cores[c].online]
-    if not allowed:
-        allowed = sched.machine.online_cpus()
+    machine = sched.machine
+    ncpus = len(machine)
+    if thread.affinity is None and machine.nr_offline == 0:
+        # Unrestricted thread on a fully online machine: the filter
+        # below would pass every cpu — reuse one shared ascending list.
+        allowed = _all_cpus(sched, ncpus)
+        unrestricted = True
+    else:
+        cores = machine.cores
+        allowed = [c for c in range(ncpus)
+                   if thread.allows_cpu(c) and cores[c].online]
+        if not allowed:
+            allowed = machine.online_cpus()
+        unrestricted = False
     if len(allowed) == 1:
         return allowed[0]
     if tun.pickcpu_simple:
@@ -54,22 +62,24 @@ def sched_pickcpu(sched: "UleScheduler", thread: "SimThread",
     scanned = 0
     pri = thread.policy.priority
     choice = None
+    tdqs = sched.tdqs()
 
     # 1. cache affinity on the last core.
-    if last is not None and last in allowed:
+    if last is not None and (unrestricted or last in allowed):
         if now - thread.last_ran < tun.affinity_ns:
             scanned += 1
-            if sched.tdq_of(last).lowest_priority() > pri:
+            if tdqs[last].lowest_priority() > pri:
                 choice = last
 
     if choice is None and last is not None:
         # 2. the highest affine topology level around the last core.
         affine_group = None
-        for idx, (_, group) in enumerate(
-                sched.topology.levels_above(last)):
+        for idx, (_, group, cpus) in enumerate(
+                sched.topology.levels_above_sorted(last)):
             window = tun.affinity_ns * (2 ** idx)
             if now - thread.last_ran < window:
-                affine_group = [c for c in sorted(group) if c in allowed]
+                affine_group = (cpus if unrestricted else
+                                [c for c in cpus if c in allowed])
                 break
         if affine_group:
             found, n = _search_lowpri(sched, affine_group, pri)
@@ -86,10 +96,18 @@ def sched_pickcpu(sched: "UleScheduler", thread: "SimThread",
         # 4. the least loaded core.
         scanned += len(allowed)
         choice = min(allowed,
-                     key=lambda c: (sched.tdq_of(c).load, c))
+                     key=lambda c: (tdqs[c].load, c))
 
     _charge_scan(sched, thread, waker, scanned)
     return choice
+
+
+def _all_cpus(sched: "UleScheduler", ncpus: int) -> list:
+    """The shared ascending cpu list (never mutated by the scan)."""
+    cpus = getattr(sched, "_pickcpu_all", None)
+    if cpus is None or len(cpus) != ncpus:
+        cpus = sched._pickcpu_all = list(range(ncpus))
+    return cpus
 
 
 def _search_lowpri(sched: "UleScheduler", cpus, pri: int):
@@ -97,15 +115,14 @@ def _search_lowpri(sched: "UleScheduler", cpus, pri: int):
     than ``pri`` (i.e. the thread would run immediately)."""
     best = None
     best_load = None
-    scanned = 0
+    tdqs = sched.tdqs()
     for cpu in cpus:
-        scanned += 1
-        tdq = sched.tdq_of(cpu)
+        tdq = tdqs[cpu]
         if tdq.lowest_priority() > pri:
             load = tdq.load
             if best is None or load < best_load:
                 best, best_load = cpu, load
-    return best, scanned
+    return best, len(cpus)
 
 
 def _charge_scan(sched: "UleScheduler", thread: "SimThread",

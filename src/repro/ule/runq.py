@@ -134,7 +134,7 @@ class CalendarRunQueue:
     """
 
     __slots__ = ("nbuckets", "_buckets", "_count", "insert_idx",
-                 "remove_idx", "_bucket_of")
+                 "remove_idx", "_bucket_of", "_bitmap", "_mask")
 
     def __init__(self, nbuckets: int = 64):
         self.nbuckets = nbuckets
@@ -146,6 +146,19 @@ class CalendarRunQueue:
         self.remove_idx = 0
         #: bucket each thread was filed under (for removal)
         self._bucket_of: dict[int, int] = {}
+        #: occupancy bitmap — find-first-set from the removal index is
+        #: O(1) (a rotate + ffs) instead of walking empty buckets
+        self._bitmap = 0
+        self._mask = (1 << nbuckets) - 1
+
+    def _first_occupied(self) -> int:
+        """Index of the first occupied bucket at or after
+        ``remove_idx`` (circularly); caller guarantees ``_count > 0``."""
+        r = self.remove_idx
+        rotated = ((self._bitmap >> r)
+                   | (self._bitmap << (self.nbuckets - r))) & self._mask
+        distance = (rotated & -rotated).bit_length() - 1
+        return (r + distance) % self.nbuckets
 
     def __len__(self) -> int:
         return self._count
@@ -167,6 +180,7 @@ class CalendarRunQueue:
         else:
             self._buckets[bucket].append(thread)
         self._bucket_of[thread.tid] = bucket
+        self._bitmap |= 1 << bucket
         self._count += 1
 
     def remove(self, thread: "SimThread",
@@ -176,46 +190,44 @@ class CalendarRunQueue:
             bucket = self._bucket_of.pop(thread.tid)
         except KeyError:
             raise SchedulerError(f"{thread} not in calendar") from None
-        self._buckets[bucket].remove(thread)
+        queue = self._buckets[bucket]
+        queue.remove(thread)
+        if not queue:
+            self._bitmap &= ~(1 << bucket)
         self._count -= 1
 
     def choose(self) -> Optional["SimThread"]:
         """Pop from the removal index, advancing it across empty
-        buckets (never past the insertion origin + a full lap)."""
+        buckets (never past the insertion origin + a full lap).
+
+        The bitmap jump lands on exactly the bucket the one-step walk
+        would have stopped at, and leaves ``remove_idx`` there — the
+        same state the walk produces."""
         if self._count == 0:
             return None
-        for _ in range(self.nbuckets):
-            bucket = self._buckets[self.remove_idx]
-            if bucket:
-                thread = bucket.popleft()
-                self._bucket_of.pop(thread.tid, None)
-                self._count -= 1
-                return thread
-            self.remove_idx = (self.remove_idx + 1) % self.nbuckets
-        return None  # pragma: no cover - count said non-empty
+        idx = self._first_occupied()
+        self.remove_idx = idx
+        bucket = self._buckets[idx]
+        thread = bucket.popleft()
+        self._bucket_of.pop(thread.tid, None)
+        if not bucket:
+            self._bitmap &= ~(1 << idx)
+        self._count -= 1
+        return thread
 
     def peek(self) -> Optional["SimThread"]:
         """Next thread the calendar would pop, without removing it."""
         if self._count == 0:
             return None
-        idx = self.remove_idx
-        for _ in range(self.nbuckets):
-            if self._buckets[idx]:
-                return self._buckets[idx][0]
-            idx = (idx + 1) % self.nbuckets
-        return None  # pragma: no cover
+        return self._buckets[self._first_occupied()][0]
 
     def first_priority(self) -> Optional[int]:
         """Distance of the first occupied bucket from the removal
         index — the calendar's notion of 'best'."""
         if self._count == 0:
             return None
-        idx = self.remove_idx
-        for distance in range(self.nbuckets):
-            if self._buckets[idx]:
-                return distance
-            idx = (idx + 1) % self.nbuckets
-        return None  # pragma: no cover
+        return (self._first_occupied()
+                - self.remove_idx) % self.nbuckets
 
     def advance(self) -> None:
         """Advance the insertion origin one bucket (called from the
@@ -234,28 +246,29 @@ class CalendarRunQueue:
         :meth:`threads` order (see ``RunQueue.first_allowed``); stops
         once every queued thread has been seen instead of walking all
         the empty buckets."""
-        remaining = self._count
-        if remaining == 0:
+        if self._count == 0:
             return None
-        idx = self.remove_idx
-        buckets = self._buckets
+        r = self.remove_idx
         nbuckets = self.nbuckets
-        while remaining > 0:
-            bucket = buckets[idx]
-            if bucket:
-                for thread in bucket:
-                    affinity = thread.affinity
-                    if affinity is None or cpu in affinity:
-                        return thread
-                remaining -= len(bucket)
-            idx = (idx + 1) % nbuckets
+        rotated = ((self._bitmap >> r)
+                   | (self._bitmap << (nbuckets - r))) & self._mask
+        buckets = self._buckets
+        while rotated:
+            distance = (rotated & -rotated).bit_length() - 1
+            rotated &= rotated - 1
+            for thread in buckets[(r + distance) % nbuckets]:
+                affinity = thread.affinity
+                if affinity is None or cpu in affinity:
+                    return thread
         return None
 
     def check_invariants(self) -> None:
-        """Validate bucket/count bookkeeping (used by tests)."""
+        """Validate bucket/count/bitmap bookkeeping (used by tests)."""
         count = 0
         for i, bucket in enumerate(self._buckets):
             for t in bucket:
                 assert self._bucket_of[t.tid] == i
+            assert bool(self._bitmap & (1 << i)) == bool(bucket), \
+                f"bitmap wrong at {i}"
             count += len(bucket)
         assert count == self._count == len(self._bucket_of)

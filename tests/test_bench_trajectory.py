@@ -68,6 +68,45 @@ def test_corrupt_trajectory_recovered(check_bench):
         assert len(json.load(fh)) == 1
 
 
+def _write(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+@pytest.fixture
+def gated(check_bench, tmp_path, monkeypatch):
+    """check_bench with CURRENT/BASELINE also redirected, ready to
+    drive ``main()`` against synthetic results."""
+    monkeypatch.setattr(check_bench, "CURRENT",
+                        str(tmp_path / "BENCH_simulator.json"))
+    monkeypatch.setattr(check_bench, "BASELINE",
+                        str(tmp_path / "BENCH_baseline.json"))
+    return check_bench
+
+
+def test_gate_tolerance_is_median_tight(gated):
+    """Median-of-3 recording holds the regression gate at 1.5x."""
+    assert gated.MAX_REGRESSION == 1.5
+
+
+def test_gate_passes_within_tolerance(gated):
+    _write(gated.BASELINE, _current({"a": 150_000.0}))
+    _write(gated.CURRENT, _current({"a": 101_000.0}))  # 1.49x below
+    assert gated.main() == 0
+
+
+def test_gate_fails_beyond_tolerance(gated):
+    _write(gated.BASELINE, _current({"a": 150_000.0}))
+    _write(gated.CURRENT, _current({"a": 99_000.0}))  # 1.52x below
+    assert gated.main() == 1
+
+
+def test_gate_skips_on_smoke_mismatch(gated):
+    _write(gated.BASELINE, _current({"a": 150_000.0}, smoke=False))
+    _write(gated.CURRENT, _current({"a": 1.0}, smoke=True))
+    assert gated.main() == 0
+
+
 def test_git_sha_fallback(check_bench, monkeypatch):
     """Outside a git checkout the sha is the literal ``unknown``."""
     spec = importlib.util.spec_from_file_location("check_bench_sha",

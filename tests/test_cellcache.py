@@ -78,6 +78,89 @@ def test_put_gcs_stale_generations(tmp_path):
     assert [e["fingerprint"] for e in entries] == ["fp-new"]
 
 
+def test_gc_races_concurrent_writer(tmp_path, monkeypatch):
+    """GC racing a concurrent same-generation writer: entries the
+    writer lands *mid-scan* (atomic rename, current fingerprint) must
+    survive, entries another GC already unlinked must be skipped
+    without error, and only stale generations die.
+
+    The interleave is simulated at the read step: the first stale
+    entry GC inspects triggers (a) a concurrent writer completing a
+    fresh current-generation put and (b) a sibling GC unlinking one of
+    the other stale files before this GC reaches it.
+    """
+    from pathlib import Path
+
+    root = tmp_path / "cache"
+    old = CellCache(root, fingerprint="fp-old")
+    stale_cells = [{"seed": i} for i in range(4)]
+    for cell in stale_cells:
+        old.put(cell, 0)
+    stale_paths = sorted(root.glob("*.json"))
+    assert len(stale_paths) == 4
+
+    new = CellCache(root, fingerprint="fp-new")
+    racer = CellCache(root, fingerprint="fp-new")
+    racer._gc_done = True  # the racer only writes; this GC scans
+    fired = {"done": False}
+    real_read_text = Path.read_text
+
+    def racing_read_text(self, *args, **kwargs):
+        if not fired["done"] and self in stale_paths:
+            fired["done"] = True
+            # (a) concurrent writer completes a current-gen entry
+            racer.put({"landed": "mid-scan"}, {"metric": 7})
+            # (b) a sibling GC beats us to a different stale file
+            victim = next(p for p in stale_paths
+                          if p != self and p.exists())
+            victim.unlink()
+        return real_read_text(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", racing_read_text)
+    new.put(CELL, {"metric": 1})  # first put runs the GC scan
+    monkeypatch.undo()
+
+    survivors = {p.name: json.loads(p.read_text())["fingerprint"]
+                 for p in root.glob("*.json")}
+    assert set(survivors.values()) == {"fp-new"}
+    # Both current-generation entries survived the scan: the one this
+    # cache wrote and the one the racer landed mid-scan.
+    assert len(survivors) == 2
+    assert new.get(CELL) == {"metric": 1}
+    assert racer.get({"landed": "mid-scan"}) == {"metric": 7}
+
+
+def test_gc_tolerates_entry_vanishing_before_unlink(tmp_path,
+                                                    monkeypatch):
+    """The unlink itself can lose the race too: a stale path that
+    disappears between the read and the ``unlink`` must not abort the
+    scan (the remaining stale entries still die)."""
+    import os as _os
+    from pathlib import Path
+
+    root = tmp_path / "cache"
+    old = CellCache(root, fingerprint="fp-old")
+    for i in range(3):
+        old.put({"seed": i}, i)
+    doomed = sorted(root.glob("*.json"))[0]
+    real_unlink = Path.unlink
+    fired = {"done": False}
+
+    def racing_unlink(self, *args, **kwargs):
+        if not fired["done"] and self == doomed:
+            fired["done"] = True
+            _os.unlink(self)  # the sibling process got there first
+        return real_unlink(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    new = CellCache(root, fingerprint="fp-new")
+    new.put(CELL, {"metric": 1})
+    monkeypatch.undo()
+    fingerprints = {json.loads(p.read_text())["fingerprint"]
+                    for p in root.glob("*.json")}
+    assert fingerprints == {"fp-new"}
+
+
 def test_clear_and_len(cache):
     cache.put(CELL, 1)
     cache.put({"other": True}, 2)

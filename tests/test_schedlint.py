@@ -81,6 +81,11 @@ FIXTURES = {
             def __init__(self):
                 self.x = 1
         """,
+    "hot-loop-attr": """
+        def run(self, until):
+            while True:
+                self.profiler.tick()
+        """,
 }
 
 
@@ -260,6 +265,77 @@ def test_missing_slots_exemptions():
         class Record:
             x: int = 0
         """, path="repro/core/code.py") == []
+
+
+def test_hot_loop_attr_condition_and_body_both_flagged():
+    # the while-condition re-evaluates per iteration just like the
+    # body; engine.<field> receivers count the same as self.<field>
+    findings = lint("""
+        def run(engine, until):
+            while engine.events:
+                engine.profiler.account(1)
+        """)
+    assert rules_of(findings) == ["hot-loop-attr"]
+    assert len(findings) == 2
+
+
+def test_hot_loop_attr_hoisted_loop_is_clean():
+    # the shape the engine's own run loops use: bind once, loop on
+    # the local — nothing to flag
+    assert lint("""
+        def run(self, until):
+            events = self.events
+            profiler = self.profiler
+            while events:
+                profiler.account(events.pop())
+        """) == []
+
+
+def test_hot_loop_attr_only_in_run_named_functions():
+    assert lint("""
+        def drain(self):
+            while self.events:
+                self.events.pop()
+        """) == []
+    assert rules_of(lint("""
+        def _run_fast(self):
+            while self.events:
+                pass
+        """)) == ["hot-loop-attr"]
+
+
+def test_hot_loop_attr_for_iterable_and_stores_exempt():
+    # a for statement's iterable is evaluated once (not per
+    # iteration) and rebinding the field is a store, not a lookup
+    assert lint("""
+        def run(self):
+            for event in self.events:
+                self.now = event.time
+            while True:
+                self.scheduler = None
+        """) == []
+
+
+def test_hot_loop_attr_nested_function_resets_scope():
+    # a closure defined inside run() is not itself a run loop, and a
+    # run() nested deeper is scoped to its own loops only
+    assert lint("""
+        def run(self):
+            def behavior(ctx):
+                while True:
+                    yield ctx.self_check(self.events)
+            return behavior
+        """) == []
+
+
+def test_hot_loop_attr_mutable_fields_not_flagged():
+    # per-event engine state legitimately re-reads inside the loop
+    assert lint("""
+        def run(self, until):
+            while not self._stopped:
+                self.events_processed += 1
+                t = self.now
+        """) == []
 
 
 def test_comment_line_marker_covers_next_line():

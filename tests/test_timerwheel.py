@@ -239,3 +239,99 @@ def test_purge_when_only_dead_entries_remain():
     assert q.pop() is None          # triggers the purge
     assert q._wheel_count == 0 and not q._overflow and not q._pending
     q._check_accounting()
+
+
+# ---------------------------------------------------------------- the
+# overflow-cascade horizon edges
+
+
+def test_post_exactly_at_horizon_boundary_routes_to_overflow():
+    """``cursor + NUM_SLOTS`` is the first slot *outside* the horizon:
+    an event there must go to overflow, one slot earlier must go into
+    the wheel — and both must fire in order regardless of routing."""
+    q = TimingWheelQueue()
+    inside = q.post((NUM_SLOTS - 1) * SLOT_NS, lambda: None)
+    edge = q.post(NUM_SLOTS * SLOT_NS, lambda: None)
+    just_past = q.post(NUM_SLOTS * SLOT_NS + 1, lambda: None)
+    assert inside._region == 1   # wheel
+    assert edge._region == 2     # overflow
+    assert just_past._region == 2
+    q._check_accounting()
+    assert drain(q) == sorted((e.time, e.seq)
+                              for e in (inside, edge, just_past))
+
+
+def test_cascade_lands_exactly_on_cursor_slot():
+    """An overflow entry whose slot equals the advanced cursor joins
+    the pending heap directly (a bucket insert would skip it: the
+    cursor's bucket is drained before the cascade check recurs)."""
+    q = TimingWheelQueue()
+    # One event far out; the wheel is otherwise empty, so _advance
+    # jumps the cursor straight onto the overflow entry's slot.
+    target = 3 * NUM_SLOTS * SLOT_NS
+    first = q.post(target, lambda: None)
+    # A second overflow entry in the *same* slot, later in time.
+    second = q.post(target + 5, lambda: None)
+    assert first._region == second._region == 2
+    assert q.pop() is first
+    assert first._region == 0
+    assert q.pop() is second
+    assert q.pop() is None
+    q._check_accounting()
+
+
+def test_cascade_spanning_multiple_horizons():
+    """Overflow entries more than a full horizon apart cascade in
+    waves: each _advance pulls in only what the new horizon covers,
+    and the far tail stays in overflow until the cursor gets there."""
+    q = TimingWheelQueue()
+    waves = [q.post(i * NUM_SLOTS * SLOT_NS + (i % 7) * SLOT_NS,
+                    lambda: None) for i in range(1, 6)]
+    near = q.post(SLOT_NS, lambda: None)
+    assert q.pop() is near
+    # After the first advance the deep tail must still be overflow.
+    assert any(e._region == 2 for e in waves[2:])
+    assert drain(q) == sorted((e.time, e.seq) for e in waves)
+    assert len(q) == 0
+
+
+def test_mass_cancel_then_cascade_across_horizon():
+    """Satellite regression: a mass-cancel that triggers *overflow*
+    compaction immediately followed by a cascade that crosses the old
+    horizon — the cascade must drop the remaining dead entries it
+    meets (they were not compacted away) without double-subtracting
+    the ones compaction already removed."""
+    q = TimingWheelQueue()
+    survivors = [q.post(2 * NUM_SLOTS * SLOT_NS + i * SLOT_NS,
+                        lambda: None) for i in range(8)]
+    doomed = [q.post(2 * NUM_SLOTS * SLOT_NS + i, lambda: None)
+              for i in range(150)]
+    # Cancel from the back: the compaction threshold (dead > 64 and
+    # dead*2 > len) is crossed mid-wave, leaving a mixed heap of
+    # compacted-away and still-present dead entries.
+    for e in reversed(doomed):
+        e.cancel()
+    q._check_accounting()
+    assert len(q) == len(survivors)
+    # The cascade (wheel is empty, cursor jumps across the horizon)
+    # must drop any dead stragglers and fire the survivors in order.
+    assert drain(q) == sorted((e.time, e.seq) for e in survivors)
+    assert q._dead_in_heap == 0 and q._dead_in_wheel == 0
+
+
+def test_mass_cancel_in_wheel_then_cascade_refill():
+    """Wheel-side twin: cancel enough *slot-bucket* entries to trigger
+    wheel compaction while overflow still holds live entries, then
+    drain — the cascade refills the compacted wheel and accounting
+    stays exact end to end."""
+    q = TimingWheelQueue()
+    doomed = [q.post((1 + i % (NUM_SLOTS - 2)) * SLOT_NS + i,
+                     lambda: None) for i in range(180)]
+    far = [q.post(BEYOND_HORIZON + i * SLOT_NS, lambda: None)
+           for i in range(10)]
+    for e in doomed:
+        e.cancel()
+        q._check_accounting()
+    assert len(q) == len(far)
+    assert drain(q) == sorted((e.time, e.seq) for e in far)
+    assert len(q) == 0
