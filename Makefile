@@ -8,9 +8,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # tier-1 state; CI fails below it)
 COVER_MIN ?= 80
 
-.PHONY: test test-all lint sanitize-smoke fuzz-smoke chaos-smoke \
-	golden golden-check coverage verify verify-fast bench \
-	bench-baseline bench-full bench-smoke
+.PHONY: test test-all lint lint-baseline sanitize-smoke fuzz-smoke \
+	chaos-smoke golden golden-check coverage verify verify-fast \
+	bench bench-baseline bench-full bench-smoke
 
 ## tier-1 test suite (the gate every PR must keep green); pyproject
 ## addopts exclude @pytest.mark.slow tests — see `make test-all`
@@ -22,10 +22,21 @@ test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"
 
 ## schedlint: determinism/contract static analysis over src/repro/
+## at the dataflow tier (interprocedural taint, fast-path parity,
+## cross-process atomicity), failing on any finding not recorded in
+## lint-baseline.json; writes lint-report.sarif for CI upload
 ## (exit 0 = clean, 1 = findings, 2 = usage/internal error; see
 ## docs/static-analysis.md)
 lint:
-	$(PYTHON) -m repro.analysis.lint
+	$(PYTHON) -m repro.analysis.lint --dataflow \
+		--baseline lint-baseline.json --sarif lint-report.sarif
+
+## accept the current dataflow-tier findings into the baseline
+## (review the diff before committing — the baseline should only
+## shrink over time)
+lint-baseline:
+	$(PYTHON) -m repro.analysis.lint --dataflow \
+		--baseline lint-baseline.json --update-baseline
 
 ## runtime invariant sanitizer: bug-injection tests plus one fig5
 ## smoke cell per scheduler under --sanitize

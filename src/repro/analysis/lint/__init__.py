@@ -8,8 +8,15 @@ Run it over the tree::
 
 Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage or
 internal error.  ``--json FILE`` additionally writes the machine-
-readable report.  Suppress a finding in place with
-``# schedlint: ignore[rule] -- reason``.
+readable report; ``--sarif FILE`` writes a SARIF 2.1.0 log.  Suppress
+a finding in place with ``# schedlint: ignore[rule] -- reason``.
+
+``--dataflow`` enables the flow-aware tier (interprocedural
+determinism taint, fast-path parity, cross-process atomicity) in
+place of the three syntactic rules it subsumes.  ``--baseline FILE``
+accepts the findings recorded in the baseline and fails only on new
+ones; ``--update-baseline`` rewrites the baseline to the current
+findings instead of failing.
 """
 
 from __future__ import annotations
@@ -24,16 +31,17 @@ from .contract import (CONTRACT_HOOKS, LINUX_TO_METHOD, REQUIRED_HOOKS,
                        check_sched_class, registered_sched_classes)
 from .findings import (Finding, is_suppressed, report_dict,
                        suppressions_in, write_report)
-from .rules import (DEFAULT_ALLOWLIST, RULES, WALL_CLOCK_CALLS,
+from .rules import (DATAFLOW_RULES, DEFAULT_ALLOWLIST, RULES,
+                    WALL_CLOCK_CALLS, effective_rules,
                     iter_python_files, lint_paths, lint_source)
 
 __all__ = [
-    "CONTRACT_HOOKS", "DEFAULT_ALLOWLIST", "Finding",
+    "CONTRACT_HOOKS", "DATAFLOW_RULES", "DEFAULT_ALLOWLIST", "Finding",
     "LINUX_TO_METHOD", "REQUIRED_HOOKS", "RULES", "WALL_CLOCK_CALLS",
     "check_contracts", "check_freebsd_api", "check_sched_class",
-    "is_suppressed", "iter_python_files", "lint_paths", "lint_source",
-    "main", "registered_sched_classes", "report_dict",
-    "suppressions_in", "write_report",
+    "effective_rules", "is_suppressed", "iter_python_files",
+    "lint_paths", "lint_source", "main", "registered_sched_classes",
+    "report_dict", "suppressions_in", "write_report",
 ]
 
 #: contract rules are not per-line AST rules but appear in reports
@@ -71,8 +79,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: the installed repro package)")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write a machine-readable report")
+    parser.add_argument("--sarif", metavar="FILE", default=None,
+                        help="also write a SARIF 2.1.0 log")
     parser.add_argument("--rules", default=None,
                         help="comma-separated subset of rule ids")
+    parser.add_argument("--dataflow", action="store_true",
+                        help="enable the flow-aware tier (taint, "
+                             "parity, atomicity rules)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="accept findings recorded in this "
+                             "baseline; fail only on new ones")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline to the current "
+                             "findings instead of failing")
     parser.add_argument("--no-contract", action="store_true",
                         help="skip SchedClass/FreeBSD-API contract "
                              "checks (pure AST lint only)")
@@ -80,16 +99,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
 
+    catalog = {**RULES, **DATAFLOW_RULES, **CONTRACT_RULES}
     if args.list_rules:
-        for rule, doc in sorted({**RULES, **CONTRACT_RULES}.items()):
+        for rule, doc in sorted(catalog.items()):
             print(f"{rule:<22} {doc}")
         return 0
+    if args.update_baseline and args.baseline is None:
+        print("schedlint: --update-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
 
     rules = None
     if args.rules is not None:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules
-                   if r not in RULES and r not in CONTRACT_RULES]
+        unknown = [r for r in rules if r not in catalog]
         if unknown:
             print(f"schedlint: unknown rule(s): "
                   f"{', '.join(unknown)}", file=sys.stderr)
@@ -103,8 +126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         ast_rules = None if rules is None else \
-            [r for r in rules if r in RULES]
-        findings = lint_paths(paths, rules=ast_rules)
+            [r for r in rules if r not in CONTRACT_RULES]
+        findings = lint_paths(paths, rules=ast_rules,
+                              dataflow=args.dataflow)
         if not args.no_contract:
             contract = check_contracts() + check_freebsd_api()
             if rules is not None:
@@ -114,13 +138,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"schedlint: internal error: {exc!r}", file=sys.stderr)
         return 2
 
+    stale = []
+    if args.baseline is not None:
+        from .dataflow.baseline import (apply_baseline, load_baseline,
+                                        write_baseline)
+        if args.update_baseline:
+            count = write_baseline(args.baseline, findings)
+            print(f"schedlint: baseline updated "
+                  f"({count} entries in {args.baseline})")
+            return 0
+        findings, stale = apply_baseline(findings,
+                                         load_baseline(args.baseline))
+
+    enabled = sorted(rules) if rules is not None else sorted(
+        set(effective_rules(None, args.dataflow)) | set(CONTRACT_RULES))
     for finding in findings:
         print(finding.format())
+    for path, rule, message in stale:
+        print(f"schedlint: stale baseline entry: "
+              f"{path}: {rule}: {message}", file=sys.stderr)
     if args.json:
-        enabled = rules if rules is not None else \
-            sorted({**RULES, **CONTRACT_RULES})
-        write_report(args.json,
-                     report_dict(findings, paths, enabled))
+        write_report(args.json, report_dict(findings, paths, enabled))
+    if args.sarif:
+        from .dataflow.sarif import write_sarif
+        write_sarif(args.sarif, findings,
+                    {r: catalog[r] for r in enabled if r in catalog})
     if findings:
         print(f"schedlint: {len(findings)} finding(s) in "
               f"{len(paths)} path(s)", file=sys.stderr)

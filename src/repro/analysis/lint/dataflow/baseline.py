@@ -1,0 +1,97 @@
+"""Findings baseline: accept known findings, flag only new ones.
+
+A baseline entry is ``(path, rule, message)`` with the path rewritten
+relative to the ``repro`` package root, so the same file matches
+whether the lint ran over ``src/repro`` or an installed tree, and a
+pure line-number shift (code moved by an unrelated edit) does not
+invalidate the entry.  Entries that no longer match any finding are
+*stale* and reported, so the baseline can only shrink over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, List, Tuple
+
+from ..findings import Finding
+
+BASELINE_VERSION = 1
+
+#: one baseline entry
+Key = Tuple[str, str, str]
+
+
+def canonical_path(path: str) -> str:
+    """Rewrite ``path`` relative to the ``repro`` package root.
+
+    ``src/repro/cfs/core.py`` and ``/usr/lib/pythonX/site-packages/
+    repro/cfs/core.py`` both canonicalize to ``repro/cfs/core.py``;
+    paths without a ``repro`` component are returned posix-normalized.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def baseline_key(finding: Finding) -> Key:
+    return (canonical_path(finding.path), finding.rule, finding.message)
+
+
+def load_baseline(path: str) -> List[Key]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return []
+    entries = data.get("entries", []) if isinstance(data, dict) else []
+    out: List[Key] = []
+    for entry in entries:
+        out.append((str(entry.get("path", "")),
+                    str(entry.get("rule", "")),
+                    str(entry.get("message", ""))))
+    return out
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: Iterable[Key],
+                   ) -> Tuple[List[Finding], List[Key]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    Duplicate findings under one key are all absorbed by a single
+    entry; an entry matching nothing this run is stale.
+    """
+    budget: Dict[Key, int] = {}
+    for key in baseline:
+        budget[key] = budget.get(key, 0) + 1
+    matched: Dict[Key, int] = {}
+    new: List[Finding] = []
+    for finding in sorted(findings):
+        key = baseline_key(finding)
+        if key in budget:
+            matched[key] = matched.get(key, 0) + 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key in budget if key not in matched)
+    return new, stale
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Rewrite the baseline to exactly the current findings.
+
+    Returns the number of entries written.  The write goes through the
+    atomic tmp+rename idiom so an interrupted update never leaves a
+    torn baseline.
+    """
+    keys = sorted({baseline_key(f) for f in findings})
+    payload = {
+        "tool": "schedlint-baseline",
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": p, "rule": r, "message": m} for p, r, m in keys],
+    }
+    from ....core.artifacts import atomic_write_json
+    atomic_write_json(path, payload, sort_keys=False)
+    return len(keys)

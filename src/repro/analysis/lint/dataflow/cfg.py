@@ -1,0 +1,287 @@
+"""Statement-level control-flow graphs over stdlib ``ast``.
+
+Every dataflow rule in this package runs on the same representation: a
+per-function :class:`CFG` of :class:`Block`\\ s, each holding an ordered
+list of :class:`Item`\\ s (simple statements, branch tests, loop-iteration
+bindings).  Loops are explicit — a ``while``/``for`` header block carries
+a back edge from the end of its body, and every block records its
+``loop_depth`` — so analyses never re-derive loop structure from syntax.
+
+The builder is deliberately coarse where precision does not pay for
+itself in this codebase:
+
+* ``try`` bodies may raise anywhere, so each handler's entry joins the
+  pre-``try`` state with the state after *every* block of the body;
+* ``finally`` joins all normal and handled exits;
+* unreachable code after ``return``/``raise``/``break`` still gets a
+  (predecessor-less) block, so sink checks with constant arguments are
+  not silently skipped there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+#: item kinds — what a block entry means to a transfer function
+STMT = "stmt"      #: a simple statement (Assign, Expr, Return, ...)
+TEST = "test"      #: a branch/loop condition expression
+ITER = "iter"      #: a for-loop binding: target <- next(iter)
+WITHITEM = "with"  #: a with-item: optional_vars <- context expression
+
+
+class Item(NamedTuple):
+    """One entry in a basic block."""
+
+    kind: str
+    node: ast.AST                      # the stmt (STMT) or expr (TEST)
+    target: Optional[ast.AST] = None   # ITER/WITHITEM binding target
+
+
+class Block:
+    """A basic block: straight-line items plus successor edges."""
+
+    __slots__ = ("bid", "items", "succs", "loop_depth", "is_loop_header")
+
+    def __init__(self, bid: int, loop_depth: int = 0,
+                 is_loop_header: bool = False):
+        self.bid = bid
+        self.items: List[Item] = []
+        self.succs: List[int] = []
+        self.loop_depth = loop_depth
+        self.is_loop_header = is_loop_header
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Block {self.bid} items={len(self.items)} "
+                f"succs={self.succs} depth={self.loop_depth}>")
+
+
+class CFG:
+    """A function (or module) body as basic blocks.
+
+    ``blocks[entry]`` is the entry block; ``exit`` is a virtual,
+    item-less block every ``return`` (and the fall-off-the-end path)
+    feeds into.
+    """
+
+    __slots__ = ("blocks", "entry", "exit")
+
+    def __init__(self, blocks: List[Block], entry: int, exit: int):
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit
+
+    def preds(self) -> List[List[int]]:
+        """Predecessor lists, index-aligned with ``blocks``."""
+        out: List[List[int]] = [[] for _ in self.blocks]
+        for block in self.blocks:
+            for succ in block.succs:
+                out[succ].append(block.bid)
+        return out
+
+
+class _LoopCtx(NamedTuple):
+    header: int        # continue target
+    after: int         # break target
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+
+    def new(self, depth: int, header: bool = False) -> Block:
+        block = Block(len(self.blocks), depth, header)
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self.new(0)
+        exit_block = self.new(0)
+        end = self._seq(body, entry, [], 0, exit_block.bid)
+        if end is not None:
+            end.succs.append(exit_block.bid)
+        return CFG(self.blocks, entry.bid, exit_block.bid)
+
+    # -- statement dispatch --------------------------------------------
+
+    def _seq(self, stmts: Sequence[ast.stmt], cur: Optional[Block],
+             loops: List[_LoopCtx], depth: int,
+             exit_bid: int) -> Optional[Block]:
+        """Thread ``stmts`` through the graph; returns the fall-through
+        block, or None when control cannot fall off the end."""
+        for stmt in stmts:
+            if cur is None:
+                # dead code after return/raise/break: keep analyzing in
+                # a predecessor-less block
+                cur = self.new(depth)
+            cur = self._stmt(stmt, cur, loops, depth, exit_bid)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: Block, loops: List[_LoopCtx],
+              depth: int, exit_bid: int) -> Optional[Block]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.items.append(Item(STMT, stmt))
+            cur.succs.append(exit_bid)
+            return None
+        if isinstance(stmt, ast.Break):
+            if loops:
+                cur.succs.append(loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                cur.succs.append(loops[-1].header)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur, loops, depth, exit_bid)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cur, loops, depth, exit_bid)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur, loops, depth, exit_bid)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                cur.items.append(Item(WITHITEM, item.context_expr,
+                                      item.optional_vars))
+            return self._seq(stmt.body, cur, loops, depth, exit_bid)
+        # match statements are rare here; model each case as a branch
+        if isinstance(stmt, ast.Match):
+            cur.items.append(Item(TEST, stmt.subject))
+            join = self.new(depth)
+            for case in stmt.cases:
+                case_block = self.new(depth)
+                cur.succs.append(case_block.bid)
+                end = self._seq(case.body, case_block, loops, depth,
+                                exit_bid)
+                if end is not None:
+                    end.succs.append(join.bid)
+            cur.succs.append(join.bid)  # no case may match
+            return join
+        # everything else (Assign, Expr, FunctionDef, Import, ...) is a
+        # straight-line item
+        cur.items.append(Item(STMT, stmt))
+        return cur
+
+    def _if(self, stmt: ast.If, cur: Block, loops: List[_LoopCtx],
+            depth: int, exit_bid: int) -> Optional[Block]:
+        cur.items.append(Item(TEST, stmt.test))
+        then_block = self.new(depth)
+        cur.succs.append(then_block.bid)
+        then_end = self._seq(stmt.body, then_block, loops, depth, exit_bid)
+        if stmt.orelse:
+            else_block = self.new(depth)
+            cur.succs.append(else_block.bid)
+            else_end = self._seq(stmt.orelse, else_block, loops, depth,
+                                 exit_bid)
+        else:
+            else_end = cur
+        if then_end is None and else_end is None:
+            return None
+        join = self.new(depth)
+        for end in (then_end, else_end):
+            if end is not None:
+                end.succs.append(join.bid)
+        return join
+
+    def _loop(self, stmt, cur: Block, loops: List[_LoopCtx], depth: int,
+              exit_bid: int) -> Block:
+        header = self.new(depth + 1, header=True)
+        cur.succs.append(header.bid)
+        if isinstance(stmt, ast.While):
+            header.items.append(Item(TEST, stmt.test))
+        else:
+            header.items.append(Item(ITER, stmt.iter, stmt.target))
+        body = self.new(depth + 1)
+        after = self.new(depth)
+        header.succs.append(body.bid)
+        # the loop-exit edge runs through the (usually empty) else suite
+        if stmt.orelse:
+            else_block = self.new(depth)
+            header.succs.append(else_block.bid)
+            else_end = self._seq(stmt.orelse, else_block, loops, depth,
+                                 exit_bid)
+            if else_end is not None:
+                else_end.succs.append(after.bid)
+        else:
+            header.succs.append(after.bid)
+        loops.append(_LoopCtx(header.bid, after.bid))
+        body_end = self._seq(stmt.body, body, loops, depth + 1, exit_bid)
+        loops.pop()
+        if body_end is not None:
+            body_end.succs.append(header.bid)  # the back edge
+        return after
+
+    def _try(self, stmt: ast.Try, cur: Block, loops: List[_LoopCtx],
+             depth: int, exit_bid: int) -> Optional[Block]:
+        body_start = self.new(depth)
+        cur.succs.append(body_start.bid)
+        first_body_bid = body_start.bid
+        body_end = self._seq(stmt.body, body_start, loops, depth, exit_bid)
+        body_bids = range(first_body_bid, len(self.blocks))
+        if body_end is not None and stmt.orelse:
+            body_end = self._seq(stmt.orelse, body_end, loops, depth,
+                                 exit_bid)
+        ends: List[Block] = [] if body_end is None else [body_end]
+        for handler in stmt.handlers:
+            h_block = self.new(depth)
+            # an exception may fire before the try (its type expr is
+            # evaluated at handler entry) or after any body block
+            cur.succs.append(h_block.bid)
+            for bid in body_bids:
+                self.blocks[bid].succs.append(h_block.bid)
+            h_end = self._seq(handler.body, h_block, loops, depth,
+                              exit_bid)
+            if h_end is not None:
+                ends.append(h_end)
+        if stmt.finalbody:
+            fin = self.new(depth)
+            for end in ends:
+                end.succs.append(fin.bid)
+            if not ends:
+                cur.succs.append(fin.bid)  # keep finally reachable
+            return self._seq(stmt.finalbody, fin, loops, depth, exit_bid)
+        if not ends:
+            return None
+        join = self.new(depth)
+        for end in ends:
+            end.succs.append(join.bid)
+        return join
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG of a function (or module) body."""
+    return _Builder().build(body)
+
+
+class FuncInfo(NamedTuple):
+    """One analyzable function: AST node, owner class, parameters."""
+
+    qualname: str
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef
+    class_name: Optional[str]
+    params: Tuple[str, ...]       # positional parameter names, in order
+
+
+def module_functions(tree: ast.Module) -> List[FuncInfo]:
+    """Top-level functions and methods of top-level classes.
+
+    Nested closures are analyzed as part of their enclosing function's
+    body (they appear as opaque statements); the interprocedural layer
+    only resolves calls to these named functions.
+    """
+    out: List[FuncInfo] = []
+
+    def params_of(node) -> Tuple[str, ...]:
+        args = node.args
+        names = [a.arg for a in args.posonlyargs] + \
+            [a.arg for a in args.args]
+        return tuple(names)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(FuncInfo(node.name, node, None, params_of(node)))
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    out.append(FuncInfo(f"{node.name}.{sub.name}", sub,
+                                        node.name, params_of(sub)))
+    return out

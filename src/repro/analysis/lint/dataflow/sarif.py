@@ -1,0 +1,68 @@
+"""Minimal SARIF 2.1.0 emitter for schedlint findings.
+
+Only the subset consumed by code-scanning UIs is produced: one run,
+one driver, a rule table, and one result per finding with a physical
+location.  Columns are 1-based in SARIF; schedlint findings carry
+0-based columns, so the emitter shifts them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_dict(findings: Iterable[Finding],
+               rules: Dict[str, str]) -> dict:
+    """The SARIF log structure for one lint run."""
+    items = sorted(findings)
+    rule_ids = sorted(set(rules) | {f.rule for f in items})
+    index = {rule: i for i, rule in enumerate(rule_ids)}
+    results: List[dict] = []
+    for finding in items:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "schedlint",
+                "informationUri":
+                    "https://example.invalid/schedlint",
+                "rules": [{
+                    "id": rule,
+                    "shortDescription": {
+                        "text": rules.get(rule, rule)},
+                } for rule in rule_ids],
+            }},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings: Iterable[Finding],
+                rules: Dict[str, str]) -> None:
+    """Write the SARIF log atomically (tmp + rename)."""
+    from ....core.artifacts import atomic_write_json
+    atomic_write_json(path, sarif_dict(findings, rules),
+                      sort_keys=False)

@@ -1,0 +1,63 @@
+"""Generic forward worklist fixed-point solver.
+
+An *environment* is a ``dict`` mapping analysis keys (variable names,
+attribute chains) to ``frozenset`` lattice values.  The join is
+key-wise set union, so any transfer function that only ever adds tags
+is monotone and the iteration terminates (the tag universe per function
+is finite: its parameters plus the sources appearing in its body).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable
+
+from .cfg import CFG, Block
+
+Env = Dict[Hashable, FrozenSet]
+
+
+def env_join(a: Env, b: Env) -> Env:
+    """Key-wise union of two environments."""
+    if not a:
+        return dict(b)
+    out = dict(a)
+    for key, tags in b.items():
+        have = out.get(key)
+        out[key] = tags if have is None else (have | tags)
+    return out
+
+
+def env_eq(a: Env, b: Env) -> bool:
+    return a == b
+
+
+def solve_forward(cfg: CFG, init: Env,
+                  transfer: Callable[[Block, Env], Env]) -> Dict[int, Env]:
+    """Iterate ``transfer`` to a fixed point; returns block-entry envs.
+
+    ``transfer(block, env)`` must not mutate ``env`` and must be
+    monotone in it.  Unreachable blocks keep no entry (callers treat
+    a missing entry as the empty environment).
+    """
+    in_envs: Dict[int, Env] = {cfg.entry: dict(init)}
+    work = deque([cfg.entry])
+    queued = {cfg.entry}
+    # bound the iteration defensively: |blocks| * |keys| growth steps is
+    # the theoretical max; a generous multiplier guards against a
+    # non-monotone transfer looping forever
+    budget = 64 * (len(cfg.blocks) + 1) ** 2
+    while work and budget > 0:
+        budget -= 1
+        bid = work.popleft()
+        queued.discard(bid)
+        out = transfer(cfg.blocks[bid], in_envs.get(bid, {}))
+        for succ in cfg.blocks[bid].succs:
+            have = in_envs.get(succ)
+            merged = env_join(have, out) if have is not None else dict(out)
+            if have is None or not env_eq(have, merged):
+                in_envs[succ] = merged
+                if succ not in queued:
+                    work.append(succ)
+                    queued.add(succ)
+    return in_envs

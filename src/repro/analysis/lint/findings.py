@@ -9,18 +9,39 @@ suppression syntax is a per-line comment::
 ``ignore`` (no brackets) suppresses every rule.  A marker placed on a
 comment-only line also covers the *next* line, for statements too long
 to carry the comment themselves.
+
+File-scope suppression covers a whole module for *named* rules only::
+
+    # schedlint: file-ignore[taint-set-order] -- reason
+
+and must sit in the module docstring region (above the first real
+statement); anywhere else it is inert.  In the ``--dataflow`` tier a
+marker that suppresses nothing is itself a finding
+(``unused-suppression``), so stale ignores cannot accumulate — a
+marker naming rules that were *not all enabled* in the current run is
+never flagged, which keeps a tree clean under both tiers at once.
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import json
 import re
-from dataclasses import asdict, dataclass
-from typing import Dict, FrozenSet, Iterable, Optional
+import tokenize
+from dataclasses import asdict, dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-#: matches the suppression marker anywhere in a source line
+#: matches the per-line suppression marker anywhere in a source line
 SUPPRESS_RE = re.compile(
     r"#\s*schedlint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+#: matches the file-scope suppression marker
+FILE_SUPPRESS_RE = re.compile(
+    r"#\s*schedlint:\s*file-ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+#: the rule id reported for markers that suppress nothing
+UNUSED_SUPPRESSION = "unused-suppression"
 
 
 @dataclass(frozen=True, order=True)
@@ -39,6 +60,33 @@ class Finding:
                f"{self.rule}: {self.message}"
 
 
+def _comment_lines(source: str) -> List[Tuple[int, str, bool]]:
+    """``(lineno, comment_text, comment_only_line)`` per real comment.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps marker
+    *examples* inside docstrings and string literals inert — only an
+    actual ``#`` comment can suppress anything.  Files that fail to
+    tokenize fall back to the raw line scan.
+    """
+    lines = source.splitlines()
+    out: List[Tuple[int, str, bool]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError,
+            ValueError):
+        for lineno, text in enumerate(lines, start=1):
+            out.append((lineno, text, text.lstrip().startswith("#")))
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        lineno = tok.start[0]
+        raw = lines[lineno - 1] if lineno <= len(lines) else ""
+        out.append((lineno, tok.string, raw.lstrip().startswith("#")))
+    return out
+
+
 def suppressions_in(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
     """Map line number -> suppressed rules (``None`` = all rules).
 
@@ -53,7 +101,7 @@ def suppressions_in(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
         else:
             out[lineno] = out.get(lineno, frozenset()) | rules
 
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text, comment_only in _comment_lines(source):
         match = SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -64,7 +112,7 @@ def suppressions_in(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
             rules = frozenset(
                 r.strip() for r in listed.split(",") if r.strip())
         merge(lineno, rules)
-        if text.lstrip().startswith("#"):
+        if comment_only:
             merge(lineno + 1, rules)
     return out
 
@@ -76,6 +124,145 @@ def is_suppressed(finding: Finding,
     if finding.line in suppressions and rules is None:
         return True
     return finding.rule in (rules or frozenset())
+
+
+@dataclass
+class Marker:
+    """One suppression marker, with usage tracking.
+
+    ``rules is None`` means a bare ``ignore`` (every rule; line scope
+    only — file scope requires named rules).  ``covers`` is the set of
+    line numbers a line-scope marker applies to; file-scope markers
+    cover everything when ``valid``.
+    """
+
+    line: int
+    rules: Optional[FrozenSet[str]]
+    scope: str                     # "line" | "file"
+    covers: FrozenSet[int] = frozenset()
+    valid: bool = True             # file markers outside the docstring
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if self.scope == "file":
+            if not self.valid or self.rules is None:
+                return False
+            return finding.rule in self.rules
+        if finding.line not in self.covers:
+            return False
+        return self.rules is None or finding.rule in self.rules
+
+
+def _parse_rules(listed: Optional[str]) -> Optional[FrozenSet[str]]:
+    if listed is None:
+        return None
+    return frozenset(r.strip() for r in listed.split(",") if r.strip())
+
+
+def file_scope_boundary(source: str) -> int:
+    """Last line of the module docstring region (file-ignore markers
+    below this are inert).
+
+    The region runs through the module docstring up to — but not
+    including — the first real statement, so the marker's natural home
+    is a comment between the docstring and the imports.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return 0
+    if not tree.body:
+        return len(source.splitlines())  # comment-only module
+    first = tree.body[0]
+    if isinstance(first, ast.Expr) and isinstance(first.value,
+                                                  ast.Constant) \
+            and isinstance(first.value.value, str):
+        if len(tree.body) > 1:
+            return max(first.value.end_lineno or first.lineno,
+                       tree.body[1].lineno - 1)
+        return len(source.splitlines())  # docstring-only module
+    return max(0, first.lineno - 1)
+
+
+def markers_in(source: str) -> List[Marker]:
+    """Every suppression marker in the file, both scopes."""
+    out: List[Marker] = []
+    boundary = file_scope_boundary(source)
+    for lineno, text, comment_only in _comment_lines(source):
+        file_match = FILE_SUPPRESS_RE.search(text)
+        if file_match is not None:
+            out.append(Marker(
+                line=lineno, rules=_parse_rules(file_match.group("rules")),
+                scope="file", valid=lineno <= boundary))
+            continue
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        covers = {lineno}
+        if comment_only:
+            covers.add(lineno + 1)
+        out.append(Marker(
+            line=lineno, rules=_parse_rules(match.group("rules")),
+            scope="line", covers=frozenset(covers)))
+    return out
+
+
+def apply_markers(findings: Iterable[Finding], markers: List[Marker],
+                  enabled_rules: FrozenSet[str], path: str,
+                  flag_unused: bool) -> List[Finding]:
+    """Filter suppressed findings; optionally report unused markers.
+
+    A marker counts as *unused* only when every rule it names was
+    enabled in this run and it still suppressed nothing — markers for
+    disabled rules (the other tier's rules) are left alone, so one
+    tree stays clean under both tiers simultaneously.
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for marker in markers:
+            if marker.matches(finding):
+                marker.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    if not flag_unused:
+        return kept
+    for marker in markers:
+        if marker.used:
+            continue
+        if marker.scope == "file":
+            if marker.rules is None:
+                kept.append(Finding(
+                    path=path, line=marker.line, col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=("file-ignore requires explicit rules "
+                             "(file-ignore[rule] -- reason); a bare "
+                             "file-wide ignore is never honored")))
+            elif not marker.valid:
+                kept.append(Finding(
+                    path=path, line=marker.line, col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=("file-ignore marker outside the module "
+                             "docstring region is inert — move it "
+                             "above the first statement")))
+            elif marker.rules <= enabled_rules:
+                kept.append(Finding(
+                    path=path, line=marker.line, col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=(f"file-ignore[{','.join(sorted(marker.rules))}] "
+                             f"suppressed nothing — remove the stale "
+                             f"marker")))
+        else:
+            if marker.rules is None or marker.rules <= enabled_rules:
+                named = "ignore" if marker.rules is None else \
+                    f"ignore[{','.join(sorted(marker.rules))}]"
+                kept.append(Finding(
+                    path=path, line=marker.line, col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=(f"{named} suppressed nothing — remove "
+                             f"the stale marker")))
+    return kept
 
 
 def report_dict(findings: Iterable[Finding], paths: Iterable[str],

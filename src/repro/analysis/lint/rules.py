@@ -59,7 +59,8 @@ import os
 import re
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .findings import Finding, is_suppressed, suppressions_in
+from .findings import (Finding, UNUSED_SUPPRESSION, apply_markers,
+                       is_suppressed, markers_in, suppressions_in)
 
 #: rule id -> one-line description (the ``--list-rules`` catalog)
 RULES: Dict[str, str] = {
@@ -85,6 +86,74 @@ RULES: Dict[str, str] = {
         "per-event lookup of a construction-bound engine field "
         "inside a run() loop; hoist it to a local before the loop",
 }
+
+#: the ``--dataflow`` tier rules (CFG + fixed-point analysis; see
+#: the ``dataflow`` package).  The taint rules are the flow-aware
+#: replacements for the three syntactic rules in
+#: :data:`REPLACED_BY_DATAFLOW`.
+DATAFLOW_RULES: Dict[str, str] = {
+    "taint-wall-clock":
+        "a host-clock read flows into an event timestamp, sort key, "
+        "digest input, or RNG seed (tracked through locals, "
+        "containers, and helper functions)",
+    "taint-random":
+        "a process-global random value flows into a "
+        "schedule-affecting sink",
+    "taint-env":
+        "an environment read (os.environ, pid, hostname) flows into "
+        "a schedule-affecting sink",
+    "taint-id-order":
+        "an id() value flows into an ordering sink; ids are "
+        "allocation addresses and vary run to run",
+    "taint-set-order":
+        "set-iteration or directory-listing order flows into a "
+        "schedule-affecting sink (sorted() sanitizes it)",
+    "fastpath-parity":
+        "_run_fast and _run_instrumented diverge after normalization; "
+        "the loops must stay behaviorally identical",
+    "tickhook-parity":
+        "a fused make_tick_hook closure is missing an accounting/"
+        "parking statement from the generic Engine tick chain",
+    "nonatomic-write":
+        "a file write in experiments/ bypasses the tmp-write+rename "
+        "idiom in repro.core.artifacts",
+    "cache-rmw":
+        "read-modify-write of a shared cache path without a "
+        "generation/fingerprint check",
+    UNUSED_SUPPRESSION:
+        "a schedlint suppression marker that suppressed nothing "
+        "(all rules it names were enabled in this run)",
+}
+
+#: syntactic rules the dataflow tier replaces with flow-aware versions
+REPLACED_BY_DATAFLOW: Tuple[str, ...] = (
+    "wall-clock", "unseeded-random", "id-ordering",
+)
+
+#: dataflow rules reported per-file by lint_source
+_TAINT_RULES = ("taint-wall-clock", "taint-random", "taint-env",
+                "taint-id-order", "taint-set-order")
+_ATOMICITY_RULES = ("nonatomic-write", "cache-rmw")
+#: dataflow rules computed across the whole file set by lint_paths
+_PARITY_RULES = ("fastpath-parity", "tickhook-parity")
+
+
+def effective_rules(rules: Optional[Sequence[str]],
+                    dataflow: bool) -> Tuple[str, ...]:
+    """The rule set a run enables.
+
+    With ``--dataflow`` and no explicit ``--rules``, the three
+    syntactic rules that have flow-aware replacements are dropped and
+    the dataflow rules added; their existing per-line suppressions
+    (which name the *disabled* rules) are deliberately not flagged as
+    unused, so one tree stays clean under both tiers.
+    """
+    if rules is not None:
+        return tuple(rules)
+    if not dataflow:
+        return tuple(RULES)
+    return tuple(r for r in RULES if r not in REPLACED_BY_DATAFLOW) \
+        + tuple(DATAFLOW_RULES)
 
 #: packages whose classes live on the engine's per-event hot path —
 #: the only places the missing-slots rule applies
@@ -322,6 +391,11 @@ class _RuleVisitor(ast.NodeVisitor):
         self.visit(node.iter)
         self._visit_loop_body(node.body + node.orelse)
 
+    # async drain loops pay the same per-iteration probes; without
+    # this alias their bodies were visited at loop depth 0 and
+    # hot-loop-attr never fired inside them
+    visit_AsyncFor = visit_For
+
     def visit_comprehension(self, node: ast.comprehension) -> None:
         self._check_iter(node.iter)
         self.generic_visit(node)
@@ -349,15 +423,28 @@ class _RuleVisitor(ast.NodeVisitor):
         if self._loop_depth:
             self._loop_depth[-1] -= 1
 
+    @staticmethod
+    def _hoistable_receiver(node: ast.AST) -> Optional[str]:
+        """``self`` / ``engine`` / ``self.engine`` receivers — the
+        chained form reads two dict probes per iteration, not one."""
+        if isinstance(node, ast.Name) and node.id in _HOISTABLE_BASES:
+            return node.id
+        if (isinstance(node, ast.Attribute)
+                and node.attr == "engine"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _HOISTABLE_BASES):
+            return f"{node.value.id}.engine"
+        return None
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        receiver = self._hoistable_receiver(node.value)
         if (self._run_func and self._run_func[-1]
                 and self._loop_depth[-1] > 0
                 and isinstance(node.ctx, ast.Load)
-                and isinstance(node.value, ast.Name)
-                and node.value.id in _HOISTABLE_BASES
+                and receiver is not None
                 and node.attr in _HOISTABLE_FIELDS):
             self._emit(node, "hot-loop-attr",
-                       f"{node.value.id}.{node.attr} read per "
+                       f"{receiver}.{node.attr} read per "
                        f"iteration inside a run() loop; the field is "
                        f"bound once at construction — hoist it to a "
                        f"local before the loop")
@@ -436,10 +523,18 @@ def _allowlisted(path: str, rule: str,
 def lint_source(source: str, path: str = "<string>",
                 rules: Optional[Sequence[str]] = None,
                 allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+                dataflow: bool = False,
+                extra_findings: Sequence[Finding] = (),
                 ) -> List[Finding]:
-    """Lint one source string; returns surviving findings, sorted."""
-    if rules is None:
-        rules = tuple(RULES)
+    """Lint one source string; returns surviving findings, sorted.
+
+    This is the single choke point every finding flows through:
+    syntactic visitor rules, the per-file dataflow families (taint,
+    atomicity), and any project-level ``extra_findings`` the caller
+    computed for this file (parity, contract) — so suppression
+    markers, usage tracking, and the allowlist apply uniformly.
+    """
+    enabled = effective_rules(rules, dataflow)
     if allowlist is None:
         allowlist = DEFAULT_ALLOWLIST
     try:
@@ -448,13 +543,26 @@ def lint_source(source: str, path: str = "<string>",
         return [Finding(path=path, line=exc.lineno or 0,
                         col=exc.offset or 0, rule="parse-error",
                         message=f"cannot parse: {exc.msg}")]
-    visitor = _RuleVisitor(path, rules)
+    visitor = _RuleVisitor(path, enabled)
     visitor.visit(tree)
-    suppressions = suppressions_in(source)
+    findings: List[Finding] = list(visitor.findings)
+    if dataflow:
+        if any(r in enabled for r in _TAINT_RULES):
+            from .dataflow.taint import analyze_module
+            findings.extend(f for f in analyze_module(tree, path)
+                            if f.rule in enabled)
+        if any(r in enabled for r in _ATOMICITY_RULES):
+            from .dataflow.atomicity import check_module
+            findings.extend(f for f in check_module(tree, path)
+                            if f.rule in enabled)
+    findings.extend(f for f in extra_findings if f.rule in enabled)
+    markers = markers_in(source)
+    flag_unused = dataflow and UNUSED_SUPPRESSION in enabled
+    filtered = apply_markers(findings, markers, frozenset(enabled),
+                             path, flag_unused)
     return sorted(
-        f for f in visitor.findings
-        if not is_suppressed(f, suppressions)
-        and not _allowlisted(path, f.rule, allowlist))
+        f for f in filtered
+        if not _allowlisted(path, f.rule, allowlist))
 
 
 def iter_python_files(paths: Iterable[str]) -> List[str]:
@@ -477,12 +585,29 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 def lint_paths(paths: Iterable[str],
                rules: Optional[Sequence[str]] = None,
                allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+               dataflow: bool = False,
                ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
-    findings: List[Finding] = []
+    """Lint every ``.py`` file under ``paths``.
+
+    In the dataflow tier the parity family runs here (it needs the
+    whole file set: the engine's run loops define the contract the
+    scheduler hooks are checked against); its findings are handed to
+    ``lint_source`` per file so suppressions apply normally.
+    """
+    files: Dict[str, str] = {}
     for filename in iter_python_files(paths):
         with open(filename, "r") as fh:
-            source = fh.read()
-        findings.extend(lint_source(source, path=filename, rules=rules,
-                                    allowlist=allowlist))
+            files[filename] = fh.read()
+    enabled = effective_rules(rules, dataflow)
+    parity_by_path: Dict[str, List[Finding]] = {}
+    if dataflow and any(r in enabled for r in _PARITY_RULES):
+        from .dataflow.parity import check_parity
+        for finding in check_parity(files):
+            parity_by_path.setdefault(finding.path, []).append(finding)
+    findings: List[Finding] = []
+    for filename, source in files.items():
+        findings.extend(lint_source(
+            source, path=filename, rules=rules, allowlist=allowlist,
+            dataflow=dataflow,
+            extra_findings=parity_by_path.get(filename, ())))
     return sorted(findings)

@@ -84,7 +84,7 @@ def fold_loads_python(avgs, weights, now):
         else:
             d = cache_get(delta)
             if d is None:
-                # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
+                # continuous-form PELT decay: delta/half_life is a dimensionless ratio
                 d = exp(-_LN2 * delta / half_life)
                 if len(decay_cache) >= _DECAY_CACHE_MAX:
                     decay_cache.clear()
@@ -132,7 +132,7 @@ def fold_loads_numpy(avgs, weights, now):
         else:
             d = cache_get(delta)
             if d is None:
-                # schedlint: ignore[float-ns-clock] -- continuous-form PELT decay is a dimensionless ratio
+                # continuous-form PELT decay: delta/half_life is a dimensionless ratio
                 d = exp(-_LN2 * delta / half_life)
                 if len(decay_cache) >= _DECAY_CACHE_MAX:
                     decay_cache.clear()

@@ -588,3 +588,126 @@ def test_lint_paths_walks_directories(tmp_path):
     findings = lint_paths([str(pkg)])
     assert len(findings) == 1
     assert findings[0].path.endswith("bad.py")
+
+
+# ----------------------------------------------------------------------
+# suppression v2: file scope + unused-marker hygiene
+# ----------------------------------------------------------------------
+
+WALL_CLOCK_MOD = (
+    '"""doc."""\n'
+    '{marker}'
+    'import time\n'
+    'def f():\n'
+    '    return time.time()\n')
+
+
+def test_file_ignore_suppresses_named_rule_across_module():
+    src = WALL_CLOCK_MOD.format(
+        marker="# schedlint: file-ignore[wall-clock] -- test\n")
+    assert lint_source(src, path="repro/x.py") == []
+
+
+def test_file_ignore_below_docstring_region_is_inert():
+    src = ('"""doc."""\n'
+           'import time\n'
+           '# schedlint: file-ignore[wall-clock] -- too late\n'
+           'def f():\n'
+           '    return time.time()\n')
+    assert rules_of(lint_source(src, path="repro/x.py")) == \
+        ["wall-clock"]
+    # ... and the dataflow tier calls the misplacement out
+    flagged = lint_source(src, path="repro/x.py", dataflow=True)
+    assert any(f.rule == "unused-suppression"
+               and "outside the module docstring region" in f.message
+               for f in flagged)
+
+
+def test_bare_file_ignore_is_never_honored():
+    src = WALL_CLOCK_MOD.format(
+        marker="# schedlint: file-ignore -- blanket\n")
+    assert rules_of(lint_source(src, path="repro/x.py")) == \
+        ["wall-clock"]
+    flagged = lint_source(src, path="repro/x.py", dataflow=True)
+    assert any(f.rule == "unused-suppression"
+               and "explicit rules" in f.message for f in flagged)
+
+
+def test_unused_line_marker_flagged_only_in_dataflow_tier():
+    src = ('"""doc."""\n'
+           'X = 1  # schedlint: ignore[set-iteration] -- stale\n')
+    assert lint_source(src, path="repro/x.py") == []
+    flagged = lint_source(src, path="repro/x.py", dataflow=True)
+    assert rules_of(flagged) == ["unused-suppression"]
+    assert "suppressed nothing" in flagged[0].message
+
+
+def test_other_tier_markers_not_flagged_as_unused():
+    # wall-clock is replaced (disabled) under --dataflow: a marker
+    # naming it may be load-bearing for the basic tier and must
+    # survive a dataflow run untouched
+    src = ('"""doc."""\n'
+           'import time\n'
+           'def f():\n'
+           '    return time.time()  '
+           '# schedlint: ignore[wall-clock] -- intentional\n')
+    assert lint_source(src, path="repro/x.py") == []
+    assert lint_source(src, path="repro/x.py", dataflow=True) == []
+
+
+def test_used_marker_not_flagged_in_dataflow_tier():
+    src = ('"""doc."""\n'
+           'def f():\n'
+           '    for x in {1, 2}:  '
+           '# schedlint: ignore[set-iteration] -- bounded\n'
+           '        print(x)\n')
+    assert lint_source(src, path="repro/x.py", dataflow=True) == []
+
+
+def test_marker_text_inside_docstring_is_inert():
+    # marker *examples* in documentation must neither suppress nor
+    # count as stale markers (they are strings, not comments)
+    src = ('"""Suppress with\n'
+           '# schedlint: ignore[wall-clock] -- reason\n'
+           'or file-wide with\n'
+           '# schedlint: file-ignore[wall-clock] -- reason\n'
+           '"""\n'
+           'import time\n'
+           'def f():\n'
+           '    return time.time()\n')
+    assert rules_of(lint_source(src, path="repro/x.py")) == \
+        ["wall-clock"]
+    flagged = lint_source(src, path="repro/x.py", dataflow=True)
+    assert "unused-suppression" not in rules_of(flagged)
+
+
+# ----------------------------------------------------------------------
+# hot-loop-attr regressions: async loops and chained receivers
+# ----------------------------------------------------------------------
+
+def test_hot_loop_attr_async_for_flagged():
+    findings = lint("""
+        async def run(self):
+            async for item in self.inbox:
+                self.profiler.tick()
+        """)
+    assert rules_of(findings) == ["hot-loop-attr"]
+
+
+def test_hot_loop_attr_chained_engine_receiver_flagged():
+    findings = lint("""
+        def run(self, until):
+            while True:
+                self.engine.events.pop()
+        """)
+    assert rules_of(findings) == ["hot-loop-attr"]
+    assert "self.engine.events" in findings[0].message
+
+
+def test_hot_loop_attr_unrelated_chain_not_flagged():
+    findings = lint("""
+        def run(self, until):
+            while True:
+                self.core.events.pop()
+        """)
+    assert findings == []
