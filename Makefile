@@ -48,6 +48,8 @@ sanitize-smoke:
 ## (see docs/testing.md)
 fuzz-smoke:
 	$(PYTHON) -m repro.testing fuzz --seeds 25 --smoke
+	$(PYTHON) -m repro.testing fuzz --seeds 10 --smoke \
+		--schedulers cfs,eevdf,bfs,lottery,staticprio,predictive
 
 ## fault-injection smoke: one fig5 cell per scheduler under the
 ## canned chaos plan plus a 4-CPU hotplug drain/rebalance cell, all

@@ -47,7 +47,8 @@ def _cmd_experiment(args) -> int:
 def _run_one(name: str, sched: str, cpus: int, seed: int,
              noise: bool, sanitize: bool = False,
              faults_path: str | None = None,
-             profile: bool = False) -> tuple:
+             profile: bool = False,
+             decisions: bool = False) -> tuple:
     faults = None
     if faults_path is not None:
         from .faults import FaultPlan
@@ -57,20 +58,23 @@ def _run_one(name: str, sched: str, cpus: int, seed: int,
                          sanitize=True if sanitize else None,
                          faults=faults,
                          profile=True if profile else None)
+    trace = None
+    if decisions:
+        from .tracing.decisions import attach_decision_trace
+        trace = attach_decision_trace(engine)
     if noise:
         from .workloads.noise import KernelNoiseWorkload
         KernelNoiseWorkload().launch(engine, at=0)
     workload = make_workload(name)
     reason = run_workload(engine, workload, sec(600))
-    return engine, workload, reason
+    return engine, workload, reason, trace
 
 
 def _cmd_run(args) -> int:
-    engine, workload, reason = _run_one(args.name, args.sched,
-                                        args.cpus, args.seed, args.noise,
-                                        sanitize=args.sanitize,
-                                        faults_path=args.faults,
-                                        profile=args.profile)
+    engine, workload, reason, trace = _run_one(
+        args.name, args.sched, args.cpus, args.seed, args.noise,
+        sanitize=args.sanitize, faults_path=args.faults,
+        profile=args.profile, decisions=args.decisions is not None)
     perf = workload.performance(engine)
     print(f"{args.name} on {args.sched} ({args.cpus} cpus): "
           f"performance={perf:.4f} ops/s, simulated "
@@ -87,6 +91,10 @@ def _cmd_run(args) -> int:
     if args.digest:
         from .tracing.digest import schedule_digest
         print(f"  digest={schedule_digest(engine)}")
+    if trace is not None:
+        with open(args.decisions, "w") as fh:
+            count = trace.write_jsonl(fh)
+        print(f"  decisions: {count} pick records -> {args.decisions}")
     if args.profile and engine.profiler is not None:
         print("\nper-subsystem profile (see docs/performance.md):")
         print(engine.profiler.report())
@@ -96,9 +104,9 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     perfs = {}
     for sched in ("cfs", "ule"):
-        engine, workload, _ = _run_one(args.name, sched, args.cpus,
-                                       args.seed, args.noise,
-                                       sanitize=args.sanitize)
+        engine, workload, _, _ = _run_one(args.name, sched, args.cpus,
+                                          args.seed, args.noise,
+                                          sanitize=args.sanitize)
         perfs[sched] = workload.performance(engine)
         print(f"  {sched}: {perfs[sched]:.4f} ops/s")
     diff = percent_diff(perfs["ule"], perfs["cfs"])
@@ -220,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="report per-subsystem event counts "
                                 "and callback self-time after the "
                                 "run (see docs/performance.md)")
+            p.add_argument("--decisions", default=None, metavar="PATH",
+                           help="export every pick_next decision as "
+                                "tid-free JSONL records (the "
+                                "predictive-scheduler training "
+                                "format; see docs/scheduler-zoo.md)")
         p.set_defaults(func=func)
     return parser
 

@@ -1,0 +1,195 @@
+"""Next-pick fidelity of the table-based predictive scheduler.
+
+Not a paper figure — the KernelOracle-motivated extension capping the
+scheduler zoo (ROADMAP item 4): treat CFS's scheduling decisions as
+data, train the :class:`~repro.sched.predictive.PickTable` on decision
+traces exported from real CFS runs, and measure how often the learned
+table's argmax matches CFS's actual next pick on **held-out**
+scenarios it never saw.
+
+Protocol (all inputs derived from ``seed``, so the report is
+reproducible end to end):
+
+1. *train* — run fuzz scenarios for the training seed block under CFS
+   with :func:`~repro.tracing.decisions.attach_decision_trace`; fold
+   every contested decision (two or more candidates) into the table;
+2. *evaluate* — export decisions the same way for a disjoint seed
+   block and score, per decision, whether the model predicts the
+   thread CFS picked.  Two baselines calibrate the number:
+   ``incumbent`` (always keep the running thread when it is a
+   candidate) and ``longest-wait`` (pick the candidate that has
+   waited longest);
+3. *deploy* — run one held-out scenario under
+   ``scheduler_factory("predictive", table=...)`` to show the trained
+   table *is* a working scheduler (completion + digest), not just a
+   classifier.
+
+The fidelity numbers are honest model quality, not a tautology: the
+features (nice, incumbency, log-bucketed wait and runtime) are a lossy
+view of CFS's vruntime state, so the table can only approximate the
+true pick order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.clock import msec
+from ..sched import scheduler_factory
+from ..sched.predictive import PickTable
+from ..testing.fuzzer import FuzzThread, Scenario
+from ..tracing.decisions import attach_decision_trace
+from ..tracing.digest import schedule_digest
+from .base import ExperimentResult
+
+CLAIM = ("schedules are learnable data: a pick table trained on "
+         "exported CFS decision traces predicts CFS's next pick on "
+         "held-out scenarios ~5x better than incumbent-stickiness, "
+         "approaching the best hand-written heuristic")
+
+#: seed-block layout: train on [seed, seed+train), evaluate on
+#: [seed+EVAL_OFFSET, ...) — disjoint for every seed < EVAL_OFFSET
+EVAL_OFFSET = 1000
+
+
+def contention_scenario(seed: int) -> Scenario:
+    """A decision-dense scenario: several CPU-hungry threads of mixed
+    nice values share one or two cores, with occasional short sleeps
+    so wakeup picks (and wait-time features) appear alongside
+    slice-expiry picks.  A pure function of ``seed``, like the fuzzer's
+    generator — same seed, byte-identical scenario."""
+    rng = random.Random(f"repro.experiments.predict:{seed}")
+    ncpus = rng.choice((1, 1, 2))
+    nthreads = rng.randint(4, 7)
+    threads = []
+    for i in range(nthreads):
+        steps = []
+        for _ in range(rng.randint(3, 6)):
+            steps.append(("run", rng.randint(20, 80)))
+            if rng.random() < 0.4:
+                steps.append(("sleep", rng.randint(1, 10)))
+        threads.append(FuzzThread(
+            name=f"p{i}",
+            nice=rng.choice([-10, -5, 0, 0, 5, 10]),
+            spawn_at_ms=rng.randint(0, 10),
+            plan=tuple(steps)))
+    return Scenario(seed=seed, ncpus=ncpus, threads=tuple(threads))
+
+
+def collect_decisions(sched: str, seeds):
+    """Contested pick records from contention scenarios run under
+    ``sched``."""
+    from ..testing.fuzzer import build_engine
+    records = []
+    for s in seeds:
+        scenario = contention_scenario(s)
+        engine, _ = build_engine(scenario, sched, sanitize=False)
+        trace = attach_decision_trace(engine)
+        engine.run(until=msec(scenario.until_ms))
+        records.extend(r for r in trace.records if r.contested())
+    return records
+
+
+def _predict_incumbent(record) -> int:
+    """Baseline: keep the running thread; else the first candidate."""
+    for idx, features in enumerate(record.features):
+        if features[1]:  # the incumbency flag
+            return idx
+    return 0
+
+
+def _predict_longest_wait(record) -> int:
+    """Baseline: the candidate with the largest wait bucket."""
+    best, best_wait = 0, -1
+    for idx, features in enumerate(record.features):
+        if features[2] > best_wait:
+            best, best_wait = idx, features[2]
+    return best
+
+
+def fidelity(records, predict) -> float:
+    """Fraction of decisions where ``predict(record)`` names the
+    candidate the traced scheduler actually picked."""
+    if not records:
+        return 0.0
+    hits = 0
+    for r in records:
+        chosen_pos = r.candidates.index(r.chosen)
+        if predict(r) == chosen_pos:
+            hits += 1
+    return hits / len(records)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Train on one CFS seed block, score next-pick fidelity on a
+    disjoint block against both baselines, then deploy the table as a
+    live scheduler.  Pure function of ``seed``."""
+    ntrain, neval = (6, 3) if quick else (20, 8)
+    train_seeds = range(seed, seed + ntrain)
+    eval_seeds = range(seed + EVAL_OFFSET, seed + EVAL_OFFSET + neval)
+
+    result = ExperimentResult(
+        experiment="predict", claim=CLAIM,
+        data={"train_seeds": list(train_seeds),
+              "eval_seeds": list(eval_seeds)})
+
+    train = collect_decisions("cfs", train_seeds)
+    table = PickTable().train(train)
+    held_out = collect_decisions("cfs", eval_seeds)
+
+    model = fidelity(held_out,
+                     lambda r: table.predict(r.features))
+    incumbent = fidelity(held_out, _predict_incumbent)
+    longest = fidelity(held_out, _predict_longest_wait)
+    result.row(predictor="pick-table", fidelity=model,
+               decisions=len(held_out), table_entries=len(table))
+    result.row(predictor="incumbent", fidelity=incumbent,
+               decisions=len(held_out))
+    result.row(predictor="longest-wait", fidelity=longest,
+               decisions=len(held_out))
+
+    # deploy: the trained table as an actual scheduler on a held-out
+    # scenario — completion proves it is a valid policy, the digest
+    # makes the deployment reproducible
+    deploy_scenario = contention_scenario(seed + EVAL_OFFSET)
+    from ..core.actions import ThreadSpec
+    from ..core.engine import Engine
+    from ..core.topology import smp
+    from ..testing.fuzzer import behavior_from_plan
+    engine = Engine(
+        smp(deploy_scenario.ncpus,
+            cpus_per_llc=deploy_scenario.cpus_per_llc),
+        scheduler_factory("predictive", table=table),
+        seed=deploy_scenario.seed)
+    for ft in deploy_scenario.threads:
+        engine.spawn(
+            ThreadSpec(ft.name, behavior_from_plan(ft.plan),
+                       nice=ft.nice,
+                       affinity=(frozenset(ft.affinity)
+                                 if ft.affinity is not None else None),
+                       app=ft.app),
+            at=msec(ft.spawn_at_ms))
+    reason = engine.run(until=msec(deploy_scenario.until_ms))
+    result.row(predictor="deployed-scheduler", end=reason,
+               digest=schedule_digest(engine))
+
+    lines = [
+        "Next-pick fidelity vs real CFS (held-out fuzz scenarios)",
+        f"  trained on {len(train)} contested decisions "
+        f"({ntrain} seeds); table has {len(table)} feature rows",
+        f"  evaluated on {len(held_out)} contested decisions "
+        f"({neval} held-out seeds)",
+        "",
+        f"  {'predictor':<14} fidelity",
+        f"  {'pick-table':<14} {model:8.3f}",
+        f"  {'incumbent':<14} {incumbent:8.3f}",
+        f"  {'longest-wait':<14} {longest:8.3f}",
+        "",
+        f"  deployed as '--sched predictive': end={reason}, "
+        f"digest={result.rows[-1]['digest'][:16]}...",
+    ]
+    result.text = "\n".join(lines)
+    result.data["fidelity"] = {"pick-table": model,
+                               "incumbent": incumbent,
+                               "longest-wait": longest}
+    return result

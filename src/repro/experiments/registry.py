@@ -39,6 +39,9 @@ EXPERIMENTS = {
                     "headline claims across random seeds (mean ± CI)"),
     "latency": ("latency_study",
                 "wake-to-run latency distributions (extension)"),
+    "predict": ("predict_fidelity",
+                "table model next-pick fidelity vs CFS "
+                "(schedules as data; docs/scheduler-zoo.md)"),
 }
 
 

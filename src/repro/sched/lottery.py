@@ -1,0 +1,98 @@
+"""Lottery scheduling: probabilistic proportional share.
+
+Waldspurger & Weihl's OSDI'94 policy: each thread holds *tickets*
+proportional to its share (here: its CFS nice weight, so nice maps to
+share the same way it does under CFS/EEVDF), and every pick draws a
+winning ticket uniformly at random.  Expected CPU time is
+proportional to tickets; there are no deadlines, no vruntime, and —
+in the classic formulation — no wakeup preemption: a waking thread
+waits for the next drawing.
+
+The draw uses ``engine.random.stream("sched.lottery")``, the engine's
+seeded, named RNG stream — the same scenario under the same seed
+replays the exact drawing sequence, so golden digests, differential
+oracles, and the tickless metamorphic relation all hold bit-exactly
+(picks happen at identical times with identical candidate sets in
+both tick modes, so the stream is consumed identically).  Drawings
+with a single candidate skip the RNG entirely, keeping the stream
+position independent of uncontended picks.
+
+Expressed as a :class:`~repro.sched.policy.SchedPolicy`: a custom
+``pick`` holds the drawing, ``preempts`` is constantly False, and the
+queue-order walk resolves the winning ticket deterministically.
+"""
+
+from __future__ import annotations
+
+from ..cfs.weights import nice_to_weight
+from ..core.clock import msec
+from .policy import PolicyScheduler, SchedPolicy
+
+#: drawing cadence: how long a winner runs before the next lottery
+QUANTUM_NS = msec(5)
+
+
+def _init_thread(sched, thread, state):
+    state.tickets = nice_to_weight(thread.nice)
+
+
+def _key(sched, thread, state):
+    # Only used for steal-candidate ordering fallbacks; the real pick
+    # is the drawing below.  More tickets = stronger claim.
+    return (-state.tickets,)
+
+
+def _pick(sched, core, candidates):
+    if len(candidates) == 1:
+        return candidates[0]
+    # Walk in enqueue order (stable, deterministic) accumulating
+    # tickets; the drawn ticket picks the winner.
+    ordered = sorted(candidates, key=lambda t: t.policy.seq)
+    total = 0
+    for t in ordered:
+        total += t.policy.tickets
+    winner = sched.lottery_rng.randint(1, total)
+    acc = 0
+    for t in ordered:
+        acc += t.policy.tickets
+        if winner <= acc:
+            return t
+    return ordered[-1]  # unreachable: winner <= total
+
+
+def _preempts(sched, core, curr, new):
+    # Classic lottery: no wakeup preemption — the waking thread joins
+    # the next drawing (slice expiry or the incumbent blocking).
+    return False
+
+
+def _timeslice(sched, core, thread, state):
+    return QUANTUM_NS
+
+
+LOTTERY_POLICY = SchedPolicy(
+    name="lottery",
+    key=_key,
+    pick=_pick,
+    timeslice=_timeslice,
+    preempts=_preempts,
+    init_thread=_init_thread,
+)
+
+
+class LotteryScheduler(PolicyScheduler):
+    """Seeded proportional-share lottery over per-core queues."""
+
+    name = "lottery"
+
+    def __init__(self, engine):
+        super().__init__(engine, LOTTERY_POLICY)
+        #: the drawing stream: seeded and named, replayed exactly on
+        #: identical runs
+        self.lottery_rng = engine.random.stream("sched.lottery")
+
+    # -- oracle/test accessors -------------------------------------------
+
+    def tickets_of(self, thread) -> int:
+        """The thread's ticket count (its CFS nice weight)."""
+        return thread.policy.tickets

@@ -1,0 +1,126 @@
+"""A table-based predictive scheduler trained on exported traces.
+
+The KernelOracle idea at toy scale: treat scheduling decisions as
+data.  :mod:`repro.tracing.decisions` exports every ``pick_next`` as
+a (candidate features, chosen) record; :class:`PickTable` counts, for
+each candidate feature tuple, how often a real scheduler (CFS, in the
+shipped experiment) picked a candidate with those features when it
+was on offer.  At pick time the learned scheduler runs the candidate
+whose features score the highest empirical pick rate — Laplace
+smoothed, with wholly unseen candidates at the neutral prior — and
+breaks score ties by enqueue order, so an empty table degrades to
+plain deterministic FIFO.
+
+The model is measured, not just used: the ``predict`` experiment
+(``python -m repro.experiments`` / ``repro.experiments.predict_fidelity``)
+trains on CFS traces from one set of fuzz seeds and reports
+**next-pick fidelity** — how often the table's argmax matches real
+CFS — on held-out seeds, against incumbent-sticky and
+longest-waiting baselines.
+
+A fresh (untrained) instance is what the registry builds for
+``--sched predictive``; it is deterministic and passes the same
+conformance battery as every other zoo member.  Trained instances are
+built with ``scheduler_factory("predictive", table=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..tracing.decisions import DecisionRecord, decision_features
+from .policy import DEFAULT_SLICE_NS, PolicyScheduler, SchedPolicy
+
+
+class PickTable:
+    """Empirical pick rates per candidate feature tuple."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        #: feature tuple -> (times picked, times on offer)
+        self.counts: Dict[Tuple, Tuple[int, int]] = {}
+
+    def observe(self, record: DecisionRecord) -> None:
+        """Fold one contested decision into the table."""
+        if not record.contested():
+            return
+        chosen_pos = record.candidates.index(record.chosen)
+        for pos, features in enumerate(record.features):
+            picked, seen = self.counts.get(features, (0, 0))
+            self.counts[features] = (picked + (1 if pos == chosen_pos
+                                               else 0), seen + 1)
+
+    def train(self, records) -> "PickTable":
+        """Fold every record in; returns self for chaining."""
+        for record in records:
+            self.observe(record)
+        return self
+
+    def score(self, features: Tuple) -> float:
+        """Laplace-smoothed pick rate; 0.5 for unseen features."""
+        picked, seen = self.counts.get(features, (0, 0))
+        return (picked + 1) / (seen + 2)
+
+    def predict(self, feature_rows) -> int:
+        """Index of the candidate the table would pick (ties go to
+        the earliest row, matching the scheduler's seq tie-break)."""
+        best, best_score = 0, None
+        for idx, features in enumerate(feature_rows):
+            s = self.score(features)
+            if best_score is None or s > best_score:
+                best, best_score = idx, s
+        return best
+
+    def to_json(self) -> dict:
+        """JSON-serialisable view (feature repr -> [picked, seen])."""
+        return {repr(k): list(v) for k, v in self.counts.items()}
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def _key(sched, thread, state):
+    # Fallback ordering (used for steal candidates and the empty
+    # table): plain enqueue order — seq is appended by the layer.
+    return ()
+
+
+def _make_pick(table: Optional[PickTable]):
+    def _pick(sched, core, candidates):
+        if table is None or len(candidates) == 1:
+            return sched._pick_min(candidates)
+        rows = decision_features(sched.engine, core, candidates)
+        best = None
+        best_rank = None
+        for t, features in zip(candidates, rows):
+            # highest score wins; seq breaks ties deterministically
+            rank = (-table.score(features), t.policy.seq)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = t, rank
+        return best
+    return _pick
+
+
+def _timeslice(sched, core, thread, state):
+    return DEFAULT_SLICE_NS
+
+
+def make_predictive_policy(table: Optional[PickTable]) -> SchedPolicy:
+    """The zoo policy scheduling by ``table``'s argmax (FIFO if None)."""
+    return SchedPolicy(
+        name="predictive",
+        key=_key,
+        pick=_make_pick(table),
+        timeslice=_timeslice,
+    )
+
+
+class PredictiveScheduler(PolicyScheduler):
+    """Argmax over learned pick rates; FIFO when untrained."""
+
+    name = "predictive"
+
+    def __init__(self, engine, table: Optional[PickTable] = None):
+        super().__init__(engine, make_predictive_policy(table))
+        self.table = table

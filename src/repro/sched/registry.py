@@ -3,21 +3,56 @@
 Experiments refer to schedulers by name ("cfs", "ule", "fifo", ...); the
 registry turns a name plus keyword options into a factory suitable for
 :class:`~repro.core.engine.Engine`.
+
+Registration is the zoo's single enrollment point: a name registered
+here is automatically selectable from ``repro-sched run --sched``,
+pulled through the differential oracles and the seeded fuzzer
+(``repro.testing``), covered by the conformance battery
+(``tests/test_sched_conformance.py``), and eligible for golden-trace
+cells — see docs/scheduler-zoo.md.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Callable, Dict
 
 from ..core.errors import SchedulerError
 
 _FACTORIES: Dict[str, Callable] = {}
 
+#: environment switch turning re-registration warnings into errors
+STRICT_ENV = "REPRO_SCHED_STRICT"
 
-def register_scheduler(name: str, factory: Callable) -> None:
+
+def register_scheduler(name: str, factory: Callable, *,
+                       strict: bool | None = None) -> None:
     """Register ``factory(engine, **options) -> SchedClass`` under
-    ``name``; re-registering a name overwrites it."""
+    ``name``.
+
+    Re-registering an existing name replaces the factory but is almost
+    always an accident (two zoo modules colliding, a test leaking a
+    stub into the process-wide registry), so it emits a
+    ``RuntimeWarning`` — and raises :class:`SchedulerError` when
+    ``strict=True`` or the ``REPRO_SCHED_STRICT`` environment variable
+    is set.  Intentional replacement: ``unregister_scheduler`` first.
+    """
+    if name in _FACTORIES:
+        if strict is None:
+            strict = bool(os.environ.get(STRICT_ENV))
+        message = (f"scheduler {name!r} is already registered; "
+                   f"re-registration replaces the existing factory")
+        if strict:
+            raise SchedulerError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
     _FACTORIES[name] = factory
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove ``name`` from the registry (intentional replacement and
+    test cleanup); unknown names are a no-op."""
+    _FACTORIES.pop(name, None)
 
 
 def scheduler_factory(name: str, **options) -> Callable:
@@ -77,3 +112,27 @@ def _ensure_builtin() -> None:
             register_scheduler(
                 "linux",
                 lambda engine, **kw: ClassStackScheduler(engine, **kw))
+    # -- the scheduler zoo (policy-DSL schedulers; docs/scheduler-zoo.md)
+    if "eevdf" not in _FACTORIES:
+        from .eevdf import EevdfScheduler
+        register_scheduler(
+            "eevdf", lambda engine, **kw: EevdfScheduler(engine, **kw))
+    if "bfs" not in _FACTORIES:
+        from .bfs import BfsScheduler
+        register_scheduler(
+            "bfs", lambda engine, **kw: BfsScheduler(engine, **kw))
+    if "lottery" not in _FACTORIES:
+        from .lottery import LotteryScheduler
+        register_scheduler(
+            "lottery",
+            lambda engine, **kw: LotteryScheduler(engine, **kw))
+    if "staticprio" not in _FACTORIES:
+        from .staticprio import StaticPrioScheduler
+        register_scheduler(
+            "staticprio",
+            lambda engine, **kw: StaticPrioScheduler(engine, **kw))
+    if "predictive" not in _FACTORIES:
+        from .predictive import PredictiveScheduler
+        register_scheduler(
+            "predictive",
+            lambda engine, **kw: PredictiveScheduler(engine, **kw))

@@ -1,0 +1,86 @@
+"""Static priority with aging: the classic textbook policy.
+
+Each thread has a fixed base priority derived from nice
+(``nice + 20``: 0 is the strongest, 39 the weakest) and the scheduler
+always runs the strongest runnable thread — the policy ULE applies
+*within* its timeshare range, without the interactivity scoring.
+Pure static priority starves: a steady stream of strong threads keeps
+weak ones queued forever.  The classic fix is **aging** — a waiting
+thread's effective priority strengthens by one level per
+:data:`AGING_NS` queued, with the floor at 0, so every thread
+eventually outranks any fixed-priority stream and starvation is
+bounded by ``39 * AGING_NS``.
+
+Expressed as a :class:`~repro.sched.policy.SchedPolicy`, the entire
+scheduler is the ``key`` function: effective priority is *computed
+fresh from the enqueue timestamp at every pick*, so there is no
+periodic re-queue sweep to schedule and nothing to keep consistent —
+aging falls out of the policy layer re-evaluating keys.  Equal
+effective priorities round-robin via the layer's default slice-expiry
+rotation; wakeup preemption is the default strictly-stronger-key
+rule.
+"""
+
+from __future__ import annotations
+
+from ..core.clock import msec
+from .policy import PolicyScheduler, SchedPolicy
+
+#: a queued thread strengthens by one priority level per this long
+AGING_NS = msec(100)
+
+#: round-robin quantum among equal effective priorities
+QUANTUM_NS = msec(10)
+
+
+def _init_thread(sched, thread, state):
+    state.priority = max(-20, min(19, thread.nice)) + 20
+
+
+def _effective_priority(sched, state) -> int:
+    waited = sched.engine.now - state.enqueued_at
+    return max(0, state.priority - waited // AGING_NS)
+
+
+def _key(sched, thread, state):
+    return (_effective_priority(sched, state),)
+
+
+def _timeslice(sched, core, thread, state):
+    return QUANTUM_NS
+
+
+def _on_expire(sched, core, thread, state):
+    # The thread consumed a full quantum: its aging credit resets
+    # (otherwise the incumbent's old enqueue stamp would outrank every
+    # equal-base waiter forever) and it loses seq ties until requeued.
+    state.enqueued_at = sched.engine.now
+    state.seq = sched.next_seq()
+
+
+STATICPRIO_POLICY = SchedPolicy(
+    name="staticprio",
+    key=_key,
+    timeslice=_timeslice,
+    on_expire=_on_expire,
+    init_thread=_init_thread,
+)
+
+
+class StaticPrioScheduler(PolicyScheduler):
+    """Strongest-priority-first with linear aging, per-core queues."""
+
+    name = "staticprio"
+
+    def __init__(self, engine):
+        super().__init__(engine, STATICPRIO_POLICY)
+
+    # -- oracle/test accessors -------------------------------------------
+
+    def base_priority_of(self, thread) -> int:
+        """The thread's static priority (nice + 20; lower wins)."""
+        return thread.policy.priority
+
+    def effective_priority_of(self, thread) -> int:
+        """The aged priority used for picking, as of ``now``."""
+        return _effective_priority(self, thread.policy)

@@ -27,13 +27,15 @@ from .metamorphic import (check_core_renumbering, check_nice_permutation,
                           contention_scenario, llc_preserving_permutations,
                           transform_permute_nice, transform_renumber_cores,
                           transform_scale_time)
-from .oracles import (DEFAULT_SCHEDULERS, OracleFailure, check_scenario,
-                      run_with_oracles, scenario_fails)
+from .oracles import (ALL_SCHEDULERS, DEFAULT_SCHEDULERS, ZOO_SCHEDULERS,
+                      OracleFailure, check_scenario, run_with_oracles,
+                      scenario_fails)
 
 __all__ = [
     "FuzzThread", "Scenario", "behavior_from_plan", "build_engine",
     "generate_scenario", "run_scenario", "shrink",
-    "DEFAULT_SCHEDULERS", "OracleFailure", "check_scenario",
+    "DEFAULT_SCHEDULERS", "ZOO_SCHEDULERS", "ALL_SCHEDULERS",
+    "OracleFailure", "check_scenario",
     "run_with_oracles", "scenario_fails",
     "check_core_renumbering", "check_nice_permutation",
     "check_tickless_equivalence", "check_time_scaling",

@@ -50,6 +50,12 @@ FIG5_APPS = ("MG", "Apache")
 
 GOLDEN_SCHEDULERS = ("cfs", "ule")
 
+#: the policy-DSL zoo is pinned on the fig1 family only: one cell per
+#: policy keeps every zoo scheduler digest-stable without growing the
+#: tier-1 golden budget by the full family matrix
+ZOO_GOLDEN_SCHEDULERS = ("eevdf", "bfs", "lottery", "staticprio",
+                         "predictive")
+
 
 def compute_cell(name: str) -> str:
     """Compute the digest for one golden cell (module-level so
@@ -73,6 +79,7 @@ def compute_cell(name: str) -> str:
 
 def cell_names() -> list[str]:
     names = [f"fig1/{sched}" for sched in GOLDEN_SCHEDULERS]
+    names += [f"fig1/{sched}" for sched in ZOO_GOLDEN_SCHEDULERS]
     names += [f"fig5/{app}/{sched}" for app in FIG5_APPS
               for sched in GOLDEN_SCHEDULERS]
     names += [f"fig6/{sched}" for sched in GOLDEN_SCHEDULERS]

@@ -50,6 +50,16 @@ from .fuzzer import Scenario, build_engine
 #: on all scheduler-independent invariants
 DEFAULT_SCHEDULERS = ("fifo", "cfs", "ule", "linux")
 
+#: the policy-DSL scheduler zoo (docs/scheduler-zoo.md).  Every member
+#: satisfies the scheduler-independent oracles above — including
+#: cross-scheduler outcome identity, since per-thread outcomes are
+#: pinned to the finite plans for any correct completing scheduler.
+ZOO_SCHEDULERS = ("eevdf", "bfs", "lottery", "staticprio", "predictive")
+
+#: everything a fuzz scenario can run under ("rt" is excluded: it
+#: requires rt_priority-tagged threads the fuzzer does not generate)
+ALL_SCHEDULERS = DEFAULT_SCHEDULERS + ZOO_SCHEDULERS
+
 #: mid-run observation points, as fractions of the busiest thread plan
 CHECKPOINTS = 6
 

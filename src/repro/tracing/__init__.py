@@ -1,6 +1,8 @@
 """Observation tooling: periodic samplers, series export, and derived
 timeline views."""
 
+from .decisions import (DecisionRecord, DecisionTrace,
+                        attach_decision_trace)
 from .digest import canonical_json, schedule_digest, state_digest
 from .export import ascii_chart, downsample, series_to_csv
 from .samplers import (PeriodicSampler, sample_cumulative_runtime,
@@ -29,4 +31,7 @@ __all__ = [
     "canonical_json",
     "schedule_digest",
     "state_digest",
+    "DecisionRecord",
+    "DecisionTrace",
+    "attach_decision_trace",
 ]

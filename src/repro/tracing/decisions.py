@@ -1,0 +1,179 @@
+"""Per-decision trace export: every ``pick_next`` as a data record.
+
+Where :func:`~repro.tracing.digest.schedule_digest` compresses a whole
+run into one hash, this module exports the *decisions* that produced
+it: one record per ``pick_next`` call, with the candidate set the
+scheduler saw and which candidate it chose.  The records are
+digest-adjacent by construction — identified by **spawn index** (the
+thread's position in engine spawn order, the same tid-free identity
+``canonical_state`` uses), never by ``tid`` or ``id()`` — so two
+bit-identical runs export byte-identical traces.
+
+This is the KernelOracle-style "schedules as data" hook: the
+:mod:`repro.sched.predictive` table model trains on exported CFS
+records, and ``repro-sched run --decisions out.jsonl`` captures them
+for any scheduler.
+
+Candidate features (all buckets are log2-coarse so tables stay small):
+
+==============  =====================================================
+``nice``        the thread's nice value
+``incumbent``   1 if the candidate is the core's running thread
+``wait``        log2 bucket of time spent waiting for CPU (µs)
+``ran``         log2 bucket of total executed time (ms)
+``+relative``   three flags ranking the candidate within this
+                decision's set: longest wait, lowest nice, least
+                executed (see :func:`decision_features`)
+==============  =====================================================
+
+Attachment wraps ``engine.scheduler.pick_next`` (an instance-attribute
+override, transparent to the scheduler): decisions are observed at
+the exact call boundary the engine uses, with zero cost when not
+attached.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional
+
+from ..core.clock import msec, usec
+
+
+def _log2_bucket(value: int, unit: int) -> int:
+    """``value`` (ns) coarsened to a log2 bucket of ``unit``."""
+    return (value // unit).bit_length()
+
+
+def candidate_features(engine, core, thread) -> tuple:
+    """The absolute feature tuple for one pick candidate."""
+    waited = 0 if thread.wait_start is None \
+        else engine.now - thread.wait_start
+    return (
+        thread.nice,
+        1 if thread is core.current and thread.is_running else 0,
+        _log2_bucket(waited, usec(1)),
+        _log2_bucket(thread.total_runtime, msec(1)),
+    )
+
+
+def decision_features(engine, core, candidates) -> list:
+    """Per-candidate feature rows for one decision: the absolute
+    tuple from :func:`candidate_features` extended with three
+    *relative* flags — longest wait, lowest nice, least executed —
+    computed within this candidate set.  Relative standing is what a
+    queue discipline actually ranks by (CFS's pick is roughly "least
+    runtime among the queued"), and a table scoring candidates
+    independently cannot recover it from absolute buckets alone."""
+    base = [candidate_features(engine, core, t) for t in candidates]
+    if len(base) > 1:
+        max_wait = max(f[2] for f in base)
+        min_nice = min(f[0] for f in base)
+        min_ran = min(f[3] for f in base)
+        return [f + (1 if f[2] == max_wait else 0,
+                     1 if f[0] == min_nice else 0,
+                     1 if f[3] == min_ran else 0)
+                for f in base]
+    return [f + (1, 1, 1) for f in base]
+
+
+class DecisionRecord:
+    """One ``pick_next`` decision (tid-free)."""
+
+    __slots__ = ("t_ns", "cpu", "candidates", "features", "chosen")
+
+    def __init__(self, t_ns: int, cpu: int, candidates: List[int],
+                 features: List[tuple], chosen: Optional[int]):
+        self.t_ns = t_ns
+        self.cpu = cpu
+        #: spawn index per candidate, in runqueue order
+        self.candidates = candidates
+        #: feature tuple per candidate (same order)
+        self.features = features
+        #: spawn index of the picked thread (None = core idled;
+        #: a pick outside ``candidates`` was stolen cross-core)
+        self.chosen = chosen
+
+    def contested(self) -> bool:
+        """True when the decision had a real choice to make."""
+        return len(self.candidates) >= 2 and self.chosen is not None \
+            and self.chosen in self.candidates
+
+    def to_json(self) -> dict:
+        """One JSONL-ready dict (inverse of :meth:`from_json`)."""
+        return {"t": self.t_ns, "cpu": self.cpu,
+                "candidates": self.candidates,
+                "features": [list(f) for f in self.features],
+                "chosen": self.chosen}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "DecisionRecord":
+        return cls(obj["t"], obj["cpu"], list(obj["candidates"]),
+                   [tuple(f) for f in obj["features"]],
+                   obj["chosen"])
+
+
+class DecisionTrace:
+    """Recorder wrapping one engine's ``pick_next``.
+
+    Use :func:`attach_decision_trace`; records accumulate in
+    ``self.records`` and can be streamed with ``write_jsonl``.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.records: List[DecisionRecord] = []
+        self._spawn_index: dict = {}
+        self._inner = engine.scheduler.pick_next
+
+    def _index_of(self, thread) -> int:
+        idx = self._spawn_index.get(thread.tid)
+        if idx is None:
+            for i, t in enumerate(self.engine.threads):
+                self._spawn_index.setdefault(t.tid, i)
+            idx = self._spawn_index[thread.tid]
+        return idx
+
+    def pick_next(self, core):
+        """The wrapper installed over the scheduler's ``pick_next``:
+        records the decision, never alters the pick."""
+        engine = self.engine
+        sched = engine.scheduler
+        candidates = list(sched.runnable_threads(core))
+        features = decision_features(engine, core, candidates)
+        chosen = self._inner(core)
+        self.records.append(DecisionRecord(
+            t_ns=engine.now, cpu=core.index,
+            candidates=[self._index_of(t) for t in candidates],
+            features=features,
+            chosen=None if chosen is None else self._index_of(chosen)))
+        return chosen
+
+    def detach(self) -> None:
+        """Remove the wrapper, restoring the scheduler's own hook."""
+        if self.engine.scheduler.pick_next == self.pick_next:
+            del self.engine.scheduler.pick_next
+
+    def write_jsonl(self, fh: IO[str]) -> int:
+        """Stream all records as JSON lines; returns the count."""
+        for rec in self.records:
+            fh.write(json.dumps(rec.to_json(), sort_keys=True) + "\n")
+        return len(self.records)
+
+
+def attach_decision_trace(engine) -> DecisionTrace:
+    """Record every scheduling decision of ``engine`` from now on.
+
+    Must be called before ``engine.run()``; the wrapper observes the
+    engine's real ``pick_next`` boundary and never alters the pick.
+    """
+    trace = DecisionTrace(engine)
+    # instance-attribute override: unwraps cleanly via detach()
+    engine.scheduler.pick_next = trace.pick_next
+    return trace
+
+
+def read_jsonl(fh: IO[str]) -> List[DecisionRecord]:
+    """Parse records produced by :meth:`DecisionTrace.write_jsonl`."""
+    return [DecisionRecord.from_json(json.loads(line))
+            for line in fh if line.strip()]

@@ -19,11 +19,15 @@ from repro.core.clock import usec
 from repro.core.topology import single_core, smp
 from repro.sched import scheduler_factory
 from repro.testing.fuzzer import behavior_from_plan  # noqa: F401
-from repro.testing.oracles import DEFAULT_SCHEDULERS
+from repro.testing.oracles import DEFAULT_SCHEDULERS, ZOO_SCHEDULERS
 
 #: every shipped general-purpose scheduler; "linux" is the rt+fair
 #: class stack and must satisfy the same invariants as plain cfs
 SCHEDULERS = list(DEFAULT_SCHEDULERS)
+
+#: the policy-DSL zoo (docs/scheduler-zoo.md) — same invariants as the
+#: mainline schedulers, exercised with bounded seed budgets in tier-1
+ZOO = list(ZOO_SCHEDULERS)
 
 
 def build_engine(sched="fifo", ncpus=1, *, seed=0, sanitize=None,

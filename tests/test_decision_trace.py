@@ -1,0 +1,195 @@
+"""Decision-trace export and the predictive scheduler trained on it.
+
+The trace layer (:mod:`repro.tracing.decisions`) is the zoo's
+"schedules as data" hook: records must be tid-free (spawn-index
+identity, like the schedule digest), byte-stable across identical
+runs, and round-trip through JSONL.  The :class:`PickTable` trained on
+them must behave deterministically as a scheduler and report its
+fidelity reproducibly through the ``predict`` experiment.
+"""
+
+import io
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec
+from repro.core.clock import msec
+from repro.core.topology import single_core
+from repro.sched import scheduler_factory
+from repro.sched.predictive import PickTable
+from repro.tracing.decisions import (DecisionRecord, attach_decision_trace,
+                                     decision_features, read_jsonl)
+from repro.tracing.digest import schedule_digest
+
+
+def _contended_engine(sched="cfs", seed=0):
+    """Three mixed-nice threads on one core: guaranteed contested
+    picks."""
+    engine = Engine(single_core(), scheduler_factory(sched), seed=seed)
+    def behavior(ctx):
+        for _ in range(4):
+            yield Run(msec(3))
+            yield Sleep(msec(1))
+    for i, nice in enumerate((-5, 0, 5)):
+        engine.spawn(ThreadSpec(f"t{i}", behavior, nice=nice),
+                     at=msec(i))
+    return engine
+
+
+def _run_traced(sched="cfs", seed=0):
+    engine = _contended_engine(sched, seed)
+    trace = attach_decision_trace(engine)
+    assert engine.run(until=msec(400)) == "all-exited"
+    return engine, trace
+
+
+# ----------------------------------------------------------------------
+# the trace itself
+# ----------------------------------------------------------------------
+
+def test_trace_captures_contested_decisions():
+    _, trace = _run_traced()
+    contested = [r for r in trace.records if r.contested()]
+    assert contested, "contention scenario produced no contested picks"
+    for r in contested:
+        assert len(r.features) == len(r.candidates)
+        assert all(len(f) == 7 for f in r.features)  # 4 abs + 3 rel
+        assert r.chosen in r.candidates
+
+
+def test_trace_is_transparent():
+    """Attaching the recorder must not change the schedule."""
+    bare = _contended_engine()
+    assert bare.run(until=msec(400)) == "all-exited"
+    traced_engine, _ = _run_traced()
+    assert schedule_digest(bare) == schedule_digest(traced_engine)
+
+
+def test_trace_is_tid_free_and_deterministic():
+    """Two identical runs (fresh process-global tids) export
+    byte-identical JSONL."""
+    def export():
+        _, trace = _run_traced()
+        buf = io.StringIO()
+        count = trace.write_jsonl(buf)
+        assert count == len(trace.records)
+        return buf.getvalue()
+    assert export() == export()
+
+
+def test_jsonl_round_trip():
+    _, trace = _run_traced()
+    buf = io.StringIO()
+    trace.write_jsonl(buf)
+    buf.seek(0)
+    parsed = read_jsonl(buf)
+    assert len(parsed) == len(trace.records)
+    for original, loaded in zip(trace.records, parsed):
+        assert isinstance(loaded, DecisionRecord)
+        assert loaded.to_json() == original.to_json()
+
+
+def test_detach_restores_inner_pick():
+    engine = _contended_engine()
+    inner = engine.scheduler.pick_next
+    trace = attach_decision_trace(engine)
+    assert engine.scheduler.pick_next != inner
+    trace.detach()
+    assert engine.scheduler.pick_next == inner
+
+
+def test_relative_flags_rank_within_candidate_set():
+    """The three trailing flags mark the longest-wait / lowest-nice /
+    least-ran candidates of each decision; singletons get (1, 1, 1)."""
+    _, trace = _run_traced()
+    for r in trace.records:
+        if not r.features:  # idle pick: nothing on the queue
+            continue
+        if len(r.features) == 1:
+            assert r.features[0][4:] == (1, 1, 1)
+            continue
+        for col in (4, 5, 6):
+            assert any(f[col] == 1 for f in r.features)
+
+
+# ----------------------------------------------------------------------
+# the table trained on it
+# ----------------------------------------------------------------------
+
+def _trained_table():
+    _, trace = _run_traced()
+    return PickTable().train(trace.records)
+
+
+def test_table_trains_on_contested_only():
+    _, trace = _run_traced()
+    table = PickTable().train(trace.records)
+    contested = [r for r in trace.records if r.contested()]
+    assert len(table) > 0
+    offers = sum(seen for _, seen in table.counts.values())
+    assert offers == sum(len(r.candidates) for r in contested)
+
+
+def test_table_scores_and_predicts():
+    table = _trained_table()
+    # unseen features sit at the neutral prior
+    assert table.score(("nothing", "like", "this")) == 0.5
+    for features, (picked, seen) in table.counts.items():
+        assert 0 < table.score(features) < 1
+        assert 0 <= picked <= seen
+    # predict is an argmax with earliest-row tie-break
+    rows = list(table.counts)
+    assert 0 <= table.predict(rows[:2]) < 2
+    assert table.predict([rows[0], rows[0]]) == 0
+
+
+def test_trained_scheduler_is_deterministic_and_complete():
+    table = _trained_table()
+    def run_once():
+        engine = Engine(single_core(),
+                        scheduler_factory("predictive", table=table),
+                        seed=3)
+        def behavior(ctx):
+            for _ in range(3):
+                yield Run(msec(2))
+                yield Sleep(msec(1))
+        for i in range(3):
+            engine.spawn(ThreadSpec(f"d{i}", behavior, nice=5 * i - 5))
+        assert engine.run(until=msec(400)) == "all-exited"
+        return schedule_digest(engine)
+    assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# the experiment and the CLI export
+# ----------------------------------------------------------------------
+
+def test_predict_experiment_quick():
+    from repro.experiments.predict_fidelity import run
+    result = run(quick=True, seed=1)
+    fid = result.data["fidelity"]
+    assert set(fid) == {"pick-table", "incumbent", "longest-wait"}
+    # the learned table must clearly beat naive incumbent-stickiness
+    assert fid["pick-table"] > fid["incumbent"] + 0.3
+    assert 0.0 <= fid["pick-table"] <= 1.0
+    assert "fidelity" in result.text
+    deployed = [r for r in result.rows
+                if r.get("predictor") == "deployed-scheduler"]
+    assert deployed and deployed[0]["end"] == "all-exited"
+
+
+def test_predict_experiment_reproducible():
+    from repro.experiments.predict_fidelity import run
+    assert run(quick=True, seed=2).rows == run(quick=True, seed=2).rows
+
+
+def test_cli_run_decisions_export(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "decisions.jsonl"
+    assert main(["run", "Gzip", "--sched", "cfs", "--cpus", "1",
+                 "--decisions", str(out)]) == 0
+    assert "decision" in capsys.readouterr().out
+    with out.open() as fh:
+        records = read_jsonl(fh)
+    assert records, "CLI exported no decision records"
+    assert all(len(f) == 7 for r in records for f in r.features)

@@ -56,6 +56,19 @@ def test_fuzz_seed_passes_all_oracles(seed):
     check_scenario(generate_scenario(seed))
 
 
+ZOO_SEEDS = range(3)  # bounded: the zoo adds 5 schedulers per seed
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_zoo_passes_all_oracles(seed):
+    """The policy-DSL zoo (docs/scheduler-zoo.md) through the same
+    differential gate: every zoo policy must produce the exact
+    per-thread outcome vector cfs does, on smoke scenarios."""
+    from repro.testing import ZOO_SCHEDULERS
+    check_scenario(generate_scenario(seed, smoke=True),
+                   scheds=("cfs",) + tuple(ZOO_SCHEDULERS))
+
+
 def test_campaign_results_identical_serial_vs_parallel():
     serial = fuzz_campaign(range(6), smoke=True, jobs=None)
     fanned = fuzz_campaign(range(6), smoke=True, jobs=2)

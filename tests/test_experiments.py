@@ -17,7 +17,7 @@ def test_registry_covers_all_tables_and_figures():
     names = set(experiment_names())
     assert names == {"table1", "table2", "fig1", "fig2", "fig3", "fig4",
                      "fig5", "fig6", "fig7", "fig8", "fig9", "i7",
-                     "sensitivity", "latency"}
+                     "sensitivity", "latency", "predict"}
 
 
 def test_unknown_experiment_raises():

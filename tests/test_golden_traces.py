@@ -9,8 +9,8 @@ import json
 
 from repro.testing import generate_scenario, run_scenario
 from repro.testing.golden import (FIG5_APPS, GOLDEN_FILE,
-                                  GOLDEN_SCHEDULERS, cell_names,
-                                  check, compute_all, load)
+                                  GOLDEN_SCHEDULERS, ZOO_GOLDEN_SCHEDULERS,
+                                  cell_names, check, compute_all, load)
 from repro.tracing.digest import schedule_digest, state_digest
 
 
@@ -23,6 +23,8 @@ def test_store_is_recorded_and_complete():
         assert f"fig6/{sched}" in recorded
         for app in FIG5_APPS:
             assert f"fig5/{app}/{sched}" in recorded
+    for sched in ZOO_GOLDEN_SCHEDULERS:
+        assert f"fig1/{sched}" in recorded
     # digests are compact fixed-width hex
     assert all(len(d) == 16 and int(d, 16) >= 0
                for d in recorded.values())
@@ -44,6 +46,16 @@ def test_fig5_cells_stable_serial_vs_parallel():
     serial = compute_all(jobs=None, names=names)
     fanned = compute_all(jobs=2, names=names)
     assert serial == fanned
+
+
+def test_zoo_cells_stable_serial_vs_parallel():
+    """Zoo digests must not depend on the worker fan-out — the lottery
+    policy's RNG is engine-seeded, never process-global."""
+    names = [f"fig1/{sched}" for sched in ZOO_GOLDEN_SCHEDULERS]
+    serial = compute_all(jobs=None, names=names)
+    fanned = compute_all(jobs=2, names=names)
+    assert serial == fanned
+    assert serial == {name: load()[name] for name in names}
 
 
 def test_digest_ignores_process_global_thread_ids():

@@ -19,9 +19,12 @@ from repro.testing import (check_core_renumbering, check_nice_permutation,
                            llc_preserving_permutations,
                            transform_permute_nice, transform_renumber_cores,
                            transform_scale_time)
-from tests.conftest import SCHEDULERS
+from tests.conftest import SCHEDULERS, ZOO
 
 SEEDS = (0, 1, 2)
+
+#: bounded zoo budget: 5 extra schedulers × 2 seeds per relation
+ZOO_SEEDS = (0, 1)
 
 
 # ----------------------------------------------------------------------
@@ -67,6 +70,39 @@ def test_tickless_on_off_digest_equal(sched, seed):
 @pytest.mark.parametrize("seed", SEEDS)
 def test_time_scaling_exact(sched, seed):
     check_time_scaling(generate_scenario(seed), sched, k=3)
+
+
+# ----------------------------------------------------------------------
+# the scheduler zoo, same relations, bounded seed budget
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ZOO)
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_zoo_tickless_on_off_digest_equal(sched, seed):
+    """NO_HZ invisibility holds for every policy-DSL scheduler — the
+    lottery policy included: RNG draws happen only inside contested
+    picks, which parked ticks never add or remove."""
+    check_tickless_equivalence(generate_scenario(seed, smoke=True),
+                               sched)
+
+
+@pytest.mark.parametrize("sched", ZOO)
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_zoo_time_scaling_exact(sched, seed):
+    check_time_scaling(generate_scenario(seed, smoke=True), sched, k=3)
+
+
+@pytest.mark.parametrize("sched", ZOO)
+def test_zoo_core_renumbering_outcomes(sched):
+    for seed in range(8):
+        scenario = generate_scenario(seed, smoke=True)
+        if scenario.ncpus < 2:
+            continue
+        perms = llc_preserving_permutations(scenario)
+        if perms:
+            check_core_renumbering(scenario, sched, perms[0])
+            return
+    pytest.skip("no multi-core scenario in the sampled seeds")
 
 
 def _pinned_variant(seed: int):

@@ -1,0 +1,229 @@
+"""Conformance battery: every registered scheduler, one generic
+contract.
+
+Parametrized over :func:`repro.sched.available_schedulers` so a policy
+registered by name (the zoo's single enrollment point,
+docs/scheduler-zoo.md) is covered with **zero test changes**:
+
+* work conservation — per-core busy time equals executed thread time;
+* no lost threads — mid-run, every runnable thread sits on exactly
+  one runqueue (the oracle layer's membership probe);
+* enqueue/dequeue flag handling — sleep/wake cycles, mid-run renice
+  and affinity narrowing (MIGRATE dequeue + enqueue) all land cleanly;
+* NO_HZ — the ``needs_tick`` promise: parking idle ticks never
+  changes the schedule (tickless on/off digests are bit-identical);
+* yield semantics — yielding threads stay runnable, make progress,
+  and are charged no runtime for the yield itself;
+* determinism — two identical runs produce identical digests (the
+  lottery policy draws from the engine-seeded RNG, so this holds for
+  randomized policies too).
+
+Everything runs under ``sanitize=True``: the sanitizer's generic
+invariants (runqueue integrity, accounting, tick bookkeeping) check
+every event of every battery run for free.
+"""
+
+import pytest
+
+from repro.core import Engine, Run, Sleep, ThreadSpec, Yield
+from repro.core.clock import msec
+from repro.core.topology import single_core, smp
+from repro.sched import available_schedulers, scheduler_factory
+from repro.testing.oracles import check_membership
+from repro.tracing.digest import schedule_digest
+
+ALL_REGISTERED = available_schedulers()
+
+UNTIL = msec(400)
+
+
+def _tags(sched: str, i: int) -> dict:
+    """Standalone ``rt`` refuses untagged threads; everything else
+    ignores the tag."""
+    if sched == "rt":
+        return {"rt_priority": 1 + (i % 3),
+                "rt_policy": "rr" if i % 2 else "fifo"}
+    return {}
+
+
+def _build(sched: str, ncpus: int = 2, *, seed: int = 0,
+           tickless=None) -> Engine:
+    topo = single_core() if ncpus == 1 else smp(ncpus)
+    return Engine(topo, scheduler_factory(sched), seed=seed,
+                  sanitize=True, tickless=tickless)
+
+
+def _mixed_workload(engine: Engine, sched: str, count: int = 5):
+    """CPU bursts interleaved with short sleeps: exercises NEW and
+    WAKEUP enqueues, SLEEP dequeues, and idle transitions."""
+    def behavior(ctx):
+        for _ in range(6):
+            yield Run(msec(2))
+            yield Sleep(msec(1))
+    threads = []
+    for i in range(count):
+        spec = ThreadSpec(f"w{i}", behavior, nice=(i % 3) * 5 - 5,
+                          tags=_tags(sched, i))
+        threads.append(engine.spawn(spec, at=msec(i)))
+    return threads
+
+
+# ----------------------------------------------------------------------
+# work conservation + completion
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_work_conservation(sched):
+    engine = _build(sched)
+    threads = _mixed_workload(engine, sched)
+    reason = engine.run(until=UNTIL)
+    assert reason == "all-exited", f"{sched}: did not finish ({reason})"
+    busy = sum(core.busy_ns for core in engine.machine.cores)
+    executed = sum(t.total_runtime for t in threads)
+    assert busy == executed, \
+        f"{sched}: cores busy {busy} ns != executed {executed} ns"
+    assert all(t.total_runtime == 6 * msec(2) for t in threads), \
+        f"{sched}: some thread ran more/less than requested"
+
+
+# ----------------------------------------------------------------------
+# no lost threads (mid-run membership probes)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_no_lost_threads_mid_run(sched):
+    engine = _build(sched)
+    threads = _mixed_workload(engine, sched)
+    probes = []
+
+    def probe():
+        check_membership(engine, threads, sched)
+        probes.append(engine.now)
+
+    for at in range(2, 22, 4):  # five probes across the busy window
+        engine.events.post(msec(at), lambda: probe())
+    assert engine.run(until=UNTIL) == "all-exited"
+    check_membership(engine, threads, sched)
+    assert len(probes) == 5
+
+
+# ----------------------------------------------------------------------
+# enqueue/dequeue flag handling (renice + affinity narrowing mid-run)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_flag_handling_renice_and_affinity(sched):
+    engine = _build(sched)
+    threads = _mixed_workload(engine, sched)
+    target = threads[0]
+
+    # renice re-weighs (dequeue+enqueue for weight-based policies)
+    engine.events.post(msec(4), lambda: engine.set_nice(target, 10))
+    # narrowing affinity off the current CPU forces a MIGRATE
+    # dequeue/enqueue pair through the scheduler's flag paths
+    engine.events.post(msec(8),
+                       lambda: engine.set_affinity(target, (1,)))
+    assert engine.run(until=UNTIL) == "all-exited"
+    assert target.nice == 10
+    assert all(t.total_runtime == 6 * msec(2) for t in threads), \
+        f"{sched}: renice/affinity churn lost requested work"
+
+
+# ----------------------------------------------------------------------
+# NO_HZ: the needs_tick contract
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_needs_tick_tickless_digest_equal(sched):
+    """Parking idle ticks when ``needs_tick`` says so must be
+    schedule-invisible: bit-identical digests with ticks always on."""
+    digests = []
+    for tickless in (False, True):
+        engine = _build(sched, tickless=tickless)
+        _mixed_workload(engine, sched)
+        assert engine.run(until=UNTIL) == "all-exited"
+        digests.append(schedule_digest(engine))
+    assert digests[0] == digests[1], \
+        f"{sched}: tickless run diverged from always-tick run"
+
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_needs_tick_false_means_idle_tick_noop(sched):
+    """Direct form of the contract: whenever a core's tick is parked,
+    ``needs_tick`` must still be False at quiescent probe points
+    (the engine only re-checks at composition changes)."""
+    engine = _build(sched, tickless=True)
+    _mixed_workload(engine, sched)
+    violations = []
+
+    def probe():
+        for core in engine.machine.cores:
+            if core.tick_stopped and engine.scheduler.needs_tick(core):
+                violations.append((engine.now, core.index))
+
+    for at in range(3, 43, 4):
+        engine.events.post(msec(at), lambda: probe())
+    assert engine.run(until=UNTIL) == "all-exited"
+    assert not violations, \
+        f"{sched}: tick parked while needs_tick was True: {violations}"
+
+
+# ----------------------------------------------------------------------
+# yield semantics
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_yield_keeps_thread_runnable_and_free(sched):
+    """A yield relinquishes the CPU but must neither lose the thread
+    nor charge it runtime; alongside a spinner both still finish."""
+    engine = _build(sched, ncpus=1)
+    def yielder(ctx):
+        for _ in range(8):
+            yield Run(msec(1))
+            yield Yield()
+    def spinner(ctx):
+        yield Run(msec(8))
+    a = engine.spawn(ThreadSpec("yielder", yielder,
+                                tags=_tags(sched, 0)))
+    b = engine.spawn(ThreadSpec("spinner", spinner,
+                                tags=_tags(sched, 1)))
+    assert engine.run(until=UNTIL) == "all-exited"
+    assert a.total_runtime == 8 * msec(1), \
+        f"{sched}: yields were charged as runtime"
+    assert b.total_runtime == msec(8)
+
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_yield_alone_makes_progress(sched):
+    """A lone thread yielding in a loop must not deadlock the core."""
+    engine = _build(sched, ncpus=1)
+    def solo(ctx):
+        for _ in range(16):
+            yield Run(msec(1))
+            yield Yield()
+    t = engine.spawn(ThreadSpec("solo", solo, tags=_tags(sched, 0)))
+    assert engine.run(until=UNTIL) == "all-exited"
+    assert t.total_runtime == 16 * msec(1)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sched", ALL_REGISTERED)
+def test_two_identical_runs_digest_equal(sched):
+    """Same topology, workload, and seed -> identical schedules, even
+    for randomized policies (lottery draws from the engine RNG)."""
+    def one_run():
+        engine = _build(sched, seed=7)
+        _mixed_workload(engine, sched)
+        assert engine.run(until=UNTIL) == "all-exited"
+        return schedule_digest(engine)
+    assert one_run() == one_run(), f"{sched}: nondeterministic schedule"
+
+
+def test_zoo_is_registered():
+    """The zoo policies the battery is meant to cover are actually
+    enrolled (guards against silent registry regressions)."""
+    for name in ("eevdf", "bfs", "lottery", "staticprio", "predictive"):
+        assert name in ALL_REGISTERED
