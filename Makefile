@@ -9,8 +9,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COVER_MIN ?= 80
 
 .PHONY: test test-all lint lint-baseline sanitize-smoke fuzz-smoke \
-	chaos-smoke golden golden-check coverage verify verify-fast \
-	bench bench-baseline bench-full bench-smoke
+	chaos-smoke shard-chaos-smoke golden golden-check coverage \
+	verify verify-fast bench bench-baseline bench-full bench-smoke \
+	bench-shard
 
 ## tier-1 test suite (the gate every PR must keep green); pyproject
 ## addopts exclude @pytest.mark.slow tests — see `make test-all`
@@ -57,6 +58,13 @@ fuzz-smoke:
 chaos-smoke:
 	$(PYTHON) -m repro.faults smoke
 
+## shard-executor chaos gate: SIGKILL the sharded campaign's
+## supervisor and three of its workers mid-sweep, resume, and assert
+## the merged report is byte-identical to an uninterrupted serial run
+## (see docs/distributed-campaigns.md)
+shard-chaos-smoke:
+	$(PYTHON) -m repro.faults shard-chaos
+
 ## re-record the golden-trace digests after an intentional
 ## behavioural change (mirrors bench-baseline for performance)
 golden:
@@ -85,7 +93,7 @@ coverage:
 verify:
 	@fail=0; \
 	for stage in lint test sanitize-smoke fuzz-smoke chaos-smoke \
-			bench-smoke bench; do \
+			shard-chaos-smoke bench-smoke bench; do \
 		echo "== make $$stage =="; \
 		$(MAKE) --no-print-directory $$stage || fail=1; \
 	done; \
@@ -122,3 +130,9 @@ bench-full:
 ## asserts digest equality + a minimum events/sec floor (CI stage)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
+
+## shard-executor scaling: cells/sec + events/sec at 1, 2 and N
+## workers, appended to benchmarks/BENCH_trajectory.json (smoke:
+## "shard" entries; see docs/distributed-campaigns.md)
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py

@@ -1,0 +1,107 @@
+"""Shard-executor scaling: cells/sec and simulated events/sec at 1,
+2 and 4 workers, appended to ``BENCH_trajectory.json``.
+
+Run by ``make bench-shard``.  The sweep reuses the shard-chaos gate's
+cell function (a short deterministic 2-CPU spinner simulation), so
+the numbers measure executor overhead — store claims, heartbeats,
+checkpoint merges, process forks — over a realistic cell, not a
+no-op.  The 1-worker figure is the serial-supervisor path; the
+speedup at 2/4 workers is bounded by the machine's core count
+(CI boxes with one core will show overhead-only scaling, which is
+exactly what the trajectory should record for them).
+
+Entries are keyed ``(sha, smoke="shard")``: re-runs on the same sha
+replace their own entry, and ``check_bench.py``'s boolean smoke
+entries are never touched (and vice versa).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
+
+#: worker counts to measure (the N in "1/2/N workers")
+WORKER_COUNTS = (1, 2, 4)
+
+#: cells per measurement — small enough for a CI smoke stage, large
+#: enough that per-cell executor overhead dominates fork cost
+CELLS = 64
+
+
+def _cells():
+    from repro.faults.__main__ import shard_chaos_cells
+    return [dict(cell, sweep="bench-shard")
+            for cell in shard_chaos_cells()][:CELLS]
+
+
+def _measure(workers: int) -> dict:
+    from repro.experiments.parallel import FailedCell
+    from repro.experiments.shard import shard_map
+    from repro.faults.__main__ import shard_chaos_cell
+
+    cells = _cells()
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        t0 = time.perf_counter()
+        results = shard_map(shard_chaos_cell, cells, workers,
+                            store_dir=os.path.join(tmp, "store"))
+        elapsed = time.perf_counter() - t0
+    failed = sum(1 for r in results if isinstance(r, FailedCell))
+    if failed:
+        raise SystemExit(f"bench-shard: {failed} cell(s) failed at "
+                         f"{workers} worker(s)")
+    events = sum(r["events"] for r in results)
+    return {
+        "cells": len(cells),
+        "elapsed_s": round(elapsed, 3),
+        "cells_per_sec": round(len(cells) / elapsed, 2),
+        "events_per_sec": round(events / elapsed),
+    }
+
+
+def append_trajectory(scaling: dict) -> dict:
+    from check_bench import _git_sha
+
+    from repro.core.artifacts import atomic_write_json
+    entry = {"sha": _git_sha(), "smoke": "shard",
+             "shard_scaling": scaling}
+    try:
+        with open(TRAJECTORY) as fh:
+            trajectory = json.load(fh)
+    except (OSError, ValueError):
+        trajectory = []
+    if not isinstance(trajectory, list):
+        trajectory = []
+    trajectory = [e for e in trajectory
+                  if not (e.get("sha") == entry["sha"]
+                          and e.get("smoke") == "shard")]
+    trajectory.append(entry)
+    atomic_write_json(TRAJECTORY, trajectory)
+    return entry
+
+
+def main() -> int:
+    sys.path.insert(0, HERE)  # for check_bench._git_sha
+    scaling = {}
+    for workers in WORKER_COUNTS:
+        result = _measure(workers)
+        scaling[str(workers)] = result
+        print(f"  {workers} worker(s): "
+              f"{result['cells_per_sec']:>8.1f} cells/s  "
+              f"{result['events_per_sec']:>12,} ev/s  "
+              f"({result['cells']} cells in {result['elapsed_s']}s)")
+    entry = append_trajectory(scaling)
+    print(f"bench-shard: trajectory entry recorded for "
+          f"sha {entry['sha']} (smoke=shard)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

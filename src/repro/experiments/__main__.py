@@ -25,6 +25,7 @@ from .cellcache import DEFAULT_DIR as DEFAULT_CACHE_DIR
 from .cellcache import CellCache
 from .parallel import FailedCell
 from .registry import experiment_names
+from .store import DEFAULT_DIR as DEFAULT_STORE_DIR
 
 DEFAULT_CHECKPOINT = ".repro-campaign-checkpoint.json"
 
@@ -38,6 +39,15 @@ def _cmd_run(args) -> int:
               f"(known: {known})", file=sys.stderr)
         return 2
     jobs = args.jobs
+    if args.shard_workers is not None and args.profile:
+        print("--profile is serial in-process; --shard-workers "
+              "ignored", file=sys.stderr)
+        args.shard_workers = None
+    if args.shard_workers is not None and args.reseed:
+        print("--reseed is incompatible with --shard-workers "
+              "(sharded cells are content-addressed)",
+              file=sys.stderr)
+        return 2
     if args.profile:
         # Profiling aggregates the process-wide profiler across every
         # cell, which requires running serially in-process, and a
@@ -55,7 +65,8 @@ def _cmd_run(args) -> int:
         timeout_s=args.timeout, retries=args.retries,
         backoff_s=args.backoff, reseed=args.reseed,
         checkpoint_path=args.checkpoint, resume=args.resume,
-        cache=cache)
+        cache=cache, shard_workers=args.shard_workers,
+        store_dir=args.store_dir)
     if cache is not None:
         # stderr: the stdout report must stay byte-identical whether
         # cells were computed or cache-served
@@ -93,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--jobs", "-j", type=int, default=None,
                    help="worker processes (0 = all cores)")
+    p.add_argument("--shard-workers", type=int, default=None,
+                   metavar="N",
+                   help="run through the leased work-stealing shard "
+                        "executor with N workers sharing the on-disk "
+                        "store (crash-tolerant: survives worker "
+                        "SIGKILLs and supervisor death; see "
+                        "docs/distributed-campaigns.md)")
+    p.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                   metavar="DIR",
+                   help="shard-store directory (default: "
+                        f"{DEFAULT_STORE_DIR}); pair with --resume "
+                        "to pick an interrupted sharded sweep back "
+                        "up")
     p.add_argument("--timeout", type=float, default=None,
                    metavar="S", help="per-cell wall-clock timeout")
     p.add_argument("--retries", type=int, default=0,

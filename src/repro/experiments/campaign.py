@@ -24,6 +24,7 @@ from .cellcache import CellCache
 from .checkpoint import CampaignCheckpoint
 from .parallel import FailedCell, cell_map
 from .registry import run_experiment
+from .store import DEFAULT_DIR as DEFAULT_STORE_DIR
 
 REPORT_HEADER = ("# Reproduction report\n"
                  "# The Battle of the Schedulers: FreeBSD ULE vs. "
@@ -81,7 +82,9 @@ def run_campaign(names: Sequence[str], quick: bool = True,
                  backoff_s: float = 0.5, reseed: bool = False,
                  checkpoint_path=None,
                  resume: bool = False,
-                 cache: Optional[CellCache] = None
+                 cache: Optional[CellCache] = None,
+                 shard_workers: Optional[int] = None,
+                 store_dir=None
                  ) -> tuple[list, list]:
     """Run a campaign; returns ``(cells, results)`` where each result
     is a summary dict or a :class:`FailedCell` marker.
@@ -98,6 +101,14 @@ def run_campaign(names: Sequence[str], quick: bool = True,
     overlapping cells, so a warm rerun executes zero cells.  Reseeded
     retries are deliberately *not* cached under the original cell —
     the cache stores only what the cell's own parameters produced.
+
+    ``shard_workers`` switches the map to the leased work-stealing
+    shard executor (:mod:`~repro.experiments.shard`,
+    docs/distributed-campaigns.md): workers coordinate through the
+    shared store under ``store_dir`` and the sweep survives worker
+    SIGKILLs, poison cells, and supervisor crashes.  Incompatible
+    with ``reseed`` (shard results must stay content-addressed) —
+    sharded retries re-run the cell's own parameters.
     """
     cells = build_cells(names, quick, seed)
     checkpoint = None
@@ -107,13 +118,36 @@ def run_campaign(names: Sequence[str], quick: bool = True,
             meta={"experiments": list(names), "quick": quick,
                   "seed": seed})
         checkpoint.load(resume=resume)
-    results = cell_map(run_campaign_cell, cells, jobs,
-                       timeout_s=timeout_s, retries=retries,
-                       backoff_s=backoff_s,
-                       reseed=reseed_cell if reseed else None,
-                       mark_failures=True, checkpoint=checkpoint,
-                       cache=None if reseed else cache)
-    if checkpoint is not None and \
-            not any(isinstance(r, FailedCell) for r in results):
-        checkpoint.clear()
+    store = None
+    if shard_workers is not None:
+        if reseed:
+            raise ValueError("--reseed is incompatible with "
+                             "--shard-workers (sharded cells are "
+                             "content-addressed by their parameters)")
+        from .shard import shard_map
+        if store_dir is None:
+            store_dir = DEFAULT_STORE_DIR
+        if not resume:
+            # fresh sweep: a stale store from an older interrupted
+            # run must not replay (mirrors checkpoint.load semantics)
+            from .store import ShardStore
+            ShardStore(store_dir).clear()
+        results = shard_map(run_campaign_cell, cells, shard_workers,
+                            store_dir=store_dir, timeout_s=timeout_s,
+                            retries=retries, backoff_s=backoff_s,
+                            checkpoint=checkpoint, cache=cache)
+        store = store_dir
+    else:
+        results = cell_map(run_campaign_cell, cells, jobs,
+                           timeout_s=timeout_s, retries=retries,
+                           backoff_s=backoff_s,
+                           reseed=reseed_cell if reseed else None,
+                           mark_failures=True, checkpoint=checkpoint,
+                           cache=None if reseed else cache)
+    if not any(isinstance(r, FailedCell) for r in results):
+        if checkpoint is not None:
+            checkpoint.clear()
+        if store is not None:
+            from .store import ShardStore
+            ShardStore(store).clear()
     return cells, results

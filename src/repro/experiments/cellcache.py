@@ -22,10 +22,12 @@ opportunistically on ``put``.
 Entries are one JSON file per key written through
 :func:`repro.core.artifacts.atomic_write_json`, so a crash mid-write
 can never leave a torn entry — a reader sees a complete file or no
-file.  Unlike the ``--resume`` checkpoint manifest (one file, rewritten
-per cell, scoped to a single campaign's meta), cache entries are
-per-cell and campaign-agnostic: two different campaigns sharing a cell
-share the entry.
+file.  Unlike the ``--resume`` checkpoint journal (one file, scoped
+to a single campaign's meta), cache entries are per-cell and
+campaign-agnostic: two different campaigns sharing a cell share the
+entry.  Each entry also carries a sha256 over its result, so bit rot
+or truncation of an *existing* entry is detected on read, evicted
+with one warning, and recomputed — never served.
 """
 
 from __future__ import annotations
@@ -33,12 +35,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
 from ..core.artifacts import atomic_write_json
 
-FORMAT = "repro-cell-cache-v1"
+FORMAT = "repro-cell-cache-v2"
+
+
+def _result_sha(result: Any) -> str:
+    """Integrity digest stored with every entry: sha256 over the
+    result's canonical JSON.  The atomic write already rules out torn
+    *new* files; this catches what it cannot — bit rot, truncation or
+    in-place edits of an existing entry — so a corrupt entry is
+    detected and recomputed, never served."""
+    canonical = json.dumps(result, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 #: default cache directory (repo-root relative, like the checkpoint)
 DEFAULT_DIR = ".repro-cell-cache"
@@ -111,30 +125,57 @@ class CellCache:
 
     def get(self, cell: Any) -> Any:
         """The cached result for ``cell`` under the current code
-        fingerprint, or :data:`MISS`.  Corrupt, torn, or
-        wrong-fingerprint entries count as misses — never trusted."""
+        fingerprint, or :data:`MISS`.  A wrong-fingerprint or
+        differently-versioned entry is a plain miss; a *corrupt* one
+        — truncated file, invalid JSON, or a result whose stored
+        sha256 no longer matches (bit flip) — is additionally evicted
+        with a single warning so it gets recomputed, never served."""
         path = self.path_for(cell)
         try:
-            raw = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
+            return self.MISS
+        try:
+            raw = json.loads(text)
+        except ValueError:
+            self._evict_corrupt(path, "truncated or unparsable")
             return self.MISS
         if (not isinstance(raw, dict) or raw.get("format") != FORMAT
                 or raw.get("fingerprint") != self.fingerprint):
             self.misses += 1
             return self.MISS
+        result = raw.get("result")
+        if raw.get("sha256") != _result_sha(result):
+            self._evict_corrupt(path, "result hash mismatch")
+            return self.MISS
         self.hits += 1
-        return raw.get("result")
+        return result
+
+    def _evict_corrupt(self, path: Path, why: str) -> None:
+        """Drop a corrupt entry (count it as a miss): one warning,
+        unlink, recompute downstream."""
+        self.misses += 1
+        warnings.warn(
+            f"cell cache: evicted corrupt entry {path.name} ({why}); "
+            f"the cell will be recomputed", RuntimeWarning,
+            stacklevel=3)
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - eviction race
+            pass
 
     def put(self, cell: Any, result: Any) -> None:
-        """Record a finished cell (atomic per-entry write).  Results
-        must be plain JSON values — the same constraint
+        """Record a finished cell (atomic per-entry write, with an
+        integrity digest over the result).  Results must be plain
+        JSON values — the same constraint
         :func:`~repro.experiments.parallel.cell_map` already imposes."""
         atomic_write_json(self.path_for(cell), {
             "format": FORMAT,
             "fingerprint": self.fingerprint,
             "cell": cell,
             "result": result,
+            "sha256": _result_sha(result),
         })
         self._gc()
 

@@ -43,6 +43,15 @@ unwrapped):
   memoizes finished cells *across* campaigns, content-addressed by
   (cell, code fingerprint) — a warm rerun of an unchanged campaign
   executes zero cells (see docs/performance.md).
+
+Independently of those options, the pool path treats a broken pool
+(:class:`~concurrent.futures.process.BrokenProcessPool`, a severed
+result pipe) as a retryable *infrastructure* failure: the pool is
+respawned and the in-flight cells re-run, degrading to serial
+in-process execution if pools keep collapsing — never recorded as a
+cell failure, never aborting the campaign.  For sweeps that need
+worker-crash tolerance with leases and work stealing, see
+:mod:`~repro.experiments.shard` (docs/distributed-campaigns.md).
 """
 
 from __future__ import annotations
@@ -50,7 +59,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Optional, Sequence
+
+#: fresh pools spawned per attempt before degrading to serial
+#: in-process execution (see :func:`_is_pool_failure`)
+MAX_POOL_RESPAWNS = 2
+
+
+def _is_pool_failure(exc: BaseException) -> bool:
+    """True for exceptions that indict the worker *pool* rather than
+    the cell: a worker process that vanished (OOM kill, segfault in a
+    C extension, container eviction) or a severed result pipe.  These
+    are retryable infrastructure failures — the cell never got to
+    run, so it is re-run on a fresh pool instead of being recorded as
+    a cell error."""
+    return isinstance(exc,
+                      (BrokenProcessPool, BrokenPipeError, EOFError))
 
 
 def default_jobs() -> int:
@@ -121,8 +146,8 @@ def _run_attempt(fn, items, jobs, timeout_s, on_success=None):
         if on_success is not None:
             on_success(index, result)
 
-    if timeout_s is None and (jobs is None or jobs <= 1):
-        for index, cell in items:
+    def run_serial(batch):
+        for index, cell in batch:
             try:
                 result = fn(cell)
             except Exception as exc:
@@ -130,21 +155,52 @@ def _run_attempt(fn, items, jobs, timeout_s, on_success=None):
                                    f"{type(exc).__name__}: {exc}")
             else:
                 collect(index, result)
+
+    if timeout_s is None and (jobs is None or jobs <= 1):
+        run_serial(items)
         return successes, failures
-    nproc = max(1, min(jobs or 1, len(items)))
-    with multiprocessing.Pool(processes=nproc) as pool:
-        handles = [(index, pool.apply_async(_call, ((fn, cell),)))
-                   for index, cell in items]
-        for index, handle in handles:
-            try:
-                result = handle.get(timeout_s)
-            except multiprocessing.TimeoutError:
-                failures[index] = ("timeout", "")
-            except Exception as exc:
-                failures[index] = ("error",
-                                   f"{type(exc).__name__}: {exc}")
-            else:
-                collect(index, result)
+
+    # Pool path.  A pool-infrastructure failure (worker OOM-killed /
+    # segfaulted, result pipe severed — surfacing as
+    # BrokenProcessPool and friends) is NOT a cell failure: the pool
+    # is torn down, a fresh one is spawned, and the uncollected cells
+    # re-run.  After MAX_POOL_RESPAWNS broken pools the remaining
+    # cells degrade to serial in-process execution — the sweep
+    # finishes slower instead of aborting.
+    remaining = list(items)
+    respawns = 0
+    while remaining:
+        nproc = max(1, min(jobs or 1, len(remaining)))
+        broken = None
+        with multiprocessing.Pool(processes=nproc) as pool:
+            handles = [(index, cell,
+                        pool.apply_async(_call, ((fn, cell),)))
+                       for index, cell in remaining]
+            uncollected = []
+            for index, cell, handle in handles:
+                if broken is not None:
+                    uncollected.append((index, cell))
+                    continue
+                try:
+                    result = handle.get(timeout_s)
+                except multiprocessing.TimeoutError:
+                    failures[index] = ("timeout", "")
+                except Exception as exc:
+                    if _is_pool_failure(exc):
+                        broken = exc
+                        uncollected.append((index, cell))
+                    else:
+                        failures[index] = (
+                            "error", f"{type(exc).__name__}: {exc}")
+                else:
+                    collect(index, result)
+        if broken is None:
+            break
+        remaining = uncollected
+        respawns += 1
+        if respawns > MAX_POOL_RESPAWNS:
+            run_serial(remaining)
+            break
     return successes, failures
 
 

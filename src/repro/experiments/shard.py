@@ -1,0 +1,388 @@
+"""Leased work-stealing shard executor for campaign sweeps.
+
+:func:`shard_map` is the distributed sibling of
+:func:`~repro.experiments.parallel.cell_map`: same contract (apply
+``fn`` to every cell, results back in submission order, failures as
+:class:`~repro.experiments.parallel.FailedCell` markers), but the
+workers coordinate through a shared on-disk
+:class:`~repro.experiments.store.ShardStore` instead of pipes to a
+parent — which is what lets the sweep survive anything short of
+losing the disk:
+
+* **Worker crash (any signal, incl. SIGKILL)** — the dead worker's
+  leased cell expires and is stolen by a surviving worker; the
+  supervisor reaps the corpse and respawns a replacement (bounded by
+  ``respawn_budget``).
+* **Poison cells** — a cell whose lease expires
+  ``max_crashes`` times (it keeps killing or wedging workers) is
+  quarantined as a ``FAILED(poison)`` row instead of taking the sweep
+  down with it.
+* **Supervisor crash** — every completed cell is already in the store
+  (and, incrementally, the campaign checkpoint); re-running the same
+  sweep against the same ``store_dir`` resumes from the terminal rows
+  and re-executes only the rest.
+* **Pool collapse** — if no worker can be (re)spawned, the supervisor
+  degrades to executing the remaining cells serially in-process; the
+  sweep finishes slower instead of not at all.
+* **Corrupt artifacts** — torn store rows/databases and corrupt
+  checkpoint or cache entries are detected by digest, discarded with
+  a single warning, and recomputed (see store.py / checkpoint.py /
+  cellcache.py).
+
+Determinism is inherited from the cell contract: cells are pure
+functions of their content, results are plain JSON, and the output
+list is ordered by submission — so a sharded, crashed, resumed sweep
+renders a report byte-identical to an uninterrupted serial run
+(asserted by ``make shard-chaos-smoke`` and the chaos tests).
+
+In-flight dedupe rides on content addressing: store rows are keyed by
+the cell-cache sha256 key, so identical cells collapse to one row,
+one execution, one result — and a cell already present in the
+checkpoint or the cell cache is never executed at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from .cellcache import CellCache, cache_key, code_fingerprint
+from .parallel import FailedCell
+from .store import DEFAULT_MAX_CRASHES, ShardStore
+
+#: default lease duration; workers heartbeat at a third of this, so a
+#: healthy worker is three missed beats away from losing a cell
+DEFAULT_LEASE_S = 2.0
+
+#: supervisor poll / idle-worker nap interval
+DEFAULT_POLL_S = 0.05
+
+
+def default_respawn_budget(workers: int) -> int:
+    """How many replacement workers the supervisor will spawn before
+    declaring the pool unrespawnable: generous enough to ride out a
+    chaos run's kills, small enough that a crash-looping environment
+    degrades to serial instead of forking forever."""
+    return 4 * max(1, workers)
+
+
+def _fail_reason(reason: str) -> tuple:
+    """Split a store failure reason into FailedCell (reason, error)."""
+    kind, _, detail = reason.partition(": ")
+    if kind in ("poison", "error", "timeout"):
+        return kind, detail
+    return "error", reason
+
+
+class _Heartbeat:
+    """Daemon thread renewing one cell's lease while ``fn`` runs.
+
+    Python's sqlite3 connections are bound to their opening thread,
+    so the heartbeat clones the worker's store *inside* its own
+    thread rather than sharing the claim/complete connection.
+
+    Stops renewing after ``timeout_s`` (if set): a wedged cell then
+    loses its lease, gets stolen, and — after ``max_crashes`` wedges —
+    quarantined, all without anyone having to kill the stuck worker
+    mid-syscall.
+    """
+
+    def __init__(self, store: ShardStore, owner: str, key: str,
+                 lease_s: float, timeout_s: Optional[float]):
+        self._store = store
+        self._owner = owner
+        self._key = key
+        self._lease_s = lease_s
+        self._timeout_s = timeout_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        deadline = (None if self._timeout_s is None
+                    else time.monotonic() + self._timeout_s)
+        if self._stop.wait(self._lease_s / 3):
+            return  # cell finished before the first beat: skip the
+            #         per-cell connection entirely (the common case)
+        store = self._store.clone()  # this thread's own connection
+        try:
+            while True:
+                if deadline is not None \
+                        and time.monotonic() >= deadline:
+                    return
+                if not store.renew(self._owner, self._key,
+                                   self._lease_s):
+                    return  # lease lost (stolen): renewing a dead
+                    #         lease would fight the new owner
+                if self._stop.wait(self._lease_s / 3):
+                    return
+        except Exception:  # pragma: no cover - store racing close
+            return
+        finally:
+            store.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def _drain(store: ShardStore, fn: Callable, owner: str, *,
+           lease_s: float, retries: int, backoff_s: float,
+           timeout_s: Optional[float],
+           cache: Optional[CellCache],
+           poll_s: float = DEFAULT_POLL_S,
+           parent_pid: Optional[int] = None,
+           max_cells: Optional[int] = None) -> int:
+    """The claim/execute/complete loop shared by worker processes and
+    the supervisor's serial-degradation path.  Returns the number of
+    cells executed.  Exits when every cell is terminal, when
+    ``max_cells`` is reached, or — for workers — when the supervisor
+    (``parent_pid``) is gone."""
+    done = 0
+    while max_cells is None or done < max_cells:
+        if parent_pid is not None and os.getppid() != parent_pid:
+            break  # orphaned: supervisor died, don't run headless
+        claimed = store.claim(owner, lease_s)
+        if claimed is None:
+            if store.all_terminal():
+                break
+            time.sleep(poll_s)
+            continue
+        key, cell = claimed
+        beat = _Heartbeat(store, owner, key, lease_s, timeout_s)
+        try:
+            result = fn(cell)
+        except BaseException as exc:
+            beat.stop()
+            if not isinstance(exc, Exception):
+                raise  # KeyboardInterrupt/SystemExit: die leased,
+                #        the lease expiry hands the cell on
+            store.fail_attempt(key, f"{type(exc).__name__}: {exc}",
+                               retries=retries, backoff_s=backoff_s)
+        else:
+            beat.stop()
+            store.complete(key, result)
+            if cache is not None:
+                cache.put(cell, result)
+        done += 1
+    return done
+
+
+def _worker_main(store_dir, fn, *, lease_s, retries, backoff_s,
+                 timeout_s, cache_root, fingerprint, max_crashes,
+                 parent_pid) -> None:
+    """Worker process entry point: open the shared store and drain."""
+    cache = None
+    if cache_root is not None:
+        cache = CellCache(cache_root, fingerprint=fingerprint)
+    with ShardStore(store_dir, fingerprint=fingerprint,
+                    max_crashes=max_crashes) as store:
+        _drain(store, fn, owner=f"worker-{os.getpid()}",
+               lease_s=lease_s, retries=retries, backoff_s=backoff_s,
+               timeout_s=timeout_s, cache=cache,
+               parent_pid=parent_pid)
+
+
+def shard_map(fn: Callable[[Any], Any], cells: Iterable[Any],
+              workers: int, *, store_dir,
+              lease_s: float = DEFAULT_LEASE_S,
+              timeout_s: Optional[float] = None,
+              retries: int = 0,
+              backoff_s: float = 0.5,
+              max_crashes: int = DEFAULT_MAX_CRASHES,
+              respawn_budget: Optional[int] = None,
+              poll_s: float = DEFAULT_POLL_S,
+              checkpoint=None,
+              cache: Optional[CellCache] = None,
+              chaos: Optional[Callable] = None,
+              on_progress: Optional[Callable] = None) -> list:
+    """Apply ``fn`` to every cell through ``workers`` leased
+    work-stealing processes sharing the store at ``store_dir``.
+
+    Same result contract as
+    :func:`~repro.experiments.parallel.cell_map` with
+    ``mark_failures=True``: a list in submission order, exhausted or
+    quarantined cells as :class:`FailedCell` markers.  ``fn`` must be
+    module-level and cells/results plain JSON data (the store and the
+    checkpoint both persist them as canonical JSON).
+
+    ``checkpoint``/``cache`` short-circuit exactly like in
+    :func:`cell_map` (checkpoint wins; cache hits are copied into the
+    checkpoint so an interrupted sweep's manifest stays complete), and
+    every store-computed result is merged into both as it lands — the
+    supervisor is the single checkpoint writer, workers share the
+    content-addressed cache directly.
+
+    ``chaos`` is the fault-injection hook: a callable invoked each
+    supervisor poll with the list of live worker ``Process`` objects
+    (see :mod:`repro.faults.procchaos`).  ``on_progress(done, total)``
+    fires when the done-count advances.
+    """
+    cells = list(cells)
+    fingerprint = (cache.fingerprint if cache is not None
+                   else code_fingerprint())
+    keys = [cache_key(cell, fingerprint) for cell in cells]
+
+    results: dict[int, Any] = {}
+    store_indexes: list[int] = []
+    for index, cell in enumerate(cells):
+        if checkpoint is not None:
+            hit = checkpoint.get(cell)
+            if hit is not checkpoint.MISS:
+                results[index] = hit
+                continue
+        if cache is not None:
+            hit = cache.get(cell)
+            if hit is not cache.MISS:
+                results[index] = hit
+                if checkpoint is not None:
+                    checkpoint.put(cell, hit)
+                continue
+        store_indexes.append(index)
+
+    store = ShardStore(store_dir, fingerprint=fingerprint,
+                       max_crashes=max_crashes)
+    try:
+        # duplicate cells collapse onto one store row here: the dict
+        # keeps one (key, cell) per content key; prune first so the
+        # store is always scoped to exactly this sweep (a resumed
+        # identical sweep keys identically and keeps its done rows)
+        keyed = {keys[i]: cells[i] for i in store_indexes}
+        store.prune_except(keyed)
+        store.add_cells(keyed.items())
+        _supervise(store, fn, workers,
+                   lease_s=lease_s, timeout_s=timeout_s,
+                   retries=retries, backoff_s=backoff_s,
+                   max_crashes=max_crashes,
+                   respawn_budget=respawn_budget,
+                   poll_s=poll_s, cache=cache, chaos=chaos,
+                   store_dir=store_dir,
+                   checkpoint=checkpoint, key_to_cell=keyed,
+                   on_progress=on_progress,
+                   prefilled=len(results), total=len(cells))
+
+        failures = store.failures()
+        for index in store_indexes:
+            key = keys[index]
+            found, value = store.get_result(key)
+            if found:
+                results[index] = value
+            elif key in failures:
+                reason, attempts, crashes = failures[key]
+                kind, detail = _fail_reason(reason)
+                results[index] = FailedCell(
+                    cells[index], kind, detail,
+                    attempts=max(1, attempts + crashes))
+            else:
+                # a done row failed verification at the last moment
+                # (or vanished): recompute inline rather than abort
+                value = fn(cells[index])
+                store.complete(key, value)
+                if cache is not None:
+                    cache.put(cells[index], value)
+                if checkpoint is not None:
+                    checkpoint.put(cells[index], value)
+                results[index] = value
+    finally:
+        store.close()
+    return [results[index] for index in range(len(cells))]
+
+
+def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
+               timeout_s, retries, backoff_s, max_crashes,
+               respawn_budget, poll_s, cache, chaos, store_dir,
+               checkpoint, key_to_cell, on_progress, prefilled,
+               total) -> None:
+    """Run the pool to completion: spawn workers, reap/respawn the
+    dead, poison wedged cells, merge finished rows into the
+    checkpoint, and degrade to serial when the pool is gone."""
+    if respawn_budget is None:
+        respawn_budget = default_respawn_budget(workers)
+    cache_root = None if cache is None else cache.root
+    worker_kwargs = dict(
+        lease_s=lease_s, retries=retries, backoff_s=backoff_s,
+        timeout_s=timeout_s, cache_root=cache_root,
+        fingerprint=store.fingerprint, max_crashes=max_crashes,
+        parent_pid=os.getpid())
+
+    def spawn():
+        proc = multiprocessing.Process(
+            target=_worker_main, args=(store_dir, fn),
+            kwargs=worker_kwargs, daemon=True)
+        proc.start()
+        return proc
+
+    checkpointed: set = set()
+
+    def merge_done() -> None:
+        """Flush newly finished rows into the checkpoint (the
+        supervisor is the only checkpoint writer — workers never
+        touch the manifest, so there is exactly one journal tail)."""
+        fresh = 0
+        for key in store.done_keys():
+            if key in checkpointed or key not in key_to_cell:
+                continue
+            found, result = store.get_result(key)
+            if not found:
+                continue  # discarded as corrupt; will be recomputed
+            if checkpoint is not None:
+                checkpoint.put(key_to_cell[key], result)
+            checkpointed.add(key)
+            fresh += 1
+        if fresh and on_progress is not None:
+            on_progress(prefilled + len(checkpointed), total)
+
+    procs: list = []
+    if workers > 1:
+        try:
+            procs = [spawn() for _ in range(workers)]
+        except OSError:
+            procs = []  # can't fork at all: serial from the start
+
+    serial_owner = f"supervisor-{os.getpid()}"
+    try:
+        while not store.all_terminal():
+            if chaos is not None:
+                chaos([p for p in procs if p.is_alive()])
+            poisoned = store.reap()
+            if poisoned:
+                merge_done()
+            dead = [p for p in procs if not p.is_alive()]
+            for proc in dead:
+                proc.join()
+                procs.remove(proc)
+            while dead and len(procs) < workers and respawn_budget > 0:
+                respawn_budget -= 1
+                try:
+                    procs.append(spawn())
+                except OSError:
+                    respawn_budget = 0
+                    break
+            if not procs:
+                # pool gone and unrespawnable: finish the sweep
+                # serially in-process rather than abandoning it
+                _drain(store, fn, serial_owner,
+                       lease_s=max(lease_s, 60.0), retries=retries,
+                       backoff_s=backoff_s, timeout_s=None,
+                       cache=cache, poll_s=poll_s)
+                store.reap()
+                merge_done()
+                continue
+            merge_done()
+            time.sleep(poll_s)
+        # results() discards corrupt rows back to pending; drain any
+        # such stragglers serially so the sweep always converges
+        while not store.all_terminal():
+            _drain(store, fn, serial_owner, lease_s=max(lease_s, 60.0),
+                   retries=retries, backoff_s=backoff_s,
+                   timeout_s=None, cache=cache, poll_s=poll_s)
+            store.reap()
+        merge_done()
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)

@@ -1,7 +1,7 @@
-"""Chaos smoke gate: ``python -m repro.faults smoke``.
+"""Chaos gates: ``python -m repro.faults smoke`` / ``shard-chaos``.
 
-Two checks, both under ``Engine(sanitize=True)`` so every scheduler
-invariant is validated after every event:
+``smoke`` — two in-engine checks, both under ``Engine(sanitize=True)``
+so every scheduler invariant is validated after every event:
 
 1. one fig5 cell per scheduler under the canned fault plan
    (``plans/chaos-smoke.json``: tick jitter + IPI drop/redelivery +
@@ -13,13 +13,27 @@ invariant is validated after every event:
    sanitizer raises if they do) and that the restored cores pick work
    back up.
 
-Wired into ``make chaos-smoke`` (part of ``make verify``) and CI.
+``shard-chaos`` — the distributed-campaign robustness gate
+(docs/distributed-campaigns.md): a bounded sensitivity sweep through
+the leased work-stealing shard executor where the *real* processes
+are the fault targets — the supervisor is SIGKILLed mid-sweep, the
+sweep is resumed, and resumed workers are SIGKILLed by a seeded
+:class:`~repro.faults.procchaos.WorkerKiller` — asserting the merged
+report is byte-identical to an uninterrupted serial run.
+
+Both are wired into ``make chaos-smoke`` / ``make shard-chaos-smoke``
+(part of ``make verify``) and CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import os
+import signal
 import sys
+import tempfile
+import time
 from pathlib import Path
 
 from .plan import CoreOffline, CoreOnline, FaultPlan
@@ -73,6 +87,155 @@ def _cmd_smoke(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# shard-chaos: worker/supervisor-kill sweep with byte-identity assert
+# ---------------------------------------------------------------------------
+
+
+def shard_chaos_cells(seeds: int = 15) -> list:
+    """The gate's sensitivity sweep: spinner cells over scheduler x
+    thread-count x seed — cheap (~300 ms simulated each, ~10 ms
+    wall), all distinct, fully deterministic."""
+    return [{"sweep": "shard-chaos", "sched": sched,
+             "threads": threads, "seed": seed}
+            for sched in ("cfs", "ule")
+            for threads in (2, 3, 4, 6)
+            for seed in range(1, seeds + 1)]
+
+
+def shard_chaos_cell(cell: dict) -> dict:
+    """One sweep cell: a short 2-CPU spinner run; the digest pins the
+    exact schedule, so report byte-identity proves result integrity
+    end to end."""
+    from ..core.clock import msec
+    from ..experiments.base import make_engine
+    from ..tracing.digest import schedule_digest
+    from ..workloads.spinner import SpinnerWorkload
+
+    engine = make_engine(cell["sched"], ncpus=2, seed=cell["seed"])
+    SpinnerWorkload(count=cell["threads"], pin_cpu=None,
+                    name="shard-chaos").launch(engine, at=0)
+    engine.run(until=msec(300))
+    return {"digest": schedule_digest(engine),
+            "switches": engine.metrics.counter("engine.switches"),
+            "events": engine.events_processed}
+
+
+def render_shard_report(cells, results) -> str:
+    """Deterministic per-cell report (no timing, no worker identity)
+    — the byte-identity comparand."""
+    from ..experiments.parallel import FailedCell
+    lines = ["# shard-chaos sensitivity sweep"]
+    for cell, result in zip(cells, results):
+        name = (f"{cell['sched']}/t{cell['threads']}"
+                f"/s{cell['seed']}")
+        if isinstance(result, FailedCell):
+            lines.append(f"{name}: {result.render()}")
+        else:
+            lines.append(f"{name}: digest={result['digest']} "
+                         f"switches={result['switches']} "
+                         f"events={result['events']}")
+    return "\n".join(lines) + "\n"
+
+
+def _shard_chaos_child(store_dir, checkpoint_path, meta, workers,
+                       lease_s) -> None:
+    """Phase-1 supervisor (run in a child so the parent can SIGKILL
+    it mid-sweep): starts the sharded sweep and never finishes."""
+    from ..experiments.checkpoint import CampaignCheckpoint
+    from ..experiments.shard import shard_map
+
+    checkpoint = CampaignCheckpoint(checkpoint_path, meta=meta)
+    checkpoint.load(resume=True)
+    shard_map(shard_chaos_cell, shard_chaos_cells(), workers,
+              store_dir=store_dir, lease_s=lease_s,
+              checkpoint=checkpoint)
+
+
+def _cmd_shard_chaos(args) -> int:
+    from ..experiments.checkpoint import CampaignCheckpoint
+    from ..experiments.parallel import FailedCell, cell_map
+    from ..experiments.shard import shard_map
+    from .procchaos import WorkerKiller
+
+    cells = shard_chaos_cells()
+    meta = {"sweep": "shard-chaos"}
+    print(f"shard-chaos: {len(cells)} cells, {args.workers} workers, "
+          f"{args.kills} worker SIGKILL(s) + 1 supervisor SIGKILL")
+
+    t0 = time.monotonic()
+    serial = cell_map(shard_chaos_cell, cells)
+    reference = render_shard_report(cells, serial)
+    print(f"  serial reference: {len(cells)} cells in "
+          f"{time.monotonic() - t0:.1f}s")
+
+    with tempfile.TemporaryDirectory(prefix="shard-chaos-") as tmp:
+        store_dir = os.path.join(tmp, "store")
+        checkpoint_path = os.path.join(tmp, "checkpoint.jsonl")
+
+        # phase 1: SIGKILL the supervisor itself mid-sweep
+        child = multiprocessing.Process(
+            target=_shard_chaos_child,
+            args=(store_dir, checkpoint_path, meta, args.workers,
+                  args.lease))
+        child.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                with open(checkpoint_path) as fh:
+                    finished = sum(1 for _ in fh) - 1
+            except OSError:
+                finished = 0
+            if finished >= max(4, len(cells) // 8):
+                break
+            if not child.is_alive():  # pragma: no cover - flake guard
+                break
+            time.sleep(0.02)
+        interrupted_alive = child.is_alive()
+        if interrupted_alive:
+            os.kill(child.pid, signal.SIGKILL)
+        child.join()
+        print(f"  phase 1: supervisor SIGKILLed with ~{finished} "
+              f"cell(s) checkpointed "
+              f"(alive at kill: {interrupted_alive})")
+
+        # phase 2: resume the same sweep; kill workers while it runs
+        killer = WorkerKiller(args.kills, seed=args.seed,
+                              min_gap_s=0.05, max_gap_s=0.25)
+        checkpoint = CampaignCheckpoint(checkpoint_path, meta=meta)
+        replayed = checkpoint.load(resume=True)
+        results = shard_map(shard_chaos_cell, cells, args.workers,
+                            store_dir=store_dir, lease_s=args.lease,
+                            checkpoint=checkpoint, chaos=killer)
+        print(f"  phase 2: resumed past {replayed} checkpointed "
+              f"cell(s); {len(killer.killed)} worker(s) SIGKILLed")
+
+    failed = [r for r in results if isinstance(r, FailedCell)]
+    if failed:
+        print(f"shard-chaos: FAILED - {len(failed)} cell(s) failed "
+              f"(first: {failed[0].render()})", file=sys.stderr)
+        return 1
+    report = render_shard_report(cells, results)
+    if report != reference:
+        for line_s, line_r in zip(reference.splitlines(),
+                                  report.splitlines()):
+            if line_s != line_r:
+                print(f"shard-chaos: FAILED - report diverged:\n"
+                      f"  serial : {line_s}\n"
+                      f"  sharded: {line_r}", file=sys.stderr)
+                break
+        return 1
+    if len(killer.killed) < args.kills:
+        print(f"shard-chaos: FAILED - only {len(killer.killed)} of "
+              f"{args.kills} worker kills landed (sweep too short? "
+              f"raise --kills gaps or cell count)", file=sys.stderr)
+        return 1
+    print(f"shard-chaos: OK - report byte-identical to serial "
+          f"({len(report)} bytes) after 1 supervisor + "
+          f"{len(killer.killed)} worker SIGKILL(s)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
@@ -83,6 +246,23 @@ def main(argv=None) -> int:
                        help="chaos smoke gate: fig5 + hotplug cells "
                             "per scheduler under --sanitize")
     p.set_defaults(func=_cmd_smoke)
+    p = sub.add_parser("shard-chaos",
+                       help="shard-executor chaos gate: SIGKILL the "
+                            "supervisor and N workers mid-sweep, "
+                            "resume, assert the report is "
+                            "byte-identical to a serial run")
+    p.add_argument("--workers", type=int, default=3,
+                   help="shard worker processes (default: 3 — "
+                        "processes, not cores: the gate is about "
+                        "crash tolerance, not throughput)")
+    p.add_argument("--kills", type=int, default=3,
+                   help="worker SIGKILL budget (default: 3)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="kill-schedule seed")
+    p.add_argument("--lease", type=float, default=0.5, metavar="S",
+                   help="store lease duration (default: 0.5s — "
+                        "short, so stolen cells re-lease quickly)")
+    p.set_defaults(func=_cmd_shard_chaos)
     args = parser.parse_args(argv)
     return args.func(args)
 

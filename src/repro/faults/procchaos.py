@@ -1,0 +1,78 @@
+"""Process-level chaos: seeded SIGKILLs against shard workers.
+
+The in-engine fault injector (:mod:`repro.faults.injector`) perturbs
+the *simulated* machine; this module perturbs the *real* one — it
+kills live shard-executor worker processes mid-campaign, which is the
+failure mode the leased work-stealing store is built to survive
+(docs/distributed-campaigns.md).
+
+:class:`WorkerKiller` plugs into
+:func:`repro.experiments.shard.shard_map` via the ``chaos=`` hook:
+the supervisor calls it every poll with the list of live worker
+``Process`` objects, and it SIGKILLs one at seeded pseudo-random
+intervals until its kill budget is spent.  Determinism caveat: the
+kill *schedule* is seeded, but which cells are in flight when a kill
+lands depends on wall-clock scheduling — that is the point.  The
+executor's contract is that the sweep's *results* are byte-identical
+regardless, and the chaos gate (``make shard-chaos-smoke``) asserts
+exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from typing import Optional
+
+
+class WorkerKiller:
+    """SIGKILL up to ``kills`` live workers, one at a time, at seeded
+    intervals drawn uniformly from ``[min_gap_s, max_gap_s)``.
+
+    ``killed`` records the victim pids (the chaos tests assert the
+    budget was actually spent).  The first kill is armed one interval
+    after construction, so the sweep gets a chance to lease cells
+    before losing workers — kills that land mid-cell are the
+    interesting ones.
+    """
+
+    def __init__(self, kills: int, seed: int = 0, *,
+                 min_gap_s: float = 0.05, max_gap_s: float = 0.3,
+                 _now=time.monotonic):
+        self.kills = kills
+        self.killed: list[int] = []
+        self._rng = random.Random(seed)
+        self._min = min_gap_s
+        self._max = max_gap_s
+        self._now = _now
+        self._next_at: Optional[float] = None
+
+    def _arm(self) -> None:
+        gap = self._rng.uniform(self._min, self._max)
+        self._next_at = self._now() + gap
+
+    def __call__(self, live_procs) -> None:
+        """The shard supervisor's chaos hook."""
+        if len(self.killed) >= self.kills or not live_procs:
+            return
+        if self._next_at is None:
+            self._arm()
+            return
+        if self._now() < self._next_at:
+            return
+        victim = self._rng.choice(list(live_procs))
+        if self._kill(victim.pid):
+            self.killed.append(victim.pid)
+        self._arm()
+
+    @staticmethod
+    def _kill(pid: int) -> bool:
+        """SIGKILL ``pid``; False when it already exited (no kill
+        consumed — the worker died on its own, which is not chaos)."""
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            return False
+        return True

@@ -3,6 +3,7 @@ fingerprint invalidation + GC, torn-entry tolerance, env-var
 construction, and the interplay with cell_map / checkpoints."""
 
 import json
+import warnings
 
 import pytest
 
@@ -58,7 +59,8 @@ def test_cached_none_is_not_a_miss(cache):
 def test_torn_entry_counts_as_miss(cache):
     cache.put(CELL, {"metric": 42})
     cache.path_for(CELL).write_text('{"format": "repro-cell-')
-    assert cache.get(CELL) is CellCache.MISS
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        assert cache.get(CELL) is CellCache.MISS
 
 
 def test_wrong_fingerprint_entry_is_a_miss(tmp_path):
@@ -210,3 +212,59 @@ def test_cell_map_uses_cache(tmp_path):
                              cache=cache) == [10, 20, 30]
     assert calls == cells
     assert cache.hits == 3
+
+
+# ----------------------------------------------------------------------
+# corruption: bit flips and truncation are evicted, never served
+# ----------------------------------------------------------------------
+
+def test_bitflipped_entry_is_evicted_and_recomputed(cache):
+    cache.put(CELL, {"metric": 42})
+    path = cache.path_for(CELL)
+    # flip a bit: still valid JSON, but the stored sha no longer
+    # matches the result
+    entry = json.loads(path.read_text())
+    entry["result"] = {"metric": 43}
+    path.write_text(json.dumps(entry))
+    with pytest.warns(RuntimeWarning, match="hash mismatch"):
+        assert cache.get(CELL) is CellCache.MISS
+    assert not path.exists()  # evicted, not left to warn again
+    # the recompute repopulates the entry and it serves again
+    cache.put(CELL, {"metric": 42})
+    assert cache.get(CELL) == {"metric": 42}
+
+
+def test_truncated_entry_is_evicted_with_one_warning(cache):
+    cache.put(CELL, {"metric": 42})
+    path = cache.path_for(CELL)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        assert cache.get(CELL) is CellCache.MISS
+    assert not path.exists()
+    # subsequent lookups are plain (silent) misses: warn once only
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert cache.get(CELL) is CellCache.MISS
+
+
+def test_corrupt_entry_recomputes_through_cell_map(tmp_path):
+    cache = CellCache(tmp_path / "cache", fingerprint="fp")
+    calls = []
+
+    def compute(cell):
+        calls.append(cell)
+        return cell * 10
+
+    assert parallel.cell_map(compute, [7], jobs=None,
+                             cache=cache) == [70]
+    # corrupt the entry in place (bit flip in the stored result)
+    path = cache.path_for(7)
+    entry = json.loads(path.read_text())
+    entry["result"] = 71
+    path.write_text(json.dumps(entry))
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert parallel.cell_map(compute, [7], jobs=None,
+                                 cache=cache) == [70]
+    assert calls == [7, 7]  # recomputed, the corrupt 71 never served
+    # and the recompute healed the entry
+    assert cache.get(7) == 70

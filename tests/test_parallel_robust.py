@@ -3,7 +3,11 @@ timeouts, retries with reseeding, FAILED markers, and the
 checkpoint/resume contract (resumed rows byte-identical to an
 uninterrupted run)."""
 
+import json
+import os
 import time
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -211,3 +215,172 @@ def test_campaign_resume_report_is_byte_identical(tmp_path):
     assert render_report(cells2, results2) == reference
     # Fully successful campaign removes its manifest.
     assert not ck_path.exists()
+
+
+# ------------------------------------------------- journal recovery (v2)
+
+
+def _journal_lines(path):
+    return path.read_text().splitlines()
+
+
+def test_put_appends_one_journal_line(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    ck = CampaignCheckpoint(path, meta={"k": 1})
+    ck.put(1, 2)
+    ck.put(2, 4)
+    lines = _journal_lines(path)
+    assert len(lines) == 3  # header + one line per cell
+    header = json.loads(lines[0])
+    assert header["format"].endswith("v2")
+    assert header["meta"] == {"k": 1}
+
+
+def test_truncated_trailing_line_is_recovered_and_compacted(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    ck = CampaignCheckpoint(path, meta={})
+    for cell in (1, 2, 3):
+        ck.put(cell, cell * 2)
+    # crash mid-append: the journal ends in half a JSON line
+    with open(path, "a") as fh:
+        fh.write('{"cell": "4", "resu')
+    fresh = CampaignCheckpoint(path, meta={})
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        assert fresh.load(resume=True) == 3
+    assert fresh.get(2) == 4
+    # the journal was compacted: the torn tail is gone for good
+    reloaded = CampaignCheckpoint(path, meta={})
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert reloaded.load(resume=True) == 3
+
+
+def test_corrupt_middle_line_is_skipped_not_fatal(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    ck = CampaignCheckpoint(path, meta={})
+    ck.put(1, 2)
+    ck.put(2, 4)
+    lines = _journal_lines(path)
+    lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt entry for 1
+    path.write_text("\n".join(lines) + "\n")
+    fresh = CampaignCheckpoint(path, meta={})
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert fresh.load(resume=True) == 1
+    assert fresh.get(1) is fresh.MISS  # lost -> will re-run
+    assert fresh.get(2) == 4  # later entries survive the bad line
+
+
+def test_bitflipped_entry_fails_its_digest_and_is_dropped(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    ck = CampaignCheckpoint(path, meta={})
+    ck.put(1, 1000)
+    lines = _journal_lines(path)
+    lines[1] = lines[1].replace("1000", "1001")  # still valid JSON
+    path.write_text("\n".join(lines) + "\n")
+    fresh = CampaignCheckpoint(path, meta={})
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert fresh.load(resume=True) == 0
+    assert fresh.get(1) is fresh.MISS  # never served, recomputed
+
+
+def test_v1_manifest_still_loads(tmp_path):
+    path = tmp_path / "ck.json"
+    v1 = {"format": "repro-campaign-checkpoint-v1",
+          "meta": {"seed": 1},
+          "cells": {cell_key(1): 2, cell_key(2): 4}}
+    path.write_text(json.dumps(v1, indent=2) + "\n")
+    ck = CampaignCheckpoint(path, meta={"seed": 1})
+    assert ck.load(resume=True) == 2
+    assert ck.get(1) == 2
+    # the first write migrates the manifest to the journal format
+    ck.put(3, 6)
+    header = json.loads(_journal_lines(path)[0])
+    assert header["format"].endswith("v2")
+    fresh = CampaignCheckpoint(path, meta={"seed": 1})
+    assert fresh.load(resume=True) == 3
+
+
+def test_journal_survives_kill_mid_append(tmp_path):
+    """End-to-end: SIGKILL a campaign mid-append; the next load
+    recovers every fully-written line instead of raising."""
+    import multiprocessing
+    import os
+    import signal
+    import time
+
+    path = tmp_path / "ck.jsonl"
+
+    def writer():
+        ck = CampaignCheckpoint(path, meta={})
+        i = 0
+        while True:
+            ck.put(i, {"payload": "x" * 512, "i": i})
+            i += 1
+
+    proc = multiprocessing.Process(target=writer)
+    proc.start()
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            if path.stat().st_size > 64 * 1024:
+                break
+        except OSError:
+            pass
+        time.sleep(0.005)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join()
+    ck = CampaignCheckpoint(path, meta={})
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # a torn tail may warn
+        recovered = ck.load(resume=True)
+    assert recovered > 0
+    for i in range(recovered):
+        assert ck.get(i) == {"payload": "x" * 512, "i": i}
+
+
+# -------------------------------------------- broken pool (infrastructure)
+
+
+def _broken_pool_once(cell):
+    """Raise BrokenProcessPool on the first run of each cell (the
+    flag file marks "already failed once"), succeed after — the shape
+    of a worker lost to the OOM killer."""
+    flag, value = cell
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        raise BrokenProcessPool("worker died")
+    return value * 2
+
+
+def _broken_pool_always(cell):
+    raise BrokenProcessPool("pool keeps collapsing")
+
+
+def test_broken_pool_respawns_and_reruns_in_flight_cells(tmp_path):
+    cells = [(str(tmp_path / f"flag{i}"), i) for i in range(4)]
+    # no retries: the rerun comes from the pool-respawn path, not the
+    # per-cell retry budget
+    results = cell_map(_broken_pool_once, cells, jobs=2,
+                       timeout_s=60, mark_failures=True)
+    assert results == [0, 2, 4, 6]
+
+
+def test_persistently_broken_pool_degrades_to_serial(tmp_path):
+    # Serial in-process execution surfaces the exception as an
+    # ordinary cell error: the campaign records FAILED rows instead
+    # of aborting (and instead of respawning pools forever).
+    results = cell_map(_broken_pool_always, [1, 2], jobs=2,
+                       timeout_s=60, mark_failures=True)
+    assert all(isinstance(r, FailedCell) for r in results)
+    assert all(r.reason == "error" for r in results)
+    assert "BrokenProcessPool" in results[0].error
+
+
+def test_broken_pool_cells_checkpoint_after_respawn(tmp_path):
+    ck = CampaignCheckpoint(tmp_path / "ck.jsonl", meta={})
+    cells = [(str(tmp_path / f"f{i}"), i) for i in range(3)]
+    results = cell_map(_broken_pool_once, cells, jobs=2,
+                       timeout_s=60, mark_failures=True,
+                       checkpoint=ck)
+    assert results == [0, 2, 4]
+    assert all(ck.get(cell) == cell[1] * 2 for cell in cells)
