@@ -11,7 +11,7 @@ COVER_MIN ?= 80
 .PHONY: test test-all lint lint-baseline sanitize-smoke fuzz-smoke \
 	chaos-smoke shard-chaos-smoke golden golden-check coverage \
 	verify verify-fast bench bench-baseline bench-full bench-smoke \
-	bench-shard
+	bench-shard bench-profile
 
 ## tier-1 test suite (the gate every PR must keep green); pyproject
 ## addopts exclude @pytest.mark.slow tests — see `make test-all`
@@ -127,9 +127,23 @@ bench-full:
 		benchmarks/test_simulator_performance.py -q
 
 ## fast heap-vs-wheel gate: fixed scenarios under both event queues,
-## asserts digest equality + a minimum events/sec floor (CI stage)
+## asserts digest equality + a minimum events/sec floor (CI stage).
+## Both legs run — the instrumented loop and the specialized fast
+## loop (REPRO_FAST=1) — so a floor violation or digest drift in
+## either run path fails the gate.
 bench-smoke:
-	$(PYTHON) benchmarks/bench_smoke.py
+	REPRO_FAST=0 $(PYTHON) benchmarks/bench_smoke.py
+	REPRO_FAST=1 $(PYTHON) benchmarks/bench_smoke.py
+
+## per-subsystem event-profile breakdown over a representative
+## campaign slice (fig6: both schedulers' tick + balance paths),
+## written to benchmarks/BENCH_profile.txt; CI uploads it alongside
+## the trajectory so "where does the time go" is recorded per PR
+bench-profile:
+	$(PYTHON) -m repro.experiments run fig6 --profile --no-cache \
+		> /dev/null 2> benchmarks/BENCH_profile.txt || \
+		{ cat benchmarks/BENCH_profile.txt; exit 1; }
+	@cat benchmarks/BENCH_profile.txt
 
 ## shard-executor scaling: cells/sec + events/sec at 1, 2 and N
 ## workers, appended to benchmarks/BENCH_trajectory.json (smoke:

@@ -32,14 +32,45 @@ TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
 WORKER_COUNTS = (1, 2, 4)
 
 #: cells per measurement — small enough for a CI smoke stage, large
-#: enough that per-cell executor overhead dominates fork cost
-CELLS = 64
+#: enough that per-cell executor overhead dominates fork cost and
+#: that a 4-worker pool stays saturated past its start-up ramp (a
+#: doubled-seed chaos sweep; was 64, which understated 4-worker
+#: scaling by charging the fork ramp to too few cells)
+CELLS = 240
+
+#: measurements per worker count; the median smooths scheduling
+#: noise on shared CI boxes
+ROUNDS = 3
 
 
 def _cells():
     from repro.faults.__main__ import shard_chaos_cells
-    return [dict(cell, sweep="bench-shard")
-            for cell in shard_chaos_cells()][:CELLS]
+    cells = [dict(cell, sweep="bench-shard")
+             for cell in shard_chaos_cells(seeds=30)][:CELLS]
+    assert len(cells) == CELLS, "chaos sweep shrank below CELLS"
+    return cells
+
+
+def _measure_all() -> dict:
+    """Median of :data:`ROUNDS` runs per worker count (by cells/sec),
+    with the per-round throughputs recorded alongside for noise
+    inspection.  Rounds are interleaved across worker counts —
+    (1,2,4),(1,2,4),... — so a CPU-frequency ramp or thermal phase
+    biases every worker count equally instead of whichever happened
+    to run last."""
+    rounds: dict = {workers: [] for workers in WORKER_COUNTS}
+    for _ in range(ROUNDS):
+        for workers in WORKER_COUNTS:
+            rounds[workers].append(_measure(workers))
+    scaling = {}
+    for workers in WORKER_COUNTS:
+        runs = sorted(rounds[workers],
+                      key=lambda r: r["cells_per_sec"])
+        result = dict(runs[len(runs) // 2])
+        result["rounds_cells_per_sec"] = [r["cells_per_sec"]
+                                          for r in runs]
+        scaling[str(workers)] = result
+    return scaling
 
 
 def _measure(workers: int) -> dict:
@@ -89,14 +120,16 @@ def append_trajectory(scaling: dict) -> dict:
 
 def main() -> int:
     sys.path.insert(0, HERE)  # for check_bench._git_sha
-    scaling = {}
+    scaling = _measure_all()
     for workers in WORKER_COUNTS:
-        result = _measure(workers)
-        scaling[str(workers)] = result
+        result = scaling[str(workers)]
+        rounds = "/".join(f"{r:.0f}"
+                          for r in result["rounds_cells_per_sec"])
         print(f"  {workers} worker(s): "
               f"{result['cells_per_sec']:>8.1f} cells/s  "
               f"{result['events_per_sec']:>12,} ev/s  "
-              f"({result['cells']} cells in {result['elapsed_s']}s)")
+              f"({result['cells']} cells, median of "
+              f"{ROUNDS}: {rounds})")
     entry = append_trajectory(scaling)
     print(f"bench-shard: trajectory entry recorded for "
           f"sha {entry['sha']} (smoke=shard)")

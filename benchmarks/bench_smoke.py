@@ -18,9 +18,13 @@ A fast (<~30 s) CI stage that runs a small fixed scenario set under
    slowest profile would leave the fastest with a ~100x blind spot.
 
 Exit status: 0 = all green, 1 = digest mismatch or floor violation.
-Run via ``make bench-smoke`` (part of ``make verify`` and CI; CI
-uploads ``BENCH_trajectory.json`` so the cross-PR perf story rides
-along with every run).
+Run via ``make bench-smoke`` (part of ``make verify`` and CI), which
+executes the gate **twice**: once with ``REPRO_FAST=0`` (the
+instrumented run loop) and once with ``REPRO_FAST=1`` (the
+specialized fast loop), so a regression or digest drift confined to
+either path still fails.  CI uploads ``BENCH_trajectory.json`` and
+the ``make bench-profile`` per-subsystem breakdown so the cross-PR
+perf story rides along with every run.
 """
 
 from __future__ import annotations
@@ -80,8 +84,12 @@ SCENARIOS = (
 
 
 def main() -> int:
+    from repro.core.engine import _fast_from_env
     from repro.tracing.digest import schedule_digest
 
+    print(f"bench-smoke: run loop = "
+          f"{'fast' if _fast_from_env() else 'instrumented'} "
+          f"(REPRO_FAST={os.environ.get('REPRO_FAST', '')!r})")
     failures = []
     for name, build in SCENARIOS:
         digests = {}

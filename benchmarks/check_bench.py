@@ -7,12 +7,14 @@ exits non-zero when any profile's events/sec regressed more than
 machine-dependent; the threshold leaves headroom for hardware
 variance while still catching algorithmic regressions (an accidental
 O(n) in the event queue shows up as 5-50x).  The recorded figure per
-profile is the median of three timing rounds, which removes enough
-single-round noise to hold the tolerance at 1.5x (it was 2x when a
+profile is the median of five timing rounds, which removes enough
+round-level noise to hold the tolerance at 1.5x (it was 2x when a
 single round was recorded).  Residual swings up to ~1.3x between
-whole runs on shared/virtualized hardware are still normal — treat
-trajectory deltas below that as noise and only ratios beyond the
-tolerance as signal.
+whole runs on shared/virtualized hardware are still normal — CPU
+frequency phases move every profile together by 1.2-1.5x for minutes
+at a time (see the noise-band section of docs/performance.md) —
+treat trajectory deltas below that as noise and only ratios beyond
+the tolerance as signal.
 
 Every run also appends one entry — git sha, smoke flag, events/sec
 per profile family — to ``BENCH_trajectory.json``, so the perf story
@@ -38,7 +40,7 @@ BASELINE = os.path.join(HERE, "BENCH_baseline.json")
 TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
 
 #: fail when events/sec drops below baseline / MAX_REGRESSION
-#: (median-of-3 recording keeps this tight; see module docstring)
+#: (median-of-5 recording keeps this tight; see module docstring)
 MAX_REGRESSION = 1.5
 
 

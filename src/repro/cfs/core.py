@@ -32,7 +32,7 @@ from .entity import SchedEntity
 from .params import CfsTunables
 from .pelt import (HALF_LIFE_NS, _DECAY_CACHE, _DECAY_CACHE_MAX, _LN2,
                    _SATURATED)
-from .peltbank import fold_loads, fold_loads_python
+from .peltbank import fold_loads, fold_loads_python, prewarm_decay
 from .runqueue import CfsRq
 from .weights import calc_delta_fair, nice_to_weight
 
@@ -90,24 +90,29 @@ class CfsScheduler(SchedClass):
         self.root_group = TaskGroup("root", ncpus, self.tunables)
         self._app_groups: dict[str, TaskGroup] = {}
         self._started = False
-        #: (now, cpu) -> load memo; balancing reads the same loads many
-        #: times within one event instant
-        self._load_cache: dict[int, float] = {}
+        #: per-instant load memo, cpu-indexed (None = not computed at
+        #: ``_load_cache_time``); balancing reads the same loads many
+        #: times within one event instant.  All three per-cpu caches
+        #: below are flat lists rather than dicts: cpu indices are
+        #: dense and fixed at construction, and the balancer fold hits
+        #: them hundreds of thousands of times per smoke run, where a
+        #: list index is measurably cheaper than a dict probe.
+        self._load_cache: list = [None] * ncpus
         self._load_cache_time = -1
-        #: cpu -> ``(avgs, weights)`` bank: the task ``LoadAvg``
-        #: objects in traversal order plus their weights, valid until
-        #: the cpu's runnable set (or timeline order, or a task
-        #: weight) changes; lets :meth:`cpu_load` skip the hierarchy
-        #: walk entirely and hand :func:`~repro.cfs.peltbank
+        #: cpu -> ``(avgs, weights)`` bank (None = stale): the task
+        #: ``LoadAvg`` objects in traversal order plus their weights,
+        #: valid until the cpu's runnable set (or timeline order, or a
+        #: task weight) changes; lets :meth:`cpu_load` skip the
+        #: hierarchy walk entirely and hand :func:`~repro.cfs.peltbank
         #: .fold_loads` parallel arrays
-        self._avgs_cache: dict[int, tuple] = {}
-        #: cpu -> (load, min_last_update): a cpu whose every runnable
-        #: average sits at the saturated fixed point has a
+        self._avgs_cache: list = [None] * ncpus
+        #: cpu -> (load, min_last_update) or None: a cpu whose every
+        #: runnable average sits at the saturated fixed point has a
         #: time-invariant load (each term is ``u * weight``); the sum
-        #: stays bit-identical until the runnable set changes (popped
+        #: stays bit-identical until the runnable set changes (cleared
         #: alongside ``_avgs_cache``) or the stalest average leaves the
         #: d >= 0.5 window
-        self._sat_loads: dict[int, tuple] = {}
+        self._sat_loads: list = [None] * ncpus
         #: reusable per-core balance-tick events
         self._lb_events: dict[int, object] = {}
         #: core index -> resolved :class:`CfsCpuRq`; ``core.rq`` is
@@ -220,8 +225,8 @@ class CfsScheduler(SchedClass):
         new_weight = nice_to_weight(thread.nice)
         if se.cfs_rq is not None and se.on_rq:
             se.cfs_rq.reweight_entity(se, new_weight)
-            self._avgs_cache.pop(se.cfs_rq.cpu, None)
-            self._sat_loads.pop(se.cfs_rq.cpu, None)
+            self._avgs_cache[se.cfs_rq.cpu] = None
+            self._sat_loads[se.cfs_rq.cpu] = None
         else:
             se.weight = new_weight
             se.avg.weight = new_weight
@@ -263,9 +268,9 @@ class CfsScheduler(SchedClass):
                 parent_rq.enqueue_entity(gse)
             parent_rq.h_nr_running += 1
             group.update_group_weight(cpu)
-        self._load_cache.pop(cpu, None)
-        self._avgs_cache.pop(cpu, None)
-        self._sat_loads.pop(cpu, None)
+        self._load_cache[cpu] = None
+        self._avgs_cache[cpu] = None
+        self._sat_loads[cpu] = None
 
     def dequeue_task(self, core: "Core", thread: "SimThread",
                      flags: DequeueFlags) -> None:
@@ -286,9 +291,9 @@ class CfsScheduler(SchedClass):
                 parent_rq.dequeue_entity(gse)
             parent_rq.h_nr_running -= 1
             group.update_group_weight(cpu)
-        self._load_cache.pop(cpu, None)
-        self._avgs_cache.pop(cpu, None)
-        self._sat_loads.pop(cpu, None)
+        self._load_cache[cpu] = None
+        self._avgs_cache[cpu] = None
+        self._sat_loads[cpu] = None
 
     # ------------------------------------------------------------------
     # picking
@@ -298,8 +303,8 @@ class CfsScheduler(SchedClass):
         cpurq = self.cpurq(core)
         # set_next/put_prev move entities between curr and the tree,
         # which reorders queued_entities() traversal.
-        self._avgs_cache.pop(core.index, None)
-        self._sat_loads.pop(core.index, None)
+        self._avgs_cache[core.index] = None
+        self._sat_loads[core.index] = None
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -327,8 +332,8 @@ class CfsScheduler(SchedClass):
         """Reinsert the current entity chain into the timelines without
         picking (used when another scheduling class takes over)."""
         cpurq = self.cpurq(core)
-        self._avgs_cache.pop(core.index, None)
-        self._sat_loads.pop(core.index, None)
+        self._avgs_cache[core.index] = None
+        self._sat_loads[core.index] = None
         for rq in reversed(cpurq.curr_chain):
             if rq.curr is not None:
                 rq.put_prev(rq.curr)
@@ -389,7 +394,7 @@ class CfsScheduler(SchedClass):
         """
         from ..core.engine import RUN_FOREVER
         engine = self.engine
-        events = engine.events
+        events = engine._sink
         tick_ns = self.tick_ns
         cpurq = self.cpurq(core)
         min_gran = self.tunables.min_granularity_ns
@@ -454,6 +459,27 @@ class CfsScheduler(SchedClass):
                 engine._arm_completion(core)
 
         return tick
+
+    def epoch_prefold(self, cores: list, now: int) -> None:
+        """Epoch-tick prework (see ``SchedClass.epoch_prefold``): the
+        fused tick of every core in the group is about to decay its
+        running task's PELT average to the shared instant ``now``, so
+        each distinct decay factor is evaluated once here, through the
+        shared ``math.exp`` cache — bit-identical to the per-core
+        fills it fronts (:func:`~repro.cfs.peltbank.prewarm_decay`)."""
+        deltas = []
+        state_of = self.state_of
+        for core in cores:
+            curr = core.current
+            if curr is None:
+                continue
+            avg = state_of(curr).se.avg
+            delta = now - avg.last_update
+            if delta > 0 and not (avg.util_avg >= _SATURATED
+                                  and delta < HALF_LIFE_NS):
+                deltas.append(delta)
+        if deltas:
+            prewarm_decay(deltas)
 
     def check_preempt_wakeup(self, core: "Core",
                              thread: "SimThread") -> None:
@@ -539,19 +565,25 @@ class CfsScheduler(SchedClass):
         ``_avgs_cache``)."""
         avgs = []
         weights = []
+        pairs = []
         core = self.machine.cores[cpu]
         for t in self.runnable_threads(core):
             avg = t.policy.se.avg
             avgs.append(avg)
             weights.append(avg.weight)
-        bank = (avgs, tuple(weights))
+            pairs.append((avg, avg.weight))
+        # Third element pre-zips the parallel arrays for the inlined
+        # python fold in loads_for (one tuple alloc here instead of a
+        # zip object per balancing fold).
+        bank = (avgs, tuple(weights), pairs)
         self._avgs_cache[cpu] = bank
         return bank
 
-    def loads_for(self, cpus: Iterable[int]) -> dict[int, float]:
+    def loads_for(self, cpus: Iterable[int]) -> list:
         """Batch form of :meth:`cpu_load` for the balancer: validate
         the per-instant memo once, fill the missing entries in one
-        tight loop, and return the live memo dict for indexing.
+        tight loop, and return the live cpu-indexed memo list (entries
+        outside ``cpus`` may be ``None``).
 
         With the pure-python kernel the bank fold from
         :func:`~repro.cfs.peltbank.fold_loads_python` is inlined here —
@@ -561,24 +593,24 @@ class CfsScheduler(SchedClass):
         is still dispatched per bank.
         """
         now = self.engine.now
+        cache = self._load_cache
         if self._load_cache_time != now:
             self._load_cache_time = now
-            self._load_cache = {}
-        cache = self._load_cache
+            self._load_cache = cache = [None] * len(cache)
         avgs_cache = self._avgs_cache
         sat_loads = self._sat_loads
         half_life = HALF_LIFE_NS
         if fold_loads is not fold_loads_python:
             fold = fold_loads
             for cpu in cpus:
-                if cpu in cache:
+                if cache[cpu] is not None:
                     continue
-                sat = sat_loads.get(cpu)
+                sat = sat_loads[cpu]
                 if sat is not None and now - sat[1] < half_life:
                     # time-invariant saturated sum, still valid
                     cache[cpu] = sat[0]
                     continue
-                bank = avgs_cache.get(cpu)
+                bank = avgs_cache[cpu]
                 if bank is None:
                     bank = self._build_bank(cpu)
                 load, saturated, min_lu = fold(bank[0], bank[1], now)
@@ -592,9 +624,9 @@ class CfsScheduler(SchedClass):
         sat_point = _SATURATED
         build_bank = self._build_bank
         for cpu in cpus:
-            if cpu in cache:
+            if cache[cpu] is not None:
                 continue
-            sat = sat_loads.get(cpu)
+            sat = sat_loads[cpu]
             if sat is not None and now - sat[1] < half_life:
                 # Every average on this cpu sat at the saturated fixed
                 # point when the sum was stored, and the stalest of
@@ -604,13 +636,13 @@ class CfsScheduler(SchedClass):
                 # to recomputing it now.
                 cache[cpu] = sat[0]
                 continue
-            bank = avgs_cache.get(cpu)
+            bank = avgs_cache[cpu]
             if bank is None:
                 bank = build_bank(cpu)
             load = 0.0
             saturated = True
             min_lu = now
-            for avg, weight in zip(bank[0], bank[1]):
+            for avg, weight in bank[2]:
                 lu = avg.last_update
                 delta = now - lu
                 u = avg.util_avg

@@ -86,7 +86,11 @@ class LoadAvg:
             # the clock needs touching.
             self.last_update = now
             return
-        d = decay_factor(delta)
+        # decay_factor inlined for the cache-hit case (one update per
+        # running entity per tick); misses take the full helper
+        d = _DECAY_CACHE.get(delta)
+        if d is None:
+            d = decay_factor(delta)
         target = 1.0 if running else 0.0
         self.util_avg = self.util_avg * d + target * (1.0 - d)
         self.last_update = now

@@ -38,19 +38,34 @@ class Action:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class Run(Action):
     """Consume CPU for ``duration`` nanoseconds.
 
     ``duration=None`` means "run forever" (an infinite spin loop); the
     thread then only stops running when preempted, migrated, or killed.
+
+    A hand-rolled ``__slots__`` value class rather than a frozen
+    dataclass: behaviours construct one per work item, and the frozen
+    ``object.__setattr__`` path showed up as several percent of
+    wakeup-heavy runs.  Equality/hash/repr keep the dataclass
+    semantics.
     """
 
-    duration: Optional[int]
+    __slots__ = ("duration",)
 
-    def __post_init__(self):
-        if self.duration is not None and self.duration < 0:
-            raise ValueError(f"negative run duration: {self.duration}")
+    def __init__(self, duration: Optional[int]):
+        if duration is not None and duration < 0:
+            raise ValueError(f"negative run duration: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Run(duration={self.duration!r})"
+
+    def __eq__(self, other) -> bool:
+        return other.__class__ is Run and other.duration == self.duration
+
+    def __hash__(self) -> int:
+        return hash((Run, self.duration))
 
 
 def run_forever() -> Run:
@@ -58,29 +73,59 @@ def run_forever() -> Run:
     return Run(None)
 
 
-@dataclass(frozen=True)
 class Sleep(Action):
     """Voluntarily sleep for ``duration`` nanoseconds.
 
     Sleeping time counts as voluntary sleep for ULE's interactivity
-    metric and lowers the thread's CFS load average.
+    metric and lowers the thread's CFS load average.  (``__slots__``
+    value class — see :class:`Run`.)
     """
 
-    duration: int
+    __slots__ = ("duration",)
 
-    def __post_init__(self):
-        if self.duration < 0:
-            raise ValueError(f"negative sleep duration: {self.duration}")
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError(f"negative sleep duration: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Sleep(duration={self.duration!r})"
+
+    def __eq__(self, other) -> bool:
+        return other.__class__ is Sleep and other.duration == self.duration
+
+    def __hash__(self) -> int:
+        return hash((Sleep, self.duration))
 
 
-@dataclass(frozen=True)
 class Yield(Action):
     """Relinquish the CPU while remaining runnable (``sched_yield``)."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return "Yield()"
+
+    def __eq__(self, other) -> bool:
+        return other.__class__ is Yield
+
+    def __hash__(self) -> int:
+        return hash(Yield)
+
+
 class Exit(Action):
     """Terminate the calling thread immediately."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Exit()"
+
+    def __eq__(self, other) -> bool:
+        return other.__class__ is Exit
+
+    def __hash__(self) -> int:
+        return hash(Exit)
 
 
 @dataclass

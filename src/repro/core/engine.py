@@ -37,7 +37,7 @@ from typing import Callable, Iterable, Optional
 
 from . import actions as act
 from .errors import DeadlockError, SimulationError, ThreadStateError
-from .events import EventQueue
+from .events import EventLane, EventQueue
 from .machine import Core, Machine
 from .metrics import MetricRegistry
 from .profile import EventProfiler, global_profiler, profile_from_env, \
@@ -84,6 +84,16 @@ def _eventq_from_env() -> str:
         return "heap"
     raise ValueError(f"REPRO_EVENTQ must be 'heap' or 'wheel', "
                      f"got {value!r}")
+
+
+def _lane_from_env() -> bool:
+    """``REPRO_TICK_LANE`` truthiness; **on** unless explicitly
+    disabled (0/false/no/off).  Disabling routes ticks and resched
+    IPIs through the main queue like every other event — the
+    documented kill-switch, and the reference leg of the epoch-kernel
+    digest tests (``tests/test_epoch_tick.py``)."""
+    value = os.environ.get("REPRO_TICK_LANE", "").strip().lower()
+    return value not in ("0", "false", "no", "off")
 
 
 def make_event_queue(kind: Optional[str] = None):
@@ -154,6 +164,29 @@ class Engine:
             self.events = make_event_queue(event_queue)
         else:
             self.events = event_queue
+        #: sorted side lane for the recurring tick + resched events
+        #: (the engine's highest-frequency traffic).  It shares the
+        #: main queue's sequence counter, so :meth:`_pop_next`'s merge
+        #: of the two heads replays the exact single-queue pop order;
+        #: ``REPRO_TICK_LANE=0`` disables it (the kill-switch, and the
+        #: reference leg of the epoch-kernel digest tests).
+        self._lane = EventLane(self.events) if _lane_from_env() else None
+        #: where the recurring events are (re)scheduled: the lane when
+        #: enabled, else the main queue
+        self._sink = self._lane if self._lane is not None else self.events
+        #: last instant for which the epoch prefold ran (one fused
+        #: multi-core pass per distinct tick instant — see _pop_next)
+        self._epoch_at = -1
+        #: hoisted bound methods for :meth:`_pop_next`, the
+        #: hottest-possible path (once per event).  With the lane off
+        #: the instance attribute *shadows* the ``_pop_next`` method
+        #: with the main queue's own ``pop_before`` — the merge
+        #: wrapper disappears entirely instead of testing a flag per
+        #: event.
+        self._peek_entry = self.events.peek_entry
+        self._pop_head = self.events.pop_head
+        if self._lane is None:
+            self._pop_next = self.events.pop_before
         #: events executed by :meth:`run` (for events/sec reporting)
         self.events_processed = 0
         #: park the periodic tick on quiescent idle cores (NO_HZ)
@@ -174,6 +207,8 @@ class Engine:
         self._stopped = False
         self._stop_reason: Optional[str] = None
 
+        #: kept for :meth:`reset` (warm-worker engine reuse)
+        self._scheduler_factory = scheduler_factory
         self.scheduler = scheduler_factory(self)
         for core in self.machine.cores:
             core.rq = self.scheduler.init_core(core)
@@ -207,6 +242,56 @@ class Engine:
         self.profiler: Optional[EventProfiler] = None
         if profile_from_env() if profile is None else profile:
             self.profiler = global_profiler()
+
+    # ------------------------------------------------------------------
+    # warm reuse (campaign workers)
+    # ------------------------------------------------------------------
+
+    def reset(self, seed: int = 0, faults=None) -> None:
+        """Restore construction-time state for a fresh run on the same
+        (topology, scheduler) pair — the warm-worker fast path of
+        campaign execution (docs/distributed-campaigns.md).
+
+        Everything a run mutates is rebuilt or zeroed: clock, event
+        queues (including their sequence counters, so the ``(time,
+        seq)`` stream replays exactly), RNG, metrics, tracer, cores,
+        threads, scheduler state, and the fault injector.  A reset
+        engine is digest-identical to a newly constructed one
+        (``tests/test_engine_reset.py`` fuzzes reuse-vs-fresh over
+        randomized cell sequences); construction-time parameters
+        (topology, corun model, ctx-switch cost, tickless/fast flags)
+        are deliberately retained — reuse an engine only for cells
+        that share them.
+        """
+        self.now = 0
+        self.events.clear()
+        if self._lane is not None:
+            self._lane.clear()
+        self._epoch_at = -1
+        self.events_processed = 0
+        self._nr_stopped_ticks = 0
+        self.random = RandomSource(seed)
+        self.metrics = MetricRegistry()
+        self._run_delay = None
+        self.tracer = Tracer()
+        self.machine.nr_offline = 0
+        for core in self.machine.cores:
+            core.reset()
+        self.threads = []
+        self.live_threads = 0
+        self._stopped = False
+        self._stop_reason = None
+        self.scheduler = self._scheduler_factory(self)
+        for core in self.machine.cores:
+            core.rq = self.scheduler.init_core(core)
+        self._ticks_started = False
+        self.faults = None
+        if faults is not None and not faults.is_empty():
+            from ..faults.injector import FaultInjector
+            self.faults = FaultInjector(self, faults)
+        if self.sanitizer is not None:
+            from ..analysis.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self)
 
     # ------------------------------------------------------------------
     # thread creation
@@ -251,7 +336,10 @@ class Engine:
         Safe to call redundantly: waking a runnable or exited thread is
         a no-op (as in both kernels).
         """
-        if not thread.is_blocked:
+        # is_blocked, inlined (per wakeup)
+        state = thread.state
+        if state is not ThreadState.SLEEPING \
+                and state is not ThreadState.BLOCKED:
             return
         if thread.sleep_event is not None:
             thread.sleep_event.cancel()
@@ -264,7 +352,11 @@ class Engine:
         self.scheduler.task_waking(thread, slept)
         cpu = self.scheduler.select_task_rq(thread, SelectFlags.WAKEUP,
                                             waker=waker)
-        cpu = self._constrain_cpu(thread, cpu)
+        # _constrain_cpu's accept path, inlined (per wakeup)
+        affinity = thread.affinity
+        if not ((affinity is None or cpu in affinity)
+                and self.machine.cores[cpu].online):
+            cpu = self._constrain_cpu(thread, cpu)
         self._enqueue(thread, cpu, EnqueueFlags.WAKEUP)
         hooks = self.tracer.on_wake
         if hooks:
@@ -303,7 +395,7 @@ class Engine:
         # the per-call Flag arithmetic
         if flags is _ENQ_WAKEUP or flags is _ENQ_NEW:
             self.scheduler.check_preempt_wakeup(core, thread)
-        if core.is_idle or core.need_resched:
+        if core.current is None or core.need_resched:  # is_idle, inlined
             self.request_resched(core)
 
     def block_current(self, core: Core, state: ThreadState) -> None:
@@ -502,7 +594,7 @@ class Engine:
         core.account_to_now()
         if self._ticks_started:
             period = self.scheduler.tick_ns
-            core.tick_event = self.events.make_reusable(
+            core.tick_event = self._sink.make_reusable(
                 self._tick_callback(core), core,
                 label=f"tick:cpu{core.index}")
             behind = self.now - core.tick_origin
@@ -513,7 +605,7 @@ class Engine:
                 next_tick = self.now if rem == 0 \
                     else self.now + period - rem
             core.tick_stopped = False
-            self.events.repost(core.tick_event, next_tick)
+            self._sink.repost(core.tick_event, next_tick)
         self.request_resched(core)
         self.metrics.incr("engine.hotplug_onlines")
         Tracer._fire(self.tracer.on_fault, "core-online", cpu)
@@ -595,10 +687,10 @@ class Engine:
             at += self.faults.ipi_delay(core)
         reuse = core._resched_reuse
         if reuse is None:
-            reuse = core._resched_reuse = self.events.make_reusable(
+            reuse = core._resched_reuse = self._sink.make_reusable(
                 self._resched_event, core,
                 label=f"resched:cpu{core.index}")
-        core.resched_event = self.events.repost(reuse, at)
+        core.resched_event = self._sink.repost(reuse, at)
 
     def _resched_event(self, core: Core) -> None:
         core.resched_event = None
@@ -613,7 +705,10 @@ class Engine:
         if not core.online:
             return
         while True:
-            self._cancel_completion(core)
+            completion = core.completion_event
+            if completion is not None:  # _cancel_completion, inlined
+                completion.cancel()
+                core.completion_event = None
             self._update_curr(core)
             core.need_resched = False
             incumbent = core.current
@@ -669,7 +764,10 @@ class Engine:
                 nxt.wait_start = None
         core.curr_started_at = self.now
         core._curr_account_start = self.now
-        core._curr_speed = self._speed_of(core)
+        # _speed_of's unit-speed early-out, inlined (per switch)
+        core._curr_speed = 1.0 if (nxt is None or
+                                   self.machine.corun_slowdown == 1.0) \
+            else self._speed_of(core)
         if self.ctx_switch_cost_ns and nxt is not None \
                 and prev is not nxt:
             if nxt.run_remaining not in (None, RUN_FOREVER):
@@ -713,14 +811,16 @@ class Engine:
 
     def _arm_completion(self, core: Core) -> None:
         thread = core.current
-        if thread is None or thread.run_remaining in (None, RUN_FOREVER):
+        if thread is None:
+            return
+        remaining = thread.run_remaining
+        if remaining is None or remaining is RUN_FOREVER:
             return
         speed = core._curr_speed
-        wall = thread.run_remaining if speed == 1.0 \
-            else math.ceil(thread.run_remaining / speed)
+        wall = remaining if speed == 1.0 else math.ceil(remaining / speed)
         core.completion_event = self.events.post(
             self.now + wall, self._on_run_complete, core, thread,
-            label=f"runend:{thread.name}")
+            label=thread._runend_label)
 
     def _cancel_completion(self, core: Core) -> None:
         if core.completion_event is not None:
@@ -758,12 +858,25 @@ class Engine:
         """
         while True:
             try:
-                action = thread.next_action()
+                # thread.next_action() inlined (one generator resume
+                # per behaviour step; keep in sync with thread.py)
+                if thread._generator is None:
+                    action = thread.next_action()  # first schedule
+                else:
+                    value = thread._wake_value
+                    thread._wake_value = None
+                    send = thread._send
+                    action = send(value) if send is not None \
+                        else next(thread._generator)
             except StopIteration:
                 self._exit_thread(core, thread)
                 return False
 
-            if isinstance(action, act.Run):
+            # exact-class test: act.Run is never subclassed, and the
+            # identity check is the cheapest dispatch for the dominant
+            # action (isinstance still guards the open SyncAction
+            # hierarchy below)
+            if action.__class__ is act.Run:
                 thread.run_remaining = (RUN_FOREVER if action.duration is None
                                         else action.duration)
                 if thread.run_remaining == 0:
@@ -787,7 +900,7 @@ class Engine:
                     wake_at = self.faults.timer_time(wake_at)
                 thread.sleep_event = self.events.post(
                     wake_at, self._on_sleep_timer,
-                    thread, label=f"wake:{thread.name}")
+                    thread, label=thread._wake_label)
                 return False
             if isinstance(action, act.Yield):
                 self.scheduler.yield_task(core)
@@ -872,12 +985,12 @@ class Engine:
         for core in self.machine.cores:
             # Stagger ticks across cores like real timer interrupts.
             offset = (core.index * period) // max(1, len(self.machine))
-            core.tick_event = self.events.make_reusable(
+            core.tick_event = self._sink.make_reusable(
                 self._tick_callback(core), core,
                 label=f"tick:cpu{core.index}")
             core.tick_origin = self.now + period + offset
             core.tick_stopped = False
-            self.events.repost(core.tick_event, core.tick_origin)
+            self._sink.repost(core.tick_event, core.tick_origin)
 
     def _tick(self, core: Core) -> None:
         if not core.online:
@@ -898,7 +1011,7 @@ class Engine:
         next_tick = self.now + self.scheduler.tick_ns
         if self.faults is not None:
             next_tick = self.faults.tick_time(core, next_tick)
-        self.events.repost(core.tick_event, next_tick)
+        self._sink.repost(core.tick_event, next_tick)
         if core.current is not None:
             self._update_curr(core)
             self.scheduler.task_tick(core)
@@ -930,7 +1043,7 @@ class Engine:
         core.tick_stopped = False
         self._nr_stopped_ticks -= 1
         self.metrics.incr("engine.tick_restarts")
-        self.events.repost(core.tick_event, next_tick)
+        self._sink.repost(core.tick_event, next_tick)
 
     def _kick_stopped_ticks(self) -> None:
         """Restart parked ticks wherever the scheduler now has periodic
@@ -985,6 +1098,62 @@ class Engine:
                     or tracer.on_migrate or tracer.on_exit
                     or tracer.on_preempt or tracer.on_fault)
 
+    def _pop_next(self, until: Optional[int]):
+        """Merged pop across the main queue and the tick lane: the
+        earlier ``(time, seq)`` head wins, reproducing the global pop
+        order of a single queue bit-for-bit (the lane draws its seq
+        numbers from the main queue's counter).
+
+        When the winning lane head shares its instant with further
+        lane tick events — a tick *epoch*, e.g. unstaggered cores or
+        cores whose staggers collide — the scheduler's
+        :meth:`~repro.sched.base.SchedClass.epoch_prefold` runs once
+        for the whole group before the first tick of the instant
+        fires, batching the shared per-instant work (CFS: the PELT
+        decay-factor fills) a per-core pass would redo N times.
+        """
+        lane = self._lane
+        entries = lane._entries
+        head = lane._head
+        n = len(entries)
+        while head < n and entries[head][2].cancelled:
+            head += 1
+        if head >= n:
+            if n:
+                del entries[:]
+                head = 0
+            lane._head = head
+            return self.events.pop_before(until)
+        hentry = entries[head]
+        qentry = self._peek_entry()
+        if qentry is not None and qentry < hentry:
+            lane._head = head
+            if until is not None and qentry[0] > until:
+                return None
+            # peek_entry already drained dead heads: pop its entry
+            # directly instead of rescanning via pop_before
+            return self._pop_head()
+        htime = hentry[0]
+        if until is not None and htime > until:
+            lane._head = head
+            return None
+        if head + 1 < n and entries[head + 1][0] == htime \
+                and htime != self._epoch_at:
+            self._epoch_at = htime
+            lane._head = head
+            cores = lane.epoch_cores(htime)
+            if cores is not None:
+                self.scheduler.epoch_prefold(cores, htime)
+        head += 1
+        if head >= 64:
+            # compact the consumed prefix
+            del entries[:head]
+            head = 0
+        lane._head = head
+        event = hentry[2]
+        event.popped = True
+        return event
+
     def _queue_exhausted(self, until: Optional[int]) -> str:
         """Shared run-loop epilogue: the queue drained, or the next
         live event lies beyond the deadline."""
@@ -1012,8 +1181,7 @@ class Engine:
         events_since_check = 0
         profiler = self.profiler
         sanitizer = self.sanitizer
-        events = self.events
-        pop_before = events.pop_before
+        pop_before = self._pop_next
         processed = 0
         try:
             while True:
@@ -1057,7 +1225,7 @@ class Engine:
         observer branches are *gone*, not just false — :meth:`run`
         only selects this loop when no observer is installed."""
         events_since_check = 0
-        pop_before = self.events.pop_before
+        pop_before = self._pop_next
         processed = 0
         try:
             while True:

@@ -91,7 +91,8 @@ class SimThread:
                  "nr_switches", "nr_migrations", "nr_preemptions",
                  "created_at", "exited_at", "sleep_start", "wait_start",
                  "last_ran", "run_remaining", "_wake_value",
-                 "sleep_event", "policy", "tags", "_send")
+                 "sleep_event", "policy", "tags", "_send",
+                 "_runend_label", "_wake_label")
 
     _COUNTER = 0
 
@@ -147,6 +148,11 @@ class SimThread:
         self._wake_value: Any = None
         #: event handle for a pending timed sleep
         self.sleep_event = None
+        #: precomputed event labels for the per-post hot paths (a
+        #: run-completion timer is armed at every pick; formatting the
+        #: f-string each time showed up in profiles)
+        self._runend_label = f"runend:{self.name}"
+        self._wake_label = f"wake:{self.name}"
         #: scheduler-private per-thread state
         self.policy: Any = None
         #: arbitrary workload-visible tags (copied from the spec)

@@ -197,6 +197,53 @@ class TimingWheelQueue:
             if not self._advance():
                 return None
 
+    def peek_entry(self) -> Optional[tuple]:
+        """The earliest live ``(time, seq, event)`` entry without
+        removing it (drains dead heads and advances the cursor like
+        :meth:`peek_time`); ``None`` when the queue is exhausted."""
+        pending = self._pending
+        while True:
+            while pending:
+                entry = pending[0]
+                if not entry[2].cancelled:
+                    return entry
+                heappop(pending)
+                self._dead_in_wheel -= 1
+            if not self._advance():
+                return None
+
+    def pop_head(self) -> Event:
+        """Pop the live head that :meth:`peek_entry` just returned
+        (same contract as :meth:`EventQueue.pop_head`: only valid with
+        no intervening mutation — ``_pending``'s head is known live)."""
+        event = heappop(self._pending)[2]
+        event.popped = True
+        event._region = _REGION_NONE
+        self._live -= 1
+        return event
+
+    def reserve_seq(self) -> int:
+        """Draw the next sequence number for an entry scheduled
+        outside this queue (the engine's :class:`EventLane` shares the
+        counter so the global ``(time, seq)`` order is unchanged)."""
+        self._seq += 1
+        return self._seq
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters *including* the
+        sequence counter, so a reused engine replays the exact seq
+        stream a fresh one would (``Engine.reset``)."""
+        for bucket in self._slots:
+            bucket.clear()
+        self._pending.clear()
+        self._overflow.clear()
+        self._wheel_count = 0
+        self._cursor = 0
+        self._seq = 0
+        self._live = 0
+        self._dead_in_heap = 0
+        self._dead_in_wheel = 0
+
     def pop_before(self, limit: Optional[int]) -> Optional[Event]:
         """Fused peek + pop (same contract as
         :meth:`EventQueue.pop_before`): one drain pass instead of the

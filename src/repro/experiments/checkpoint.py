@@ -216,6 +216,37 @@ class CampaignCheckpoint:
             # journal vanished underneath us (cleanup race): rebuild
             self._compact()
 
+    def put_many(self, pairs: Any) -> None:
+        """Record a batch of finished ``(cell, result)`` pairs with
+        one open/write/flush cycle — the grouped form of :meth:`put`
+        used by the shard supervisor, whose merge sweep can land a
+        whole claim batch at once.  Same durability: the group is
+        flushed before returning, and each line still carries its own
+        digest, so a torn tail costs at most the last line."""
+        pairs = list(pairs)
+        if not pairs:
+            return
+        if not self._header_written:
+            for cell, result in pairs:
+                self._entries[cell_key(cell)] = result
+            self._compact()
+            return
+        lines = []
+        for cell, result in pairs:
+            key = cell_key(cell)
+            self._entries[key] = result
+            lines.append(json.dumps(
+                {"cell": key, "result": result,
+                 "sha256": _entry_sha(key, result)},
+                sort_keys=True, separators=(",", ":")))
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+                fh.flush()
+        except OSError:
+            # journal vanished underneath us (cleanup race): rebuild
+            self._compact()
+
     def __len__(self) -> int:
         return len(self._entries)
 

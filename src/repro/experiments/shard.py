@@ -51,7 +51,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from .cellcache import CellCache, cache_key, code_fingerprint
 from .parallel import FailedCell
-from .store import DEFAULT_MAX_CRASHES, ShardStore
+from .store import DEFAULT_CLAIM_BATCH, DEFAULT_MAX_CRASHES, ShardStore
 
 #: default lease duration; workers heartbeat at a third of this, so a
 #: healthy worker is three missed beats away from losing a cell
@@ -78,45 +78,61 @@ def _fail_reason(reason: str) -> tuple:
 
 
 class _Heartbeat:
-    """Daemon thread renewing one cell's lease while ``fn`` runs.
+    """Daemon thread renewing a claim batch's leases while ``fn``
+    runs (one :meth:`ShardStore.renew_many` per beat for the whole
+    batch).
 
     Python's sqlite3 connections are bound to their opening thread,
     so the heartbeat clones the worker's store *inside* its own
     thread rather than sharing the claim/complete connection.
 
-    Stops renewing after ``timeout_s`` (if set): a wedged cell then
-    loses its lease, gets stolen, and — after ``max_crashes`` wedges —
-    quarantined, all without anyone having to kill the stuck worker
-    mid-syscall.
+    ``held`` is a one-slot list holding a tuple of keys; the drain
+    loop swaps in a smaller tuple as cells finish (replacing the
+    tuple, never mutating it, so this thread always reads a
+    consistent snapshot).
+
+    Stops renewing ``timeout_s`` after the current cell began (see
+    :meth:`begin_cell`): a wedged cell then loses its lease — and the
+    rest of the batch with it, since the worker is stuck — gets
+    stolen, and after ``max_crashes`` wedges is quarantined, all
+    without anyone having to kill the stuck worker mid-syscall.
     """
 
-    def __init__(self, store: ShardStore, owner: str, key: str,
+    def __init__(self, store: ShardStore, owner: str, held: list,
                  lease_s: float, timeout_s: Optional[float]):
         self._store = store
         self._owner = owner
-        self._key = key
+        self._held = held
         self._lease_s = lease_s
         self._timeout_s = timeout_s
+        self._deadline = (None if timeout_s is None
+                          else time.monotonic() + timeout_s)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
+    def begin_cell(self) -> None:
+        """Restart the wedge deadline — ``timeout_s`` bounds one
+        cell's execution, not the whole batch."""
+        if self._timeout_s is not None:
+            self._deadline = time.monotonic() + self._timeout_s
+
     def _run(self) -> None:
-        deadline = (None if self._timeout_s is None
-                    else time.monotonic() + self._timeout_s)
         if self._stop.wait(self._lease_s / 3):
-            return  # cell finished before the first beat: skip the
-            #         per-cell connection entirely (the common case)
+            return  # batch finished before the first beat: skip the
+            #         per-batch connection entirely (the common case)
         store = self._store.clone()  # this thread's own connection
         try:
             while True:
+                deadline = self._deadline
                 if deadline is not None \
                         and time.monotonic() >= deadline:
                     return
-                if not store.renew(self._owner, self._key,
-                                   self._lease_s):
-                    return  # lease lost (stolen): renewing a dead
-                    #         lease would fight the new owner
+                keys = self._held[0]
+                if keys and not store.renew_many(self._owner, keys,
+                                                 self._lease_s):
+                    return  # every lease lost (stolen): renewing a
+                    #         dead lease would fight the new owners
                 if self._stop.wait(self._lease_s / 3):
                     return
         except Exception:  # pragma: no cover - store racing close
@@ -135,46 +151,82 @@ def _drain(store: ShardStore, fn: Callable, owner: str, *,
            cache: Optional[CellCache],
            poll_s: float = DEFAULT_POLL_S,
            parent_pid: Optional[int] = None,
-           max_cells: Optional[int] = None) -> int:
+           max_cells: Optional[int] = None,
+           claim_k: int = DEFAULT_CLAIM_BATCH) -> int:
     """The claim/execute/complete loop shared by worker processes and
-    the supervisor's serial-degradation path.  Returns the number of
-    cells executed.  Exits when every cell is terminal, when
-    ``max_cells`` is reached, or — for workers — when the supervisor
-    (``parent_pid``) is gone."""
+    the supervisor's serial-degradation path.  Claims up to
+    ``claim_k`` cells per store write transaction
+    (:meth:`ShardStore.claim_batch`) and renews the whole batch with
+    one heartbeat thread, so per-cell store traffic is one fused
+    complete+start-next write plus a share of a batch renew.  Returns
+    the number of cells executed.  Exits when every cell is terminal,
+    when ``max_cells`` is reached, or — for workers — when the
+    supervisor (``parent_pid``) is gone."""
     done = 0
     while max_cells is None or done < max_cells:
         if parent_pid is not None and os.getppid() != parent_pid:
             break  # orphaned: supervisor died, don't run headless
-        claimed = store.claim(owner, lease_s)
-        if claimed is None:
+        want = (claim_k if max_cells is None
+                else min(claim_k, max_cells - done))
+        batch = store.claim_batch(owner, lease_s, want)
+        if not batch:
             if store.all_terminal():
                 break
             time.sleep(poll_s)
             continue
-        key, cell = claimed
-        beat = _Heartbeat(store, owner, key, lease_s, timeout_s)
+        held = [tuple(key for key, _ in batch)]
+        beat = _Heartbeat(store, owner, held, lease_s, timeout_s)
         try:
-            result = fn(cell)
-        except BaseException as exc:
+            ours = True  # claim_batch marked the first cell started
+            for pos, (key, cell) in enumerate(batch):
+                if parent_pid is not None \
+                        and os.getppid() != parent_pid:
+                    break  # orphaned mid-batch: unstarted leases
+                    #        expire and are re-claimed bump-free
+                if not ours:
+                    # the previous cell failed (or its complete saw
+                    # this lease stolen): claim executing rights
+                    # before running
+                    ours = store.mark_started(owner, key)
+                    if not ours:
+                        held[0] = tuple(k for k in held[0]
+                                        if k != key)
+                        continue  # stolen while queued: the thief
+                        #           runs it, we move on
+                beat.begin_cell()
+                next_key = (batch[pos + 1][0]
+                            if pos + 1 < len(batch) else None)
+                try:
+                    result = fn(cell)
+                except BaseException as exc:
+                    if not isinstance(exc, Exception):
+                        raise  # KeyboardInterrupt/SystemExit: die
+                        #        leased, lease expiry hands cells on
+                    store.fail_attempt(
+                        key, f"{type(exc).__name__}: {exc}",
+                        retries=retries, backoff_s=backoff_s)
+                    ours = False
+                else:
+                    ours = store.complete(key, result, owner=owner,
+                                          start_next=next_key)
+                    if cache is not None:
+                        cache.put(cell, result)
+                done += 1
+                held[0] = tuple(k for k in held[0] if k != key)
+        finally:
             beat.stop()
-            if not isinstance(exc, Exception):
-                raise  # KeyboardInterrupt/SystemExit: die leased,
-                #        the lease expiry hands the cell on
-            store.fail_attempt(key, f"{type(exc).__name__}: {exc}",
-                               retries=retries, backoff_s=backoff_s)
-        else:
-            beat.stop()
-            store.complete(key, result)
-            if cache is not None:
-                cache.put(cell, result)
-        done += 1
     return done
 
 
 def _worker_main(store_dir, fn, *, lease_s, retries, backoff_s,
                  timeout_s, cache_root, fingerprint, max_crashes,
-                 parent_pid) -> None:
+                 parent_pid, claim_k=DEFAULT_CLAIM_BATCH) -> None:
     """Worker process entry point: open the shared store and drain."""
+    # warm-engine reuse: a worker runs many cells, and campaign cells
+    # repeat (topology, scheduler) configurations — let make_engine
+    # recycle engines via Engine.reset() unless the parent explicitly
+    # exported REPRO_WARM_ENGINES=0
+    os.environ.setdefault("REPRO_WARM_ENGINES", "1")
     cache = None
     if cache_root is not None:
         cache = CellCache(cache_root, fingerprint=fingerprint)
@@ -183,7 +235,7 @@ def _worker_main(store_dir, fn, *, lease_s, retries, backoff_s,
         _drain(store, fn, owner=f"worker-{os.getpid()}",
                lease_s=lease_s, retries=retries, backoff_s=backoff_s,
                timeout_s=timeout_s, cache=cache,
-               parent_pid=parent_pid)
+               parent_pid=parent_pid, claim_k=claim_k)
 
 
 def shard_map(fn: Callable[[Any], Any], cells: Iterable[Any],
@@ -195,6 +247,7 @@ def shard_map(fn: Callable[[Any], Any], cells: Iterable[Any],
               max_crashes: int = DEFAULT_MAX_CRASHES,
               respawn_budget: Optional[int] = None,
               poll_s: float = DEFAULT_POLL_S,
+              claim_k: int = DEFAULT_CLAIM_BATCH,
               checkpoint=None,
               cache: Optional[CellCache] = None,
               chaos: Optional[Callable] = None,
@@ -258,7 +311,8 @@ def shard_map(fn: Callable[[Any], Any], cells: Iterable[Any],
                    retries=retries, backoff_s=backoff_s,
                    max_crashes=max_crashes,
                    respawn_budget=respawn_budget,
-                   poll_s=poll_s, cache=cache, chaos=chaos,
+                   poll_s=poll_s, claim_k=claim_k,
+                   cache=cache, chaos=chaos,
                    store_dir=store_dir,
                    checkpoint=checkpoint, key_to_cell=keyed,
                    on_progress=on_progress,
@@ -293,9 +347,9 @@ def shard_map(fn: Callable[[Any], Any], cells: Iterable[Any],
 
 def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
                timeout_s, retries, backoff_s, max_crashes,
-               respawn_budget, poll_s, cache, chaos, store_dir,
-               checkpoint, key_to_cell, on_progress, prefilled,
-               total) -> None:
+               respawn_budget, poll_s, claim_k, cache, chaos,
+               store_dir, checkpoint, key_to_cell, on_progress,
+               prefilled, total) -> None:
     """Run the pool to completion: spawn workers, reap/respawn the
     dead, poison wedged cells, merge finished rows into the
     checkpoint, and degrade to serial when the pool is gone."""
@@ -306,7 +360,7 @@ def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
         lease_s=lease_s, retries=retries, backoff_s=backoff_s,
         timeout_s=timeout_s, cache_root=cache_root,
         fingerprint=store.fingerprint, max_crashes=max_crashes,
-        parent_pid=os.getpid())
+        parent_pid=os.getpid(), claim_k=claim_k)
 
     def spawn():
         proc = multiprocessing.Process(
@@ -320,20 +374,24 @@ def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
     def merge_done() -> None:
         """Flush newly finished rows into the checkpoint (the
         supervisor is the only checkpoint writer — workers never
-        touch the manifest, so there is exactly one journal tail)."""
-        fresh = 0
+        touch the manifest, so there is exactly one journal tail).
+        Fresh rows land via one grouped journal append
+        (:meth:`CampaignCheckpoint.put_many`) rather than one
+        open/flush cycle per row."""
+        fresh = []
         for key in store.done_keys():
             if key in checkpointed or key not in key_to_cell:
                 continue
             found, result = store.get_result(key)
             if not found:
                 continue  # discarded as corrupt; will be recomputed
-            if checkpoint is not None:
-                checkpoint.put(key_to_cell[key], result)
+            fresh.append((key_to_cell[key], result))
             checkpointed.add(key)
-            fresh += 1
-        if fresh and on_progress is not None:
-            on_progress(prefilled + len(checkpointed), total)
+        if fresh:
+            if checkpoint is not None:
+                checkpoint.put_many(fresh)
+            if on_progress is not None:
+                on_progress(prefilled + len(checkpointed), total)
 
     procs: list = []
     if workers > 1:
@@ -367,7 +425,7 @@ def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
                 _drain(store, fn, serial_owner,
                        lease_s=max(lease_s, 60.0), retries=retries,
                        backoff_s=backoff_s, timeout_s=None,
-                       cache=cache, poll_s=poll_s)
+                       cache=cache, poll_s=poll_s, claim_k=claim_k)
                 store.reap()
                 merge_done()
                 continue
@@ -378,7 +436,8 @@ def _supervise(store: ShardStore, fn, workers: int, *, lease_s,
         while not store.all_terminal():
             _drain(store, fn, serial_owner, lease_s=max(lease_s, 60.0),
                    retries=retries, backoff_s=backoff_s,
-                   timeout_s=None, cache=cache, poll_s=poll_s)
+                   timeout_s=None, cache=cache, poll_s=poll_s,
+                   claim_k=claim_k)
             store.reap()
         merge_done()
     finally:

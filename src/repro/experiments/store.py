@@ -86,12 +86,19 @@ CREATE TABLE IF NOT EXISTS cells (
     not_before  REAL NOT NULL DEFAULT 0,
     attempts    INTEGER NOT NULL DEFAULT 0,
     crashes     INTEGER NOT NULL DEFAULT 0,
+    started     INTEGER NOT NULL DEFAULT 0,
     result      TEXT,
     result_sha  TEXT,
     reason      TEXT
 );
 CREATE INDEX IF NOT EXISTS cells_state ON cells (state);
 """
+
+#: default number of cells leased per claim transaction (see
+#: :meth:`ShardStore.claim_batch`); chosen so the write-lock traffic
+#: per cell drops ~4x while a crashed worker still strands at most a
+#: few seconds of stolen-back work
+DEFAULT_CLAIM_BATCH = 4
 
 
 def canonical_json(value: Any) -> str:
@@ -159,9 +166,27 @@ class ShardStore:
         conn = sqlite3.connect(str(self.path), timeout=self.timeout_s,
                                isolation_level=None)
         try:
-            conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
-            conn.executescript(_SCHEMA)
+            # a whole worker pool opens this database at once, so the
+            # write transactions below (schema creation, WAL switch,
+            # migration) only run when actually needed: probing is a
+            # read, and reads don't queue on the write lock the way a
+            # spawn-time thundering herd of CREATEs would (WAL mode
+            # is a sticky property of the file — setting it once at
+            # creation covers every later connection)
+            have = {row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table'")}
+            if "cells" not in have or "meta" not in have:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.executescript(_SCHEMA)
+            # migrate pre-batching stores in place ("started" tracks
+            # which leased cell of a claim batch is actually running)
+            cols = {row[1] for row in
+                    conn.execute("PRAGMA table_info(cells)")}
+            if "started" not in cols:
+                conn.execute("ALTER TABLE cells ADD COLUMN "
+                             "started INTEGER NOT NULL DEFAULT 0")
             # schema check doubles as a corruption probe: a truncated
             # db file fails here, not on first claim
             conn.execute("SELECT count(*) FROM cells").fetchone()
@@ -247,43 +272,87 @@ class ShardStore:
     def claim(self, owner: str, lease_s: float) -> Optional[tuple]:
         """Atomically lease one runnable cell to ``owner``; returns
         ``(key, cell)`` or ``None`` when nothing is claimable right
-        now.  Runnable means ``pending`` past its backoff window, or
-        ``leased`` with an expired lease (work stealing).  Stealing an
-        expired lease bumps the crash counter; a cell at the poison
+        now.  Single-cell form of :meth:`claim_batch`."""
+        batch = self.claim_batch(owner, lease_s, 1)
+        return batch[0] if batch else None
+
+    def claim_batch(self, owner: str, lease_s: float,
+                    k: int = DEFAULT_CLAIM_BATCH) -> list:
+        """Atomically lease up to ``k`` runnable cells to ``owner`` in
+        one write transaction; returns a list of ``(key, cell)`` pairs
+        (empty when nothing is claimable right now).
+
+        Runnable means ``pending`` past its backoff window, or
+        ``leased`` with an expired lease (work stealing).  Only the
+        first cell of the batch is marked *started* — the worker marks
+        each later cell as it reaches it (:meth:`complete` with
+        ``start_next``, or :meth:`mark_started`).  Stealing an expired
+        lease bumps the crash counter only when the dead owner had
+        actually started the cell; unstarted batch-mates of a crashed
+        worker re-enter circulation without a bump, so batching never
+        inflates poison counts.  A started cell at the poison
         threshold is quarantined instead of handed out."""
         now = self._now()
+        # read-probe first: claimers poll when the queue runs dry
+        # (tail of a sweep, backoff windows), and an empty claim
+        # should not cost a write-lock acquisition
+        probe = self._conn.execute(
+            "SELECT 1 FROM cells "
+            "WHERE (state = 'pending' AND not_before <= ?) "
+            "   OR (state = 'leased' AND lease_until <= ?) "
+            "LIMIT 1", (now, now)).fetchone()
+        if probe is None:
+            return []
+        claimed: list = []
         self._conn.execute("BEGIN IMMEDIATE")
         try:
-            while True:
-                row = self._conn.execute(
-                    "SELECT key, cell, state, crashes FROM cells "
+            while len(claimed) < k:
+                rows = self._conn.execute(
+                    "SELECT key, cell, state, crashes, started "
+                    "FROM cells "
                     "WHERE (state = 'pending' AND not_before <= ?) "
                     "   OR (state = 'leased' AND lease_until <= ?) "
-                    "ORDER BY rowid LIMIT 1", (now, now)).fetchone()
-                if row is None:
-                    self._conn.execute("COMMIT")
-                    return None
-                key, cell_json, state, crashes = row
-                if state == "leased":
-                    crashes += 1
-                    if crashes >= self.max_crashes:
-                        self._conn.execute(
-                            "UPDATE cells SET state = 'failed', "
-                            "owner = NULL, crashes = ?, reason = ? "
-                            "WHERE key = ?",
-                            (crashes,
-                             f"poison: crashed {crashes} workers",
-                             key))
-                        continue
-                self._conn.execute(
-                    "UPDATE cells SET state = 'leased', owner = ?, "
-                    "lease_until = ?, crashes = ? WHERE key = ?",
-                    (owner, now + lease_s, crashes, key))
-                self._conn.execute("COMMIT")
-                return key, json.loads(cell_json)
+                    "ORDER BY rowid LIMIT ?",
+                    (now, now, k - len(claimed))).fetchall()
+                if not rows:
+                    break
+                for key, cell_json, state, crashes, started in rows:
+                    if state == "leased" and started:
+                        crashes += 1
+                        if crashes >= self.max_crashes:
+                            self._conn.execute(
+                                "UPDATE cells SET state = 'failed', "
+                                "owner = NULL, crashes = ?, "
+                                "started = 0, reason = ? "
+                                "WHERE key = ?",
+                                (crashes,
+                                 f"poison: crashed {crashes} workers",
+                                 key))
+                            continue
+                    self._conn.execute(
+                        "UPDATE cells SET state = 'leased', "
+                        "owner = ?, lease_until = ?, crashes = ?, "
+                        "started = ? WHERE key = ?",
+                        (owner, now + lease_s, crashes,
+                         0 if claimed else 1, key))
+                    claimed.append((key, json.loads(cell_json)))
+            self._conn.execute("COMMIT")
+            return claimed
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+
+    def mark_started(self, owner: str, key: str) -> bool:
+        """Mark a batch-claimed cell as actually executing (the normal
+        path fuses this into :meth:`complete` via ``start_next``; this
+        standalone form serves the failed-previous-cell path).
+        Returns ``False`` when the lease is no longer ours — the
+        worker must skip the cell, not run it."""
+        cur = self._conn.execute(
+            "UPDATE cells SET started = 1 "
+            "WHERE key = ? AND owner = ? AND state = 'leased'",
+            (key, owner))
+        return cur.rowcount == 1
 
     def renew(self, owner: str, key: str, lease_s: float) -> bool:
         """Heartbeat: extend ``owner``'s lease on ``key``.  Returns
@@ -295,20 +364,52 @@ class ShardStore:
             (self._now() + lease_s, key, owner))
         return cur.rowcount == 1
 
+    def renew_many(self, owner: str, keys: Iterable[str],
+                   lease_s: float) -> int:
+        """Batch heartbeat: one UPDATE extending ``owner``'s lease on
+        every listed key still held.  Returns the number of leases
+        renewed — ``0`` means every cell was stolen (or completed) and
+        the worker should re-claim.  Keys no longer ours are silently
+        skipped; a batch worker only learns a specific cell was stolen
+        when it tries to start it."""
+        keys = tuple(keys)
+        if not keys:
+            return 0
+        marks = ",".join("?" * len(keys))
+        cur = self._conn.execute(
+            f"UPDATE cells SET lease_until = ? "
+            f"WHERE owner = ? AND state = 'leased' "
+            f"AND key IN ({marks})",
+            (self._now() + lease_s, owner, *keys))
+        return cur.rowcount
+
     def reap(self) -> int:
-        """Supervisor sweep: quarantine every cell whose lease has
-        expired ``max_crashes`` times; merely-expired leases are left
-        for :meth:`claim` to steal.  Returns the number of cells
-        poisoned by this call."""
+        """Supervisor sweep: quarantine every *started* cell whose
+        lease has expired ``max_crashes`` times; merely-expired leases
+        (and unstarted batch-mates of dead workers, which carry no
+        crash evidence) are left for :meth:`claim` to steal.  Returns
+        the number of cells poisoned by this call."""
         now = self._now()
+        # read-probe first: the supervisor reaps every poll and a
+        # healthy sweep never has a poisonable lease, so skip the
+        # write transaction (and its lock, which the whole worker
+        # pool contends for) unless there is actually work
+        probe = self._conn.execute(
+            "SELECT 1 FROM cells "
+            "WHERE state = 'leased' AND lease_until <= ? "
+            "AND started = 1 AND crashes + 1 >= ? LIMIT 1",
+            (now, self.max_crashes)).fetchone()
+        if probe is None:
+            return 0
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             cur = self._conn.execute(
                 "UPDATE cells SET state = 'failed', owner = NULL, "
-                "crashes = crashes + 1, "
+                "crashes = crashes + 1, started = 0, "
                 "reason = 'poison: crashed ' || (crashes + 1) "
                 "         || ' workers' "
                 "WHERE state = 'leased' AND lease_until <= ? "
+                "AND started = 1 "
                 "AND crashes + 1 >= ?", (now, self.max_crashes))
             self._conn.execute("COMMIT")
             return cur.rowcount
@@ -318,36 +419,64 @@ class ShardStore:
 
     # ------------------------------------------------------------ terminal
 
-    def complete(self, key: str, result: Any) -> None:
+    def complete(self, key: str, result: Any, *,
+                 owner: Optional[str] = None,
+                 start_next: Optional[str] = None) -> bool:
         """Record a finished cell (with its result digest).  Runs
         unconditionally: a worker whose lease was stolen may still
         land its (deterministic, hence identical) result — last write
-        wins and both are correct."""
-        self._conn.execute(
-            "UPDATE cells SET state = 'done', owner = NULL, "
-            "result = ?, result_sha = ?, reason = NULL WHERE key = ?",
-            (canonical_json(result), result_sha(result), key))
+        wins and both are correct.
+
+        ``start_next`` (with ``owner``) marks the worker's next
+        batch-claimed cell as started in the same write transaction —
+        the per-cell store traffic of a batch worker is this one fused
+        call plus its share of a :meth:`renew_many` heartbeat.
+        Returns ``False`` when ``start_next`` is no longer ours (lease
+        stolen) — the worker must skip that cell."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute(
+                "UPDATE cells SET state = 'done', owner = NULL, "
+                "started = 0, result = ?, result_sha = ?, "
+                "reason = NULL WHERE key = ?",
+                (canonical_json(result), result_sha(result), key))
+            ok = True
+            if start_next is not None:
+                cur = self._conn.execute(
+                    "UPDATE cells SET started = 1 "
+                    "WHERE key = ? AND owner = ? AND state = 'leased'",
+                    (start_next, owner))
+                ok = cur.rowcount == 1
+            self._conn.execute("COMMIT")
+            return ok
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
 
     def fail_attempt(self, key: str, error: str, *, retries: int,
                      backoff_s: float) -> bool:
         """Record a failed execution attempt.  With retries left the
         cell returns to ``pending`` behind a jittered exponential
         backoff window; otherwise it is terminally ``failed``.
-        Returns ``True`` when a retry was scheduled."""
+        Returns ``True`` when a retry was scheduled.  A cell another
+        worker already completed (our lease was stolen mid-attempt and
+        the thief finished first) is left ``done`` untouched — a stale
+        failure never clobbers a good result."""
         now = self._now()
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             row = self._conn.execute(
-                "SELECT attempts FROM cells WHERE key = ?",
+                "SELECT attempts, state FROM cells WHERE key = ?",
                 (key,)).fetchone()
-            if row is None:
+            if row is None or row[1] == "done":
                 self._conn.execute("COMMIT")
                 return False
             attempts = row[0] + 1
             if attempts > retries:
                 self._conn.execute(
                     "UPDATE cells SET state = 'failed', owner = NULL, "
-                    "attempts = ?, reason = ? WHERE key = ?",
+                    "started = 0, attempts = ?, reason = ? "
+                    "WHERE key = ?",
                     (attempts, f"error: {error}", key))
                 retried = False
             else:
@@ -355,7 +484,8 @@ class ShardStore:
                          * backoff_jitter(key, attempts))
                 self._conn.execute(
                     "UPDATE cells SET state = 'pending', owner = NULL, "
-                    "attempts = ?, not_before = ? WHERE key = ?",
+                    "started = 0, attempts = ?, not_before = ? "
+                    "WHERE key = ?",
                     (attempts, now + delay, key))
                 retried = True
             self._conn.execute("COMMIT")

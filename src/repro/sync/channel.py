@@ -44,28 +44,6 @@ class Channel:
     def __len__(self) -> int:
         return len(self.queue)
 
-    # -- internals ------------------------------------------------------
-
-    def _do_put(self, engine, thread, message):
-        self.puts += 1
-        getter = self.getters.pop_waiter()
-        if getter is not None:
-            # Hand the message directly to the blocked getter.
-            self.gets += 1
-            getter.set_wake_value(message)
-            engine.wake_thread(getter, waker=thread)
-        else:
-            self.queue.append(message)
-        return BlockResult.COMPLETED, None
-
-    def _do_get(self, engine, thread):
-        if self.queue:
-            self.gets += 1
-            return BlockResult.COMPLETED, self.queue.popleft()
-        self.getters.block(thread)
-        return BlockResult.BLOCKED, None
-
-
 class _PutAction(SyncAction):
     __slots__ = ("chan", "message")
 
@@ -74,7 +52,19 @@ class _PutAction(SyncAction):
         self.message = message
 
     def apply(self, engine, thread):
-        return self.chan._do_put(engine, thread, self.message)
+        # the put/get bodies live in apply: one dispatch per operation
+        # on the hackbench-shaped hot path
+        chan = self.chan
+        chan.puts += 1
+        getter = chan.getters.pop_waiter()
+        if getter is not None:
+            # Hand the message directly to the blocked getter.
+            chan.gets += 1
+            getter.set_wake_value(self.message)
+            engine.wake_thread(getter, waker=thread)
+        else:
+            chan.queue.append(self.message)
+        return BlockResult.COMPLETED, None
 
 
 class _GetAction(SyncAction):
@@ -84,4 +74,9 @@ class _GetAction(SyncAction):
         self.chan = chan
 
     def apply(self, engine, thread):
-        return self.chan._do_get(engine, thread)
+        chan = self.chan
+        if chan.queue:
+            chan.gets += 1
+            return BlockResult.COMPLETED, chan.queue.popleft()
+        chan.getters.block(thread)
+        return BlockResult.BLOCKED, None

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core.schedflags import DequeueFlags, EnqueueFlags, SelectFlags
+from ..core.thread import ThreadState
 from ..sched.base import SchedClass
 from . import balance, placement
 from .interactivity import SleepRunHistory
@@ -204,7 +205,10 @@ class UleScheduler(SchedClass):
 
     def enqueue_task(self, core: "Core", thread: "SimThread",
                      flags: EnqueueFlags) -> None:
-        self._update_priority(thread)
+        # _update_priority inlined (every wakeup/migration lands here)
+        state = thread.policy
+        state.priority, state.interactive = compute_priority(
+            self.tunables, state.hist, thread.nice)
         tdq: Tdq = core.rq
         tdq.add(thread)
         tdq.load += 1
@@ -227,13 +231,17 @@ class UleScheduler(SchedClass):
 
     def pick_next(self, core: "Core") -> Optional["SimThread"]:
         tdq: Tdq = core.rq
-        prev = core.current if (core.current is not None
-                                and core.current.is_running) else None
-        if prev is not None:
+        prev = core.current
+        if prev is not None and prev.state is ThreadState.RUNNING:
             # Put the incumbent back at the tail of its FIFO with a
-            # freshly computed priority (sched_switch).
-            self._update_priority(prev)
+            # freshly computed priority (sched_switch; is_running and
+            # _update_priority inlined — this runs on every pick).
+            state = prev.policy
+            state.priority, state.interactive = compute_priority(
+                self.tunables, state.hist, prev.nice)
             tdq.add(prev)
+        else:
+            prev = None
         nxt = tdq.choose()
         if nxt is None and prev is None:
             stolen = balance.idle_steal(self, core)
@@ -241,7 +249,7 @@ class UleScheduler(SchedClass):
                 nxt = tdq.choose()
         if nxt is None:
             return None
-        self.state_of(nxt).ticks_used = 0
+        nxt.policy.ticks_used = 0  # state_of, inlined
         return nxt
 
     def yield_task(self, core: "Core") -> None:
@@ -253,7 +261,8 @@ class UleScheduler(SchedClass):
 
     def update_curr(self, core: "Core", thread: "SimThread",
                     delta_ns: int) -> None:
-        self.state_of(thread).hist.add_runtime(delta_ns)
+        # state_of inlined: runs on every accounting point
+        thread.policy.hist.add_runtime(delta_ns)
 
     def task_tick(self, core: "Core") -> None:
         thread = core.current
@@ -312,7 +321,7 @@ class UleScheduler(SchedClass):
         """
         from ..core.engine import RUN_FOREVER
         engine = self.engine
-        events = engine.events
+        events = engine._sink
         tick_ns = self.tick_ns
         tun = self.tunables
         slice_for_load = tun.slice_for_load

@@ -46,13 +46,17 @@ class SleepRunHistory:
         """Record executed time and decay the window."""
         if delta_ns > 0:
             self.runtime += delta_ns
-            self._decay()
+            # _decay's below-limit early-out, hoisted: this runs on
+            # every update_curr and the window rarely overflows
+            if self.runtime + self.sleeptime >= self._tun.slp_run_max_ns:
+                self._decay()
 
     def add_sleeptime(self, delta_ns: int) -> None:
         """Record voluntary sleep and decay the window."""
         if delta_ns > 0:
             self.sleeptime += delta_ns
-            self._decay()
+            if self.runtime + self.sleeptime >= self._tun.slp_run_max_ns:
+                self._decay()
 
     def absorb(self, other: "SleepRunHistory") -> None:
         """Fold a dying child's runtime back into the parent ("when a

@@ -1,0 +1,100 @@
+"""Epoch-tick kernel digest identity: lane on vs lane off.
+
+The tick lane (:class:`~repro.core.events.EventLane`) batches the
+engine's recurring tick/resched traffic into a sorted side lane that
+:meth:`Engine._pop_next` merges with the main queue head-by-head; the
+epoch prefold folds all same-instant tick work for one instant in one
+pass.  ``REPRO_TICK_LANE=0`` is the kill-switch that routes everything
+through the main queue like any other event.
+
+The contract is *digest identity*: the lane is a transport
+optimization and must never change a schedule.  These tests run the
+fuzzer's scenarios — plus a directed all-cores-tick-together workload,
+where every core ticks at the same instants and the epoch prefold has
+maximal same-instant collisions — under both settings and assert
+identical canonical digests, stop reasons, and final clocks, across
+the stock schedulers and a zoo slice.
+"""
+
+import pytest
+
+from repro.core import Engine, Run, ThreadSpec, run_forever
+from repro.core.clock import msec
+from repro.core.topology import smp
+from repro.sched import scheduler_factory
+from repro.testing.fuzzer import generate_scenario, run_scenario
+from repro.tracing.digest import schedule_digest
+
+#: the stock pair plus a zoo slice (tree-, deadline-, and
+#: random-driven policies exercise distinct tick hooks)
+SCHEDULERS = ("cfs", "ule", "eevdf", "bfs", "lottery")
+
+FUZZ_SEEDS = (0, 1, 2, 3)
+
+
+def _run_with_lane(monkeypatch, lane: bool, fn):
+    """Run ``fn()`` with the tick lane forced on or off."""
+    monkeypatch.setenv("REPRO_TICK_LANE", "1" if lane else "0")
+    return fn()
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_fuzzed_digests_identical_lane_on_off(monkeypatch, seed,
+                                              sched):
+    scenario = generate_scenario(seed, smoke=True)
+    outcomes = {}
+    for lane in (True, False):
+        def leg():
+            engine, _, reason = run_scenario(scenario, sched)
+            # guard: the env toggle actually selected the leg
+            assert (engine._lane is not None) == lane
+            return schedule_digest(engine), reason, engine.now
+        outcomes[lane] = _run_with_lane(monkeypatch, lane, leg)
+    assert outcomes[True] == outcomes[False], scenario.describe()
+
+
+def _spin(ctx):
+    yield run_forever()
+
+
+def _collision_engine(sched: str) -> Engine:
+    """Four always-running spinners pinned one per core from t=0:
+    every core's periodic tick fires at the very same instants for
+    the whole run — the epoch prefold's worst (and best) case."""
+    engine = Engine(smp(4), scheduler_factory(sched), seed=7)
+    for cpu in range(4):
+        engine.spawn(ThreadSpec(f"spin{cpu}", _spin,
+                                affinity=frozenset({cpu})))
+    engine.run(until=msec(40))
+    return engine
+
+
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_same_instant_tick_collisions(monkeypatch, sched):
+    digests = {}
+    for lane in (True, False):
+        def leg():
+            engine = _collision_engine(sched)
+            assert (engine._lane is not None) == lane
+            return schedule_digest(engine), engine.events_processed
+        digests[lane] = _run_with_lane(monkeypatch, lane, leg)
+    assert digests[True] == digests[False]
+
+
+@pytest.mark.parametrize("sched", ("cfs", "ule"))
+@pytest.mark.parametrize("tickless", (False, True))
+def test_lane_digest_identity_with_tickless(monkeypatch, sched,
+                                            tickless):
+    """NO_HZ park/unpark reposts ticks through the lane's repost
+    path; identity must hold in both tick regimes."""
+    scenario = generate_scenario(11, smoke=True)
+    outcomes = {}
+    for lane in (True, False):
+        def leg():
+            engine, _, reason = run_scenario(scenario, sched,
+                                             tickless=tickless)
+            assert (engine._lane is not None) == lane
+            return schedule_digest(engine), reason, engine.now
+        outcomes[lane] = _run_with_lane(monkeypatch, lane, leg)
+    assert outcomes[True] == outcomes[False], scenario.describe()
